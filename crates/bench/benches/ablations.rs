@@ -1,0 +1,110 @@
+//! Ablation benchmarks isolating each of the paper's three innovations:
+//!
+//! * `SAM → SU` — adding the freshness timestamp (skip redundant syncs);
+//! * `SU → SO` — adding ordered lists + lazy copies (partial traversal,
+//!   no per-lock freshness clocks);
+//! * `SO-noepoch → SO` — the implementation's local-epoch optimization
+//!   (Section 6.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use freshtrack_core::{
+    Detector, FreshnessDetector, NaiveSamplingDetector, OrderedListDetector,
+};
+use freshtrack_sampling::BernoulliSampler;
+use freshtrack_trace::Trace;
+use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
+
+/// Pre-sizes clocks to TSan-style fixed width so per-sync-event costs
+/// match the online experiments.
+fn prepared<D: Detector>(mut d: D) -> D {
+    d.reserve_threads(64);
+    d
+}
+
+fn traces() -> Vec<(&'static str, Trace)> {
+    vec![
+        (
+            "mixed",
+            generate(
+                &WorkloadConfig::named("mixed")
+                    .events(15_000)
+                    .threads(8)
+                    .locks(16)
+                    .sync_ratio(0.4)
+                    .seed(11),
+            ),
+        ),
+        (
+            "lock_ladder",
+            generate(
+                &WorkloadConfig::named("ladder")
+                    .events(15_000)
+                    .threads(4)
+                    .locks(8)
+                    .pattern(Pattern::LockLadder)
+                    .seed(11),
+            ),
+        ),
+        (
+            "producer_consumer",
+            generate(
+                &WorkloadConfig::named("pc")
+                    .events(15_000)
+                    .threads(8)
+                    .pattern(Pattern::ProducerConsumer)
+                    .seed(11),
+            ),
+        ),
+    ]
+}
+
+fn bench_innovation_stack(c: &mut Criterion) {
+    let rate = 0.03;
+    for (name, trace) in traces() {
+        let mut g = c.benchmark_group(format!("stack_{name}"));
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        let sampler = BernoulliSampler::new(rate, 2);
+        g.bench_function("SAM_no_freshness", |b| {
+            b.iter(|| black_box(prepared(NaiveSamplingDetector::new(sampler)).run(&trace)))
+        });
+        g.bench_function("SU_freshness", |b| {
+            b.iter(|| black_box(prepared(FreshnessDetector::new(sampler)).run(&trace)))
+        });
+        g.bench_function("SO_ordered_lazy", |b| {
+            b.iter(|| black_box(prepared(OrderedListDetector::new(sampler)).run(&trace)))
+        });
+        g.finish();
+    }
+}
+
+fn bench_epoch_opt(c: &mut Criterion) {
+    let (_, trace) = traces().remove(0);
+    let mut g = c.benchmark_group("local_epoch_opt");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for &rate in &[0.03f64, 1.0] {
+        let sampler = BernoulliSampler::new(rate, 2);
+        g.bench_with_input(BenchmarkId::new("with_opt", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(OrderedListDetector::with_options(sampler, true)).run(&trace)))
+        });
+        g.bench_with_input(BenchmarkId::new("without_opt", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(OrderedListDetector::with_options(sampler, false)).run(&trace)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_innovation_stack, bench_epoch_opt
+}
+criterion_main!(benches);

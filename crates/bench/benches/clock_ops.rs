@@ -1,0 +1,150 @@
+//! Microbenchmarks of the clock substrates: plain vector clocks vs
+//! ordered lists vs lazily-shared clocks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use freshtrack_clock::{FreshnessClock, OrderedList, SharedClock, ThreadId, VectorClock};
+
+const THREADS: usize = 64;
+
+fn dense_clock(offset: u64) -> VectorClock {
+    (0..THREADS)
+        .map(|t| (ThreadId::new(t as u32), (t as u64 * 7 + offset) % 100 + 1))
+        .collect()
+}
+
+fn dense_list(offset: u64) -> OrderedList {
+    (0..THREADS)
+        .map(|t| (ThreadId::new(t as u32), (t as u64 * 7 + offset) % 100 + 1))
+        .collect()
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_clock");
+    let a = dense_clock(0);
+    let b = dense_clock(3);
+    g.bench_function("join_64", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                black_box(x.join(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("copy_64", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                black_box(x.copy_from(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("leq_64", |bench| bench.iter(|| black_box(a.leq(&b))));
+    g.finish();
+}
+
+fn bench_ordered_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordered_list");
+    let a = dense_list(0);
+    g.bench_function("set_move_to_front", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.set(ThreadId::new(63), 999);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("get", |bench| {
+        bench.iter(|| black_box(a.get(ThreadId::new(32))))
+    });
+    for d in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("partial_traverse", d), &d, |bench, &d| {
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for (_, t) in a.first(d) {
+                    acc = acc.wrapping_add(t);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.bench_function("deep_clone_64", |bench| bench.iter(|| black_box(a.clone())));
+    g.finish();
+}
+
+fn bench_shared_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_clock");
+    let base = SharedClock::from_list(dense_list(0));
+    g.bench_function("shallow_copy", |bench| {
+        bench.iter(|| black_box(base.shallow_copy()))
+    });
+    g.bench_function("mutate_exclusive", |bench| {
+        bench.iter_batched(
+            || SharedClock::from_list(dense_list(0)),
+            |mut x| {
+                x.set(ThreadId::new(0), 1000);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mutate_shared_deep_copy", |bench| {
+        bench.iter_batched(
+            || {
+                let x = SharedClock::from_list(dense_list(0));
+                let alias = x.shallow_copy();
+                (x, alias)
+            },
+            |(mut x, alias)| {
+                x.set(ThreadId::new(0), 1000);
+                (x, alias)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_freshness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freshness");
+    let mut u = FreshnessClock::new();
+    for t in 0..THREADS {
+        u.set(ThreadId::new(t as u32), t as u64);
+    }
+    let v = u.clone();
+    g.bench_function("bump", |bench| {
+        bench.iter_batched(
+            || u.clone(),
+            |mut x| {
+                x.bump(ThreadId::new(5));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("scalar_skip_check", |bench| {
+        bench.iter(|| black_box(u.get(ThreadId::new(7)) > v.get(ThreadId::new(7))))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_vector_clock, bench_ordered_list, bench_shared_clock, bench_freshness
+}
+criterion_main!(benches);

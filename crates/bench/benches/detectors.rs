@@ -1,0 +1,82 @@
+//! End-to-end detector throughput on a fixed lock-heavy trace — the
+//! microbenchmark behind the paper's Fig. 5: how much analysis time each
+//! engine spends per event at each sampling rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use freshtrack_core::{
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, NaiveSamplingDetector,
+    OrderedListDetector,
+};
+use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
+use freshtrack_trace::Trace;
+use freshtrack_workloads::{generate, WorkloadConfig};
+
+/// Pre-sizes clocks to TSan-style fixed width so per-sync-event costs
+/// match the online experiments.
+fn prepared<D: Detector>(mut d: D) -> D {
+    d.reserve_threads(64);
+    d
+}
+
+fn trace() -> Trace {
+    generate(
+        &WorkloadConfig::named("bench")
+            .events(20_000)
+            .threads(8)
+            .locks(12)
+            .vars(256)
+            .sync_ratio(0.4)
+            .seed(7),
+    )
+}
+
+fn bench_full_detection(c: &mut Criterion) {
+    let trace = trace();
+    let mut g = c.benchmark_group("full_detection");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("djit", |b| {
+        b.iter(|| black_box(DjitDetector::new(AlwaysSampler::new()).run(&trace)))
+    });
+    g.bench_function("fasttrack", |b| {
+        b.iter(|| black_box(FastTrackDetector::new(AlwaysSampler::new()).run(&trace)))
+    });
+    g.finish();
+}
+
+fn bench_sampling_engines(c: &mut Criterion) {
+    let trace = trace();
+    let mut g = c.benchmark_group("sampling_engines");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for &rate in &[0.003f64, 0.03, 0.10] {
+        let sampler = BernoulliSampler::new(rate, 1);
+        g.bench_with_input(BenchmarkId::new("ST", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(DjitDetector::new(sampler)).run(&trace)))
+        });
+        g.bench_with_input(BenchmarkId::new("SAM", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(NaiveSamplingDetector::new(sampler)).run(&trace)))
+        });
+        g.bench_with_input(BenchmarkId::new("SU", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(FreshnessDetector::new(sampler)).run(&trace)))
+        });
+        g.bench_with_input(BenchmarkId::new("SO", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(OrderedListDetector::new(sampler)).run(&trace)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_full_detection, bench_sampling_engines
+}
+criterion_main!(benches);

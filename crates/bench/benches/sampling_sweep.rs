@@ -1,0 +1,59 @@
+//! Sampling-rate sweep of SO versus the naive baseline ST: where the
+//! advantage is largest and where it fades (the trend of Fig. 5(b)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use freshtrack_core::{Detector, DjitDetector, OrderedListDetector};
+use freshtrack_sampling::BernoulliSampler;
+use freshtrack_trace::Trace;
+use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
+
+/// Pre-sizes clocks to TSan-style fixed width so per-sync-event costs
+/// match the online experiments.
+fn prepared<D: Detector>(mut d: D) -> D {
+    d.reserve_threads(64);
+    d
+}
+
+fn trace() -> Trace {
+    generate(
+        &WorkloadConfig::named("sweep")
+            .events(20_000)
+            .threads(8)
+            .locks(8)
+            .sync_ratio(0.5)
+            .pattern(Pattern::Mixed)
+            .seed(3),
+    )
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let trace = trace();
+    let mut g = c.benchmark_group("rate_sweep");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for &rate in &[0.001f64, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0] {
+        let sampler = BernoulliSampler::new(rate, 5);
+        g.bench_with_input(BenchmarkId::new("SO", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(OrderedListDetector::new(sampler)).run(&trace)))
+        });
+        g.bench_with_input(BenchmarkId::new("ST", rate), &rate, |b, _| {
+            b.iter(|| black_box(prepared(DjitDetector::new(sampler)).run(&trace)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sweep
+}
+criterion_main!(benches);

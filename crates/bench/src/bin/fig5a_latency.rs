@@ -1,0 +1,55 @@
+//! Fig. 5(a): relative average transaction latency of ET, FT and
+//! ST-{0.3%, 3%, 10%} with respect to the uninstrumented baseline NT.
+//!
+//! The paper reports (MySQL/TSan): ET ≈ 3.1×, FT ≈ 9×, ST ≈ 4.5× / 5.1×
+//! / 5.8× at the three rates. Expect the same *ordering* here
+//! (NT < ET < ST-0.3% < ST-3% < ST-10% < FT); absolute factors depend on
+//! the substrate.
+
+use freshtrack_bench::{run_online, run_options, OnlineConfig};
+use freshtrack_rapid::report::{fmt3, Table};
+use freshtrack_workloads::benchbase::benchbase_suite;
+
+fn main() {
+    let options = run_options();
+    let configs = [
+        OnlineConfig::Nt,
+        OnlineConfig::Et,
+        OnlineConfig::Ft,
+        OnlineConfig::St(0.003),
+        OnlineConfig::St(0.03),
+        OnlineConfig::St(0.10),
+    ];
+
+    println!("Fig. 5(a): latency relative to NT  (workers={}, txns/worker={})", options.workers, options.txns_per_worker);
+    let mut table = Table::new(&[
+        "benchmark", "NT(us)", "ET", "FT", "ST-0.3%", "ST-3%", "ST-10%",
+    ]);
+    let mut geo: Vec<f64> = vec![0.0; configs.len() - 1];
+    let mut counted = 0usize;
+
+    for workload in benchbase_suite() {
+        let runs: Vec<_> = configs
+            .iter()
+            .map(|&c| run_online(&workload, c, &options))
+            .collect();
+        let nt = runs[0].mean_latency.as_nanos().max(1) as f64;
+        let mut cells = vec![workload.name.to_string(), fmt3(nt / 1_000.0)];
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            let rel = run.mean_latency.as_nanos() as f64 / nt;
+            geo[i - 1] += rel.ln();
+            cells.push(fmt3(rel));
+        }
+        counted += 1;
+        table.row_owned(cells);
+    }
+
+    let mut cells = vec!["geomean".to_string(), String::new()];
+    for g in &geo {
+        cells.push(fmt3((g / counted as f64).exp()));
+    }
+    table.row_owned(cells);
+    print!("{}", table.render());
+    println!();
+    println!("expected shape: 1 < ET < ST-0.3% < ST-3% < ST-10% < FT");
+}

@@ -1,0 +1,66 @@
+//! Fig. 5(b): improvement in *algorithmic overhead* of SU and SO over
+//! the naive sampling baseline ST, per sampling rate.
+//!
+//! `AO(S) = latency(S) − latency(ET)`; the plotted quantity is
+//! `1 − AO(S)/AO(ST)`. The paper reports average improvements of ~37%
+//! at 0.3%, ~17–19% at 3%, and ~3% at 10%, with the improvement
+//! shrinking as the rate grows.
+
+use freshtrack_bench::{run_online, run_options, OnlineConfig};
+use freshtrack_rapid::report::{pct, Table};
+use freshtrack_workloads::benchbase::benchbase_suite;
+
+fn main() {
+    let options = run_options();
+    let rates = [0.003, 0.03, 0.10];
+
+    println!(
+        "Fig. 5(b): improvement in algorithmic overhead vs ST  (workers={}, txns/worker={})",
+        options.workers, options.txns_per_worker
+    );
+    let mut table = Table::new(&[
+        "benchmark", "SU-0.3%", "SU-3%", "SU-10%", "SO-0.3%", "SO-3%", "SO-10%",
+    ]);
+    let mut sums = [0.0f64; 6];
+    let mut counted = 0usize;
+
+    for workload in benchbase_suite() {
+        let et = run_online(&workload, OnlineConfig::Et, &options)
+            .mean_latency
+            .as_nanos() as f64;
+        let mut cells = vec![workload.name.to_string()];
+        let mut su_cells = Vec::new();
+        let mut so_cells = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let st = run_online(&workload, OnlineConfig::St(rate), &options)
+                .mean_latency
+                .as_nanos() as f64;
+            let su = run_online(&workload, OnlineConfig::Su(rate), &options)
+                .mean_latency
+                .as_nanos() as f64;
+            let so = run_online(&workload, OnlineConfig::So(rate), &options)
+                .mean_latency
+                .as_nanos() as f64;
+            let ao_st = (st - et).max(1.0);
+            let impr_su = 1.0 - (su - et) / ao_st;
+            let impr_so = 1.0 - (so - et) / ao_st;
+            sums[ri] += impr_su;
+            sums[3 + ri] += impr_so;
+            su_cells.push(pct(impr_su));
+            so_cells.push(pct(impr_so));
+        }
+        cells.extend(su_cells);
+        cells.extend(so_cells);
+        counted += 1;
+        table.row_owned(cells);
+    }
+
+    let mut cells = vec!["mean".to_string()];
+    for s in sums {
+        cells.push(pct(s / counted as f64));
+    }
+    table.row_owned(cells);
+    print!("{}", table.render());
+    println!();
+    println!("expected shape: improvement largest at 0.3%, shrinking toward 10%");
+}

@@ -1,0 +1,53 @@
+//! Fig. 6(b): work done by SU — how many acquire/release events
+//! triggered an `O(T)` vector-clock operation, versus how many occurred.
+//!
+//! The paper's scatter shows most runs below the 50%-processed line
+//! (i.e. SU skips more than half of all synchronization operations).
+
+use freshtrack_bench::{run_online, run_options, OnlineConfig};
+use freshtrack_rapid::report::{pct, Table};
+use freshtrack_workloads::benchbase::benchbase_suite;
+
+fn main() {
+    let options = run_options();
+    let rates = [0.003, 0.03, 0.10];
+
+    println!(
+        "Fig. 6(b): SU sync events handled vs occurred  (workers={}, txns/worker={})",
+        options.workers, options.txns_per_worker
+    );
+    let mut table = Table::new(&[
+        "benchmark", "rate", "acq+rel", "handled", "ratio", "<50%?", "<25%?",
+    ]);
+    let mut below50 = 0usize;
+    let mut total = 0usize;
+
+    for workload in benchbase_suite() {
+        for &rate in &rates {
+            let run = run_online(&workload, OnlineConfig::Su(rate), &options);
+            let c = &run.counters;
+            let occurred = c.acquires + c.releases;
+            let handled = c.acquires_processed + c.releases_processed;
+            let ratio = handled as f64 / occurred.max(1) as f64;
+            total += 1;
+            if ratio < 0.5 {
+                below50 += 1;
+            }
+            table.row_owned(vec![
+                workload.name.to_string(),
+                format!("{}%", rate * 100.0),
+                format!("{occurred}"),
+                format!("{handled}"),
+                pct(ratio),
+                if ratio < 0.5 { "yes" } else { "no" }.into(),
+                if ratio < 0.25 { "yes" } else { "no" }.into(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "{below50}/{total} runs below the 50%-processed reference line \
+         (paper: most runs skip >50%)"
+    );
+}

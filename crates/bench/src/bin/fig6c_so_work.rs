@@ -1,0 +1,51 @@
+//! Fig. 6(c): work done by SO — average ordered-list entries traversed
+//! per acquire operation.
+//!
+//! The paper reports ≤ 6 traversals per acquire for most runs —
+//! far below the thread count (64) and TSan's fixed clock size (256).
+
+use freshtrack_bench::{run_online, run_options, OnlineConfig};
+use freshtrack_rapid::report::{fmt3, Table};
+use freshtrack_workloads::benchbase::benchbase_suite;
+
+fn main() {
+    let options = run_options();
+    let rates = [0.003, 0.03, 0.10];
+
+    println!(
+        "Fig. 6(c): SO ordered-list traversals per acquire  (workers={}, txns/worker={})",
+        options.workers, options.txns_per_worker
+    );
+    let mut table = Table::new(&[
+        "benchmark", "rate", "acquires", "entries", "per-acq", "≤3?", "≤6?",
+    ]);
+    let mut below6 = 0usize;
+    let mut total = 0usize;
+
+    for workload in benchbase_suite() {
+        for &rate in &rates {
+            let run = run_online(&workload, OnlineConfig::So(rate), &options);
+            let c = &run.counters;
+            let per = c.traversals_per_acquire();
+            total += 1;
+            if per <= 6.0 {
+                below6 += 1;
+            }
+            table.row_owned(vec![
+                workload.name.to_string(),
+                format!("{}%", rate * 100.0),
+                format!("{}", c.acquires),
+                format!("{}", c.entries_traversed),
+                fmt3(per),
+                if per <= 3.0 { "yes" } else { "no" }.into(),
+                if per <= 6.0 { "yes" } else { "no" }.into(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "{below6}/{total} runs at ≤6 traversals/acquire \
+         (paper: most runs ≤6, well below the thread count)"
+    );
+}

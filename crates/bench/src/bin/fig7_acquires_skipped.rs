@@ -1,0 +1,67 @@
+//! Fig. 7 (appendix): ratio of acquire events skipped over total
+//! acquires, for SU-(3%), SO-(3%), SU-(100%), SO-(100%) across the
+//! 26-benchmark offline corpus.
+//!
+//! The paper reports >50% skipped on 23/26 benchmarks and >80% on 16/26
+//! for the 3% engines, with SU always skipping slightly more than SO
+//! (SO's scalar lock freshness is a coarser filter than SU's full
+//! freshness clock), and substantial skipping even at 100%.
+
+use freshtrack_bench::{offline_reps, offline_scale};
+use freshtrack_rapid::report::{bar, pct, Table};
+use freshtrack_rapid::{run_offline, EngineConfig, EngineKind};
+use freshtrack_workloads::corpus::corpus;
+
+fn main() {
+    let reps = offline_reps();
+    let scale = offline_scale();
+    let engines = [
+        EngineConfig::new(EngineKind::Su, 0.03, 0),
+        EngineConfig::new(EngineKind::So, 0.03, 0),
+        EngineConfig::new(EngineKind::Su, 1.0, 0),
+        EngineConfig::new(EngineKind::So, 1.0, 0),
+    ];
+
+    println!("Fig. 7: acquires skipped / total acquires  (reps={reps}, scale={scale})");
+    let benchmarks = corpus();
+    let summaries = run_offline(&benchmarks, &engines, reps, scale);
+
+    let mut table = Table::new(&[
+        "benchmark", "SU-(3%)", "SO-(3%)", "SU-(100%)", "SO-(100%)", "SU-(3%) bar",
+    ]);
+    let mut over50 = 0usize;
+    let mut over80 = 0usize;
+    for bench in &benchmarks {
+        let ratios: Vec<f64> = engines
+            .iter()
+            .map(|e| {
+                summaries
+                    .iter()
+                    .find(|s| s.benchmark == bench.name && s.engine == e.label())
+                    .expect("summary present")
+                    .counters
+                    .acquire_skip_ratio()
+            })
+            .collect();
+        if ratios[0] > 0.5 {
+            over50 += 1;
+        }
+        if ratios[0] > 0.8 {
+            over80 += 1;
+        }
+        table.row_owned(vec![
+            bench.name.to_string(),
+            pct(ratios[0]),
+            pct(ratios[1]),
+            pct(ratios[2]),
+            pct(ratios[3]),
+            bar(ratios[0], 20),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "SU-(3%) skipped >50% on {over50}/26 and >80% on {over80}/26 benchmarks \
+         (paper: 23/26 and 16/26)"
+    );
+}

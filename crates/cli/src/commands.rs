@@ -1,0 +1,363 @@
+
+use std::sync::Arc;
+
+use freshtrack_core::{
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
+    NaiveSamplingDetector, OrderedListDetector, RaceReport,
+};
+use freshtrack_dbsim::{run_benchmark, DetectorInstrument, RunOptions};
+use freshtrack_rapid::report::{pct, Table};
+use freshtrack_sampling::BernoulliSampler;
+use freshtrack_trace::{read_trace, write_trace, Trace};
+use freshtrack_workloads::{benchbase, corpus, generate, Pattern, WorkloadConfig};
+
+use crate::{ArgError, Args, USAGE};
+
+/// Runs the CLI with the given arguments (excluding the program name),
+/// writing to `out`. Returns the process exit code.
+pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> i32 {
+    match dispatch(raw, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            let _ = writeln!(out, "run `freshtrack help` for usage");
+            1
+        }
+    }
+}
+
+fn dispatch<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), ArgError> {
+    let Some((command, rest)) = raw.split_first() else {
+        let _ = write!(out, "{USAGE}");
+        return Ok(());
+    };
+    match command.as_str() {
+        "analyze" => analyze(rest, out),
+        "oracle" => oracle(rest, out),
+        "stats" => stats(rest, out),
+        "generate" => generate_cmd(rest, out),
+        "corpus" => corpus_cmd(rest, out),
+        "dbsim" => dbsim_cmd(rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command `{other}`"))),
+    }
+}
+
+fn load_trace(args: &Args) -> Result<Trace, ArgError> {
+    let path = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("expected a trace file argument".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let trace = read_trace(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    trace
+        .validate()
+        .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
+    Ok(trace)
+}
+
+fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &["counters"])?;
+    let trace = load_trace(&args)?;
+    let engine: String = args.get_or("engine", "so".to_owned())?;
+    let rate: f64 = args.get_or("rate", 0.03)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError(format!("--rate must be in [0,1], got {rate}")));
+    }
+    let sampler = BernoulliSampler::new(rate, seed);
+
+    let (name, reports, counters) = match engine.as_str() {
+        "ft" => {
+            let mut d = FastTrackDetector::new(BernoulliSampler::new(1.0, seed));
+            (d.name(), d.run(&trace), *d.counters())
+        }
+        "st" => {
+            let mut d = DjitDetector::new(sampler);
+            (d.name(), d.run(&trace), *d.counters())
+        }
+        "sam" => {
+            let mut d = NaiveSamplingDetector::new(sampler);
+            (d.name(), d.run(&trace), *d.counters())
+        }
+        "su" => {
+            let mut d = FreshnessDetector::new(sampler);
+            (d.name(), d.run(&trace), *d.counters())
+        }
+        "so" => {
+            let mut d = OrderedListDetector::new(sampler);
+            (d.name(), d.run(&trace), *d.counters())
+        }
+        other => return Err(ArgError(format!("unknown engine `{other}`"))),
+    };
+
+    let _ = writeln!(
+        out,
+        "{name} over {} events ({} sampled): {} race report(s)",
+        trace.len(),
+        counters.sampled_accesses,
+        reports.len()
+    );
+    print_reports(&trace, &reports, out);
+    if args.flag("counters") {
+        let _ = writeln!(out, "{counters}");
+    }
+    Ok(())
+}
+
+fn print_reports<W: std::io::Write>(trace: &Trace, reports: &[RaceReport], out: &mut W) {
+    for report in reports {
+        let _ = writeln!(
+            out,
+            "  {} at event {}: {} of `{}` unordered with earlier {}",
+            report.tid,
+            report.event,
+            report.access,
+            trace.var_name(report.var.index()),
+            match (report.with_write, report.with_read) {
+                (true, true) => "write and read",
+                (true, false) => "write",
+                _ => "read",
+            }
+        );
+    }
+}
+
+fn oracle<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let trace = load_trace(&args)?;
+    let rate: f64 = args.get_or("rate", 1.0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    if trace.len() > 200_000 {
+        return Err(ArgError(format!(
+            "trace has {} events; the oracle is O(N²) memory and limited to 200k",
+            trace.len()
+        )));
+    }
+    let oracle = HbOracle::new(&trace);
+    let mask = HbOracle::sample_mask(&trace, BernoulliSampler::new(rate, seed));
+    let racy = oracle.racy_events(&mask);
+    let _ = writeln!(out, "{} racy event(s) among the sampled set:", racy.len());
+    for e in racy {
+        let _ = writeln!(out, "  {} {}", e, trace.event(e));
+    }
+    Ok(())
+}
+
+fn stats<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let trace = load_trace(&args)?;
+    let s = trace.stats();
+    let _ = writeln!(out, "{s}");
+    let _ = writeln!(out, "sync ratio: {}", pct(s.sync_ratio()));
+    Ok(())
+}
+
+fn parse_pattern(name: &str) -> Result<Pattern, ArgError> {
+    Ok(match name {
+        "mixed" => Pattern::Mixed,
+        "pc" | "producerconsumer" => Pattern::ProducerConsumer,
+        "pipeline" => Pattern::Pipeline,
+        "forkjoin" => Pattern::ForkJoin,
+        "barrier" => Pattern::BarrierPhases,
+        "ladder" => Pattern::LockLadder,
+        other => return Err(ArgError(format!("unknown pattern `{other}`"))),
+    })
+}
+
+fn generate_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let pattern = parse_pattern(&args.get_or("pattern", "mixed".to_owned())?)?;
+    let config = WorkloadConfig::named("cli")
+        .pattern(pattern)
+        .events(args.get_or("events", 10_000usize)?)
+        .threads(args.get_or("threads", 4u32)?)
+        .locks(args.get_or("locks", 8u32)?)
+        .vars(args.get_or("vars", 64u32)?)
+        .sync_ratio(args.get_or("sync-ratio", 0.3f64)?)
+        .unprotected(args.get_or("unprotected", 0.02f64)?)
+        .seed(args.get_or("seed", 0u64)?);
+    let trace = generate(&config);
+    let _ = write!(out, "{}", write_trace(&trace));
+    Ok(())
+}
+
+fn corpus_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &["list"])?;
+    if args.flag("list") || args.get("bench").is_none() {
+        let mut table = Table::new(&["benchmark", "threads", "locks", "events"]);
+        for b in corpus::corpus() {
+            let c = b.config();
+            table.row_owned(vec![
+                b.name.to_string(),
+                format!("{}", c.n_threads),
+                format!("{}", c.n_locks),
+                format!("{}", c.n_events),
+            ]);
+        }
+        let _ = write!(out, "{}", table.render());
+        return Ok(());
+    }
+    let name: String = args.require("bench")?;
+    let bench = corpus::by_name(&name)
+        .ok_or_else(|| ArgError(format!("unknown corpus benchmark `{name}`")))?;
+    let scale: f64 = args.get_or("scale", 1.0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let trace = bench.trace(scale, seed);
+    let _ = write!(out, "{}", write_trace(&trace));
+    Ok(())
+}
+
+fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let mix: String = args.get_or("mix", "ycsb".to_owned())?;
+    let workload = benchbase::by_name(&mix)
+        .ok_or_else(|| ArgError(format!("unknown workload mix `{mix}`")))?;
+    let options = RunOptions {
+        workers: args.get_or("workers", 8u32)?,
+        txns_per_worker: args.get_or("txns", 300u32)?,
+        seed: args.get_or("seed", 0u64)?,
+    };
+    let engine: String = args.get_or("engine", "so".to_owned())?;
+    let rate: f64 = args.get_or("rate", 0.03)?;
+    let sampler = BernoulliSampler::new(rate, options.seed);
+
+    // Monomorphized per engine; the run/report plumbing is shared.
+    fn go<D: Detector + Send + 'static, W: std::io::Write>(
+        detector: D,
+        workload: &freshtrack_workloads::DbWorkload,
+        options: &RunOptions,
+        out: &mut W,
+    ) {
+        let inst = Arc::new(DetectorInstrument::new(detector));
+        let stats = run_benchmark(workload, options, inst.clone());
+        let (detector, reports) = Arc::try_unwrap(inst).ok().expect("workers joined").finish();
+        let c = detector.counters();
+        let _ = writeln!(
+            out,
+            "{}: {} txns, mean latency {:.1} µs, p95 {} µs",
+            detector.name(),
+            stats.transactions,
+            stats.mean_us(),
+            stats.percentile_us(95.0)
+        );
+        let _ = writeln!(
+            out,
+            "events={} sampled={} races={} acquires skipped={}",
+            c.events,
+            c.sampled_accesses,
+            reports.len(),
+            pct(c.acquire_skip_ratio())
+        );
+    }
+
+    match engine.as_str() {
+        "ft" => go(
+            FastTrackDetector::new(BernoulliSampler::new(1.0, options.seed)),
+            &workload,
+            &options,
+            out,
+        ),
+        "st" => go(DjitDetector::new(sampler), &workload, &options, out),
+        "su" => go(FreshnessDetector::new(sampler), &workload, &options, out),
+        "so" => go(OrderedListDetector::new(sampler), &workload, &options, out),
+        other => return Err(ArgError(format!("unknown engine `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> (i32, String) {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&raw, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, out) = run_cli(&[]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_cli(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_then_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+
+        let (code, out) = run_cli(&[
+            "generate",
+            "--events",
+            "2000",
+            "--unprotected",
+            "0.1",
+            "--seed",
+            "1",
+        ]);
+        assert_eq!(code, 0);
+        std::fs::write(&path, &out).unwrap();
+
+        let path_s = path.to_str().unwrap();
+        let (code, out) = run_cli(&["analyze", path_s, "--engine", "so", "--rate", "1.0", "--counters"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("race report"), "{out}");
+        assert!(out.contains("events="), "{out}");
+
+        let (code, out) = run_cli(&["stats", path_s]);
+        assert_eq!(code, 0);
+        assert!(out.contains("sync ratio"), "{out}");
+
+        let (code, out) = run_cli(&["oracle", path_s, "--rate", "1.0"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("racy event"), "{out}");
+    }
+
+    #[test]
+    fn corpus_list_shows_26() {
+        let (code, out) = run_cli(&["corpus", "--list"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.lines().count(), 28); // header + rule + 26 rows
+        assert!(out.contains("cassandra"));
+    }
+
+    #[test]
+    fn corpus_emits_trace() {
+        let (code, out) = run_cli(&["corpus", "--bench", "wronglock", "--scale", "0.1"]);
+        assert_eq!(code, 0);
+        assert!(read_trace(&out).is_ok());
+    }
+
+    #[test]
+    fn analyze_rejects_bad_engine_and_rate() {
+        let (code, out) = run_cli(&["analyze", "/nonexistent", "--engine", "xx"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error"));
+        let (code, _) = run_cli(&["analyze", "/nonexistent", "--rate", "7"]);
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn dbsim_smoke() {
+        let (code, out) = run_cli(&[
+            "dbsim", "--mix", "sibench", "--workers", "2", "--txns", "20", "--engine", "so",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("mean latency"), "{out}");
+    }
+}

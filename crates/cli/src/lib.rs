@@ -1,0 +1,49 @@
+//! The `freshtrack` command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `analyze <trace>` — run a detector engine over a trace file.
+//! * `oracle <trace>` — ground-truth racy events (small traces only).
+//! * `stats <trace>` — trace statistics.
+//! * `generate` — generate a synthetic workload trace.
+//! * `corpus` — list or emit the offline benchmark corpus.
+//! * `dbsim` — run the online database benchmark with a detector.
+//!
+//! Run `freshtrack help` for full usage. The library entry point
+//! [`run`] is separated from `main` so commands are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::run;
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+freshtrack — sampling-based happens-before race detection
+
+USAGE:
+    freshtrack <command> [options]
+
+COMMANDS:
+    analyze <trace>   run a detector over a trace file
+                      --engine ft|st|sam|su|so (default so)
+                      --rate <0..1> (default 0.03)  --seed <n>
+                      --counters    print work counters
+    oracle <trace>    ground-truth racy events (O(N^2) memory!)
+                      --rate <0..1> (default 1.0)   --seed <n>
+    stats <trace>     print trace statistics
+    generate          generate a workload trace to stdout
+                      --pattern mixed|pc|pipeline|forkjoin|barrier|ladder
+                      --events <n> --threads <n> --locks <n> --vars <n>
+                      --sync-ratio <f> --unprotected <f> --seed <n>
+    corpus            --list, or --bench <name> [--scale <f>] [--seed <n>]
+                      to emit a corpus trace to stdout
+    dbsim             run the online database benchmark
+                      --mix <name> (default ycsb) --engine ft|st|su|so
+                      --rate <f> --workers <n> --txns <n> --seed <n>
+    help              show this message
+";

@@ -1,0 +1,5 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout().lock();
+    std::process::exit(freshtrack_cli::run(&args, &mut out));
+}

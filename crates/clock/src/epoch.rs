@@ -1,0 +1,108 @@
+use std::fmt;
+
+use crate::{ThreadId, Time};
+
+/// A FastTrack *epoch*: the pair `time@thread`.
+///
+/// An epoch is the scalar timestamp of a single event — enough to stand in
+/// for a whole vector clock whenever the relevant history is totally
+/// ordered (e.g. the last write to a variable). The paper's algorithms use
+/// epochs for the local-time component `e_t` that is maintained separately
+/// from the communicated vector clock (Algorithm 2, line 3).
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_clock::{Epoch, ThreadId, VectorClock};
+///
+/// let e = Epoch::new(ThreadId::new(1), 4);
+/// let mut vc = VectorClock::new();
+/// vc.set(ThreadId::new(1), 5);
+/// assert!(vc.contains_epoch(e)); // 4 ≤ vc(T1)
+/// assert_eq!(e.to_string(), "4@T1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Epoch {
+    tid: ThreadId,
+    time: Time,
+}
+
+impl Epoch {
+    /// Creates the epoch `time@tid`.
+    #[inline]
+    pub const fn new(tid: ThreadId, time: Time) -> Self {
+        Epoch { tid, time }
+    }
+
+    /// The zero epoch of thread 0 — used as the "never written" marker.
+    #[inline]
+    pub const fn zero() -> Self {
+        Epoch::new(ThreadId::new(0), 0)
+    }
+
+    /// The thread component.
+    #[inline]
+    pub const fn tid(self) -> ThreadId {
+        self.tid
+    }
+
+    /// The scalar time component.
+    #[inline]
+    pub const fn time(self) -> Time {
+        self.time
+    }
+
+    /// Returns `true` if this is the "never written" marker.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.time == 0
+    }
+
+    /// Returns the epoch advanced by one tick in the same thread.
+    #[inline]
+    pub const fn next(self) -> Self {
+        Epoch::new(self.tid, self.time + 1)
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::zero()
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.time, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = Epoch::new(ThreadId::new(3), 17);
+        assert_eq!(e.tid(), ThreadId::new(3));
+        assert_eq!(e.time(), 17);
+    }
+
+    #[test]
+    fn zero_epoch_is_marker() {
+        assert!(Epoch::zero().is_zero());
+        assert!(!Epoch::new(ThreadId::new(0), 1).is_zero());
+        assert_eq!(Epoch::default(), Epoch::zero());
+    }
+
+    #[test]
+    fn next_ticks_time_only() {
+        let e = Epoch::new(ThreadId::new(2), 5).next();
+        assert_eq!(e, Epoch::new(ThreadId::new(2), 6));
+    }
+
+    #[test]
+    fn display_uses_fasttrack_notation() {
+        assert_eq!(Epoch::new(ThreadId::new(1), 9).to_string(), "9@T1");
+    }
+}

@@ -1,0 +1,155 @@
+use std::fmt;
+
+use crate::{ThreadId, Time, VectorClock};
+
+/// The paper's *freshness timestamp* `U` (Section 4.2).
+///
+/// `U(e)(t)` counts how many times any entry of thread `t`'s sampling
+/// clock `C_t` has changed, as known to event `e`. Two facts make this
+/// useful (Propositions 5 and 6 of the paper):
+///
+/// 1. if `U(e₁)(thr(e₁)) ≤ U(e₂)(thr(e₁))` then
+///    `C_sam(e₁) ⊑ C_sam(e₂)` — so a *scalar* comparison can prove that a
+///    synchronization message carries no new information, and
+/// 2. the difference `k = U(e₁)(t₁) − U(e₂)(t₁)` bounds the number of
+///    entries in which `C_sam(e₁)` can exceed `C_sam(e₂)` — so a partial
+///    traversal of the first `k` entries of an ordered list suffices.
+///
+/// Structurally a freshness timestamp is a vector clock; the newtype
+/// prevents accidentally mixing freshness values with sampling-clock
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_clock::{FreshnessClock, ThreadId};
+///
+/// let t0 = ThreadId::new(0);
+/// let mut u = FreshnessClock::new();
+/// u.bump(t0); // one entry of C_{t0} changed
+/// u.bump(t0);
+/// assert_eq!(u.get(t0), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct FreshnessClock(VectorClock);
+
+impl FreshnessClock {
+    /// Creates the bottom freshness timestamp.
+    pub fn new() -> Self {
+        FreshnessClock(VectorClock::new())
+    }
+
+    /// The recorded number of C-clock changes of thread `tid`.
+    #[inline]
+    pub fn get(&self, tid: ThreadId) -> Time {
+        self.0.get(tid)
+    }
+
+    /// Overwrites the entry for `tid`.
+    #[inline]
+    pub fn set(&mut self, tid: ThreadId, value: Time) {
+        self.0.set(tid, value);
+    }
+
+    /// Records one additional change to thread `tid`'s C-clock
+    /// (`U_t ← U_t[t ↦ U_t(t)+1]` in Algorithms 3–4). Returns the new
+    /// count.
+    #[inline]
+    pub fn bump(&mut self, tid: ThreadId) -> Time {
+        self.0.increment(tid)
+    }
+
+    /// Records `k` additional changes at once (used after a partial join
+    /// that updated `k` entries). Returns the new count.
+    #[inline]
+    pub fn bump_by(&mut self, tid: ThreadId, k: Time) -> Time {
+        let next = self.0.get(tid) + k;
+        self.0.set(tid, next);
+        next
+    }
+
+    /// Pointwise-max join with another freshness timestamp (Algorithm 3,
+    /// line 8). Returns the number of entries that changed.
+    #[inline]
+    pub fn join(&mut self, other: &FreshnessClock) -> usize {
+        self.0.join(&other.0)
+    }
+
+    /// Overwrites `self` with a copy of `other` (the `Uℓ ← U_t` transfer
+    /// of Algorithm 3's release handler). Returns how many entries
+    /// changed.
+    #[inline]
+    pub fn copy_from(&mut self, other: &FreshnessClock) -> usize {
+        self.0.copy_from(&other.0)
+    }
+
+    /// Pointwise comparison.
+    #[inline]
+    pub fn leq(&self, other: &FreshnessClock) -> bool {
+        self.0.leq(&other.0)
+    }
+
+    /// Sum of all entries; bounded by `|S| · T` (proof of Lemma 7).
+    #[inline]
+    pub fn total(&self) -> Time {
+        self.0.total()
+    }
+
+    /// Read-only view as a plain vector clock.
+    #[inline]
+    pub fn as_vector(&self) -> &VectorClock {
+        &self.0
+    }
+}
+
+impl From<VectorClock> for FreshnessClock {
+    fn from(clock: VectorClock) -> Self {
+        FreshnessClock(clock)
+    }
+}
+
+impl fmt::Debug for FreshnessClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn bump_counts_changes() {
+        let mut u = FreshnessClock::new();
+        assert_eq!(u.bump(t(1)), 1);
+        assert_eq!(u.bump(t(1)), 2);
+        assert_eq!(u.bump_by(t(1), 3), 5);
+        assert_eq!(u.get(t(1)), 5);
+        assert_eq!(u.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = FreshnessClock::new();
+        a.set(t(0), 3);
+        let mut b = FreshnessClock::new();
+        b.set(t(0), 1);
+        b.set(t(1), 2);
+        assert_eq!(a.join(&b), 1);
+        assert_eq!(a.get(t(0)), 3);
+        assert_eq!(a.get(t(1)), 2);
+        assert!(b.leq(&a));
+    }
+
+    #[test]
+    fn total_accumulates() {
+        let mut u = FreshnessClock::new();
+        u.bump(t(0));
+        u.bump_by(t(2), 4);
+        assert_eq!(u.total(), 5);
+    }
+}

@@ -1,0 +1,471 @@
+use std::fmt;
+
+use crate::{ThreadId, Time, VectorClock};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Node {
+    time: Time,
+    prev: u32,
+    next: u32,
+}
+
+/// The paper's *ordered list* (Section 5): a vector timestamp stored as a
+/// doubly-linked list in **most-recently-updated-first** order.
+///
+/// The list is backed by an arena in which the node for thread `t` lives
+/// at index `t`, so the paper's `ThrMap` is the identity function and
+/// `get`/`set`/`increment` are all `O(1)`. What the linked structure adds
+/// over a plain vector clock is *recency order*: `set` and `increment`
+/// move the touched node to the head, so a reader that knows (via the
+/// freshness timestamp) that only `d` entries can possibly be newer needs
+/// to traverse only the first `d` nodes (`O[0:d]` in Algorithm 4).
+///
+/// # Example
+///
+/// This reproduces Fig. 4 of the paper: a list over five threads, then
+/// `O.set(t4, 6)` followed by `O.increment(t1, 1)`.
+///
+/// ```
+/// use freshtrack_clock::{OrderedList, ThreadId};
+///
+/// let t = |i| ThreadId::new(i);
+/// // Recency order t1 < t2 < t5 < t3 < t4 with the paper's values
+/// // (threads are 0-indexed here: paper's t1 is index 0, etc.).
+/// let mut o = OrderedList::new();
+/// for (tid, time) in [(t(4), 0), (t(3), 8), (t(2), 1), (t(1), 20), (t(0), 6)] {
+///     o.set(tid, time);
+/// }
+/// assert_eq!(o.get(t(2)), 1);
+///
+/// o.set(t(3), 6); // paper's O.set(t4, 6): moves to the head
+/// assert_eq!(o.iter_recent().next(), Some((t(3), 6)));
+///
+/// o.increment(t(0), 1); // paper's O.inc(t1, 1): 6 → 7, moves to head
+/// let order: Vec<_> = o.iter_recent().collect();
+/// assert_eq!(order[0], (t(0), 7));
+/// assert_eq!(order[1], (t(3), 6));
+/// ```
+#[derive(Clone, Default)]
+pub struct OrderedList {
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+}
+
+impl OrderedList {
+    /// Creates the empty (bottom) ordered list.
+    pub fn new() -> Self {
+        OrderedList {
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Creates a bottom list with `threads` pre-allocated entries, in
+    /// thread-index recency order (thread 0 most recent).
+    pub fn with_threads(threads: usize) -> Self {
+        let mut list = OrderedList::new();
+        list.ensure_thread_count(threads);
+        list
+    }
+
+    /// Number of threads represented (allocated nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the list has no allocated entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_bottom(&self) -> bool {
+        self.nodes.iter().all(|n| n.time == 0)
+    }
+
+    /// Grows the arena so that threads `0..threads` all have nodes.
+    ///
+    /// Fresh nodes carry time `0` and are appended at the *tail* (least
+    /// recent position): a zero entry can never carry new information, so
+    /// it must not displace genuinely fresh entries from the head prefix.
+    pub fn ensure_thread_count(&mut self, threads: usize) {
+        while self.nodes.len() < threads {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                time: 0,
+                prev: self.tail,
+                next: NIL,
+            });
+            if self.tail != NIL {
+                self.nodes[self.tail as usize].next = idx;
+            } else {
+                self.head = idx;
+            }
+            self.tail = idx;
+        }
+    }
+
+    /// `O.get(tid)`: the entry for `tid` (zero if never allocated). `O(1)`.
+    #[inline]
+    pub fn get(&self, tid: ThreadId) -> Time {
+        self.nodes.get(tid.index()).map_or(0, |n| n.time)
+    }
+
+    /// `O.set(tid, time)`: writes the entry and moves it to the head of
+    /// the recency order. `O(1)`.
+    pub fn set(&mut self, tid: ThreadId, time: Time) {
+        self.ensure_thread_count(tid.index() + 1);
+        self.nodes[tid.index()].time = time;
+        self.move_to_front(tid.index() as u32);
+    }
+
+    /// `O.increment(tid, k)`: adds `k` to the entry and moves it to the
+    /// head. Returns the new value. `O(1)`.
+    pub fn increment(&mut self, tid: ThreadId, k: Time) -> Time {
+        self.ensure_thread_count(tid.index() + 1);
+        let node = &mut self.nodes[tid.index()];
+        node.time += k;
+        let time = node.time;
+        self.move_to_front(tid.index() as u32);
+        time
+    }
+
+    /// Iterates over `(thread, time)` pairs from most to least recently
+    /// updated — the order Algorithm 4 traverses `Oℓ[0:d]`.
+    pub fn iter_recent(&self) -> RecentEntries<'_> {
+        RecentEntries {
+            list: self,
+            cursor: self.head,
+        }
+    }
+
+    /// The first `d` entries in recency order (`O[0:d]` in the paper;
+    /// yields everything when `d ≥ len`).
+    pub fn first(&self, d: usize) -> impl Iterator<Item = (ThreadId, Time)> + '_ {
+        self.iter_recent().take(d)
+    }
+
+    /// Pointwise-maximum join `self ← self ⊔ other`, moving every changed
+    /// entry to the head. Returns the number of entries that changed.
+    pub fn join(&mut self, other: &OrderedList) -> usize {
+        let mut changed = 0;
+        for (tid, time) in other.iter_recent() {
+            if time > self.get(tid) {
+                self.set(tid, time);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Pointwise comparison against another ordered list.
+    pub fn leq(&self, other: &OrderedList) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(idx, node)| node.time <= other.get(ThreadId::new(idx as u32)))
+    }
+
+    /// Pointwise comparison `self ⊑ clock` against a plain vector clock.
+    pub fn leq_vector(&self, clock: &VectorClock) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(idx, node)| node.time <= clock.get(ThreadId::new(idx as u32)))
+    }
+
+    /// Pointwise comparison `clock ⊑ self`.
+    pub fn geq_vector(&self, clock: &VectorClock) -> bool {
+        clock
+            .iter()
+            .all(|(tid, time)| time <= self.get(tid))
+    }
+
+    /// Materializes the timestamp as a plain [`VectorClock`] (loses the
+    /// recency order). `O(T)`.
+    pub fn to_vector_clock(&self) -> VectorClock {
+        let mut clock = VectorClock::with_capacity(self.nodes.len());
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.time != 0 {
+                clock.set(ThreadId::new(idx as u32), node.time);
+            } else {
+                // Keep the length so `len()` agrees with observed threads.
+                clock.set(ThreadId::new(idx as u32), 0);
+            }
+        }
+        clock
+    }
+
+    /// Sum of all entries (mirrors [`VectorClock::total`]).
+    pub fn total(&self) -> Time {
+        self.nodes.iter().map(|n| n.time).sum()
+    }
+
+    fn move_to_front(&mut self, idx: u32) {
+        if self.head == idx {
+            return;
+        }
+        // Unlink.
+        let (prev, next) = {
+            let node = &self.nodes[idx as usize];
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        // Relink at head.
+        let old_head = self.head;
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = old_head;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Checks the doubly-linked-list invariants; used by tests.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        if self.nodes.is_empty() {
+            assert_eq!(self.head, NIL);
+            assert_eq!(self.tail, NIL);
+            return;
+        }
+        // Walk forward from head, ensure every node visited exactly once.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut cursor = self.head;
+        let mut prev = NIL;
+        let mut count = 0;
+        while cursor != NIL {
+            let node = &self.nodes[cursor as usize];
+            assert_eq!(node.prev, prev, "prev pointer mismatch at {cursor}");
+            assert!(!seen[cursor as usize], "cycle at {cursor}");
+            seen[cursor as usize] = true;
+            prev = cursor;
+            cursor = node.next;
+            count += 1;
+        }
+        assert_eq!(self.tail, prev);
+        assert_eq!(count, self.nodes.len(), "list does not cover arena");
+    }
+}
+
+impl FromIterator<(ThreadId, Time)> for OrderedList {
+    /// Builds a list by `set`ting each pair in order, so the *last* pair
+    /// yielded ends up most recent.
+    fn from_iter<I: IntoIterator<Item = (ThreadId, Time)>>(iter: I) -> Self {
+        let mut list = OrderedList::new();
+        for (tid, time) in iter {
+            list.set(tid, time);
+        }
+        list
+    }
+}
+
+impl PartialEq for OrderedList {
+    /// Equality of the *timestamps* (values), ignoring recency order,
+    /// matching timestamp semantics.
+    fn eq(&self, other: &Self) -> bool {
+        let len = self.nodes.len().max(other.nodes.len());
+        (0..len).all(|idx| {
+            let tid = ThreadId::new(idx as u32);
+            self.get(tid) == other.get(tid)
+        })
+    }
+}
+
+impl Eq for OrderedList {}
+
+impl fmt::Debug for OrderedList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (tid, time)) in self.iter_recent().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{tid}:{time}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over an [`OrderedList`] in most-recently-updated-first order.
+///
+/// Produced by [`OrderedList::iter_recent`].
+pub struct RecentEntries<'a> {
+    list: &'a OrderedList,
+    cursor: u32,
+}
+
+impl Iterator for RecentEntries<'_> {
+    type Item = (ThreadId, Time);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let idx = self.cursor;
+        let node = &self.list.nodes[idx as usize];
+        self.cursor = node.next;
+        Some((ThreadId::new(idx), node.time))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.list.nodes.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn empty_list_reads_zero() {
+        let list = OrderedList::new();
+        assert_eq!(list.get(t(5)), 0);
+        assert!(list.is_empty());
+        assert!(list.is_bottom());
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn set_moves_to_front() {
+        let mut list = OrderedList::with_threads(4);
+        list.set(t(2), 7);
+        assert_eq!(list.iter_recent().next(), Some((t(2), 7)));
+        list.assert_invariants();
+        list.set(t(0), 1);
+        let order: Vec<_> = list.iter_recent().map(|(tid, _)| tid).collect();
+        assert_eq!(order[0], t(0));
+        assert_eq!(order[1], t(2));
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn increment_accumulates_and_fronts() {
+        let mut list = OrderedList::new();
+        assert_eq!(list.increment(t(1), 2), 2);
+        assert_eq!(list.increment(t(1), 3), 5);
+        assert_eq!(list.get(t(1)), 5);
+        assert_eq!(list.iter_recent().next(), Some((t(1), 5)));
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn fresh_threads_join_at_tail() {
+        let mut list = OrderedList::new();
+        list.set(t(0), 4);
+        list.ensure_thread_count(3);
+        let order: Vec<_> = list.iter_recent().collect();
+        assert_eq!(order[0], (t(0), 4));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[1].1, 0);
+        assert_eq!(order[2].1, 0);
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn first_limits_traversal() {
+        let mut list = OrderedList::with_threads(5);
+        list.set(t(3), 1);
+        list.set(t(1), 2);
+        let first_two: Vec<_> = list.first(2).collect();
+        assert_eq!(first_two, vec![(t(1), 2), (t(3), 1)]);
+        assert_eq!(list.first(100).count(), 5);
+    }
+
+    #[test]
+    fn fig4_example_from_paper() {
+        // Paper threads t1..t5 map to indices 0..4. Values:
+        // t1↦6, t2↦20, t3↦8, t4↦0, t5↦1; order t1<t2<t5<t3<t4.
+        let mut o = OrderedList::new();
+        for (tid, time) in [(t(3), 0), (t(2), 8), (t(4), 1), (t(1), 20), (t(0), 6)] {
+            o.set(tid, time);
+        }
+        let order: Vec<_> = o.iter_recent().collect();
+        assert_eq!(
+            order,
+            vec![(t(0), 6), (t(1), 20), (t(4), 1), (t(2), 8), (t(3), 0)]
+        );
+
+        // O.set(t4, 6): value 6, moved to head.
+        o.set(t(3), 6);
+        let order: Vec<_> = o.iter_recent().collect();
+        assert_eq!(
+            order,
+            vec![(t(3), 6), (t(0), 6), (t(1), 20), (t(4), 1), (t(2), 8)]
+        );
+
+        // O.inc(t1, 1): 6 → 7, moved to head.
+        o.increment(t(0), 1);
+        let order: Vec<_> = o.iter_recent().collect();
+        assert_eq!(
+            order,
+            vec![(t(0), 7), (t(3), 6), (t(1), 20), (t(4), 1), (t(2), 8)]
+        );
+        o.assert_invariants();
+    }
+
+    #[test]
+    fn equality_ignores_order() {
+        let a = OrderedList::from_iter([(t(0), 1), (t(1), 2)]);
+        let b = OrderedList::from_iter([(t(1), 2), (t(0), 1)]);
+        assert_eq!(a, b);
+        let c = OrderedList::from_iter([(t(0), 1)]);
+        assert_ne!(a, c);
+        // Trailing zeros do not affect equality.
+        let mut d = OrderedList::from_iter([(t(0), 1), (t(1), 2)]);
+        d.ensure_thread_count(7);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn leq_vector_round_trip() {
+        let list = OrderedList::from_iter([(t(0), 2), (t(2), 1)]);
+        let clock = list.to_vector_clock();
+        assert!(list.leq_vector(&clock));
+        assert!(list.geq_vector(&clock));
+        let mut bigger = clock.clone();
+        bigger.set(t(1), 9);
+        assert!(list.leq_vector(&bigger));
+        assert!(!list.geq_vector(&bigger));
+    }
+
+    #[test]
+    fn move_to_front_from_tail_and_middle() {
+        let mut list = OrderedList::with_threads(3);
+        // Order is 0,1,2. Move tail (2) to front.
+        list.set(t(2), 1);
+        list.assert_invariants();
+        // Move middle (0) to front: order was 2,0,1.
+        list.set(t(0), 1);
+        list.assert_invariants();
+        let order: Vec<_> = list.iter_recent().map(|(tid, _)| tid).collect();
+        assert_eq!(order, vec![t(0), t(2), t(1)]);
+    }
+
+    #[test]
+    fn debug_shows_recency_chain() {
+        let mut list = OrderedList::new();
+        list.set(t(1), 3);
+        list.set(t(0), 5);
+        assert_eq!(format!("{list:?}"), "[T0:5 → T1:3]");
+    }
+}

@@ -1,0 +1,230 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{OrderedList, ThreadId, Time};
+
+/// An [`OrderedList`] behind lazy-copy ("shallow copy") sharing.
+///
+/// Section 5 of the paper replaces the `O(T)` per-release clock copy with
+/// reference sharing: at a release, the lock's clock becomes a *shallow
+/// copy* of the thread's list, and the thread defers the `O(T)` deep copy
+/// until it actually needs to mutate a list that is still shared. With
+/// sampling, mutations are bounded by `|S|`, so the total deep-copy cost
+/// collapses from `O(#releases · T)` to `O(|S| · T)`.
+///
+/// `SharedClock` implements exactly this protocol on top of [`Arc`]:
+///
+/// * [`SharedClock::shallow_copy`] is the `O(1)` release-side copy;
+/// * mutators ([`set`](SharedClock::set), [`increment`](SharedClock::increment))
+///   transparently deep-copy first if the list is shared, and report
+///   whether they did so the caller can account for it (Fig. 8 of the
+///   paper counts these deep copies).
+///
+/// The sharing test uses the `Arc` reference count, which is exactly the
+/// paper's `shared_t` flag made precise: the flag is set when a lock holds
+/// a reference and cleared when no lock does.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_clock::{SharedClock, ThreadId};
+///
+/// let t0 = ThreadId::new(0);
+/// let mut thread_clock = SharedClock::new();
+/// thread_clock.set(t0, 1);
+///
+/// let lock_clock = thread_clock.shallow_copy(); // O(1) release
+/// assert!(thread_clock.is_shared());
+///
+/// // Mutating while shared forces one deep copy…
+/// let deep = thread_clock.set(t0, 2);
+/// assert!(deep);
+/// // …after which the two no longer alias.
+/// assert_eq!(lock_clock.get(t0), 1);
+/// assert_eq!(thread_clock.get(t0), 2);
+/// assert!(!thread_clock.is_shared());
+/// ```
+#[derive(Clone, Default)]
+pub struct SharedClock {
+    inner: Arc<OrderedList>,
+}
+
+impl SharedClock {
+    /// Creates a clock holding the bottom ordered list.
+    pub fn new() -> Self {
+        SharedClock {
+            inner: Arc::new(OrderedList::new()),
+        }
+    }
+
+    /// Creates a bottom clock pre-sized for `threads` threads.
+    pub fn with_threads(threads: usize) -> Self {
+        SharedClock {
+            inner: Arc::new(OrderedList::with_threads(threads)),
+        }
+    }
+
+    /// Wraps an existing ordered list.
+    pub fn from_list(list: OrderedList) -> Self {
+        SharedClock {
+            inner: Arc::new(list),
+        }
+    }
+
+    /// The `O(1)` "shallow copy" of Algorithm 4's release handler
+    /// (`Oℓ = shallowcopy(O_t)`).
+    #[inline]
+    pub fn shallow_copy(&self) -> Self {
+        SharedClock {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Returns `true` if another `SharedClock` currently aliases the same
+    /// list — i.e. the paper's `shared_t` flag.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.inner) > 1
+    }
+
+    /// Returns `true` if `self` and `other` alias the same allocation.
+    #[inline]
+    pub fn ptr_eq(&self, other: &SharedClock) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Read access to the underlying list.
+    #[inline]
+    pub fn list(&self) -> &OrderedList {
+        &self.inner
+    }
+
+    /// `O.get(tid)` without any copying.
+    #[inline]
+    pub fn get(&self, tid: ThreadId) -> Time {
+        self.inner.get(tid)
+    }
+
+    /// Sets an entry, deep-copying first if the list is shared.
+    ///
+    /// Returns `true` iff a deep copy was performed (the quantity the
+    /// paper plots in Fig. 8).
+    pub fn set(&mut self, tid: ThreadId, time: Time) -> bool {
+        let (list, deep) = self.make_mut();
+        list.set(tid, time);
+        deep
+    }
+
+    /// Increments an entry, deep-copying first if the list is shared.
+    /// Returns `true` iff a deep copy was performed.
+    pub fn increment(&mut self, tid: ThreadId, k: Time) -> bool {
+        let (list, deep) = self.make_mut();
+        list.increment(tid, k);
+        deep
+    }
+
+    /// Grants mutable access, deep-copying first if shared. The boolean
+    /// reports whether a deep copy happened.
+    ///
+    /// Prefer the dedicated mutators where possible; this is the escape
+    /// hatch for multi-step updates (e.g. the partial join in
+    /// Algorithm 4's acquire handler).
+    pub fn make_mut(&mut self) -> (&mut OrderedList, bool) {
+        let deep = Arc::strong_count(&self.inner) > 1;
+        // `Arc::make_mut` clones iff shared — exactly the lazy-copy rule.
+        (Arc::make_mut(&mut self.inner), deep)
+    }
+}
+
+impl From<OrderedList> for SharedClock {
+    fn from(list: OrderedList) -> Self {
+        SharedClock::from_list(list)
+    }
+}
+
+impl PartialEq for SharedClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl Eq for SharedClock {}
+
+impl fmt::Debug for SharedClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SharedClock(refs={}, {:?})",
+            Arc::strong_count(&self.inner),
+            self.inner
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn shallow_copy_aliases() {
+        let mut a = SharedClock::new();
+        a.set(t(0), 1);
+        let b = a.shallow_copy();
+        assert!(a.ptr_eq(&b));
+        assert!(a.is_shared());
+        assert!(b.is_shared());
+    }
+
+    #[test]
+    fn mutation_while_shared_deep_copies_once() {
+        let mut a = SharedClock::new();
+        assert!(!a.set(t(0), 1)); // not shared: in-place
+        let b = a.shallow_copy();
+        assert!(a.set(t(0), 2)); // shared: deep copy
+        assert!(!a.set(t(0), 3)); // no longer shared: in-place
+        assert_eq!(b.get(t(0)), 1);
+        assert_eq!(a.get(t(0)), 3);
+        assert!(!a.ptr_eq(&b));
+    }
+
+    #[test]
+    fn dropping_the_lock_side_clears_sharing() {
+        let mut a = SharedClock::new();
+        a.set(t(0), 1);
+        {
+            let _b = a.shallow_copy();
+            assert!(a.is_shared());
+        }
+        assert!(!a.is_shared());
+        assert!(!a.increment(t(0), 1)); // no deep copy needed anymore
+    }
+
+    #[test]
+    fn replacing_a_lock_clock_releases_previous_share() {
+        // lock ← shallow(a); lock ← shallow(b): `a` must become exclusive.
+        let mut a = SharedClock::new();
+        a.set(t(0), 1);
+        let mut b = SharedClock::new();
+        b.set(t(1), 1);
+        let mut lock = a.shallow_copy();
+        assert!(a.is_shared());
+        lock = b.shallow_copy();
+        assert!(!a.is_shared());
+        assert!(b.is_shared());
+        let _ = &mut lock;
+    }
+
+    #[test]
+    fn equality_compares_values_not_identity() {
+        let mut a = SharedClock::new();
+        a.set(t(0), 4);
+        let mut b = SharedClock::new();
+        b.set(t(0), 4);
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+    }
+}

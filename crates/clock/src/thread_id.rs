@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// A dense identifier for a thread of the analyzed execution.
+///
+/// Thread ids index vector clocks, so they are expected to be small and
+/// dense (`0..T`). Detectors that observe sparse OS-level thread ids are
+/// responsible for renaming them densely before constructing events.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_clock::ThreadId;
+///
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "T3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value of this thread id.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ThreadId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        ThreadId(index)
+    }
+}
+
+impl From<ThreadId> for u32 {
+    #[inline]
+    fn from(tid: ThreadId) -> Self {
+        tid.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_u32() {
+        let t = ThreadId::from(7u32);
+        assert_eq!(u32::from(t), 7);
+        assert_eq!(t.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ThreadId::new(1) < ThreadId::new(2));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ThreadId::new(12).to_string(), "T12");
+    }
+}

@@ -1,0 +1,371 @@
+use std::fmt;
+
+use crate::{ThreadId, Time, VectorClock};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// The timestamp entry of this thread.
+    clk: Time,
+    /// The parent's clock value when this node was (re)attached.
+    aclk: Time,
+    parent: u32,
+    /// First child (children are kept in descending `aclk` order).
+    head: u32,
+    next: u32,
+    prev: u32,
+    attached: bool,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            clk: 0,
+            aclk: 0,
+            parent: NIL,
+            head: NIL,
+            next: NIL,
+            prev: NIL,
+            attached: false,
+        }
+    }
+}
+
+/// A *tree clock* (Mathur et al., ASPLOS 2022): a vector timestamp whose
+/// entries are arranged in a tree recording **who told whom**, enabling
+/// joins that skip entire subtrees the receiver provably already knows.
+///
+/// Tree clocks are the optimal data structure for computing the *full*
+/// happens-before relation. The paper's Section 7 argues they stop being
+/// optimal for the **sampling** partial order — their hierarchical
+/// pruning cannot exploit the redundancy that sampling timestamps
+/// introduce, unlike the flat recency order of
+/// [`OrderedList`](crate::OrderedList) combined with freshness
+/// timestamps. This implementation exists to let benchmarks test that
+/// claim head-to-head (see the `treeclock` bench in `freshtrack-bench`).
+///
+/// # Monotone use
+///
+/// Like the original, this structure is designed for the monotone-use
+/// discipline of vector-clock race detectors: `join` may only be applied
+/// to clocks that grow over time (thread clocks), lock clocks are
+/// transferred by copy/clone, and **the owner's entry must be
+/// incremented at every release** (as Djit+/FastTrack do), so that every
+/// released snapshot carries a fresh root clock. Under that discipline
+/// the join fast path and subtree pruning are exact; outside it they are
+/// not sound — which is precisely why the *sampling* timestamp
+/// discipline of the paper (increments only at `RelAfter_S` releases)
+/// breaks tree clocks' advantage and motivates ordered lists instead.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_clock::{ThreadId, TreeClock};
+///
+/// let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+/// let mut a = TreeClock::new(t0);
+/// a.increment(3);
+/// let mut b = TreeClock::new(t1);
+/// b.increment(1);
+/// b.join(&a);
+/// assert_eq!(b.get(t0), 3);
+/// assert_eq!(b.get(t1), 1);
+/// // Joining again is a no-op caught by the root fast path.
+/// assert_eq!(b.join(&a), 0);
+/// ```
+#[derive(Clone)]
+pub struct TreeClock {
+    root: u32,
+    nodes: Vec<Node>,
+}
+
+impl TreeClock {
+    /// Creates the clock owned by `owner` with all entries zero.
+    pub fn new(owner: ThreadId) -> Self {
+        let mut nodes = vec![Node::default(); owner.index() + 1];
+        nodes[owner.index()].attached = true;
+        TreeClock {
+            root: owner.index() as u32,
+            nodes,
+        }
+    }
+
+    /// The owning thread (the tree root).
+    pub fn owner(&self) -> ThreadId {
+        ThreadId::new(self.root)
+    }
+
+    /// The entry for `tid` (zero if unknown).
+    #[inline]
+    pub fn get(&self, tid: ThreadId) -> Time {
+        self.nodes.get(tid.index()).map_or(0, |n| n.clk)
+    }
+
+    /// Increments the owner's entry by `k` and returns the new value.
+    pub fn increment(&mut self, k: Time) -> Time {
+        let root = self.root as usize;
+        self.nodes[root].clk += k;
+        self.nodes[root].clk
+    }
+
+    /// Number of allocated entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no entries are allocated beyond the owner.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.iter().all(|n| n.clk == 0)
+    }
+
+    /// Materializes as a plain [`VectorClock`].
+    pub fn to_vector_clock(&self) -> VectorClock {
+        let mut clock = VectorClock::with_capacity(self.nodes.len());
+        for (idx, node) in self.nodes.iter().enumerate() {
+            clock.set(ThreadId::new(idx as u32), node.clk);
+        }
+        clock
+    }
+
+    fn ensure(&mut self, idx: u32) {
+        if self.nodes.len() <= idx as usize {
+            self.nodes.resize(idx as usize + 1, Node::default());
+        }
+    }
+
+    /// Pointwise-maximum join `self ← self ⊔ other`, exploiting the tree
+    /// structure to prune subtrees `self` provably already knows.
+    /// Returns the number of entries that changed.
+    ///
+    /// `other` is typically a (copy of a) clock released to a lock;
+    /// see the monotone-use note on the type.
+    pub fn join(&mut self, other: &TreeClock) -> usize {
+        let oroot = other.root;
+        // Root fast path: if we know other's root up to date, monotone
+        // use guarantees we know everything other knows.
+        if other.nodes[oroot as usize].clk <= self.get(ThreadId::new(oroot)) {
+            return 0;
+        }
+        // Collect the nodes to update: a pre-order walk of other's tree,
+        // pruning via the aclk rule. The updated set always forms a
+        // connected subtree containing other's root.
+        let mut updated: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = vec![oroot];
+        let mut examined: Vec<u32> = Vec::new();
+        while let Some(u) = stack.pop() {
+            updated.push(u);
+            let u_known = self.get(ThreadId::new(u));
+            examined.clear();
+            let mut child = other.nodes[u as usize].head;
+            while child != NIL {
+                let v = &other.nodes[child as usize];
+                // Children are in descending aclk order: once a child
+                // was attached no later than our knowledge of u, all
+                // remaining ones were too — prune.
+                if v.aclk <= u_known {
+                    break;
+                }
+                if v.clk > self.get(ThreadId::new(child)) {
+                    examined.push(child);
+                }
+                child = v.next;
+            }
+            // Push in reverse so pops keep descending-aclk order; the
+            // reverse re-attach below then restores it under each
+            // parent.
+            for &c in examined.iter().rev() {
+                stack.push(c);
+            }
+        }
+
+        // Detach every updated node from our tree (the root of our own
+        // tree is never in the set: monotone use makes our own entry
+        // strictly dominant, so `other` can never exceed it).
+        debug_assert!(!updated.contains(&self.root));
+        if let Some(&max) = updated.iter().max() {
+            self.ensure(max);
+        }
+        for &u in &updated {
+            self.detach(u);
+        }
+        // Re-attach in reverse pre-order so that siblings end up in
+        // descending aclk order (each attach goes to the front).
+        let root_clk = self.nodes[self.root as usize].clk;
+        let changed = updated.len();
+        for &u in updated.iter().rev() {
+            let (clk, parent, aclk) = {
+                let on = &other.nodes[u as usize];
+                if u == oroot {
+                    (on.clk, self.root, root_clk)
+                } else {
+                    (on.clk, on.parent, on.aclk)
+                }
+            };
+            let node = &mut self.nodes[u as usize];
+            node.clk = clk;
+            node.aclk = aclk;
+            node.parent = parent;
+            node.attached = true;
+            // Attach as first child of parent.
+            let old_head = self.nodes[parent as usize].head;
+            self.nodes[u as usize].next = old_head;
+            self.nodes[u as usize].prev = NIL;
+            if old_head != NIL {
+                self.nodes[old_head as usize].prev = u;
+            }
+            self.nodes[parent as usize].head = u;
+        }
+        changed
+    }
+
+    fn detach(&mut self, u: u32) {
+        let node = self.nodes[u as usize];
+        if !node.attached {
+            return;
+        }
+        if node.prev != NIL {
+            self.nodes[node.prev as usize].next = node.next;
+        } else if node.parent != NIL {
+            self.nodes[node.parent as usize].head = node.next;
+        }
+        if node.next != NIL {
+            self.nodes[node.next as usize].prev = node.prev;
+        }
+        let node = &mut self.nodes[u as usize];
+        node.attached = false;
+        node.next = NIL;
+        node.prev = NIL;
+        // Children stay linked to `u`; they move with their parent.
+    }
+
+    /// Checks tree structural invariants; used by tests.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        // Every attached non-root node's parent must be attached, and
+        // sibling lists must be consistent and acyclic.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        seen[self.root as usize] = true;
+        while let Some(u) = stack.pop() {
+            let mut child = self.nodes[u as usize].head;
+            let mut prev = NIL;
+            let mut last_aclk = Time::MAX;
+            while child != NIL {
+                let node = &self.nodes[child as usize];
+                assert!(node.attached, "child {child} of {u} not attached");
+                assert_eq!(node.parent, u, "parent mismatch at {child}");
+                assert_eq!(node.prev, prev, "prev mismatch at {child}");
+                assert!(node.aclk <= last_aclk, "children of {u} not aclk-sorted");
+                assert!(!seen[child as usize], "cycle at {child}");
+                seen[child as usize] = true;
+                last_aclk = node.aclk;
+                prev = child;
+                stack.push(child);
+                child = node.next;
+            }
+        }
+        // Nodes with non-zero clocks must be reachable.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.clk > 0 {
+                assert!(seen[idx], "node {idx} with clk {} unreachable", node.clk);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TreeClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TreeClock(root=T{}, {:?})",
+            self.root,
+            self.to_vector_clock()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn new_clock_is_zero() {
+        let c = TreeClock::new(t(2));
+        assert_eq!(c.get(t(0)), 0);
+        assert_eq!(c.get(t(2)), 0);
+        assert_eq!(c.owner(), t(2));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn increment_ticks_owner() {
+        let mut c = TreeClock::new(t(1));
+        assert_eq!(c.increment(2), 2);
+        assert_eq!(c.get(t(1)), 2);
+        assert_eq!(c.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_transfers_entries() {
+        let mut a = TreeClock::new(t(0));
+        a.increment(5);
+        let mut b = TreeClock::new(t(1));
+        b.increment(1);
+        assert_eq!(b.join(&a), 1);
+        assert_eq!(b.get(t(0)), 5);
+        b.assert_invariants();
+        // Fast path on re-join.
+        assert_eq!(b.join(&a), 0);
+    }
+
+    #[test]
+    fn join_is_transitive_through_intermediary() {
+        let mut a = TreeClock::new(t(0));
+        a.increment(3);
+        let mut b = TreeClock::new(t(1));
+        b.increment(1);
+        b.join(&a);
+        b.increment(1);
+        let mut c = TreeClock::new(t(2));
+        c.join(&b);
+        assert_eq!(c.get(t(0)), 3);
+        assert_eq!(c.get(t(1)), 2);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn pruning_skips_known_subtrees() {
+        // b learns a's state; later a ticks; joining again must update
+        // only a's entry, not rediscover the whole tree.
+        let mut a = TreeClock::new(t(0));
+        a.increment(1);
+        let mut helper = TreeClock::new(t(2));
+        helper.increment(4);
+        a.join(&helper);
+        let mut b = TreeClock::new(t(1));
+        b.join(&a);
+        assert_eq!(b.get(t(2)), 4);
+        a.increment(1);
+        // Only the root entry changed.
+        assert_eq!(b.join(&a), 1);
+        assert_eq!(b.get(t(0)), 2);
+        b.assert_invariants();
+    }
+
+    #[test]
+    fn to_vector_clock_round_trip() {
+        let mut a = TreeClock::new(t(0));
+        a.increment(7);
+        let mut b = TreeClock::new(t(3));
+        b.increment(2);
+        b.join(&a);
+        let vc = b.to_vector_clock();
+        assert_eq!(vc.get(t(0)), 7);
+        assert_eq!(vc.get(t(3)), 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Property-based tests for the clock substrates.
+//!
+//! The most important property here is the **recency-prefix invariant**
+//! of [`OrderedList`]: the entries modified since any past moment form a
+//! prefix of the list. Algorithm 4's partial traversal (`Oℓ[0:d]`) is
+//! sound *only* because of this invariant, so it gets hammered directly.
+
+use freshtrack_clock::{OrderedList, SharedClock, ThreadId, VectorClock};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const T: u32 = 12;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Set(u32, u64),
+    Increment(u32, u64),
+    Join(Vec<(u32, u64)>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..T, 1u64..100).prop_map(|(t, v)| Op::Set(t, v)),
+        (0..T, 1u64..10).prop_map(|(t, k)| Op::Increment(t, k)),
+        prop::collection::vec((0..T, 1u64..100), 0..6).prop_map(|entries| {
+            // Canonicalize: one entry per thread (max value), so that
+            // building a clock from the entries is order-insensitive.
+            let mut max: HashMap<u32, u64> = HashMap::new();
+            for (t, v) in entries {
+                let e = max.entry(t).or_insert(0);
+                *e = (*e).max(v);
+            }
+            let mut folded: Vec<(u32, u64)> = max.into_iter().collect();
+            folded.sort_unstable();
+            Op::Join(folded)
+        }),
+    ]
+}
+
+/// A model: a plain map with the same max-semantics.
+fn apply_model(model: &mut HashMap<u32, u64>, op: &Op) -> Vec<u32> {
+    match op {
+        Op::Set(t, v) => {
+            model.insert(*t, *v);
+            vec![*t]
+        }
+        Op::Increment(t, k) => {
+            *model.entry(*t).or_insert(0) += k;
+            vec![*t]
+        }
+        Op::Join(entries) => {
+            let mut touched = Vec::new();
+            for &(t, v) in entries {
+                let e = model.entry(t).or_insert(0);
+                if v > *e {
+                    *e = v;
+                    touched.push(t);
+                }
+            }
+            touched
+        }
+    }
+}
+
+fn apply_list(list: &mut OrderedList, op: &Op) {
+    match op {
+        Op::Set(t, v) => list.set(ThreadId::new(*t), *v),
+        Op::Increment(t, k) => {
+            list.increment(ThreadId::new(*t), *k);
+        }
+        Op::Join(entries) => {
+            let other: OrderedList = entries
+                .iter()
+                .map(|&(t, v)| (ThreadId::new(t), v))
+                .collect();
+            list.join(&other);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ordered_list_matches_map_model(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        let mut list = OrderedList::new();
+        for op in &ops {
+            apply_model(&mut model, op);
+            apply_list(&mut list, op);
+            list.assert_invariants();
+        }
+        for t in 0..T {
+            prop_assert_eq!(
+                list.get(ThreadId::new(t)),
+                model.get(&t).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn recency_prefix_invariant(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        cut in 0usize..60,
+    ) {
+        // Entries touched after `cut` must form a prefix of the final
+        // list — the property Algorithm 4's partial traversal relies on.
+        let cut = cut.min(ops.len());
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        let mut list = OrderedList::new();
+        let mut touched_after_cut: HashSet<u32> = HashSet::new();
+        for (i, op) in ops.iter().enumerate() {
+            let touched = apply_model(&mut model, op);
+            apply_list(&mut list, op);
+            if i >= cut {
+                // Sets/increments always move to front even without a
+                // value change; joins only touch improved entries.
+                match op {
+                    Op::Join(_) => touched_after_cut.extend(touched),
+                    Op::Set(t, _) | Op::Increment(t, _) => {
+                        touched_after_cut.insert(*t);
+                    }
+                }
+            }
+        }
+        let prefix: HashSet<u32> = list
+            .iter_recent()
+            .take(touched_after_cut.len())
+            .map(|(t, _)| t.as_u32())
+            .collect();
+        prop_assert_eq!(&prefix, &touched_after_cut);
+    }
+
+    #[test]
+    fn vector_clock_join_is_a_lattice_lub(
+        a in prop::collection::vec(0u64..50, 0..12),
+        b in prop::collection::vec(0u64..50, 0..12),
+        c in prop::collection::vec(0u64..50, 0..12),
+    ) {
+        let vc = |xs: &[u64]| -> VectorClock {
+            xs.iter()
+                .enumerate()
+                .map(|(i, &v)| (ThreadId::new(i as u32), v))
+                .collect()
+        };
+        let (a, b, c) = (vc(&a), vc(&b), vc(&c));
+
+        // Commutativity.
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Idempotence.
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(&aa, &a);
+
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Least upper bound: a ⊑ a⊔b, b ⊑ a⊔b, and any upper bound u
+        // satisfies a⊔b ⊑ u.
+        prop_assert!(a.leq(&ab));
+        prop_assert!(b.leq(&ab));
+        let mut u = a.clone();
+        u.join(&b);
+        u.join(&c); // u is an upper bound of a and b
+        prop_assert!(ab.leq(&u));
+    }
+
+    #[test]
+    fn join_change_count_is_exact(
+        a in prop::collection::vec(0u64..50, 0..12),
+        b in prop::collection::vec(0u64..50, 0..12),
+    ) {
+        let vc = |xs: &[u64]| -> VectorClock {
+            xs.iter()
+                .enumerate()
+                .map(|(i, &v)| (ThreadId::new(i as u32), v))
+                .collect()
+        };
+        let (a, b) = (vc(&a), vc(&b));
+        let expected = (0..12)
+            .filter(|&i| {
+                let t = ThreadId::new(i);
+                b.get(t) > a.get(t)
+            })
+            .count();
+        let mut joined = a.clone();
+        prop_assert_eq!(joined.join(&b), expected);
+    }
+
+    #[test]
+    fn ordered_list_and_vector_clock_agree_on_join(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut list = OrderedList::new();
+        let mut clock = VectorClock::new();
+        for op in &ops {
+            apply_list(&mut list, op);
+            match op {
+                Op::Set(t, v) => clock.set(ThreadId::new(*t), *v),
+                Op::Increment(t, k) => {
+                    let cur = clock.get(ThreadId::new(*t));
+                    clock.set(ThreadId::new(*t), cur + k);
+                }
+                Op::Join(entries) => {
+                    let other: VectorClock = entries
+                        .iter()
+                        .map(|&(t, v)| (ThreadId::new(t), v))
+                        .collect();
+                    clock.join(&other);
+                }
+            }
+        }
+        prop_assert!(list.leq_vector(&clock));
+        prop_assert!(list.geq_vector(&clock));
+    }
+
+    #[test]
+    fn shared_clock_copy_on_write_isolation(
+        ops_before in prop::collection::vec(op_strategy(), 0..20),
+        ops_after in prop::collection::vec(op_strategy(), 1..20),
+    ) {
+        let mut owner = SharedClock::new();
+        for op in &ops_before {
+            match op {
+                Op::Set(t, v) => {
+                    owner.set(ThreadId::new(*t), *v);
+                }
+                Op::Increment(t, k) => {
+                    owner.increment(ThreadId::new(*t), *k);
+                }
+                Op::Join(_) => {}
+            }
+        }
+        // Snapshot via shallow copy, then keep mutating the owner.
+        let snapshot = owner.shallow_copy();
+        let frozen = snapshot.list().clone();
+        for op in &ops_after {
+            match op {
+                Op::Set(t, v) => {
+                    owner.set(ThreadId::new(*t), owner.get(ThreadId::new(*t)) + v);
+                }
+                Op::Increment(t, k) => {
+                    owner.increment(ThreadId::new(*t), *k);
+                }
+                Op::Join(_) => {}
+            }
+        }
+        // The snapshot must be unaffected by post-snapshot mutation.
+        prop_assert_eq!(snapshot.list(), &frozen);
+    }
+}
+
+mod tree_clock_model {
+    //! Monotone-use simulation: threads tick and join through locks; a
+    //! [`VectorClock`] model must agree with [`TreeClock`] at all times.
+
+    use freshtrack_clock::{ThreadId, TreeClock, VectorClock};
+    use proptest::prelude::*;
+
+    const T: usize = 6;
+    const L: usize = 4;
+
+    #[derive(Clone, Debug)]
+    enum SyncOp {
+        /// Thread ticks its local clock.
+        Tick(u8),
+        /// Thread releases lock: lock clock := copy of thread clock.
+        Release(u8, u8),
+        /// Thread acquires lock: thread clock joins lock clock.
+        Acquire(u8, u8),
+    }
+
+    fn sync_ops() -> impl Strategy<Value = Vec<SyncOp>> {
+        prop::collection::vec(
+            prop_oneof![
+                (0u8..T as u8).prop_map(SyncOp::Tick),
+                (0u8..T as u8, 0u8..L as u8).prop_map(|(t, l)| SyncOp::Release(t, l)),
+                (0u8..T as u8, 0u8..L as u8).prop_map(|(t, l)| SyncOp::Acquire(t, l)),
+            ],
+            0..120,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(384))]
+
+        #[test]
+        fn tree_clock_matches_vector_clock_model(ops in sync_ops()) {
+            // Djit+ initialization: C_t ← ⊥[t ↦ 1]. The tree-clock
+            // fast path depends on it — a first-ever release must carry
+            // a root clock distinguishable from "never heard of them".
+            let mut tc: Vec<TreeClock> = (0..T)
+                .map(|t| {
+                    let mut c = TreeClock::new(ThreadId::new(t as u32));
+                    c.increment(1);
+                    c
+                })
+                .collect();
+            let mut vc: Vec<VectorClock> = (0..T)
+                .map(|t| VectorClock::bottom_with(ThreadId::new(t as u32), 1))
+                .collect();
+            let mut lock_tc: Vec<Option<TreeClock>> = vec![None; L];
+            let mut lock_vc: Vec<VectorClock> = vec![VectorClock::new(); L];
+
+            for op in &ops {
+                match *op {
+                    SyncOp::Tick(t) => {
+                        let t = t as usize;
+                        tc[t].increment(1);
+                        let tid = ThreadId::new(t as u32);
+                        let cur = vc[t].get(tid);
+                        vc[t].set(tid, cur + 1);
+                    }
+                    SyncOp::Release(t, l) => {
+                        // Djit+ discipline: the releasing thread's own
+                        // clock ticks after every release, so released
+                        // snapshots always carry a fresh root clock —
+                        // the precondition of the tree-clock fast path.
+                        let (t, l) = (t as usize, l as usize);
+                        lock_tc[l] = Some(tc[t].clone());
+                        lock_vc[l].copy_from(&vc[t]);
+                        tc[t].increment(1);
+                        let tid = ThreadId::new(t as u32);
+                        let cur = vc[t].get(tid);
+                        vc[t].set(tid, cur + 1);
+                    }
+                    SyncOp::Acquire(t, l) => {
+                        let (t, l) = (t as usize, l as usize);
+                        if let Some(lc) = &lock_tc[l] {
+                            // Monotone use: never join a thread's own
+                            // stale snapshot into itself (a thread's
+                            // clock always dominates its past releases,
+                            // so the join would be a no-op anyway —
+                            // and the fast path must agree).
+                            let changed = tc[t].join(lc);
+                            let expected = vc[t].join(&lock_vc[l]);
+                            prop_assert_eq!(changed, expected);
+                            tc[t].assert_invariants();
+                        }
+                    }
+                }
+                // Spot-check full agreement.
+            }
+            for t in 0..T {
+                for u in 0..T {
+                    prop_assert_eq!(
+                        tc[t].get(ThreadId::new(u as u32)),
+                        vc[t].get(ThreadId::new(u as u32)),
+                        "thread {} entry {}", t, u
+                    );
+                }
+            }
+        }
+    }
+}

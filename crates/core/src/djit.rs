@@ -1,0 +1,325 @@
+use freshtrack_clock::{ThreadId, VectorClock};
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::{Event, EventId, EventKind, LockId};
+
+use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
+
+/// Algorithm 1 of the paper: the classical Djit+ vector-clock race
+/// detector, extended with access-level sampling.
+///
+/// With [`AlwaysSampler`](freshtrack_sampling::AlwaysSampler) this is
+/// exactly Djit+ (every access analyzed). With a real sampler it becomes
+/// the paper's **ST** configuration — "the naive sampling algorithm
+/// without optimizations on synchronization handlers": non-sampled
+/// accesses are skipped entirely, but every acquire still performs an
+/// `O(T)` join and every release an `O(T)` copy plus a local increment.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_core::{Detector, DjitDetector};
+/// use freshtrack_sampling::AlwaysSampler;
+/// use freshtrack_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// b.write(0, x);
+/// b.write(1, x);
+/// let races = DjitDetector::new(AlwaysSampler::new()).run(&b.build());
+/// assert_eq!(races.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DjitDetector<S> {
+    sampler: S,
+    threads: Vec<ThreadState>,
+    locks: Vec<VectorClock>,
+    history: AccessHistories,
+    counters: Counters,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadState {
+    clock: VectorClock,
+}
+
+impl ThreadState {
+    fn new(tid: ThreadId) -> Self {
+        // C_t ← ⊥[t ↦ 1]
+        ThreadState {
+            clock: VectorClock::bottom_with(tid, 1),
+        }
+    }
+}
+
+impl<S: Sampler> DjitDetector<S> {
+    /// Creates a detector using `sampler` to pick the sample set.
+    pub fn new(sampler: S) -> Self {
+        DjitDetector {
+            sampler,
+            threads: Vec::new(),
+            locks: Vec::new(),
+            history: AccessHistories::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        while self.threads.len() <= tid.index() {
+            let next = ThreadId::new(self.threads.len() as u32);
+            self.threads.push(ThreadState::new(next));
+        }
+    }
+
+    fn ensure_lock(&mut self, lock: LockId) {
+        if self.locks.len() <= lock.index() {
+            self.locks.resize_with(lock.index() + 1, VectorClock::new);
+        }
+    }
+}
+
+impl<S: Sampler> Detector for DjitDetector<S> {
+    fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        self.counters.events += 1;
+        let tid = event.tid;
+        self.ensure_thread(tid);
+        match event.kind {
+            EventKind::Read(var) => {
+                self.counters.reads += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.counters.race_checks += 1;
+                let clock = &self.threads[tid.index()].clock;
+                let races = self.history.read_races(var, |u| clock.get(u));
+                let local = clock.get(tid);
+                self.history.record_read(var, tid, local);
+                races.then(|| {
+                    self.counters.races += 1;
+                    RaceReport::new(id, tid, var, AccessKind::Read, true, false)
+                })
+            }
+            EventKind::Write(var) => {
+                self.counters.writes += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.counters.race_checks += 1;
+                let threads = self.thread_count();
+                let clock = &self.threads[tid.index()].clock;
+                let (with_write, with_read) = self.history.write_races(var, |u| clock.get(u));
+                self.history.record_write(var, threads, |u| clock.get(u));
+                (with_write || with_read).then(|| {
+                    self.counters.races += 1;
+                    RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
+                })
+            }
+            EventKind::Acquire(lock) => {
+                self.counters.acquires += 1;
+                self.counters.acquires_processed += 1;
+                self.ensure_lock(lock);
+                let changed = self.threads[tid.index()]
+                    .clock
+                    .join(&self.locks[lock.index()]);
+                let _ = changed;
+                self.counters.vc_ops += 1;
+                self.counters.entries_traversed += self.thread_count() as u64;
+                None
+            }
+            EventKind::Release(lock) => {
+                self.counters.releases += 1;
+                self.counters.releases_processed += 1;
+                self.ensure_lock(lock);
+                // Cℓ ← C_t, then bump the local component.
+                let clock = &mut self.threads[tid.index()].clock;
+                self.locks[lock.index()].copy_from(clock);
+                clock.increment(tid);
+                self.counters.vc_ops += 1;
+                self.counters.entries_traversed += self.thread_count() as u64;
+                self.counters.local_increments += 1;
+                None
+            }
+        }
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let last = ThreadId::new(n as u32 - 1);
+        self.ensure_thread(last);
+        for state in &mut self.threads {
+            let pad = state.clock.get(last);
+            state.clock.set(last, pad);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Djit+"
+    }
+}
+
+impl<S: Sampler> crate::SyncOps for DjitDetector<S> {
+    fn release_store(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.ensure_lock(sync);
+        self.counters.releases += 1;
+        self.counters.releases_processed += 1;
+        let clock = &mut self.threads[tid.index()].clock;
+        self.locks[sync.index()].copy_from(clock);
+        clock.increment(tid);
+        self.counters.local_increments += 1;
+        self.counters.vc_ops += 1;
+        self.counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    fn release_join(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.ensure_lock(sync);
+        self.counters.releases += 1;
+        self.counters.releases_processed += 1;
+        let clock = &mut self.threads[tid.index()].clock;
+        self.locks[sync.index()].join(clock);
+        clock.increment(tid);
+        self.counters.local_increments += 1;
+        self.counters.vc_ops += 1;
+        self.counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    fn acquire_sync(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.ensure_lock(sync);
+        self.counters.acquires += 1;
+        self.counters.acquires_processed += 1;
+        self.threads[tid.index()]
+            .clock
+            .join(&self.locks[sync.index()]);
+        self.counters.vc_ops += 1;
+        self.counters.entries_traversed += self.threads.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshtrack_sampling::AlwaysSampler;
+    use freshtrack_trace::TraceBuilder;
+
+    fn full() -> DjitDetector<AlwaysSampler> {
+        DjitDetector::new(AlwaysSampler::new())
+    }
+
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.acquire(1, l).write(1, x).release(1, l);
+        assert!(full().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x);
+        b.write(1, x);
+        let races = full().run(&b.build());
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].event.index(), 1);
+        assert!(races[0].with_write);
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.read(0, x);
+        b.read(1, x);
+        assert!(full().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn write_after_unordered_read_races() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.read(0, x);
+        b.write(1, x);
+        let races = full().run(&b.build());
+        assert_eq!(races.len(), 1);
+        assert!(races[0].with_read);
+        assert!(!races[0].with_write);
+    }
+
+    #[test]
+    fn fork_edge_orders_accesses() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x);
+        b.fork(0, 1);
+        b.write(1, x);
+        assert!(full().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn join_edge_orders_accesses() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.fork(0, 1);
+        b.write(1, x);
+        b.join(0, 1);
+        b.write(0, x);
+        assert!(full().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn same_thread_accesses_never_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x).read(0, x).write(0, x);
+        assert!(full().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn lock_chain_provides_transitive_order() {
+        // T0 writes under l; T1 relays via l→m; T2 reads under m.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.acquire(1, l).acquire(1, m).release(1, m).release(1, l);
+        b.acquire(2, m).read(2, x).release(2, m);
+        assert!(full().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn counters_track_sync_work() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        b.acquire(0, l).release(0, l);
+        b.acquire(1, l).release(1, l);
+        let mut d = full();
+        d.run(&b.build());
+        let c = d.counters();
+        assert_eq!(c.acquires, 2);
+        assert_eq!(c.releases, 2);
+        assert_eq!(c.acquires_processed, 2);
+        assert_eq!(c.releases_processed, 2);
+        assert_eq!(c.local_increments, 2);
+        assert_eq!(c.acquires_skipped, 0);
+    }
+}

@@ -1,0 +1,357 @@
+use freshtrack_clock::{Epoch, ThreadId, VectorClock};
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::{Event, EventId, EventKind, LockId, VarId};
+
+use crate::{AccessKind, Counters, Detector, RaceReport};
+
+/// The FastTrack race detector (Flanagan & Freund, PLDI 2009) with
+/// access-level sampling.
+///
+/// FastTrack is Djit+ with the *epoch* optimization: write histories are
+/// single epochs, and read histories adaptively switch between an epoch
+/// (the common, totally-ordered case) and a full vector clock (shared
+/// reads). The paper uses FastTrack as the full-detection baseline
+/// (**FT**), and ThreadSanitizer's analysis is based on it.
+///
+/// The synchronization handlers are identical to Djit+'s; the epoch
+/// optimization only affects access handling, which is why the paper's
+/// innovations (which target synchronization) compose with it.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_core::{Detector, FastTrackDetector};
+/// use freshtrack_sampling::AlwaysSampler;
+/// use freshtrack_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// b.read(0, x);
+/// b.write(1, x);
+/// let races = FastTrackDetector::new(AlwaysSampler::new()).run(&b.build());
+/// assert_eq!(races.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FastTrackDetector<S> {
+    sampler: S,
+    threads: Vec<VectorClock>,
+    locks: Vec<VectorClock>,
+    vars: Vec<VarState>,
+    counters: Counters,
+}
+
+/// FastTrack's adaptive read history.
+#[derive(Clone, Debug)]
+enum ReadState {
+    /// Reads are totally ordered: remember only the last one.
+    Epoch(Epoch),
+    /// Concurrent reads: remember the last read of every thread.
+    Vector(VectorClock),
+}
+
+#[derive(Clone, Debug)]
+struct VarState {
+    write: Epoch,
+    read: ReadState,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState {
+            write: Epoch::zero(),
+            read: ReadState::Epoch(Epoch::zero()),
+        }
+    }
+}
+
+impl<S: Sampler> FastTrackDetector<S> {
+    /// Creates a detector using `sampler` to pick the sample set.
+    pub fn new(sampler: S) -> Self {
+        FastTrackDetector {
+            sampler,
+            threads: Vec::new(),
+            locks: Vec::new(),
+            vars: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        while self.threads.len() <= tid.index() {
+            let next = ThreadId::new(self.threads.len() as u32);
+            self.threads.push(VectorClock::bottom_with(next, 1));
+        }
+    }
+
+    fn ensure_lock(&mut self, lock: LockId) {
+        if self.locks.len() <= lock.index() {
+            self.locks.resize_with(lock.index() + 1, VectorClock::new);
+        }
+    }
+
+    fn ensure_var(&mut self, var: VarId) {
+        if self.vars.len() <= var.index() {
+            self.vars.resize_with(var.index() + 1, VarState::default);
+        }
+    }
+
+    fn epoch_of(&self, tid: ThreadId) -> Epoch {
+        Epoch::new(tid, self.threads[tid.index()].get(tid))
+    }
+
+    fn handle_read(&mut self, id: EventId, tid: ThreadId, var: VarId) -> Option<RaceReport> {
+        self.ensure_var(var);
+        let epoch = self.epoch_of(tid);
+        let clock = &self.threads[tid.index()];
+        let state = &mut self.vars[var.index()];
+
+        // READ SAME EPOCH fast path.
+        if matches!(state.read, ReadState::Epoch(r) if r == epoch) {
+            return None;
+        }
+        self.counters.race_checks += 1;
+
+        // Check against the last write.
+        let races = !state.write.is_zero() && !clock.contains_epoch(state.write);
+
+        // Update the read history.
+        match &mut state.read {
+            ReadState::Vector(v) => {
+                // READ SHARED.
+                v.set(tid, epoch.time());
+            }
+            ReadState::Epoch(r) => {
+                if r.is_zero() || clock.contains_epoch(*r) {
+                    // READ EXCLUSIVE: the previous read happens-before us.
+                    state.read = ReadState::Epoch(epoch);
+                } else {
+                    // READ SHARE: inflate to a vector clock.
+                    let mut v = VectorClock::new();
+                    v.set(r.tid(), r.time());
+                    v.set(tid, epoch.time());
+                    state.read = ReadState::Vector(v);
+                }
+            }
+        }
+
+        races.then(|| {
+            self.counters.races += 1;
+            RaceReport::new(id, tid, var, AccessKind::Read, true, false)
+        })
+    }
+
+    fn handle_write(&mut self, id: EventId, tid: ThreadId, var: VarId) -> Option<RaceReport> {
+        self.ensure_var(var);
+        let epoch = self.epoch_of(tid);
+        let clock = &self.threads[tid.index()];
+        let state = &mut self.vars[var.index()];
+
+        // WRITE SAME EPOCH fast path.
+        if state.write == epoch {
+            return None;
+        }
+        self.counters.race_checks += 1;
+
+        let with_write = !state.write.is_zero() && !clock.contains_epoch(state.write);
+        let with_read = match &state.read {
+            ReadState::Epoch(r) => !r.is_zero() && !clock.contains_epoch(*r),
+            ReadState::Vector(v) => !v.leq(clock),
+        };
+
+        state.write = epoch;
+        if matches!(state.read, ReadState::Vector(_)) {
+            // WRITE SHARED deflates the read history.
+            state.read = ReadState::Epoch(Epoch::zero());
+        }
+
+        (with_write || with_read).then(|| {
+            self.counters.races += 1;
+            RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
+        })
+    }
+}
+
+impl<S: Sampler> Detector for FastTrackDetector<S> {
+    fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        self.counters.events += 1;
+        let tid = event.tid;
+        self.ensure_thread(tid);
+        match event.kind {
+            EventKind::Read(var) => {
+                self.counters.reads += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.handle_read(id, tid, var)
+            }
+            EventKind::Write(var) => {
+                self.counters.writes += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.handle_write(id, tid, var)
+            }
+            EventKind::Acquire(lock) => {
+                self.counters.acquires += 1;
+                self.counters.acquires_processed += 1;
+                self.ensure_lock(lock);
+                self.threads[tid.index()].join(&self.locks[lock.index()]);
+                self.counters.vc_ops += 1;
+                self.counters.entries_traversed += self.threads.len() as u64;
+                None
+            }
+            EventKind::Release(lock) => {
+                self.counters.releases += 1;
+                self.counters.releases_processed += 1;
+                self.ensure_lock(lock);
+                let clock = &mut self.threads[tid.index()];
+                self.locks[lock.index()].copy_from(clock);
+                clock.increment(tid);
+                self.counters.vc_ops += 1;
+                self.counters.entries_traversed += self.threads.len() as u64;
+                self.counters.local_increments += 1;
+                None
+            }
+        }
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let last = ThreadId::new(n as u32 - 1);
+        self.ensure_thread(last);
+        for clock in &mut self.threads {
+            let pad = clock.get(last);
+            clock.set(last, pad);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FastTrack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DjitDetector;
+    use freshtrack_sampling::AlwaysSampler;
+    use freshtrack_trace::{Trace, TraceBuilder};
+
+    fn ft() -> FastTrackDetector<AlwaysSampler> {
+        FastTrackDetector::new(AlwaysSampler::new())
+    }
+
+    fn first_race(trace: &Trace) -> Option<EventId> {
+        ft().run(trace).first().map(|r| r.event)
+    }
+
+    #[test]
+    fn protected_accesses_do_not_race() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.acquire(1, l).read(1, x).write(1, x).release(1, l);
+        assert!(ft().run(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn shared_reads_then_write_races_with_all() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.read(0, x);
+        b.read(1, x);
+        b.write(2, x);
+        let races = ft().run(&b.build());
+        assert_eq!(races.len(), 1);
+        assert!(races[0].with_read);
+    }
+
+    #[test]
+    fn read_share_inflates_and_detects_race_with_earlier_reader() {
+        // T0 reads, T1 reads (concurrent), T1 relays order to T2 but T0
+        // does not — T2's write races with T0's read only.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.read(0, x);
+        b.read(1, x);
+        b.acquire(1, l).release(1, l);
+        b.acquire(2, l).release(2, l);
+        b.write(2, x);
+        let races = ft().run(&b.build());
+        assert_eq!(races.len(), 1);
+        assert!(races[0].with_read);
+    }
+
+    #[test]
+    fn same_epoch_fast_paths_do_not_recheck() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x).write(0, x).read(0, x).read(0, x);
+        let mut d = ft();
+        assert!(d.run(&b.build()).is_empty());
+        // write(check) + write(same epoch) + read(check) + read(same epoch)
+        assert_eq!(d.counters().race_checks, 2);
+    }
+
+    #[test]
+    fn first_race_matches_djit_on_small_traces() {
+        // A handful of shapes where epoch adaptivity is exercised.
+        let shapes: Vec<Trace> = vec![
+            {
+                let mut b = TraceBuilder::new();
+                let x = b.var("x");
+                b.write(0, x);
+                b.write(1, x);
+                b.build()
+            },
+            {
+                let mut b = TraceBuilder::new();
+                let x = b.var("x");
+                b.read(0, x);
+                b.read(1, x);
+                b.write(0, x);
+                b.build()
+            },
+            {
+                let mut b = TraceBuilder::new();
+                let x = b.var("x");
+                let l = b.lock("l");
+                b.acquire(0, l).write(0, x).release(0, l);
+                b.read(1, x);
+                b.build()
+            },
+        ];
+        for trace in &shapes {
+            let djit_first = DjitDetector::new(AlwaysSampler::new())
+                .run(trace)
+                .first()
+                .map(|r| r.event);
+            assert_eq!(first_race(trace), djit_first);
+        }
+    }
+
+    #[test]
+    fn write_after_ordered_reads_is_clean() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.read(0, x);
+        b.acquire(0, l).release(0, l);
+        b.acquire(1, l).release(1, l);
+        b.read(1, x);
+        b.acquire(1, l).release(1, l);
+        b.acquire(0, l).release(0, l);
+        b.write(0, x);
+        assert!(ft().run(&b.build()).is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+use freshtrack_clock::{FreshnessClock, ThreadId, Time, VectorClock};
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::{Event, EventId, EventKind, LockId};
+
+use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
+
+/// Algorithm 3 of the paper (**SU**): sampling timestamps plus
+/// *freshness timestamps*.
+///
+/// Every thread and lock additionally carries a [`FreshnessClock`] `U`
+/// counting how many entries of each thread's sampling clock have
+/// changed. Because a scalar comparison of `U` entries can prove that a
+/// synchronization message is redundant (Proposition 5), the handlers
+/// can *skip* acquires whose lock clock carries nothing new, and skip
+/// the lock-clock copy at releases when the thread has learned nothing
+/// since the lock last saw it.
+///
+/// Race reports are identical to [`NaiveSamplingDetector`]'s for the same
+/// sample set (Lemma 7); only the amount of clock work differs, visible
+/// in [`Counters::acquires_skipped`] and
+/// [`Counters::releases_processed`].
+///
+/// [`NaiveSamplingDetector`]: crate::NaiveSamplingDetector
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_core::{Detector, FreshnessDetector};
+/// use freshtrack_sampling::NeverSampler;
+/// use freshtrack_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let l = b.lock("l");
+/// for _ in 0..100 {
+///     b.acquire(0, l).release(0, l);
+///     b.acquire(1, l).release(1, l);
+/// }
+/// let mut su = FreshnessDetector::new(NeverSampler::new());
+/// su.run(&b.build());
+/// // With nothing sampled, every acquire after warm-up is redundant.
+/// assert!(su.counters().acquire_skip_ratio() > 0.9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FreshnessDetector<S> {
+    sampler: S,
+    threads: Vec<ThreadState>,
+    locks: Vec<LockState>,
+    history: AccessHistories,
+    counters: Counters,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadState {
+    clock: VectorClock,
+    fresh: FreshnessClock,
+    epoch: Time,
+    sampled_since_release: bool,
+}
+
+impl Default for ThreadState {
+    fn default() -> Self {
+        ThreadState {
+            clock: VectorClock::new(),
+            fresh: FreshnessClock::new(),
+            epoch: 1,
+            sampled_since_release: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    clock: VectorClock,
+    fresh: FreshnessClock,
+    /// `LRℓ`: the last thread to release this lock.
+    last_releaser: Option<ThreadId>,
+    /// Entered by a `Release`-join (Appendix A.2): the clock carries
+    /// information from multiple threads, so the freshness fast path is
+    /// disabled until the next store overwrites it.
+    mixed: bool,
+}
+
+impl<S: Sampler> FreshnessDetector<S> {
+    /// Creates a detector using `sampler` to pick the sample set.
+    pub fn new(sampler: S) -> Self {
+        FreshnessDetector {
+            sampler,
+            threads: Vec::new(),
+            locks: Vec::new(),
+            history: AccessHistories::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        if self.threads.len() <= tid.index() {
+            self.threads.resize_with(tid.index() + 1, ThreadState::default);
+        }
+    }
+
+    fn ensure_lock(&mut self, lock: LockId) {
+        if self.locks.len() <= lock.index() {
+            self.locks.resize_with(lock.index() + 1, LockState::default);
+        }
+    }
+
+    fn view(state: &ThreadState, tid: ThreadId) -> impl Fn(ThreadId) -> Time + '_ {
+        let epoch = state.epoch;
+        move |u| if u == tid { epoch } else { state.clock.get(u) }
+    }
+
+    fn handle_acquire(&mut self, tid: ThreadId, lock: LockId) {
+        self.counters.acquires += 1;
+        self.ensure_lock(lock);
+        let lock_state = &self.locks[lock.index()];
+        if lock_state.mixed {
+            // Join-mode object (Appendix A.2): no freshness fast path.
+            self.counters.acquires_processed += 1;
+            let lock_state = &self.locks[lock.index()];
+            let thread = &mut self.threads[tid.index()];
+            thread.fresh.join(&lock_state.fresh);
+            let changed = thread.clock.join(&lock_state.clock);
+            if changed > 0 {
+                thread.fresh.bump_by(tid, changed as Time);
+            }
+            self.counters.vc_ops += 2;
+            self.counters.entries_traversed += self.threads.len() as u64;
+            return;
+        }
+        let Some(lr) = lock_state.last_releaser else {
+            // Never released: the lock clock is ⊥, nothing to learn.
+            self.counters.acquires_skipped += 1;
+            return;
+        };
+        let thread = &self.threads[tid.index()];
+        if lock_state.fresh.get(lr) <= thread.fresh.get(lr) {
+            // Proposition 5: Cℓ ⊑ C_t — the join would be a no-op.
+            self.counters.acquires_skipped += 1;
+            return;
+        }
+        self.counters.acquires_processed += 1;
+        let lock_state = &self.locks[lock.index()];
+        let thread = &mut self.threads[tid.index()];
+        thread.fresh.join(&lock_state.fresh);
+        // Entry-wise join of the C clock, counting changed entries so the
+        // own freshness component stays an exact change count (VT).
+        let changed = thread.clock.join(&lock_state.clock);
+        if changed > 0 {
+            thread.fresh.bump_by(tid, changed as Time);
+        }
+        self.counters.vc_ops += 2;
+        self.counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    /// Flushes the local epoch if this release is in `RelAfter_S`.
+    fn flush_local_epoch(&mut self, tid: ThreadId) {
+        let thread = &mut self.threads[tid.index()];
+        if thread.sampled_since_release {
+            thread.clock.set(tid, thread.epoch);
+            thread.fresh.bump(tid);
+            thread.epoch += 1;
+            thread.sampled_since_release = false;
+            self.counters.local_increments += 1;
+        }
+    }
+
+    fn handle_release(&mut self, tid: ThreadId, lock: LockId) {
+        self.counters.releases += 1;
+        self.ensure_lock(lock);
+        self.flush_local_epoch(tid);
+        let thread = &self.threads[tid.index()];
+        let lock_state = &mut self.locks[lock.index()];
+        lock_state.last_releaser = Some(tid);
+        lock_state.mixed = false;
+        if thread.fresh.get(tid) != lock_state.fresh.get(tid) {
+            lock_state.clock.copy_from(&thread.clock);
+            lock_state.fresh.copy_from(&thread.fresh);
+            self.counters.releases_processed += 1;
+            self.counters.vc_ops += 2;
+            self.counters.entries_traversed += self.threads.len() as u64;
+        } else {
+            // The lock already carries this thread's current timestamp.
+            self.counters.releases_skipped += 1;
+        }
+    }
+}
+
+impl<S: Sampler> Detector for FreshnessDetector<S> {
+    fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        self.counters.events += 1;
+        let tid = event.tid;
+        self.ensure_thread(tid);
+        match event.kind {
+            EventKind::Read(var) => {
+                self.counters.reads += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.counters.race_checks += 1;
+                let state = &mut self.threads[tid.index()];
+                state.sampled_since_release = true;
+                let epoch = state.epoch;
+                let races = self.history.read_races(var, Self::view(state, tid));
+                self.history.record_read(var, tid, epoch);
+                races.then(|| {
+                    self.counters.races += 1;
+                    RaceReport::new(id, tid, var, AccessKind::Read, true, false)
+                })
+            }
+            EventKind::Write(var) => {
+                self.counters.writes += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.counters.race_checks += 1;
+                let threads = self.threads.len();
+                let state = &mut self.threads[tid.index()];
+                state.sampled_since_release = true;
+                let (with_write, with_read) =
+                    self.history.write_races(var, Self::view(state, tid));
+                self.history.record_write(var, threads, Self::view(state, tid));
+                (with_write || with_read).then(|| {
+                    self.counters.races += 1;
+                    RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
+                })
+            }
+            EventKind::Acquire(lock) => {
+                self.handle_acquire(tid, lock);
+                None
+            }
+            EventKind::Release(lock) => {
+                self.handle_release(tid, lock);
+                None
+            }
+        }
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let last = ThreadId::new(n as u32 - 1);
+        self.ensure_thread(last);
+        for state in &mut self.threads {
+            let pad = state.clock.get(last);
+            state.clock.set(last, pad);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SU"
+    }
+}
+
+impl<S: Sampler> crate::SyncOps for FreshnessDetector<S> {
+    fn release_store(&mut self, tid: u32, sync: LockId) {
+        // A release-store need not follow an acquire by the same thread,
+        // so the lock clock may not grow monotonically and the release
+        // skip of Algorithm 3 would be unsound (Appendix A.2) — always
+        // copy.
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.ensure_lock(sync);
+        self.counters.releases += 1;
+        self.flush_local_epoch(tid);
+        let thread = &self.threads[tid.index()];
+        let lock_state = &mut self.locks[sync.index()];
+        lock_state.clock.copy_from(&thread.clock);
+        lock_state.fresh.copy_from(&thread.fresh);
+        lock_state.last_releaser = Some(tid);
+        lock_state.mixed = false;
+        self.counters.releases_processed += 1;
+        self.counters.vc_ops += 2;
+        self.counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    fn release_join(&mut self, tid: u32, sync: LockId) {
+        // The sync object accumulates multiple threads' clocks; the
+        // paper adopts no freshness innovation here (Appendix A.2).
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.ensure_lock(sync);
+        self.counters.releases += 1;
+        self.flush_local_epoch(tid);
+        let thread = &self.threads[tid.index()];
+        let lock_state = &mut self.locks[sync.index()];
+        lock_state.clock.join(&thread.clock);
+        lock_state.fresh.join(&thread.fresh);
+        lock_state.last_releaser = None;
+        lock_state.mixed = true;
+        self.counters.releases_processed += 1;
+        self.counters.vc_ops += 2;
+        self.counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    fn acquire_sync(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        // `handle_acquire` already falls back to a full join for mixed
+        // objects and uses the freshness skip after stores.
+        self.handle_acquire(tid, sync);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveSamplingDetector;
+    use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler};
+    use freshtrack_trace::TraceBuilder;
+
+    #[test]
+    fn matches_algorithm2_reports_on_contended_trace() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.write(1, y);
+        b.acquire(1, l).write(1, x).release(1, l);
+        b.write(0, y); // races with T1's write to y
+        let trace = b.build();
+        let reference = NaiveSamplingDetector::new(AlwaysSampler::new()).run(&trace);
+        let su = FreshnessDetector::new(AlwaysSampler::new()).run(&trace);
+        assert_eq!(reference, su);
+        assert_eq!(su.len(), 1);
+    }
+
+    #[test]
+    fn matches_algorithm2_under_partial_sampling() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        for round in 0..50u32 {
+            let t = round % 3;
+            b.acquire(t, l).write(t, x).release(t, l);
+            b.write(t, x);
+        }
+        b.write(3, x);
+        let trace = b.build();
+        for seed in 0..5 {
+            let sampler = BernoulliSampler::new(0.3, seed);
+            let reference = NaiveSamplingDetector::new(sampler).run(&trace);
+            let su = FreshnessDetector::new(sampler).run(&trace);
+            assert_eq!(reference, su, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fig2_skips_redundant_acquires() {
+        // The Fig. 1 execution again; Fig. 2 shows e12 and e14 (the
+        // acquires of ℓ2 and ℓ3 by t2) being skipped, while e8 and e18
+        // perform joins.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l1 = b.lock("l1");
+        let l2 = b.lock("l2");
+        let l3 = b.lock("l3");
+        let l4 = b.lock("l4");
+        b.acquire(0, l4).acquire(0, l3).acquire(0, l2).acquire(0, l1);
+        b.write(0, x); // e5, sampled
+        b.release(0, l1);
+        b.write(0, x); // e7, not sampled
+        b.acquire(1, l1); // e8: join
+        b.write(1, x); // e9, not sampled
+        b.release(0, l2);
+        b.write(0, x); // e11, not sampled
+        b.acquire(1, l2); // e12: skipped
+        b.release(0, l3);
+        b.acquire(1, l3); // e14: skipped
+        b.write(0, x); // e15, sampled
+        b.write(0, x); // e16, sampled
+        b.release(0, l4);
+        b.acquire(1, l4); // e18: join
+        let trace = b.build();
+
+        struct MarkSampler;
+        impl Sampler for MarkSampler {
+            fn sample(&mut self, id: EventId, _event: Event) -> bool {
+                matches!(id.index(), 4 | 14 | 15)
+            }
+            fn nominal_rate(&self) -> f64 {
+                f64::NAN
+            }
+        }
+
+        let mut su = FreshnessDetector::new(MarkSampler);
+        su.run(&trace);
+        let c = su.counters();
+        // t1's four initial acquires of never-released locks are skipped
+        // trivially; of t2's four acquires, e12 and e14 are skipped.
+        assert_eq!(c.acquires, 8);
+        assert_eq!(c.acquires_skipped, 6);
+        assert_eq!(c.acquires_processed, 2);
+    }
+
+    #[test]
+    fn releases_with_no_news_are_skipped() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        // The same thread re-releasing without learning anything new
+        // must not copy again.
+        b.acquire(0, l).release(0, l);
+        b.acquire(0, l).release(0, l);
+        b.acquire(0, l).release(0, l);
+        let mut su = FreshnessDetector::new(NeverSampler::new());
+        su.run(&b.build());
+        let c = su.counters();
+        assert_eq!(c.releases, 3);
+        // With S = ∅, U_t(t) = Uℓ(t) = 0 throughout: every copy skipped.
+        assert_eq!(c.releases_processed, 0);
+        assert_eq!(c.releases_skipped, 3);
+    }
+
+    #[test]
+    fn empty_sample_set_skips_everything_after_warmup() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        let m = b.lock("m");
+        for _ in 0..10 {
+            b.acquire(0, l).acquire(0, m).release(0, m).release(0, l);
+            b.acquire(1, l).acquire(1, m).release(1, m).release(1, l);
+        }
+        let mut su = FreshnessDetector::new(NeverSampler::new());
+        su.run(&b.build());
+        let c = su.counters();
+        assert_eq!(c.acquires_processed, 0);
+        assert_eq!(c.releases_processed, 0);
+    }
+}

@@ -1,0 +1,268 @@
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::{EventId, EventKind, Trace};
+
+/// A ground-truth happens-before oracle for testing.
+///
+/// The oracle computes the full `≤HB` relation of a trace by explicit
+/// ancestor-set propagation over the HB edge graph (thread-order edges
+/// plus release→next-acquire edges per lock) — a method entirely
+/// independent of the streaming vector-clock algorithms it is used to
+/// validate. Memory is `O(N²)` bits, so this is strictly a testing
+/// device for small and medium traces.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_core::HbOracle;
+/// use freshtrack_trace::{EventId, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// let l = b.lock("l");
+/// b.acquire(0, l).write(0, x).release(0, l);
+/// b.acquire(1, l).write(1, x).release(1, l);
+/// let trace = b.build();
+/// let oracle = HbOracle::new(&trace);
+/// // The first write happens-before the second via the lock.
+/// assert!(oracle.happens_before(EventId::new(1), EventId::new(4)));
+/// assert!(!oracle.has_race(&vec![true; trace.len()]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HbOracle {
+    /// `anc[e]` = bitset of events `f` with `f ≤HB e` (including `e`).
+    anc: Vec<BitSet>,
+    kinds: Vec<(u32, EventKind)>,
+}
+
+impl HbOracle {
+    /// Builds the oracle for a trace.
+    pub fn new(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut anc: Vec<BitSet> = Vec::with_capacity(n);
+        let mut last_of_thread: Vec<Option<usize>> = vec![None; trace.thread_count()];
+        let mut last_release: Vec<Option<usize>> = vec![None; trace.lock_count()];
+        let mut kinds = Vec::with_capacity(n);
+
+        for (idx, event) in trace.events().iter().enumerate() {
+            let mut set = BitSet::new(n);
+            set.insert(idx);
+            if let Some(prev) = last_of_thread[event.tid.index()] {
+                set.union_with(&anc[prev]);
+            }
+            if let EventKind::Acquire(l) = event.kind {
+                if let Some(rel) = last_release[l.index()] {
+                    set.union_with(&anc[rel]);
+                }
+            }
+            last_of_thread[event.tid.index()] = Some(idx);
+            if let EventKind::Release(l) = event.kind {
+                last_release[l.index()] = Some(idx);
+            }
+            anc.push(set);
+            kinds.push((event.tid.as_u32(), event.kind));
+        }
+        HbOracle { anc, kinds }
+    }
+
+    /// Number of events covered.
+    pub fn len(&self) -> usize {
+        self.anc.len()
+    }
+
+    /// Returns `true` for the empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.anc.is_empty()
+    }
+
+    /// `a ≤HB b` (reflexive).
+    pub fn happens_before(&self, a: EventId, b: EventId) -> bool {
+        self.anc[b.index()].contains(a.index())
+    }
+
+    /// Do events `a` and `b` conflict (same location, different threads,
+    /// at least one write)?
+    pub fn conflicting(&self, a: EventId, b: EventId) -> bool {
+        let (ta, ka) = self.kinds[a.index()];
+        let (tb, kb) = self.kinds[b.index()];
+        if ta == tb {
+            return false;
+        }
+        match (ka.var(), kb.var()) {
+            (Some(va), Some(vb)) if va == vb => {
+                matches!(ka, EventKind::Write(_)) || matches!(kb, EventKind::Write(_))
+            }
+            _ => false,
+        }
+    }
+
+    /// All racy pairs `(e₁, e₂)` among events marked in `sampled`
+    /// (`e₁ <tr e₂`, conflicting, unordered).
+    pub fn racy_pairs(&self, sampled: &[bool]) -> Vec<(EventId, EventId)> {
+        let mut pairs = Vec::new();
+        for b in 0..self.len() {
+            if !sampled[b] {
+                continue;
+            }
+            for a in 0..b {
+                if !sampled[a] {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a as u64), EventId::new(b as u64));
+                if self.conflicting(ea, eb) && !self.happens_before(ea, eb) {
+                    pairs.push((ea, eb));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// The events that race with some *earlier* sampled event — the
+    /// events at which a sound streaming detector may report.
+    pub fn racy_events(&self, sampled: &[bool]) -> Vec<EventId> {
+        let mut racy = Vec::new();
+        for b in 0..self.len() {
+            if !sampled[b] {
+                continue;
+            }
+            let eb = EventId::new(b as u64);
+            let has = (0..b).any(|a| {
+                sampled[a] && {
+                    let ea = EventId::new(a as u64);
+                    self.conflicting(ea, eb) && !self.happens_before(ea, eb)
+                }
+            });
+            if has {
+                racy.push(eb);
+            }
+        }
+        racy
+    }
+
+    /// Is there any race among the sampled events?
+    pub fn has_race(&self, sampled: &[bool]) -> bool {
+        !self.racy_events(sampled).is_empty()
+    }
+
+    /// Runs a sampler over the trace to produce the sampled-event mask
+    /// the oracle methods expect (sync events are never sampled).
+    pub fn sample_mask<S: Sampler>(trace: &Trace, mut sampler: S) -> Vec<bool> {
+        trace
+            .iter()
+            .map(|(id, event)| event.kind.is_access() && sampler.sample(id, event))
+            .collect()
+    }
+}
+
+/// A minimal fixed-size bitset.
+#[derive(Clone, Debug)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    fn contains(&self, bit: usize) -> bool {
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    fn union_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshtrack_sampling::AlwaysSampler;
+    use freshtrack_trace::TraceBuilder;
+
+    fn all(trace: &Trace) -> Vec<bool> {
+        HbOracle::sample_mask(trace, AlwaysSampler::new())
+    }
+
+    #[test]
+    fn thread_order_is_hb() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x).read(0, x);
+        let oracle = HbOracle::new(&b.build());
+        assert!(oracle.happens_before(EventId::new(0), EventId::new(1)));
+        assert!(!oracle.happens_before(EventId::new(1), EventId::new(0)));
+    }
+
+    #[test]
+    fn lock_edges_compose_transitively() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        let m = b.lock("m");
+        b.acquire(0, l).release(0, l);
+        b.acquire(1, l).acquire(1, m).release(1, m).release(1, l);
+        b.acquire(2, m).release(2, m);
+        let oracle = HbOracle::new(&b.build());
+        // T0's release (1) reaches T2's acquire of m (6) via T1.
+        assert!(oracle.happens_before(EventId::new(1), EventId::new(6)));
+    }
+
+    #[test]
+    fn unordered_writes_are_racy() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x);
+        b.write(1, x);
+        let trace = b.build();
+        let oracle = HbOracle::new(&trace);
+        let mask = all(&trace);
+        assert!(oracle.has_race(&mask));
+        assert_eq!(oracle.racy_pairs(&mask).len(), 1);
+        assert_eq!(oracle.racy_events(&mask), vec![EventId::new(1)]);
+    }
+
+    #[test]
+    fn sampling_mask_hides_races() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x);
+        b.write(1, x);
+        let trace = b.build();
+        let oracle = HbOracle::new(&trace);
+        // Only the second write sampled: no sampled *pair*.
+        assert!(!oracle.has_race(&[false, true]));
+        assert!(oracle.has_race(&[true, true]));
+    }
+
+    #[test]
+    fn reads_do_not_race_with_reads() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.read(0, x);
+        b.read(1, x);
+        let trace = b.build();
+        let oracle = HbOracle::new(&trace);
+        assert!(!oracle.has_race(&all(&trace)));
+    }
+
+    #[test]
+    fn conflicting_requires_same_var_and_write() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.write(0, x);
+        b.write(1, y);
+        b.read(1, x);
+        let trace = b.build();
+        let oracle = HbOracle::new(&trace);
+        assert!(!oracle.conflicting(EventId::new(0), EventId::new(1)));
+        assert!(oracle.conflicting(EventId::new(0), EventId::new(2)));
+    }
+}

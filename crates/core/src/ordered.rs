@@ -1,0 +1,501 @@
+use freshtrack_clock::{FreshnessClock, SharedClock, ThreadId, Time};
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::{Event, EventId, EventKind, LockId};
+
+use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
+
+/// Algorithm 4 of the paper (**SO**): ordered lists plus lazy copies.
+///
+/// This is the paper's near-optimal engine. Three ideas compose:
+///
+/// 1. **Ordered lists** ([`freshtrack_clock::OrderedList`]) keep each
+///    thread's sampling clock in most-recently-updated-first order, so an
+///    acquire that is `d = Uℓ − U_t(LRℓ)` updates behind only traverses
+///    the first `d` entries (Proposition 6).
+/// 2. **Lazy copies** ([`freshtrack_clock::SharedClock`]): a release
+///    hands the lock an `O(1)` shallow reference; the `O(T)` deep copy
+///    happens only when a thread mutates a still-shared list, which
+///    sampling bounds by `O(|S|)`.
+/// 3. **Scalar lock freshness**: locks store only the last releaser's own
+///    freshness component `Uℓ = U_t(t)`, eliminating the per-lock `O(T)`
+///    freshness clocks of Algorithm 3 — and with them the dependence of
+///    the running time on the number of locks.
+///
+/// The *local-epoch* optimization from the paper's implementation
+/// (Section 6.1, "disentangle the local time epoch from the vector clock
+/// when communicating over HB edges") is on by default: the thread's own
+/// flushed time travels as a scalar next to the lock's list reference, so
+/// a `RelAfter_S` release does not force a deep copy. Construct with
+/// [`with_options`](OrderedListDetector::with_options) to ablate it.
+///
+/// Race reports are identical to the other sampling engines for the same
+/// sample set (Lemma 8).
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_core::{Detector, OrderedListDetector};
+/// use freshtrack_sampling::BernoulliSampler;
+/// use freshtrack_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// b.write(0, x);
+/// b.write(1, x);
+/// let mut so = OrderedListDetector::new(BernoulliSampler::new(1.0, 1));
+/// assert_eq!(so.run(&b.build()).len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OrderedListDetector<S> {
+    sampler: S,
+    threads: Vec<ThreadState>,
+    locks: Vec<LockState>,
+    history: AccessHistories,
+    counters: Counters,
+    local_epoch_opt: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadState {
+    /// The ordered-list clock `O_t` (lazily shared with locks).
+    list: SharedClock,
+    /// The freshness clock `U_t`.
+    fresh: FreshnessClock,
+    /// The local epoch `e_t`.
+    epoch: Time,
+    /// The flushed own time `C_t(t)`; authoritative when the local-epoch
+    /// optimization keeps it out of the list.
+    flushed: Time,
+    sampled_since_release: bool,
+}
+
+impl Default for ThreadState {
+    fn default() -> Self {
+        ThreadState {
+            list: SharedClock::new(),
+            fresh: FreshnessClock::new(),
+            epoch: 1,
+            flushed: 0,
+            sampled_since_release: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    /// Shallow reference to the releasing thread's list (`Oℓ`).
+    list: Option<SharedClock>,
+    /// `LRℓ`: the last thread to release this lock.
+    last_releaser: Option<ThreadId>,
+    /// The scalar freshness `Uℓ = U_t(t)` of the last releaser.
+    fresh: Time,
+    /// The releaser's flushed own time, carried separately under the
+    /// local-epoch optimization.
+    releaser_flushed: Time,
+    /// Accumulated clock while in `Release`-join mode (Appendix A.2);
+    /// `Some` disables the freshness fast path until the next store.
+    joined: Option<freshtrack_clock::OrderedList>,
+}
+
+impl<S: Sampler> OrderedListDetector<S> {
+    /// Creates a detector with the local-epoch optimization enabled.
+    pub fn new(sampler: S) -> Self {
+        OrderedListDetector::with_options(sampler, true)
+    }
+
+    /// Creates a detector, choosing whether the local-epoch optimization
+    /// is applied (`false` reproduces Algorithm 4 verbatim; useful for
+    /// ablation).
+    pub fn with_options(sampler: S, local_epoch_opt: bool) -> Self {
+        OrderedListDetector {
+            sampler,
+            threads: Vec::new(),
+            locks: Vec::new(),
+            history: AccessHistories::new(),
+            counters: Counters::new(),
+            local_epoch_opt,
+        }
+    }
+
+    /// Whether the local-epoch optimization is enabled.
+    pub fn local_epoch_opt(&self) -> bool {
+        self.local_epoch_opt
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        if self.threads.len() <= tid.index() {
+            self.threads.resize_with(tid.index() + 1, ThreadState::default);
+        }
+    }
+
+    fn ensure_lock(&mut self, lock: LockId) {
+        if self.locks.len() <= lock.index() {
+            self.locks.resize_with(lock.index() + 1, LockState::default);
+        }
+    }
+
+    /// The race-check view `C_t[t ↦ e_t]`: own entry from the epoch, the
+    /// rest from the ordered list.
+    fn view(state: &ThreadState, tid: ThreadId) -> impl Fn(ThreadId) -> Time + '_ {
+        let epoch = state.epoch;
+        move |u| if u == tid { epoch } else { state.list.get(u) }
+    }
+
+    fn handle_acquire(&mut self, tid: ThreadId, lock: LockId) {
+        self.counters.acquires += 1;
+        self.ensure_lock(lock);
+        let lock_state = &self.locks[lock.index()];
+        if let Some(joined) = &lock_state.joined {
+            // Join-mode object (Appendix A.2): no freshness fast path —
+            // perform a full join.
+            self.counters.acquires_processed += 1;
+            let thread = &mut self.threads[tid.index()];
+            let mut traversed = 0u64;
+            for (u, n) in joined.iter_recent() {
+                traversed += 1;
+                if n > thread.list.get(u) {
+                    let (list, deep) = thread.list.make_mut();
+                    if deep {
+                        self.counters.deep_copies += 1;
+                    }
+                    list.set(u, n);
+                    thread.fresh.bump(tid);
+                }
+            }
+            self.counters.entries_traversed += traversed;
+            self.counters.vc_ops += 1;
+            return;
+        }
+        let Some(lr) = lock_state.last_releaser else {
+            self.counters.acquires_skipped += 1;
+            return;
+        };
+        let thread = &self.threads[tid.index()];
+        if lock_state.fresh <= thread.fresh.get(lr) {
+            // Proposition 5: nothing new behind this lock.
+            self.counters.acquires_skipped += 1;
+            return;
+        }
+        self.counters.acquires_processed += 1;
+        let d = lock_state.fresh - thread.fresh.get(lr);
+        let releaser_flushed = lock_state.releaser_flushed;
+        let lock_fresh = lock_state.fresh;
+        // O(1) handle clone so we can walk the lock's list while mutating
+        // the thread's (they never alias here: an alias would imply
+        // lr == tid, which the freshness check already filtered out).
+        let lock_list = lock_state
+            .list
+            .as_ref()
+            .expect("released lock must carry a clock")
+            .shallow_copy();
+
+        let thread = &mut self.threads[tid.index()];
+        thread.fresh.set(lr, lock_fresh);
+        let mut traversed = 0u64;
+        for (u, n) in lock_list.list().first(d as usize) {
+            traversed += 1;
+            if n > thread.list.get(u) {
+                let (list, deep) = thread.list.make_mut();
+                if deep {
+                    self.counters.deep_copies += 1;
+                }
+                list.set(u, n);
+                thread.fresh.bump(tid);
+            }
+        }
+        if self.local_epoch_opt && releaser_flushed > thread.list.get(lr) {
+            // The releaser's own flushed time travels as a scalar.
+            let (list, deep) = thread.list.make_mut();
+            if deep {
+                self.counters.deep_copies += 1;
+            }
+            list.set(lr, releaser_flushed);
+            thread.fresh.bump(tid);
+        }
+        self.counters.entries_traversed += traversed;
+        self.counters.entries_saved +=
+            (self.threads.len() as u64).saturating_sub(traversed);
+        self.counters.vc_ops += 1;
+    }
+
+    fn handle_release(&mut self, tid: ThreadId, lock: LockId) {
+        self.counters.releases += 1;
+        self.ensure_lock(lock);
+        self.flush_local_epoch(tid);
+        let thread = &self.threads[tid.index()];
+        let lock_state = &mut self.locks[lock.index()];
+        lock_state.list = Some(thread.list.shallow_copy());
+        lock_state.last_releaser = Some(tid);
+        lock_state.fresh = thread.fresh.get(tid);
+        lock_state.releaser_flushed = thread.flushed;
+        lock_state.joined = None;
+        self.counters.shallow_copies += 1;
+    }
+
+    /// Flushes the local epoch if this release is in `RelAfter_S`
+    /// (shared by the mutex and Appendix A.2 release handlers).
+    fn flush_local_epoch(&mut self, tid: ThreadId) {
+        let opt = self.local_epoch_opt;
+        let thread = &mut self.threads[tid.index()];
+        if thread.sampled_since_release {
+            thread.flushed = thread.epoch;
+            if !opt {
+                let (list, deep) = thread.list.make_mut();
+                if deep {
+                    self.counters.deep_copies += 1;
+                }
+                list.set(tid, thread.epoch);
+            }
+            thread.fresh.bump(tid);
+            thread.epoch += 1;
+            thread.sampled_since_release = false;
+            self.counters.local_increments += 1;
+            self.counters.releases_processed += 1;
+        } else {
+            self.counters.releases_skipped += 1;
+        }
+    }
+}
+
+impl<S: Sampler> crate::SyncOps for OrderedListDetector<S> {
+    fn release_store(&mut self, tid: u32, sync: LockId) {
+        // Identical to the mutex release: a store overwrites the object
+        // with the thread's snapshot (and resets any join mode).
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.handle_release(tid, sync);
+    }
+
+    fn release_join(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.ensure_lock(sync);
+        self.counters.releases += 1;
+        self.flush_local_epoch(tid);
+
+        // Materialize the thread's communicated clock (own entry is the
+        // flushed time, possibly kept out of the list by the epoch opt).
+        let thread = &self.threads[tid.index()];
+        let mut view = thread.list.list().clone();
+        if thread.flushed > view.get(tid) {
+            view.set(tid, thread.flushed);
+        }
+
+        let lock_state = &mut self.locks[sync.index()];
+        let mut acc = match lock_state.joined.take() {
+            Some(acc) => acc,
+            None => match (&lock_state.list, lock_state.last_releaser) {
+                (Some(shared), lr) => {
+                    // Convert the store snapshot into an owned list,
+                    // folding in the releaser's scalar flushed time.
+                    let mut l = shared.list().clone();
+                    if let Some(lr) = lr {
+                        if lock_state.releaser_flushed > l.get(lr) {
+                            l.set(lr, lock_state.releaser_flushed);
+                        }
+                    }
+                    l
+                }
+                (None, _) => freshtrack_clock::OrderedList::new(),
+            },
+        };
+        let traversed = view.len() as u64;
+        acc.join(&view);
+        lock_state.joined = Some(acc);
+        lock_state.list = None;
+        lock_state.last_releaser = None;
+        lock_state.fresh = 0;
+        self.counters.vc_ops += 1;
+        self.counters.entries_traversed += traversed;
+    }
+
+    fn acquire_sync(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        self.handle_acquire(tid, sync);
+    }
+}
+
+impl<S: Sampler> Detector for OrderedListDetector<S> {
+    fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        self.counters.events += 1;
+        let tid = event.tid;
+        self.ensure_thread(tid);
+        match event.kind {
+            EventKind::Read(var) => {
+                self.counters.reads += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.counters.race_checks += 1;
+                let state = &mut self.threads[tid.index()];
+                state.sampled_since_release = true;
+                let epoch = state.epoch;
+                let races = self.history.read_races(var, Self::view(state, tid));
+                self.history.record_read(var, tid, epoch);
+                races.then(|| {
+                    self.counters.races += 1;
+                    RaceReport::new(id, tid, var, AccessKind::Read, true, false)
+                })
+            }
+            EventKind::Write(var) => {
+                self.counters.writes += 1;
+                if !self.sampler.sample(id, event) {
+                    return None;
+                }
+                self.counters.sampled_accesses += 1;
+                self.counters.race_checks += 1;
+                let threads = self.threads.len();
+                let state = &mut self.threads[tid.index()];
+                state.sampled_since_release = true;
+                let (with_write, with_read) =
+                    self.history.write_races(var, Self::view(state, tid));
+                self.history.record_write(var, threads, Self::view(state, tid));
+                (with_write || with_read).then(|| {
+                    self.counters.races += 1;
+                    RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
+                })
+            }
+            EventKind::Acquire(lock) => {
+                self.handle_acquire(tid, lock);
+                None
+            }
+            EventKind::Release(lock) => {
+                self.handle_release(tid, lock);
+                None
+            }
+        }
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.ensure_thread(ThreadId::new(n as u32 - 1));
+        for state in &mut self.threads {
+            let (list, _) = state.list.make_mut();
+            list.ensure_thread_count(n);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveSamplingDetector;
+    use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler};
+    use freshtrack_trace::{Trace, TraceBuilder};
+
+    fn ladder_trace(rounds: u32, threads: u32) -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        for round in 0..rounds {
+            let t = round % threads;
+            b.acquire(t, l).write(t, x).release(t, l);
+            b.acquire(t, m).read(t, x).release(t, m);
+            b.write(t, x);
+        }
+        b.write(threads, x);
+        b.build()
+    }
+
+    #[test]
+    fn matches_algorithm2_at_full_sampling() {
+        let trace = ladder_trace(40, 4);
+        let reference = NaiveSamplingDetector::new(AlwaysSampler::new()).run(&trace);
+        let so = OrderedListDetector::new(AlwaysSampler::new()).run(&trace);
+        assert_eq!(reference, so);
+        assert!(!so.is_empty());
+    }
+
+    #[test]
+    fn matches_algorithm2_under_partial_sampling() {
+        let trace = ladder_trace(60, 3);
+        for seed in 0..8 {
+            let sampler = BernoulliSampler::new(0.25, seed);
+            let reference = NaiveSamplingDetector::new(sampler).run(&trace);
+            let so = OrderedListDetector::new(sampler).run(&trace);
+            assert_eq!(reference, so, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn epoch_opt_is_report_invariant() {
+        let trace = ladder_trace(60, 4);
+        for seed in 0..8 {
+            let sampler = BernoulliSampler::new(0.3, seed);
+            let with_opt = OrderedListDetector::with_options(sampler, true).run(&trace);
+            let without = OrderedListDetector::with_options(sampler, false).run(&trace);
+            assert_eq!(with_opt, without, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn epoch_opt_reduces_deep_copies() {
+        let trace = ladder_trace(200, 2);
+        let sampler = BernoulliSampler::new(1.0, 3);
+        let mut with_opt = OrderedListDetector::with_options(sampler, true);
+        with_opt.run(&trace);
+        let mut without = OrderedListDetector::with_options(sampler, false);
+        without.run(&trace);
+        assert!(
+            with_opt.counters().deep_copies < without.counters().deep_copies,
+            "opt {} vs plain {}",
+            with_opt.counters().deep_copies,
+            without.counters().deep_copies
+        );
+    }
+
+    #[test]
+    fn empty_sample_set_does_no_clock_work() {
+        let trace = ladder_trace(50, 4);
+        let mut so = OrderedListDetector::new(NeverSampler::new());
+        so.run(&trace);
+        let c = so.counters();
+        assert_eq!(c.deep_copies, 0);
+        assert_eq!(c.entries_traversed, 0);
+        assert_eq!(c.acquires_processed, 0);
+        // Releases still pay their O(1) shallow copy.
+        assert_eq!(c.shallow_copies, c.releases);
+    }
+
+    #[test]
+    fn deep_copies_are_bounded_by_sample_set() {
+        // Lemma 8: deep copies are O(|S| · T) — in practice far fewer.
+        let trace = ladder_trace(300, 4);
+        let sampler = BernoulliSampler::new(0.1, 9);
+        let mut so = OrderedListDetector::new(sampler);
+        so.run(&trace);
+        let c = so.counters();
+        let bound = c.sampled_accesses * (trace.thread_count() as u64) + trace.thread_count() as u64;
+        assert!(c.deep_copies <= bound);
+    }
+
+    #[test]
+    fn partial_traversal_touches_few_entries() {
+        // Two chatty threads, tiny sample set: most acquires skip, and
+        // the ones that don't traverse only the changed prefix.
+        let trace = ladder_trace(500, 8);
+        let sampler = BernoulliSampler::new(0.02, 5);
+        let mut so = OrderedListDetector::new(sampler);
+        so.run(&trace);
+        let c = so.counters();
+        assert!(c.acquire_skip_ratio() > 0.5, "skip {}", c.acquire_skip_ratio());
+        assert!(
+            c.traversals_per_acquire() < 2.0,
+            "traversals {}",
+            c.traversals_per_acquire()
+        );
+    }
+}

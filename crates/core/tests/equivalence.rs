@@ -1,0 +1,317 @@
+//! Property-based equivalence tests for the detector engines.
+//!
+//! The paper's Lemmas 4, 7 and 8 state that Algorithms 2, 3 and 4 declare
+//! exactly the same races (for the same sample set), and that these are
+//! exactly the races of the naive "skip non-sampled accesses" Djit+
+//! variant. These tests check that claim on thousands of randomized valid
+//! traces, and validate all engines against an independent ground-truth
+//! happens-before oracle.
+
+use freshtrack_core::{
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
+    NaiveSamplingDetector, OrderedListDetector, RaceReport,
+};
+use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, PeriodicSampler, Sampler};
+use freshtrack_trace::{Trace, TraceBuilder, VarId};
+use proptest::prelude::*;
+
+/// Raw fuel for the trace interpreter: each tuple is
+/// `(thread, action, operand)`.
+type Fuel = Vec<(u8, u8, u8)>;
+
+/// Interprets raw fuel into a trace that satisfies the locking
+/// discipline: acquires only of free locks, releases only of locks held
+/// by the acting thread; everything else becomes an access.
+fn interpret(fuel: &Fuel, threads: u8, locks: u8, vars: u8) -> Trace {
+    let mut b = TraceBuilder::new();
+    let var_ids: Vec<VarId> = (0..vars).map(|v| b.var(&format!("x{v}"))).collect();
+    let lock_ids: Vec<_> = (0..locks).map(|l| b.lock(&format!("l{l}"))).collect();
+    // holder[l] = Some(t) while lock l is held.
+    let mut holder: Vec<Option<u8>> = vec![None; locks as usize];
+
+    for &(t, action, operand) in fuel {
+        let t = t % threads;
+        match action % 4 {
+            0 => {
+                // Try to acquire `operand % locks` if free.
+                let l = (operand % locks) as usize;
+                if holder[l].is_none() {
+                    holder[l] = Some(t);
+                    b.acquire(t as u32, lock_ids[l]);
+                } else {
+                    b.read(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            1 => {
+                // Release some lock this thread holds, if any.
+                if let Some(l) = holder.iter().position(|&h| h == Some(t)) {
+                    holder[l] = None;
+                    b.release(t as u32, lock_ids[l]);
+                } else {
+                    b.write(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            2 => {
+                b.read(t as u32, var_ids[(operand % vars) as usize]);
+            }
+            _ => {
+                b.write(t as u32, var_ids[(operand % vars) as usize]);
+            }
+        }
+    }
+    // Traces need not release held locks at the end (prefix semantics),
+    // so we leave them held.
+    b.build()
+}
+
+fn fuel_strategy(len: usize) -> impl Strategy<Value = Fuel> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..len)
+}
+
+fn all_sampling_engines_agree<S: Sampler + Copy>(trace: &Trace, sampler: S) -> Vec<RaceReport> {
+    let reference = NaiveSamplingDetector::new(sampler).run(trace);
+    let st = DjitDetector::new(sampler).run(trace);
+    let su = FreshnessDetector::new(sampler).run(trace);
+    let so = OrderedListDetector::new(sampler).run(trace);
+    let so_plain = OrderedListDetector::with_options(sampler, false).run(trace);
+    assert_eq!(reference, st, "Djit+(S) vs Algorithm 2");
+    assert_eq!(reference, su, "Algorithm 3 (SU) vs Algorithm 2");
+    assert_eq!(reference, so, "Algorithm 4 (SO) vs Algorithm 2");
+    assert_eq!(reference, so_plain, "SO without epoch opt vs Algorithm 2");
+    reference
+}
+
+fn check_against_oracle<S: Sampler + Copy>(trace: &Trace, sampler: S, reports: &[RaceReport]) {
+    let oracle = HbOracle::new(trace);
+    let mask = HbOracle::sample_mask(trace, sampler);
+    let racy = oracle.racy_events(&mask);
+    // Per-event soundness: every reported event is truly racy.
+    for report in reports {
+        assert!(
+            racy.contains(&report.event),
+            "detector reported non-racy event {} (racy: {racy:?})",
+            report.event
+        );
+    }
+    // Trace-level completeness, and agreement on the first racy event.
+    assert_eq!(
+        reports.first().map(|r| r.event),
+        racy.first().copied(),
+        "first report mismatch"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engines_agree_at_full_sampling(fuel in fuel_strategy(120)) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let reports = all_sampling_engines_agree(&trace, AlwaysSampler::new());
+        check_against_oracle(&trace, AlwaysSampler::new(), &reports);
+    }
+
+    #[test]
+    fn engines_agree_under_bernoulli_sampling(
+        fuel in fuel_strategy(150),
+        seed in any::<u64>(),
+        rate in 0.05f64..0.9,
+    ) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = BernoulliSampler::new(rate, seed);
+        let reports = all_sampling_engines_agree(&trace, sampler);
+        check_against_oracle(&trace, sampler, &reports);
+    }
+
+    #[test]
+    fn engines_agree_under_periodic_sampling(
+        fuel in fuel_strategy(150),
+        seed in any::<u64>(),
+        period in 1u64..40,
+    ) {
+        let trace = interpret(&fuel, 3, 4, 2);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = PeriodicSampler::new(0.3, period, seed);
+        let reports = all_sampling_engines_agree(&trace, sampler);
+        check_against_oracle(&trace, sampler, &reports);
+    }
+
+    #[test]
+    fn engines_agree_with_many_threads(fuel in fuel_strategy(200)) {
+        let trace = interpret(&fuel, 8, 5, 4);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = BernoulliSampler::new(0.3, 7);
+        let reports = all_sampling_engines_agree(&trace, sampler);
+        check_against_oracle(&trace, sampler, &reports);
+    }
+
+    #[test]
+    fn fasttrack_matches_djit_on_first_race(fuel in fuel_strategy(120)) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let djit = DjitDetector::new(AlwaysSampler::new()).run(&trace);
+        let ft = FastTrackDetector::new(AlwaysSampler::new()).run(&trace);
+        // FastTrack is precise for the *first* race on each variable.
+        let djit_first = djit.first().map(|r| r.event);
+        let ft_first = ft.first().map(|r| r.event);
+        prop_assert_eq!(djit_first, ft_first);
+        // And they agree on whether the trace is racy at all.
+        prop_assert_eq!(djit.is_empty(), ft.is_empty());
+    }
+
+    #[test]
+    fn fasttrack_is_sound_per_event(fuel in fuel_strategy(120)) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let oracle = HbOracle::new(&trace);
+        let mask = HbOracle::sample_mask(&trace, AlwaysSampler::new());
+        let racy = oracle.racy_events(&mask);
+        for report in FastTrackDetector::new(AlwaysSampler::new()).run(&trace) {
+            prop_assert!(racy.contains(&report.event));
+        }
+    }
+
+    #[test]
+    fn work_bounds_hold(
+        fuel in fuel_strategy(200),
+        seed in any::<u64>(),
+    ) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = BernoulliSampler::new(0.2, seed);
+        let mut so = OrderedListDetector::new(sampler);
+        so.run(&trace);
+        let c = so.counters();
+        let t = trace.thread_count() as u64;
+        // Local increments happen only at first-release-after-sample.
+        prop_assert!(c.local_increments <= c.sampled_accesses);
+        // Deep copies are bounded by clock mutations: O(|S|·T).
+        prop_assert!(c.deep_copies <= (c.sampled_accesses + 1) * (t + 1));
+        // Every acquire is either skipped or processed.
+        prop_assert_eq!(c.acquires_skipped + c.acquires_processed, c.acquires);
+        // Shallow copies: exactly one per release.
+        prop_assert_eq!(c.shallow_copies, c.releases);
+    }
+
+    #[test]
+    fn empty_sample_set_reports_nothing(fuel in fuel_strategy(150)) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = BernoulliSampler::new(0.0, 0);
+        let reports = all_sampling_engines_agree(&trace, sampler);
+        prop_assert!(reports.is_empty());
+    }
+}
+
+#[test]
+fn regression_two_phase_handover() {
+    // A tricky shape: information flows t0 → t1 → t2 with t0's clock
+    // reaching t2 only through a chain of partially-traversed lists.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let l = b.lock("l");
+    let m = b.lock("m");
+    b.write(0, x);
+    b.acquire(0, l).release(0, l);
+    b.acquire(1, l).release(1, l);
+    b.write(1, y);
+    b.acquire(1, m).release(1, m);
+    b.acquire(2, m).release(2, m);
+    b.read(2, x); // ordered after t0's write via l→m chain
+    b.read(2, y); // ordered after t1's write via m
+    let trace = b.build();
+    let reports = all_sampling_engines_agree(&trace, AlwaysSampler::new());
+    assert!(reports.is_empty(), "{reports:?}");
+}
+
+#[test]
+fn regression_skip_then_learn() {
+    // An acquire that is skippable must not erase later learning.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let l = b.lock("l");
+    // t0 writes and publishes via l.
+    b.acquire(0, l).write(0, x).release(0, l);
+    // t1 syncs twice: the second acquire is redundant.
+    b.acquire(1, l).release(1, l);
+    b.acquire(1, l).release(1, l);
+    // t0 writes again and publishes.
+    b.acquire(0, l).write(0, x).release(0, l);
+    // t1 syncs and reads: must be ordered.
+    b.acquire(1, l).read(1, x).release(1, l);
+    let trace = b.build();
+    let reports = all_sampling_engines_agree(&trace, AlwaysSampler::new());
+    assert!(reports.is_empty(), "{reports:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `reserve_threads` (TSan-style fixed clock width) must never
+    /// change verdicts — it only pre-sizes clock state.
+    #[test]
+    fn clock_width_reservation_is_verdict_invariant(
+        fuel in fuel_strategy(120),
+        seed in any::<u64>(),
+    ) {
+        let trace = interpret(&fuel, 4, 3, 3);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = BernoulliSampler::new(0.4, seed);
+        for width in [0usize, 8, 64] {
+            let mut st = DjitDetector::new(sampler);
+            st.reserve_threads(width);
+            let mut su = FreshnessDetector::new(sampler);
+            su.reserve_threads(width);
+            let mut so = OrderedListDetector::new(sampler);
+            so.reserve_threads(width);
+            let mut ft = FastTrackDetector::new(sampler);
+            ft.reserve_threads(width);
+            let mut sam = NaiveSamplingDetector::new(sampler);
+            sam.reserve_threads(width);
+
+            let baseline = NaiveSamplingDetector::new(sampler).run(&trace);
+            prop_assert_eq!(&baseline, &st.run(&trace), "ST width {}", width);
+            prop_assert_eq!(&baseline, &su.run(&trace), "SU width {}", width);
+            prop_assert_eq!(&baseline, &so.run(&trace), "SO width {}", width);
+            prop_assert_eq!(&baseline, &sam.run(&trace), "SAM width {}", width);
+            // FastTrack agrees on the first race (per-variable epoch
+            // histories differ afterwards).
+            let ft_reports = ft.run(&trace);
+            let full = DjitDetector::new(sampler).run(&trace);
+            prop_assert_eq!(
+                ft_reports.first().map(|r| r.event),
+                full.first().map(|r| r.event)
+            );
+        }
+    }
+
+    /// Counters must satisfy their structural invariants on every engine.
+    #[test]
+    fn counter_invariants_hold(fuel in fuel_strategy(150), seed in any::<u64>()) {
+        let trace = interpret(&fuel, 5, 4, 3);
+        prop_assume!(trace.validate().is_ok());
+        let sampler = BernoulliSampler::new(0.3, seed);
+
+        let mut engines: Vec<Box<dyn Detector>> = vec![
+            Box::new(DjitDetector::new(sampler)),
+            Box::new(NaiveSamplingDetector::new(sampler)),
+            Box::new(FreshnessDetector::new(sampler)),
+            Box::new(OrderedListDetector::new(sampler)),
+            Box::new(FastTrackDetector::new(sampler)),
+        ];
+        for engine in &mut engines {
+            let reports = engine.run(&trace);
+            let c = *engine.counters();
+            prop_assert_eq!(c.events as usize, trace.len(), "{}", engine.name());
+            prop_assert_eq!(c.reads + c.writes + c.acquires + c.releases, c.events);
+            prop_assert_eq!(c.acquires_skipped + c.acquires_processed, c.acquires);
+            prop_assert!(c.sampled_accesses <= c.accesses());
+            prop_assert!(c.races as usize == reports.len());
+            prop_assert!(c.race_checks >= c.races);
+            prop_assert!(c.local_increments <= c.releases);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+use std::sync::Arc;
+
+use freshtrack_core::{Detector, OnlineDetector, RaceReport};
+
+/// The callback surface of an instrumented binary.
+///
+/// Semantically these are ThreadSanitizer's `__tsan_read`/`__tsan_write`
+/// and mutex hooks. The database calls them inline from its worker
+/// threads; implementations must therefore be cheap to share
+/// (`Send + Sync`).
+pub trait Instrument: Send + Sync {
+    /// A read of shared location `var` by worker `tid`.
+    fn read(&self, tid: u32, var: u32);
+    /// A write of shared location `var` by worker `tid`.
+    fn write(&self, tid: u32, var: u32);
+    /// Lock `lock` acquired by worker `tid` (called while actually held).
+    fn acquire(&self, tid: u32, lock: u32);
+    /// Lock `lock` about to be released by worker `tid` (called while
+    /// still held).
+    fn release(&self, tid: u32, lock: u32);
+}
+
+/// The uninstrumented baseline (the paper's **NT**): every callback is a
+/// no-op the optimizer removes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoInstrument;
+
+impl Instrument for NoInstrument {
+    #[inline]
+    fn read(&self, _tid: u32, _var: u32) {}
+    #[inline]
+    fn write(&self, _tid: u32, _var: u32) {}
+    #[inline]
+    fn acquire(&self, _tid: u32, _lock: u32) {}
+    #[inline]
+    fn release(&self, _tid: u32, _lock: u32) {}
+}
+
+/// Routes instrumentation callbacks into a streaming detector behind
+/// [`OnlineDetector`]'s serialization mutex.
+///
+/// The serialization is part of what the paper measures: the more work a
+/// detector performs per event, the longer application threads queue
+/// here, amplifying the application's own contention.
+pub struct DetectorInstrument<D> {
+    online: Arc<OnlineDetector<D>>,
+}
+
+impl<D: Detector + Send> DetectorInstrument<D> {
+    /// Wraps a detector.
+    pub fn new(detector: D) -> Self {
+        DetectorInstrument {
+            online: Arc::new(OnlineDetector::new(detector)),
+        }
+    }
+
+    /// Races found so far.
+    pub fn race_count(&self) -> usize {
+        self.online.race_count()
+    }
+
+    /// Consumes the instrument, returning the detector and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker threads still hold references.
+    pub fn finish(self) -> (D, Vec<RaceReport>) {
+        Arc::try_unwrap(self.online)
+            .ok()
+            .expect("workers must be joined before finish()")
+            .finish()
+    }
+
+    /// A shareable handle for worker threads.
+    pub fn handle(&self) -> Arc<OnlineDetector<D>> {
+        Arc::clone(&self.online)
+    }
+}
+
+impl<D: Detector + Send> Instrument for DetectorInstrument<D> {
+    fn read(&self, tid: u32, var: u32) {
+        self.online.read(tid, var);
+    }
+
+    fn write(&self, tid: u32, var: u32) {
+        self.online.write(tid, var);
+    }
+
+    fn acquire(&self, tid: u32, lock: u32) {
+        self.online.acquire(tid, lock);
+    }
+
+    fn release(&self, tid: u32, lock: u32) {
+        self.online.release(tid, lock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshtrack_core::{DjitDetector, EmptyDetector};
+    use freshtrack_sampling::AlwaysSampler;
+
+    #[test]
+    fn no_instrument_is_a_no_op() {
+        let n = NoInstrument;
+        n.read(0, 0);
+        n.write(0, 0);
+        n.acquire(0, 0);
+        n.release(0, 0);
+    }
+
+    #[test]
+    fn detector_instrument_finds_races() {
+        let inst = DetectorInstrument::new(DjitDetector::new(AlwaysSampler::new()));
+        inst.write(0, 7);
+        inst.write(1, 7);
+        assert_eq!(inst.race_count(), 1);
+        let (_, reports) = inst.finish();
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn empty_detector_counts_events() {
+        let inst = DetectorInstrument::new(EmptyDetector::new());
+        inst.acquire(0, 1);
+        inst.read(0, 2);
+        inst.release(0, 1);
+        let (d, reports) = inst.finish();
+        assert!(reports.is_empty());
+        assert_eq!(d.counters().events, 3);
+    }
+}

@@ -1,0 +1,254 @@
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use freshtrack_workloads::DbWorkload;
+
+use crate::{Database, Instrument};
+
+/// Options for a benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Number of worker threads (the paper uses 12 client terminals).
+    pub workers: u32,
+    /// Transactions each worker executes.
+    pub txns_per_worker: u32,
+    /// Seed for the workload RNG (workers derive per-worker seeds).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: 12,
+            txns_per_worker: 500,
+            seed: 0,
+        }
+    }
+}
+
+/// Latency statistics of a benchmark run — the measurement behind the
+/// paper's Fig. 5.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    /// Transactions completed.
+    pub transactions: u64,
+    /// Total busy time across workers.
+    pub total: Duration,
+    /// Sorted per-transaction latencies (microseconds).
+    latencies_us: Vec<u64>,
+}
+
+impl LatencyStats {
+    fn from_latencies(mut latencies_us: Vec<u64>) -> Self {
+        latencies_us.sort_unstable();
+        LatencyStats {
+            transactions: latencies_us.len() as u64,
+            total: Duration::from_micros(latencies_us.iter().sum()),
+            latencies_us,
+        }
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            0.0
+        } else {
+            self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile latency in microseconds (`p` in `[0, 100]`).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[rank.min(self.latencies_us.len() - 1)]
+    }
+}
+
+/// Runs a workload mix against a fresh database with the given
+/// instrumentation, returning per-transaction latency statistics.
+///
+/// Worker `w` is thread id `w` in the emitted event stream. The run is
+/// deterministic in its *event content* given the seed (transaction
+/// streams are seeded per worker); wall-clock latencies naturally vary.
+pub fn run_benchmark(
+    workload: &DbWorkload,
+    options: &RunOptions,
+    instrument: Arc<dyn Instrument>,
+) -> LatencyStats {
+    let db = Arc::new(Database::new(
+        workload.tables,
+        workload.rows_per_table,
+        workload.lock_stripes,
+    ));
+    let handles: Vec<_> = (0..options.workers)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            let inst = Arc::clone(&instrument);
+            let workload = workload.clone();
+            let seed = options.seed ^ (0x9e37_79b9 * (w as u64 + 1));
+            let txns = options.txns_per_worker;
+            std::thread::spawn(move || worker_loop(&db, w, &workload, seed, txns, inst.as_ref()))
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("worker panicked"));
+    }
+    LatencyStats::from_latencies(latencies)
+}
+
+fn worker_loop(
+    db: &Database,
+    tid: u32,
+    workload: &DbWorkload,
+    seed: u64,
+    txns: u32,
+    inst: &dyn Instrument,
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies = Vec::with_capacity(txns as usize);
+    let mut local_sink = 0u64;
+    for _ in 0..txns {
+        let start = Instant::now();
+        // Compose the transaction's row operations.
+        let n_ops = rng.gen_range(workload.txn_ops.0..=workload.txn_ops.1);
+        let ops: Vec<(u32, u32, bool)> = (0..n_ops)
+            .map(|_| {
+                let table = rng.gen_range(0..workload.tables);
+                let row = pick_row(&mut rng, workload);
+                let is_write = rng.gen_bool(workload.write_fraction);
+                (table, row, is_write)
+            })
+            .collect();
+
+        // Index/metadata lookup before the transaction body.
+        let table = ops.first().map_or(0, |&(t, _, _)| t);
+        db.latched_meta_read(tid, table, inst);
+
+        db.transaction(tid, &ops, inst);
+
+        // Occasional metadata update and the seeded unprotected race.
+        if rng.gen_bool(0.05) {
+            db.latched_meta_write(tid, table, inst);
+        }
+        if workload.unprotected_fraction > 0.0 {
+            // The seeded bug class. The benign-looking per-request
+            // statistics counter is bumped on *every* transaction
+            // without synchronization (the single hottest racy location,
+            // as in real servers); additionally, a fraction of requests
+            // touch a small hot row set while bypassing its stripe
+            // latch (missing-lock bugs spread over several locations).
+            db.unprotected_stats_bump(tid, inst);
+            if rng.gen_bool(workload.unprotected_fraction) {
+                let table = rng.gen_range(0..workload.tables);
+                let row = pick_row(&mut rng, workload) % workload.rows_per_table.min(8);
+                db.unprotected_row_touch(tid, table, row, true, inst);
+            }
+        }
+
+        // Per-request local compute ("think time" that does not touch
+        // shared state). Scaled so that an uninstrumented transaction
+        // spends a few microseconds of real work, as a database request
+        // parsing/planning/formatting would — this is what
+        // instrumentation overhead is measured *against*.
+        for i in 0..workload.think_ops * 4_000 {
+            local_sink = local_sink.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        }
+        std::hint::black_box(local_sink);
+
+        latencies.push(start.elapsed().as_micros() as u64);
+    }
+    latencies
+}
+
+/// Hot-row selection: with probability `hot_row_skew` pick from the
+/// hottest 1/16th of the table, else uniform.
+fn pick_row(rng: &mut StdRng, workload: &DbWorkload) -> u32 {
+    let hot = (workload.rows_per_table / 16).max(1);
+    if rng.gen_bool(workload.hot_row_skew) {
+        rng.gen_range(0..hot)
+    } else {
+        rng.gen_range(0..workload.rows_per_table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorInstrument, NoInstrument};
+    use freshtrack_core::{Detector, FastTrackDetector, OrderedListDetector};
+    use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
+    use freshtrack_workloads::benchbase;
+
+    fn small_opts() -> RunOptions {
+        RunOptions {
+            workers: 4,
+            txns_per_worker: 100,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_completes() {
+        let w = benchbase::by_name("ycsb").unwrap();
+        let stats = run_benchmark(&w, &small_opts(), Arc::new(NoInstrument));
+        assert_eq!(stats.transactions, 400);
+        assert!(stats.mean_us() >= 0.0);
+        assert!(stats.percentile_us(95.0) >= stats.percentile_us(50.0));
+    }
+
+    #[test]
+    fn full_detection_finds_seeded_races() {
+        let mut w = benchbase::by_name("ycsb").unwrap();
+        w.unprotected_fraction = 0.2; // make the seeded race frequent
+        let inst = Arc::new(DetectorInstrument::new(FastTrackDetector::new(
+            AlwaysSampler::new(),
+        )));
+        let stats = run_benchmark(&w, &small_opts(), inst.clone());
+        assert_eq!(stats.transactions, 400);
+        let inst = Arc::try_unwrap(inst).ok().expect("workers joined");
+        let (_, reports) = inst.finish();
+        assert!(!reports.is_empty(), "seeded race not found");
+    }
+
+    #[test]
+    fn lock_protected_rows_do_not_race() {
+        let mut w = benchbase::by_name("smallbank").unwrap();
+        w.unprotected_fraction = 0.0;
+        let inst = Arc::new(DetectorInstrument::new(OrderedListDetector::new(
+            AlwaysSampler::new(),
+        )));
+        run_benchmark(&w, &small_opts(), inst.clone());
+        let inst = Arc::try_unwrap(inst).ok().expect("workers joined");
+        let (_, reports) = inst.finish();
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn sampling_detector_processes_fewer_accesses() {
+        let w = benchbase::by_name("tpcc").unwrap();
+        let full = Arc::new(DetectorInstrument::new(OrderedListDetector::new(
+            AlwaysSampler::new(),
+        )));
+        run_benchmark(&w, &small_opts(), full.clone());
+        let full = Arc::try_unwrap(full).ok().unwrap();
+        let (d_full, _) = full.finish();
+
+        let sampled = Arc::new(DetectorInstrument::new(OrderedListDetector::new(
+            BernoulliSampler::new(0.03, 1),
+        )));
+        run_benchmark(&w, &small_opts(), sampled.clone());
+        let sampled = Arc::try_unwrap(sampled).ok().unwrap();
+        let (d_samp, _) = sampled.finish();
+
+        assert!(d_samp.counters().sampled_accesses * 10 < d_full.counters().sampled_accesses);
+        assert!(d_samp.counters().acquires_skipped > 0);
+    }
+}

@@ -1,0 +1,197 @@
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use freshtrack_core::{
+    Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector,
+    NaiveSamplingDetector, OrderedListDetector, RaceReport,
+};
+use freshtrack_sampling::BernoulliSampler;
+use freshtrack_trace::Trace;
+
+/// The detector engines of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// FastTrack with full detection (the paper's **FT**; the rate is
+    /// ignored and treated as 100%).
+    FastTrack,
+    /// Naive sampling on unmodified synchronization handlers (the
+    /// paper's **ST**): Djit+ sync handling, accesses sampled.
+    St,
+    /// Algorithm 2: sampling timestamps without freshness (reference
+    /// engine; not in the paper's figures but useful for ablation).
+    Sam,
+    /// Algorithm 3 (**SU**): freshness timestamps.
+    Su,
+    /// Algorithm 4 (**SO**): ordered lists + lazy copy.
+    So,
+    /// Algorithm 4 without the local-epoch optimization (ablation).
+    SoPlain,
+}
+
+impl EngineKind {
+    /// The engine's short name as used in the paper.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            EngineKind::FastTrack => "FT",
+            EngineKind::St => "ST",
+            EngineKind::Sam => "SAM",
+            EngineKind::Su => "SU",
+            EngineKind::So => "SO",
+            EngineKind::SoPlain => "SO-noepoch",
+        }
+    }
+}
+
+/// An engine × sampling-rate × seed configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Which engine to run.
+    pub kind: EngineKind,
+    /// Sampling rate in `[0, 1]`.
+    pub rate: f64,
+    /// Sampler seed (keep equal across engines for apples-to-apples
+    /// comparisons).
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Creates a configuration.
+    pub fn new(kind: EngineKind, rate: f64, seed: u64) -> Self {
+        EngineConfig { kind, rate, seed }
+    }
+
+    /// The paper's label style: `SU-(3%)`, `SO-(0.3%)`, `FT`.
+    pub fn label(&self) -> String {
+        if matches!(self.kind, EngineKind::FastTrack) {
+            return "FT".to_owned();
+        }
+        let pct = self.rate * 100.0;
+        let pct = if (pct - pct.round()).abs() < 1e-9 && pct >= 1.0 {
+            format!("{}", pct.round() as u64)
+        } else {
+            format!("{pct}")
+        };
+        format!("{}-({pct}%)", self.kind.short_name())
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of one engine run over one trace.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// Display label (`SO-(3%)` etc.).
+    pub label: String,
+    /// All race reports, in trace order.
+    pub reports: Vec<RaceReport>,
+    /// The detector's work counters.
+    pub counters: Counters,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+}
+
+impl EngineRun {
+    /// Number of distinct racy memory locations (the metric of
+    /// Fig. 6(a)).
+    pub fn racy_locations(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.var)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+/// Runs one engine configuration over a trace.
+pub fn run_engine(trace: &Trace, config: &EngineConfig) -> EngineRun {
+    let sampler = BernoulliSampler::new(
+        if matches!(config.kind, EngineKind::FastTrack) {
+            1.0
+        } else {
+            config.rate
+        },
+        config.seed,
+    );
+    let start = Instant::now();
+    let (reports, counters) = match config.kind {
+        EngineKind::FastTrack => {
+            let mut d = FastTrackDetector::new(sampler);
+            (d.run(trace), *d.counters())
+        }
+        EngineKind::St => {
+            let mut d = DjitDetector::new(sampler);
+            (d.run(trace), *d.counters())
+        }
+        EngineKind::Sam => {
+            let mut d = NaiveSamplingDetector::new(sampler);
+            (d.run(trace), *d.counters())
+        }
+        EngineKind::Su => {
+            let mut d = FreshnessDetector::new(sampler);
+            (d.run(trace), *d.counters())
+        }
+        EngineKind::So => {
+            let mut d = OrderedListDetector::new(sampler);
+            (d.run(trace), *d.counters())
+        }
+        EngineKind::SoPlain => {
+            let mut d = OrderedListDetector::with_options(sampler, false);
+            (d.run(trace), *d.counters())
+        }
+    };
+    EngineRun {
+        label: config.label(),
+        reports,
+        counters,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshtrack_workloads::{generate, WorkloadConfig};
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(EngineConfig::new(EngineKind::Su, 0.03, 0).label(), "SU-(3%)");
+        assert_eq!(
+            EngineConfig::new(EngineKind::So, 0.003, 0).label(),
+            "SO-(0.3%)"
+        );
+        assert_eq!(EngineConfig::new(EngineKind::So, 1.0, 0).label(), "SO-(100%)");
+        assert_eq!(EngineConfig::new(EngineKind::FastTrack, 1.0, 0).label(), "FT");
+        assert_eq!(EngineConfig::new(EngineKind::St, 0.1, 0).label(), "ST-(10%)");
+    }
+
+    #[test]
+    fn sampling_engines_agree_on_reports() {
+        let trace = generate(&WorkloadConfig::named("t").events(4_000).unprotected(0.05));
+        let runs: Vec<EngineRun> = [EngineKind::St, EngineKind::Sam, EngineKind::Su, EngineKind::So]
+            .iter()
+            .map(|&kind| run_engine(&trace, &EngineConfig::new(kind, 0.5, 9)))
+            .collect();
+        for pair in runs.windows(2) {
+            assert_eq!(pair[0].reports, pair[1].reports);
+        }
+    }
+
+    #[test]
+    fn racy_locations_deduplicate() {
+        let trace = generate(
+            &WorkloadConfig::named("t")
+                .events(3_000)
+                .unprotected(0.3)
+                .vars(4)
+                .hot_fraction(1.0),
+        );
+        let run = run_engine(&trace, &EngineConfig::new(EngineKind::FastTrack, 1.0, 0));
+        assert!(run.racy_locations() <= 4);
+        assert!(run.racy_locations() >= 1);
+        assert!(run.reports.len() >= run.racy_locations());
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixed-width tables and ASCII bars for experiment output.
+//!
+//! The benchmark harnesses print the same *series* the paper plots;
+//! these helpers keep that output aligned and diff-able.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_rapid::report::Table;
+///
+/// let mut t = Table::new(&["bench", "ratio"]);
+/// t.row(&["tpcc", "0.42"]);
+/// let s = t.render();
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("tpcc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns (first column left-aligned, the rest
+    /// right-aligned).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<width$}", width = widths[i]);
+                } else {
+                    let _ = write!(out, "  {cell:>width$}", width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// An ASCII bar of the given ratio (`0.0..=1.0`) and width.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_rapid::report::bar;
+/// assert_eq!(bar(0.5, 8), "####....");
+/// ```
+pub fn bar(ratio: f64, width: usize) -> String {
+    let filled = ((ratio.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = "#".repeat(filled.min(width));
+    s.push_str(&".".repeat(width - filled.min(width)));
+    s
+}
+
+/// Formats a float with 3 significant decimals, stripping noise.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows the same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    fn bar_clamps_out_of_range() {
+        assert_eq!(bar(-1.0, 4), "....");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(0.25, 4), "#...");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,98 @@
+use freshtrack_core::Counters;
+use freshtrack_workloads::CorpusBenchmark;
+
+use crate::{run_engine, EngineConfig};
+
+/// Aggregated results of one engine over one benchmark across
+/// repetitions.
+#[derive(Clone, Debug)]
+pub struct BenchmarkSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Engine label (`SU-(3%)` etc.).
+    pub engine: String,
+    /// Number of repetitions aggregated.
+    pub runs: u32,
+    /// Counters summed over all repetitions (ratios therefore average
+    /// with event-count weighting, like the paper's aggregate plots).
+    pub counters: Counters,
+    /// Mean number of distinct racy locations per run.
+    pub mean_racy_locations: f64,
+    /// Mean analysis wall time per run, in seconds.
+    pub mean_seconds: f64,
+}
+
+/// Runs the cross-product experiment: every benchmark × every engine ×
+/// `reps` repetitions.
+///
+/// Repetition `r` uses trace seed `r` and sampler seed `r` for *all*
+/// engines, so engines are compared on identical traces with identical
+/// sample sets — the paper's "same sequence of seeds … apples-to-apples"
+/// setup. `scale` scales trace sizes (1.0 = corpus default).
+pub fn run_offline(
+    benchmarks: &[CorpusBenchmark],
+    engines: &[EngineConfig],
+    reps: u32,
+    scale: f64,
+) -> Vec<BenchmarkSummary> {
+    let mut out = Vec::with_capacity(benchmarks.len() * engines.len());
+    for bench in benchmarks {
+        // Generate each repetition's trace once, reuse for all engines.
+        let traces: Vec<_> = (0..reps).map(|r| bench.trace(scale, r as u64)).collect();
+        for engine in engines {
+            let mut counters = Counters::new();
+            let mut racy = 0.0;
+            let mut seconds = 0.0;
+            for (r, trace) in traces.iter().enumerate() {
+                let run = run_engine(trace, &engine.with_seed(r as u64));
+                counters += run.counters;
+                racy += run.racy_locations() as f64;
+                seconds += run.elapsed.as_secs_f64();
+            }
+            out.push(BenchmarkSummary {
+                benchmark: bench.name.to_owned(),
+                engine: engine.label(),
+                runs: reps,
+                counters,
+                mean_racy_locations: racy / reps as f64,
+                mean_seconds: seconds / reps as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineKind;
+    use freshtrack_workloads::corpus::corpus;
+
+    #[test]
+    fn cross_product_shape() {
+        let benchmarks: Vec<_> = corpus().into_iter().take(2).collect();
+        let engines = [
+            EngineConfig::new(EngineKind::Su, 0.03, 0),
+            EngineConfig::new(EngineKind::So, 0.03, 0),
+        ];
+        let summaries = run_offline(&benchmarks, &engines, 2, 0.05);
+        assert_eq!(summaries.len(), 4);
+        assert!(summaries.iter().all(|s| s.runs == 2));
+        assert!(summaries.iter().all(|s| s.counters.events > 0));
+    }
+
+    #[test]
+    fn identical_seeds_mean_identical_sample_sets() {
+        let benchmarks: Vec<_> = corpus().into_iter().take(1).collect();
+        let engines = [
+            EngineConfig::new(EngineKind::St, 0.5, 0),
+            EngineConfig::new(EngineKind::So, 0.5, 0),
+        ];
+        let summaries = run_offline(&benchmarks, &engines, 2, 0.05);
+        assert_eq!(
+            summaries[0].counters.sampled_accesses,
+            summaries[1].counters.sampled_accesses
+        );
+        assert_eq!(summaries[0].counters.races, summaries[1].counters.races);
+    }
+}

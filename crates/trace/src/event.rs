@@ -1,0 +1,216 @@
+use std::fmt;
+
+use freshtrack_clock::ThreadId;
+
+/// A dense identifier for a lock (or other synchronization object).
+///
+/// Token locks synthesized for fork/join edges also live in this space;
+/// see [`crate::TraceBuilder`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LockId(u32);
+
+impl LockId {
+    /// Creates a lock id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        LockId(index)
+    }
+
+    /// The dense index, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for LockId {
+    fn from(index: u32) -> Self {
+        LockId(index)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A dense identifier for a shared memory location.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        VarId(index)
+    }
+
+    /// The dense index, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(index: u32) -> Self {
+        VarId(index)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The position of an event in its trace (trace order `≤tr`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Creates an event id from a trace position.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        EventId(index)
+    }
+
+    /// The trace position as an array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The trace position as a raw `u64`.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for EventId {
+    fn from(index: u64) -> Self {
+        EventId(index)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The operation performed by an event (Section 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// A read access `r(x)`.
+    Read(VarId),
+    /// A write access `w(x)`.
+    Write(VarId),
+    /// A lock acquire `acq(ℓ)`.
+    Acquire(LockId),
+    /// A lock release `rel(ℓ)`.
+    Release(LockId),
+}
+
+impl EventKind {
+    /// Returns `true` for read/write accesses (the events eligible for
+    /// sampling).
+    #[inline]
+    pub const fn is_access(self) -> bool {
+        matches!(self, EventKind::Read(_) | EventKind::Write(_))
+    }
+
+    /// Returns `true` for acquire/release synchronization events.
+    #[inline]
+    pub const fn is_sync(self) -> bool {
+        matches!(self, EventKind::Acquire(_) | EventKind::Release(_))
+    }
+
+    /// The accessed variable, if this is an access event.
+    #[inline]
+    pub const fn var(self) -> Option<VarId> {
+        match self {
+            EventKind::Read(v) | EventKind::Write(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The lock, if this is a synchronization event.
+    #[inline]
+    pub const fn lock(self) -> Option<LockId> {
+        match self {
+            EventKind::Acquire(l) | EventKind::Release(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Read(v) => write!(f, "r({v})"),
+            EventKind::Write(v) => write!(f, "w({v})"),
+            EventKind::Acquire(l) => write!(f, "acq({l})"),
+            EventKind::Release(l) => write!(f, "rel({l})"),
+        }
+    }
+}
+
+/// One event of an execution: an operation performed by a thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Event {
+    /// The thread performing the event (`thr(e)`).
+    pub tid: ThreadId,
+    /// The operation (`op(e)`).
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event.
+    #[inline]
+    pub const fn new(tid: ThreadId, kind: EventKind) -> Self {
+        Event { tid, kind }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.tid, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        let x = VarId::new(0);
+        let l = LockId::new(0);
+        assert!(EventKind::Read(x).is_access());
+        assert!(EventKind::Write(x).is_access());
+        assert!(!EventKind::Acquire(l).is_access());
+        assert!(EventKind::Acquire(l).is_sync());
+        assert!(EventKind::Release(l).is_sync());
+        assert!(!EventKind::Write(x).is_sync());
+    }
+
+    #[test]
+    fn accessors_extract_operands() {
+        let x = VarId::new(3);
+        let l = LockId::new(7);
+        assert_eq!(EventKind::Read(x).var(), Some(x));
+        assert_eq!(EventKind::Read(x).lock(), None);
+        assert_eq!(EventKind::Release(l).lock(), Some(l));
+        assert_eq!(EventKind::Release(l).var(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let e = Event::new(ThreadId::new(1), EventKind::Acquire(LockId::new(2)));
+        assert_eq!(e.to_string(), "T1:acq(L2)");
+        assert_eq!(EventKind::Write(VarId::new(0)).to_string(), "w(x0)");
+    }
+}

@@ -1,0 +1,174 @@
+//! A line-oriented text format for traces, in the spirit of RAPID's
+//! standard format.
+//!
+//! Each non-empty, non-comment line is `<thread>|<op>(<operand>)`:
+//!
+//! ```text
+//! # comment
+//! T0|acq(l)
+//! T0|w(x)
+//! T0|rel(l)
+//! T1|r(x)
+//! ```
+//!
+//! Operands are free-form names interned by the reader; threads must be
+//! written `T<index>` with dense indices.
+
+use std::fmt::Write as _;
+
+use crate::{EventKind, Trace, TraceBuilder};
+
+/// Serializes a trace to the text format.
+///
+/// The output parses back to an equivalent trace via [`read_trace`].
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 12);
+    for event in trace.events() {
+        let _ = match event.kind {
+            EventKind::Read(v) => writeln!(out, "{}|r({})", event.tid, trace.var_name(v.index())),
+            EventKind::Write(v) => writeln!(out, "{}|w({})", event.tid, trace.var_name(v.index())),
+            EventKind::Acquire(l) => {
+                writeln!(out, "{}|acq({})", event.tid, trace.lock_name(l.index()))
+            }
+            EventKind::Release(l) => {
+                writeln!(out, "{}|rel({})", event.tid, trace.lock_name(l.index()))
+            }
+        };
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] identifying the first malformed line.
+pub fn read_trace(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut builder = TraceBuilder::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parse_line(&mut builder, line).map_err(|reason| ParseTraceError {
+            line: line_no + 1,
+            reason,
+        })?;
+    }
+    Ok(builder.build())
+}
+
+fn parse_line(builder: &mut TraceBuilder, line: &str) -> Result<(), String> {
+    let (thread, op) = line
+        .split_once('|')
+        .ok_or_else(|| "missing `|` separator".to_owned())?;
+    let tid: u32 = thread
+        .trim()
+        .strip_prefix('T')
+        .ok_or_else(|| "thread must look like `T0`".to_owned())?
+        .parse()
+        .map_err(|e| format!("bad thread index: {e}"))?;
+    let op = op.trim();
+    let open = op
+        .find('(')
+        .ok_or_else(|| "missing `(` in operation".to_owned())?;
+    if !op.ends_with(')') {
+        return Err("missing `)` in operation".to_owned());
+    }
+    let (name, operand) = (&op[..open], &op[open + 1..op.len() - 1]);
+    if operand.is_empty() {
+        return Err("empty operand".to_owned());
+    }
+    match name {
+        "r" => {
+            let v = builder.var(operand);
+            builder.read(tid, v);
+        }
+        "w" => {
+            let v = builder.var(operand);
+            builder.write(tid, v);
+        }
+        "acq" => {
+            let l = builder.lock(operand);
+            builder.acquire(tid, l);
+        }
+        "rel" => {
+            let l = builder.lock(operand);
+            builder.release(tid, l);
+        }
+        "fork" => {
+            let child: u32 = operand
+                .parse()
+                .map_err(|e| format!("bad fork operand: {e}"))?;
+            builder.fork(tid, child);
+        }
+        "join" => {
+            let child: u32 = operand
+                .parse()
+                .map_err(|e| format!("bad join operand: {e}"))?;
+            builder.join(tid, child);
+        }
+        other => return Err(format!("unknown operation `{other}`")),
+    }
+    Ok(())
+}
+
+/// An error from [`read_trace`], pointing at the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the malformed line.
+    pub line: usize,
+    pub(crate) reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_simple_trace() {
+        let text = "T0|acq(l)\nT0|w(x)\nT0|rel(l)\nT1|r(x)\n";
+        let trace = read_trace(text).unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(write_trace(&trace), text);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\nT0|w(x)\n";
+        let trace = read_trace(text).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn fork_and_join_desugar() {
+        let text = "T0|w(x)\nT0|fork(1)\nT1|r(x)\nT0|join(1)\n";
+        let trace = read_trace(text).unwrap();
+        assert!(trace.validate().is_ok());
+        // 1 write + 2 fork-token + 2 (child flush) + 1 read + 4 join-token
+        assert_eq!(trace.len(), 10);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = read_trace("T0|w(x)\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_unknown_ops_and_bad_threads() {
+        assert!(read_trace("T0|frob(x)").is_err());
+        assert!(read_trace("0|w(x)").is_err());
+        assert!(read_trace("T0|w()").is_err());
+        assert!(read_trace("T0|w(x").is_err());
+    }
+}

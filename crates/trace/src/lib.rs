@@ -1,0 +1,47 @@
+//! Event and execution-trace substrate for sampling-based race detection.
+//!
+//! This crate provides the program-execution model of Section 2 of
+//! *"Efficient Timestamping for Sampling-Based Race Detection"*: an
+//! execution is a sequence of [`Event`]s, each a read/write of a memory
+//! location or an acquire/release of a lock, performed by some thread.
+//!
+//! Thread fork/join is desugared by [`TraceBuilder`] into acquire/release
+//! pairs on dedicated single-use *token locks*, which is how offline
+//! analysis frameworks such as RAPID encode them; the detectors in
+//! `freshtrack-core` therefore only ever see the four core operations.
+//!
+//! # Example
+//!
+//! ```
+//! use freshtrack_trace::{EventKind, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! let l = b.lock("l");
+//! b.acquire(0, l).write(0, x).release(0, l);
+//! b.acquire(1, l).read(1, x).release(1, l);
+//! let trace = b.build();
+//!
+//! assert_eq!(trace.len(), 6);
+//! assert_eq!(trace.thread_count(), 2);
+//! assert!(matches!(trace[1].kind, EventKind::Write(v) if v == x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod event;
+mod io;
+mod stats;
+mod stream;
+mod trace;
+
+pub use builder::TraceBuilder;
+pub use event::{Event, EventId, EventKind, LockId, VarId};
+pub use io::{read_trace, write_trace, ParseTraceError};
+pub use stats::TraceStats;
+pub use stream::EventReader;
+pub use trace::{Trace, ValidateTraceError};
+
+pub use freshtrack_clock::ThreadId;

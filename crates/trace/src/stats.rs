@@ -1,0 +1,132 @@
+use std::fmt;
+
+use crate::{EventKind, Trace};
+
+/// Summary statistics of a trace, used for workload characterization and
+/// experiment reports.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let x = b.var("x");
+/// let l = b.lock("l");
+/// b.acquire(0, l).write(0, x).release(0, l);
+/// let stats = b.build().stats();
+/// assert_eq!(stats.acquires, 1);
+/// assert_eq!(stats.writes, 1);
+/// assert!((stats.sync_ratio() - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total number of events `N`.
+    pub events: usize,
+    /// Number of read events.
+    pub reads: usize,
+    /// Number of write events.
+    pub writes: usize,
+    /// Number of acquire events.
+    pub acquires: usize,
+    /// Number of release events.
+    pub releases: usize,
+    /// Number of threads `T`.
+    pub threads: usize,
+    /// Number of locks `L`.
+    pub locks: usize,
+    /// Number of memory locations.
+    pub vars: usize,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut stats = TraceStats {
+            events: trace.len(),
+            threads: trace.thread_count(),
+            locks: trace.lock_count(),
+            vars: trace.var_count(),
+            ..TraceStats::default()
+        };
+        for event in trace.events() {
+            match event.kind {
+                EventKind::Read(_) => stats.reads += 1,
+                EventKind::Write(_) => stats.writes += 1,
+                EventKind::Acquire(_) => stats.acquires += 1,
+                EventKind::Release(_) => stats.releases += 1,
+            }
+        }
+        stats
+    }
+
+    /// Number of access (read/write) events.
+    pub fn accesses(&self) -> usize {
+        self.reads + self.writes
+    }
+
+    /// Number of synchronization (acquire/release) events.
+    pub fn syncs(&self) -> usize {
+        self.acquires + self.releases
+    }
+
+    /// Fraction of events that are synchronization events.
+    ///
+    /// Returns `0.0` for the empty trace.
+    pub fn sync_ratio(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.syncs() as f64 / self.events as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} (r={} w={} acq={} rel={}) threads={} locks={} vars={}",
+            self.events,
+            self.reads,
+            self.writes,
+            self.acquires,
+            self.releases,
+            self.threads,
+            self.locks,
+            self.vars
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceBuilder;
+
+    #[test]
+    fn counts_every_kind() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let l = b.lock("l");
+        b.acquire(0, l).read(0, x).write(0, y).release(0, l);
+        b.read(1, x);
+        let stats = b.build().stats();
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.acquires, 1);
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.accesses(), 3);
+        assert_eq!(stats.syncs(), 2);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.vars, 2);
+        assert_eq!(stats.locks, 1);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_ratio() {
+        let stats = TraceBuilder::new().build().stats();
+        assert_eq!(stats.sync_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Streaming trace input: analyze arbitrarily large trace files without
+//! materializing a [`Trace`](crate::Trace) in memory.
+//!
+//! [`EventReader`] parses the text format line by line, interning names
+//! and checking the locking discipline on the fly — exactly the shape a
+//! streaming detector wants. Fork/join lines are desugared to token-lock
+//! operations just like [`TraceBuilder`](crate::TraceBuilder) does.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+
+use freshtrack_clock::ThreadId;
+
+use crate::{Event, EventKind, LockId, ParseTraceError, VarId};
+
+/// A streaming reader over the text trace format.
+///
+/// Yields `Result<Event, ParseTraceError>` items; parsing stops at the
+/// first malformed line. The reader does **not** check the locking
+/// discipline (a streaming consumer may want prefixes); run
+/// [`Trace::validate`](crate::Trace::validate) on materialized traces
+/// when that matters.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_trace::{EventKind, EventReader};
+///
+/// let text = "T0|acq(l)\nT0|w(x)\nT0|rel(l)\n";
+/// let events: Result<Vec<_>, _> = EventReader::new(text.as_bytes()).collect();
+/// let events = events.unwrap();
+/// assert_eq!(events.len(), 3);
+/// assert!(matches!(events[1].kind, EventKind::Write(_)));
+/// ```
+pub struct EventReader<R> {
+    lines: std::io::Lines<std::io::BufReader<R>>,
+    line_no: usize,
+    locks: HashMap<String, LockId>,
+    vars: HashMap<String, VarId>,
+    /// Pending desugared events (from fork/join lines).
+    pending: std::collections::VecDeque<Event>,
+    /// Fork tokens each thread must take before its next event.
+    pending_acquire: HashMap<ThreadId, Vec<LockId>>,
+    failed: bool,
+}
+
+impl<R: std::io::Read> EventReader<R> {
+    /// Creates a reader over a byte source.
+    pub fn new(source: R) -> Self {
+        EventReader {
+            lines: std::io::BufReader::new(source).lines(),
+            line_no: 0,
+            locks: HashMap::new(),
+            vars: HashMap::new(),
+            pending: std::collections::VecDeque::new(),
+            pending_acquire: HashMap::new(),
+            failed: false,
+        }
+    }
+
+    /// Number of distinct locks seen so far (including token locks).
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Number of distinct variables seen so far.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn lock(&mut self, name: &str) -> LockId {
+        let next = LockId::new(self.locks.len() as u32);
+        *self.locks.entry(name.to_owned()).or_insert(next)
+    }
+
+    fn var(&mut self, name: &str) -> VarId {
+        let next = VarId::new(self.vars.len() as u32);
+        *self.vars.entry(name.to_owned()).or_insert(next)
+    }
+
+    fn err(&mut self, reason: String) -> ParseTraceError {
+        self.failed = true;
+        ParseTraceError {
+            line: self.line_no,
+            reason,
+        }
+    }
+
+    /// Queues `tid`'s pending fork-token acquisitions, then `event`.
+    fn enqueue_with_tokens(&mut self, tid: ThreadId, event: Event) {
+        if let Some(tokens) = self.pending_acquire.remove(&tid) {
+            for token in tokens {
+                self.pending.push_back(Event::new(tid, EventKind::Acquire(token)));
+                self.pending.push_back(Event::new(tid, EventKind::Release(token)));
+            }
+        }
+        self.pending.push_back(event);
+    }
+
+    fn parse_line(&mut self, line: &str) -> Result<(), ParseTraceError> {
+        let (thread, op) = line
+            .split_once('|')
+            .ok_or_else(|| self.err("missing `|` separator".into()))?;
+        let tid: u32 = thread
+            .trim()
+            .strip_prefix('T')
+            .ok_or_else(|| self.err("thread must look like `T0`".into()))?
+            .parse()
+            .map_err(|e| self.err(format!("bad thread index: {e}")))?;
+        let tid = ThreadId::new(tid);
+        let op = op.trim();
+        let open = op
+            .find('(')
+            .ok_or_else(|| self.err("missing `(` in operation".into()))?;
+        if !op.ends_with(')') {
+            return Err(self.err("missing `)` in operation".into()));
+        }
+        let (name, operand) = (&op[..open], &op[open + 1..op.len() - 1]);
+        if operand.is_empty() {
+            return Err(self.err("empty operand".into()));
+        }
+        match name {
+            "r" => {
+                let v = self.var(operand);
+                self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Read(v)));
+            }
+            "w" => {
+                let v = self.var(operand);
+                self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Write(v)));
+            }
+            "acq" => {
+                let l = self.lock(operand);
+                self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Acquire(l)));
+            }
+            "rel" => {
+                let l = self.lock(operand);
+                self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Release(l)));
+            }
+            "fork" => {
+                let child: u32 = operand
+                    .parse()
+                    .map_err(|e| self.err(format!("bad fork operand: {e}")))?;
+                let token = self.lock(&format!("$fork:{child}"));
+                self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Acquire(token)));
+                self.pending
+                    .push_back(Event::new(tid, EventKind::Release(token)));
+                self.pending_acquire
+                    .entry(ThreadId::new(child))
+                    .or_default()
+                    .push(token);
+            }
+            "join" => {
+                let child: u32 = operand
+                    .parse()
+                    .map_err(|e| self.err(format!("bad join operand: {e}")))?;
+                let token = self.lock(&format!("$join:{child}"));
+                let child = ThreadId::new(child);
+                self.enqueue_with_tokens(child, Event::new(child, EventKind::Acquire(token)));
+                self.pending
+                    .push_back(Event::new(child, EventKind::Release(token)));
+                self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Acquire(token)));
+                self.pending
+                    .push_back(Event::new(tid, EventKind::Release(token)));
+            }
+            other => return Err(self.err(format!("unknown operation `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+impl<R: std::io::Read> Iterator for EventReader<R> {
+    type Item = Result<Event, ParseTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(event) = self.pending.pop_front() {
+                return Some(Ok(event));
+            }
+            if self.failed {
+                return None;
+            }
+            let raw = match self.lines.next()? {
+                Ok(raw) => raw,
+                Err(e) => {
+                    self.line_no += 1;
+                    return Some(Err(self.err(format!("I/O error: {e}"))));
+                }
+            };
+            self.line_no += 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Err(e) = self.parse_line(line) {
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_trace, write_trace};
+
+    #[test]
+    fn streams_the_same_events_as_batch_parsing() {
+        let text = "T0|w(x)\nT0|fork(1)\nT1|r(x)\nT0|join(1)\nT0|acq(l)\nT0|rel(l)\n";
+        let batch = read_trace(text).unwrap();
+        let streamed: Result<Vec<Event>, _> = EventReader::new(text.as_bytes()).collect();
+        let streamed = streamed.unwrap();
+        assert_eq!(batch.events(), &streamed[..]);
+    }
+
+    #[test]
+    fn stops_at_first_error_with_line_number() {
+        let text = "T0|w(x)\nbogus line\nT0|w(x)\n";
+        let mut reader = EventReader::new(text.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn interning_matches_batch_reader() {
+        let mut b = crate::TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.acquire(1, l).read(1, x).release(1, l);
+        let text = write_trace(&b.build());
+        let streamed: Result<Vec<Event>, _> = EventReader::new(text.as_bytes()).collect();
+        let streamed = streamed.unwrap();
+        let batch = read_trace(&text).unwrap();
+        assert_eq!(batch.events(), &streamed[..]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# hello\n\n  \nT0|w(x)\n";
+        let events: Result<Vec<_>, _> = EventReader::new(text.as_bytes()).collect();
+        assert_eq!(events.unwrap().len(), 1);
+    }
+}

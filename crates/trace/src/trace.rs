@@ -1,0 +1,237 @@
+use std::fmt;
+use std::ops::Index;
+
+use freshtrack_clock::ThreadId;
+
+use crate::{Event, EventId, EventKind, TraceStats};
+
+/// A complete execution trace: a sequence of events plus name tables for
+/// locks and variables.
+///
+/// Construct traces with [`crate::TraceBuilder`] (which desugars
+/// fork/join and keeps the name tables consistent) or by parsing the text
+/// format via [`crate::read_trace`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub(crate) events: Vec<Event>,
+    pub(crate) n_threads: u32,
+    pub(crate) lock_names: Vec<String>,
+    pub(crate) var_names: Vec<String>,
+}
+
+impl Trace {
+    /// Number of events `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` for the empty trace.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of threads `T` (dense: ids are `0..T`).
+    #[inline]
+    pub fn thread_count(&self) -> usize {
+        self.n_threads as usize
+    }
+
+    /// Number of locks `L`, including synthesized fork/join token locks.
+    #[inline]
+    pub fn lock_count(&self) -> usize {
+        self.lock_names.len()
+    }
+
+    /// Number of memory locations.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The events in trace order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates events together with their [`EventId`]s.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, Event)> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(idx, &event)| (EventId::new(idx as u64), event))
+    }
+
+    /// The event at a given position.
+    #[inline]
+    pub fn event(&self, id: EventId) -> Event {
+        self.events[id.index()]
+    }
+
+    /// The display name of a lock.
+    pub fn lock_name(&self, index: usize) -> &str {
+        &self.lock_names[index]
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, index: usize) -> &str {
+        &self.var_names[index]
+    }
+
+    /// Computes summary statistics (event-kind counts, sync ratio, …).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// Checks the locking discipline of Section 2: a lock is held by at
+    /// most one thread at a time, releases are performed by the holder,
+    /// and acquires of a held lock do not occur.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, identifying the offending event.
+    pub fn validate(&self) -> Result<(), ValidateTraceError> {
+        // holder[l] = Some(t) iff lock l is currently held by thread t.
+        let mut holder: Vec<Option<ThreadId>> = vec![None; self.lock_count()];
+        for (idx, event) in self.events.iter().enumerate() {
+            match event.kind {
+                EventKind::Acquire(l) => match holder[l.index()] {
+                    Some(_) => {
+                        return Err(ValidateTraceError {
+                            event: EventId::new(idx as u64),
+                            reason: ValidateReason::AcquireHeldLock,
+                        })
+                    }
+                    None => holder[l.index()] = Some(event.tid),
+                },
+                EventKind::Release(l) => match holder[l.index()] {
+                    Some(t) if t == event.tid => holder[l.index()] = None,
+                    Some(_) => {
+                        return Err(ValidateTraceError {
+                            event: EventId::new(idx as u64),
+                            reason: ValidateReason::ReleaseByNonHolder,
+                        })
+                    }
+                    None => {
+                        return Err(ValidateTraceError {
+                            event: EventId::new(idx as u64),
+                            reason: ValidateReason::ReleaseUnheldLock,
+                        })
+                    }
+                },
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Event;
+
+    fn index(&self, index: usize) -> &Event {
+        &self.events[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (idx, event) in self.events.iter().enumerate() {
+            writeln!(f, "{idx:>6}  {event}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A violation of the locking discipline found by [`Trace::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidateTraceError {
+    /// The offending event.
+    pub event: EventId,
+    reason: ValidateReason,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ValidateReason {
+    AcquireHeldLock,
+    ReleaseByNonHolder,
+    ReleaseUnheldLock,
+}
+
+impl fmt::Display for ValidateTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.reason {
+            ValidateReason::AcquireHeldLock => "acquire of a lock that is already held",
+            ValidateReason::ReleaseByNonHolder => "release by a thread that does not hold the lock",
+            ValidateReason::ReleaseUnheldLock => "release of a lock that is not held",
+        };
+        write!(f, "{what} at event {}", self.event)
+    }
+}
+
+impl std::error::Error for ValidateTraceError {}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceBuilder;
+    // Validation and display tests; event/builder behaviours are covered
+    // in their own modules.
+
+    #[test]
+    fn validate_accepts_well_nested_locking() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        let m = b.lock("m");
+        b.acquire(0, l).acquire(0, m).release(0, m).release(0, l);
+        b.acquire(1, l).release(1, l);
+        assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_acquire() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        b.acquire(0, l);
+        b.acquire(1, l);
+        let err = b.build().validate().unwrap_err();
+        assert_eq!(err.event.index(), 1);
+        assert!(err.to_string().contains("already held"));
+    }
+
+    #[test]
+    fn validate_rejects_stray_release() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        b.release(0, l);
+        assert!(b.build().validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_release_by_non_holder() {
+        let mut b = TraceBuilder::new();
+        let l = b.lock("l");
+        b.acquire(0, l);
+        b.release(1, l);
+        assert!(b.build().validate().is_err());
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x);
+        let s = b.build().to_string();
+        assert!(s.contains("w(x0)"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The offline benchmark corpus.
+//!
+//! The paper's appendix evaluates on 26 Java execution traces (IBM
+//! Contest, DaCapo, SIR, Java Grande, and standalone benchmarks) run
+//! through the RAPID framework. Those traces are not redistributable, so
+//! this module defines 26 *synthetic stand-ins* with matching names,
+//! ordered as in the paper's Figs. 7–9 (by total number of acquires),
+//! whose generator parameters reproduce the characteristics that drive
+//! the paper's metrics: thread count, lock count, sync density, lock
+//! locality (self-acquire frequency), and overall size.
+//!
+//! Absolute event counts are scaled down (the originals range up to
+//! billions of events) — uniformly, so the cross-benchmark ordering is
+//! preserved. `scale` lets experiments trade fidelity for runtime.
+
+use freshtrack_trace::Trace;
+
+use crate::{generate, Pattern, WorkloadConfig};
+
+/// One named benchmark of the corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusBenchmark {
+    /// Benchmark name (matching the paper's figure labels).
+    pub name: &'static str,
+    config: WorkloadConfig,
+}
+
+impl CorpusBenchmark {
+    /// The generator configuration (without seed applied).
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Generates the benchmark trace at the given scale and seed.
+    ///
+    /// `scale` multiplies the event count (1.0 = the corpus default).
+    pub fn trace(&self, scale: f64, seed: u64) -> Trace {
+        let mut config = self.config.clone();
+        config.n_events = ((config.n_events as f64) * scale).max(100.0) as usize;
+        config.rng_seed = seed;
+        generate(&config)
+    }
+}
+
+fn bench(
+    name: &'static str,
+    threads: u32,
+    locks: u32,
+    vars: u32,
+    events: usize,
+    sync_ratio: f64,
+    lock_locality: f64,
+    pattern: Pattern,
+) -> CorpusBenchmark {
+    let config = WorkloadConfig::named(name)
+        .threads(threads)
+        .locks(locks)
+        .vars(vars)
+        .events(events)
+        .sync_ratio(sync_ratio)
+        .lock_locality(lock_locality)
+        .unprotected(0.01)
+        .pattern(pattern);
+    CorpusBenchmark { name, config }
+}
+
+/// The 26 benchmarks, ordered by total number of acquires as in Fig. 7.
+///
+/// Shapes: contest-style microbenchmarks are tiny and lock-light;
+/// DaCapo-style applications are large with many locks and high lock
+/// locality; `sor`/`cassandra` are sync-heavy at the far end.
+pub fn corpus() -> Vec<CorpusBenchmark> {
+    use Pattern::*;
+    vec![
+        bench("wronglock", 3, 2, 8, 800, 0.25, 0.3, Mixed),
+        bench("twostage", 3, 2, 8, 1_000, 0.3, 0.4, Mixed),
+        bench("producerconsumer", 4, 1, 16, 1_500, 0.45, 0.9, ProducerConsumer),
+        bench("mergesort", 5, 4, 32, 2_000, 0.2, 0.5, ForkJoin),
+        bench("lusearch", 8, 8, 128, 3_000, 0.25, 0.6, Mixed),
+        bench("tsp", 6, 4, 64, 4_000, 0.2, 0.5, Mixed),
+        bench("bubblesort", 4, 4, 48, 5_000, 0.35, 0.4, Mixed),
+        bench("clean", 3, 3, 16, 6_000, 0.3, 0.5, Mixed),
+        bench("graphchi", 8, 8, 256, 8_000, 0.2, 0.6, BarrierPhases),
+        bench("biojava", 4, 6, 96, 10_000, 0.25, 0.7, Mixed),
+        bench("sunflow", 8, 6, 256, 12_000, 0.15, 0.7, ForkJoin),
+        bench("linkedlist", 4, 1, 32, 15_000, 0.5, 0.9, ProducerConsumer),
+        bench("jigsaw", 8, 12, 128, 18_000, 0.3, 0.5, Mixed),
+        bench("bufwriter", 5, 2, 24, 22_000, 0.4, 0.85, ProducerConsumer),
+        bench("readerswriters", 6, 2, 32, 26_000, 0.45, 0.9, Mixed),
+        bench("zxing", 8, 10, 192, 32_000, 0.25, 0.6, Mixed),
+        bench("ftpserver", 10, 12, 128, 40_000, 0.35, 0.6, Mixed),
+        bench("luindex", 4, 6, 96, 48_000, 0.3, 0.7, Mixed),
+        bench("derby", 12, 16, 256, 60_000, 0.35, 0.6, Mixed),
+        bench("tradesoap", 12, 12, 192, 72_000, 0.3, 0.6, Pipeline),
+        bench("tradebeans", 12, 12, 192, 85_000, 0.3, 0.6, Pipeline),
+        bench("cryptorsa", 8, 4, 64, 100_000, 0.2, 0.8, ForkJoin),
+        bench("hsqldb", 12, 16, 256, 120_000, 0.4, 0.7, Mixed),
+        bench("xalan", 8, 12, 192, 140_000, 0.45, 0.5, Mixed),
+        bench("sor", 6, 4, 64, 170_000, 0.5, 0.9, BarrierPhases),
+        bench("cassandra", 16, 24, 512, 200_000, 0.45, 0.6, Mixed),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<CorpusBenchmark> {
+    corpus().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_26_unique_benchmarks() {
+        let c = corpus();
+        assert_eq!(c.len(), 26);
+        let mut names: Vec<_> = c.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn ordered_by_size() {
+        let c = corpus();
+        for pair in c.windows(2) {
+            assert!(
+                pair[0].config().n_events <= pair[1].config().n_events,
+                "{} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn traces_generate_and_validate_at_small_scale() {
+        for b in corpus() {
+            let trace = b.trace(0.05, 1);
+            assert!(trace.validate().is_ok(), "{}", b.name);
+            assert!(!trace.is_empty(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("cassandra").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+}

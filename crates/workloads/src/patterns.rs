@@ -1,0 +1,361 @@
+//! Structured workload patterns.
+//!
+//! Each generator produces a valid trace (locking discipline holds) whose
+//! synchronization *shape* matches a well-known concurrent-programming
+//! idiom. The shapes matter for the paper's algorithms: lock locality,
+//! self-acquires, and reverse-order lock handoffs all change how many
+//! synchronization events the freshness timestamp can prove redundant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use freshtrack_trace::{Trace, TraceBuilder};
+
+use crate::WorkloadConfig;
+
+/// Producers and consumers exchanging items through a lock-protected
+/// ring buffer, with an unprotected statistics counter (race-prone when
+/// `unprotected_fraction > 0`).
+pub fn producer_consumer(config: &WorkloadConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut b = TraceBuilder::new();
+    let buf_lock = b.lock("buffer");
+    let slots: Vec<_> = (0..config.n_vars.max(4))
+        .map(|i| b.var(&format!("slot{i}")))
+        .collect();
+    let count = b.var("count");
+    let stats = b.var("stats");
+    let threads = config.n_threads.max(2);
+
+    while b.len() < config.n_events {
+        let t = rng.gen_range(0..threads);
+        let producing = t < threads / 2 || threads == 2 && t == 0;
+        let slot = slots[rng.gen_range(0..slots.len())];
+        b.acquire(t, buf_lock);
+        if producing {
+            b.write(t, slot);
+            b.write(t, count);
+        } else {
+            b.read(t, slot);
+            b.write(t, count);
+        }
+        b.release(t, buf_lock);
+        if rng.gen_bool(config.unprotected_fraction) {
+            b.write(t, stats); // deliberate race
+        }
+    }
+    b.build()
+}
+
+/// A linear pipeline: item `i` passes through every stage in order; each
+/// stage's hand-off cell is protected by its own lock.
+pub fn pipeline(config: &WorkloadConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut b = TraceBuilder::new();
+    let stages = config.n_threads.max(2);
+    let locks: Vec<_> = (0..stages).map(|s| b.lock(&format!("stage{s}"))).collect();
+    let cells: Vec<_> = (0..stages).map(|s| b.var(&format!("cell{s}"))).collect();
+    let scratch: Vec<_> = (0..stages)
+        .map(|s| b.var(&format!("scratch{s}")))
+        .collect();
+
+    // item → next stage to run. A bounded window of items is in flight.
+    // Every access to cell `k` happens under lock `k`, so hand-offs are
+    // race-free.
+    let window = (stages as usize) * 2;
+    let mut next_stage: Vec<u32> = vec![0; window];
+    while b.len() < config.n_events {
+        let item = rng.gen_range(0..window);
+        let s = next_stage[item];
+        let t = s; // stage s is executed by thread s
+        b.acquire(t, locks[s as usize]);
+        b.read(t, cells[s as usize]);
+        b.release(t, locks[s as usize]);
+        // Private compute between hand-offs.
+        b.write(t, scratch[s as usize]);
+        let next = ((s + 1) % stages) as usize;
+        b.acquire(t, locks[next]);
+        b.write(t, cells[next]);
+        b.release(t, locks[next]);
+        next_stage[item] = (s + 1) % stages;
+    }
+    b.build()
+}
+
+/// A main thread forks workers over disjoint partitions, then joins them
+/// and reads every partition — the classic structured-parallelism shape.
+pub fn fork_join(config: &WorkloadConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut b = TraceBuilder::new();
+    let workers = config.n_threads.max(2) - 1;
+    let part: Vec<Vec<_>> = (0..workers)
+        .map(|w| {
+            (0..4)
+                .map(|i| b.var(&format!("part{w}_{i}")))
+                .collect()
+        })
+        .collect();
+    let shared_lock = b.lock("shared");
+    let shared = b.var("shared");
+
+    let rounds = (config.n_events / ((workers as usize) * 12 + 4)).max(1);
+    for _ in 0..rounds {
+        for w in 0..workers {
+            b.fork(0, w + 1);
+        }
+        // Workers interleave: random schedule of per-worker steps.
+        let mut budget: Vec<u32> = vec![8; workers as usize];
+        while budget.iter().any(|&x| x > 0) {
+            let w = rng.gen_range(0..workers as usize);
+            if budget[w] == 0 {
+                continue;
+            }
+            budget[w] -= 1;
+            let t = (w + 1) as u32;
+            if rng.gen_bool(0.3) {
+                b.acquire(t, shared_lock);
+                b.write(t, shared);
+                b.release(t, shared_lock);
+            } else {
+                let v = part[w][rng.gen_range(0..part[w].len())];
+                if rng.gen_bool(config.write_fraction) {
+                    b.write(t, v);
+                } else {
+                    b.read(t, v);
+                }
+            }
+        }
+        for w in 0..workers {
+            b.join(0, w + 1);
+        }
+        // Main reads everything — ordered by the joins.
+        for w in 0..workers {
+            b.read(0, part[w as usize][0]);
+        }
+    }
+    b.build()
+}
+
+/// Alternating compute/sync phases: every thread writes its partition,
+/// all threads cross a token barrier, then every thread reads the other
+/// partitions. Correct by construction; races only via the optional
+/// unprotected stats counter.
+pub fn barrier_phases(config: &WorkloadConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut b = TraceBuilder::new();
+    let threads = config.n_threads.max(2);
+    let part: Vec<_> = (0..threads).map(|t| b.var(&format!("part{t}"))).collect();
+    let stats = b.var("stats");
+    let arrive: Vec<_> = (0..threads)
+        .map(|t| b.lock(&format!("arrive{t}")))
+        .collect();
+    let depart: Vec<_> = (0..threads)
+        .map(|t| b.lock(&format!("depart{t}")))
+        .collect();
+
+    // Rough events per phase: writes + barrier tokens + reads.
+    let per_phase = (threads as usize) * (2 + 4 + 2 * (threads as usize - 1).min(3));
+    let phases = (config.n_events / per_phase).max(1);
+    for _ in 0..phases {
+        // Compute: each thread writes its own partition (random order).
+        let mut order: Vec<u32> = (0..threads).collect();
+        shuffle(&mut rng, &mut order);
+        for &t in &order {
+            b.write(t, part[t as usize]);
+            if rng.gen_bool(config.unprotected_fraction) {
+                b.write(t, stats); // deliberate race
+            }
+        }
+        // Barrier, leader = thread 0: workers signal arrival, leader
+        // collects, then signals departure.
+        for &t in order.iter().filter(|&&t| t != 0) {
+            b.acquire(t, arrive[t as usize]).release(t, arrive[t as usize]);
+        }
+        for t in 1..threads {
+            b.acquire(0, arrive[t as usize]).release(0, arrive[t as usize]);
+        }
+        for t in 1..threads {
+            b.acquire(0, depart[t as usize]).release(0, depart[t as usize]);
+        }
+        shuffle(&mut rng, &mut order);
+        for &t in order.iter().filter(|&&t| t != 0) {
+            b.acquire(t, depart[t as usize]).release(t, depart[t as usize]);
+        }
+        // Read neighbours' partitions — ordered through the barrier.
+        shuffle(&mut rng, &mut order);
+        for &t in &order {
+            for d in 1..=(threads - 1).min(3) {
+                let other = ((t + d) % threads) as usize;
+                b.read(t, part[other]);
+            }
+        }
+        // Second barrier: the next phase's writes must be ordered after
+        // this phase's reads, exactly as a real phase barrier ensures.
+        for &t in order.iter().filter(|&&t| t != 0) {
+            b.acquire(t, arrive[t as usize]).release(t, arrive[t as usize]);
+        }
+        for t in 1..threads {
+            b.acquire(0, arrive[t as usize]).release(0, arrive[t as usize]);
+        }
+        for t in 1..threads {
+            b.acquire(0, depart[t as usize]).release(0, depart[t as usize]);
+        }
+        shuffle(&mut rng, &mut order);
+        for &t in order.iter().filter(|&&t| t != 0) {
+            b.acquire(t, depart[t as usize]).release(t, depart[t as usize]);
+        }
+    }
+    b.build()
+}
+
+/// The nested lock ladder of the paper's Fig. 1, generalized to repeated
+/// rounds over rotating thread pairs: one thread releases a stack of
+/// locks rung by rung while a partner re-acquires them, writing a shared
+/// location between rungs.
+pub fn lock_ladder(config: &WorkloadConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut b = TraceBuilder::new();
+    let rungs = config.n_locks.clamp(2, 16) as usize;
+    let locks: Vec<_> = (0..rungs).map(|l| b.lock(&format!("rung{l}"))).collect();
+    let x = b.var("x");
+    let threads = config.n_threads.max(2);
+
+    while b.len() < config.n_events {
+        let a = rng.gen_range(0..threads);
+        let mut c = rng.gen_range(0..threads);
+        if c == a {
+            c = (c + 1) % threads;
+        }
+        // a takes the whole ladder top-down.
+        for l in (0..rungs).rev() {
+            b.acquire(a, locks[l]);
+        }
+        b.write(a, x);
+        // a releases bottom-up; c chases, writing between rungs.
+        for l in 0..rungs {
+            b.release(a, locks[l]);
+            b.write(a, x);
+            b.acquire(c, locks[l]);
+            b.write(c, x);
+            b.release(c, locks[l]);
+        }
+    }
+    b.build()
+}
+
+/// The exact 18-event execution of the paper's Fig. 1 (threads `t1, t2`
+/// → `T0, T1`), plus the trace positions of the marked events
+/// `S = {e5, e15, e16}`.
+pub fn fig1_trace() -> (Trace, Vec<usize>) {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let l1 = b.lock("l1");
+    let l2 = b.lock("l2");
+    let l3 = b.lock("l3");
+    let l4 = b.lock("l4");
+    b.acquire(0, l4); // e1
+    b.acquire(0, l3); // e2
+    b.acquire(0, l2); // e3
+    b.acquire(0, l1); // e4
+    b.write(0, x); //    e5  ∈ S
+    b.release(0, l1); // e6
+    b.write(0, x); //    e7
+    b.acquire(1, l1); // e8
+    b.write(1, x); //    e9
+    b.release(0, l2); // e10
+    b.write(0, x); //    e11
+    b.acquire(1, l2); // e12
+    b.release(0, l3); // e13
+    b.acquire(1, l3); // e14
+    b.write(0, x); //    e15 ∈ S
+    b.write(0, x); //    e16 ∈ S
+    b.release(0, l4); // e17
+    b.acquire(1, l4); // e18
+    (b.build(), vec![4, 14, 15])
+}
+
+fn shuffle(rng: &mut StdRng, xs: &mut [u32]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pattern;
+
+    fn config(pattern: Pattern) -> WorkloadConfig {
+        WorkloadConfig::named("t")
+            .events(2_000)
+            .threads(4)
+            .pattern(pattern)
+            .seed(11)
+    }
+
+    #[test]
+    fn fig1_has_expected_shape() {
+        let (trace, marks) = fig1_trace();
+        assert_eq!(trace.len(), 18);
+        assert_eq!(trace.thread_count(), 2);
+        assert_eq!(trace.lock_count(), 4);
+        assert!(trace.validate().is_ok());
+        assert_eq!(marks, vec![4, 14, 15]);
+    }
+
+    #[test]
+    fn producer_consumer_is_valid_and_contended() {
+        let trace = producer_consumer(&config(Pattern::ProducerConsumer));
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        // Single buffer lock: heavy sync traffic.
+        assert!(stats.sync_ratio() > 0.3);
+    }
+
+    #[test]
+    fn pipeline_stages_hand_off_in_order() {
+        let trace = pipeline(&config(Pattern::Pipeline));
+        assert!(trace.validate().is_ok());
+        assert!(trace.thread_count() >= 2);
+    }
+
+    #[test]
+    fn fork_join_traces_are_race_free_in_partitions() {
+        use freshtrack_core::{Detector, DjitDetector};
+        use freshtrack_sampling::AlwaysSampler;
+        let trace = fork_join(&config(Pattern::ForkJoin));
+        assert!(trace.validate().is_ok());
+        let races = DjitDetector::new(AlwaysSampler::new()).run(&trace);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn barrier_phases_are_race_free_without_stats() {
+        use freshtrack_core::{Detector, DjitDetector};
+        use freshtrack_sampling::AlwaysSampler;
+        let mut c = config(Pattern::BarrierPhases);
+        c.unprotected_fraction = 0.0;
+        let trace = barrier_phases(&c);
+        assert!(trace.validate().is_ok());
+        let races = DjitDetector::new(AlwaysSampler::new()).run(&trace);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn barrier_phases_with_stats_race() {
+        use freshtrack_core::{Detector, DjitDetector};
+        use freshtrack_sampling::AlwaysSampler;
+        let mut c = config(Pattern::BarrierPhases);
+        c.unprotected_fraction = 0.5;
+        let trace = barrier_phases(&c);
+        let races = DjitDetector::new(AlwaysSampler::new()).run(&trace);
+        assert!(!races.is_empty());
+    }
+
+    #[test]
+    fn lock_ladder_is_valid() {
+        let trace = lock_ladder(&config(Pattern::LockLadder));
+        assert!(trace.validate().is_ok());
+    }
+}

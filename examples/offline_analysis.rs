@@ -1,0 +1,71 @@
+//! RAPID-style offline analysis: run every engine over one corpus
+//! benchmark and compare their work counters side by side.
+//!
+//! Run with: `cargo run --release --example offline_analysis [benchmark]`
+
+use freshtrack::rapid::report::{pct, Table};
+use freshtrack::rapid::{run_engine, EngineConfig, EngineKind};
+use freshtrack::workloads::corpus;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hsqldb".into());
+    let bench = corpus::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for b in corpus::corpus() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    });
+
+    let trace = bench.trace(0.5, 0);
+    let stats = trace.stats();
+    println!("benchmark {name}: {stats}");
+
+    let engines = [
+        EngineConfig::new(EngineKind::FastTrack, 1.0, 0),
+        EngineConfig::new(EngineKind::St, 0.03, 0),
+        EngineConfig::new(EngineKind::Sam, 0.03, 0),
+        EngineConfig::new(EngineKind::Su, 0.03, 0),
+        EngineConfig::new(EngineKind::So, 0.03, 0),
+        EngineConfig::new(EngineKind::Su, 1.0, 0),
+        EngineConfig::new(EngineKind::So, 1.0, 0),
+    ];
+
+    let mut table = Table::new(&[
+        "engine",
+        "races",
+        "racy locs",
+        "vc ops",
+        "acq skipped",
+        "rel work",
+        "deep copies",
+        "entries",
+        "ms",
+    ]);
+    for config in &engines {
+        let run = run_engine(&trace, config);
+        let c = &run.counters;
+        let rel_work = if matches!(config.kind, EngineKind::So | EngineKind::SoPlain) {
+            format!("{} (shallow)", c.shallow_copies)
+        } else {
+            format!("{}", c.releases_processed)
+        };
+        table.row_owned(vec![
+            run.label.clone(),
+            format!("{}", run.reports.len()),
+            format!("{}", run.racy_locations()),
+            format!("{}", c.vc_ops),
+            pct(c.acquire_skip_ratio()),
+            rel_work,
+            format!("{}", c.deep_copies),
+            format!("{}", c.entries_traversed),
+            format!("{:.2}", run.elapsed.as_secs_f64() * 1_000.0),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "note: ST/SAM/SU/SO report identical races for the same sample set \
+         (Lemmas 4, 7, 8); they differ only in work performed."
+    );
+}

@@ -1,0 +1,56 @@
+//! Sweep the sampling rate and watch the detection/work trade-off: how
+//! many racy locations survive at each rate, and how much timestamping
+//! work the SO engine performs.
+//!
+//! Run with: `cargo run --release --example sampling_sweep`
+
+use freshtrack::rapid::report::{bar, pct, Table};
+use freshtrack::rapid::{run_engine, EngineConfig, EngineKind};
+use freshtrack::workloads::{generate, WorkloadConfig};
+
+fn main() {
+    // A contended, mildly buggy workload.
+    let trace = generate(
+        &WorkloadConfig::named("sweep")
+            .events(60_000)
+            .threads(8)
+            .locks(12)
+            .vars(128)
+            .sync_ratio(0.35)
+            .unprotected(0.03)
+            .hot_fraction(0.3)
+            .seed(1),
+    );
+    println!("trace: {}", trace.stats());
+
+    let ft = run_engine(&trace, &EngineConfig::new(EngineKind::FastTrack, 1.0, 0));
+    let ft_locs = ft.racy_locations().max(1);
+    println!("FT finds {ft_locs} racy locations\n");
+
+    let mut table = Table::new(&[
+        "rate",
+        "racy locs",
+        "vs FT",
+        "acq skipped",
+        "entries/acq",
+        "deep copies",
+        "recall bar",
+    ]);
+    for &rate in &[0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0] {
+        let run = run_engine(&trace, &EngineConfig::new(EngineKind::So, rate, 0));
+        let c = &run.counters;
+        let recall = run.racy_locations() as f64 / ft_locs as f64;
+        table.row_owned(vec![
+            format!("{}%", rate * 100.0),
+            format!("{}", run.racy_locations()),
+            pct(recall),
+            pct(c.acquire_skip_ratio()),
+            format!("{:.2}", c.traversals_per_acquire()),
+            format!("{}", c.deep_copies),
+            bar(recall, 20),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("higher rates find more racy locations but skip less sync work.");
+}

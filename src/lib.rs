@@ -1,0 +1,50 @@
+//! # freshtrack
+//!
+//! Efficient timestamping for **sampling-based** happens-before data race
+//! detection — a Rust implementation of the PLDI 2025 paper *"Efficient
+//! Timestamping for Sampling-Based Race Detection"* (Zhang, Lim,
+//! Al Thokair, Mathur, Viswanathan).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`clock`] — vector clocks, epochs, freshness timestamps, ordered
+//!   lists, and lazy-copy shared clocks.
+//! * [`trace`] — events, traces, trace I/O and statistics.
+//! * [`sampling`] — online samplers that decide which access events belong
+//!   to the sample set `S`.
+//! * [`core`] — the race detectors: Djit+, FastTrack, and the paper's
+//!   three sampling engines (ST / SU / SO), plus metric counters and a
+//!   ground-truth happens-before oracle.
+//! * [`workloads`] — seeded synthetic workload and trace generators
+//!   (benchmark-corpus and database-workload shaped).
+//! * [`dbsim`] — a multi-threaded in-memory database used as the online
+//!   evaluation substrate (the ThreadSanitizer/MySQL stand-in).
+//! * [`rapid`] — the offline analysis runner (the RAPID stand-in).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use freshtrack::core::{Detector, OrderedListDetector};
+//! use freshtrack::sampling::AlwaysSampler;
+//! use freshtrack::trace::TraceBuilder;
+//!
+//! // Two threads race on variable `x` with no common lock.
+//! let mut b = TraceBuilder::new();
+//! let x = b.var("x");
+//! let l = b.lock("l");
+//! b.acquire(0, l).write(0, x).release(0, l);
+//! b.write(1, x);
+//! let trace = b.build();
+//!
+//! let mut detector = OrderedListDetector::new(AlwaysSampler::new());
+//! let races = detector.run(&trace);
+//! assert_eq!(races.len(), 1);
+//! ```
+
+pub use freshtrack_clock as clock;
+pub use freshtrack_core as core;
+pub use freshtrack_dbsim as dbsim;
+pub use freshtrack_rapid as rapid;
+pub use freshtrack_sampling as sampling;
+pub use freshtrack_trace as trace;
+pub use freshtrack_workloads as workloads;
