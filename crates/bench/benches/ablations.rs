@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use freshtrack_core::{
-    Detector, FreshnessDetector, NaiveSamplingDetector, OrderedListDetector,
-};
+use freshtrack_core::{Detector, FreshnessDetector, NaiveSamplingDetector, OrderedListDetector};
 use freshtrack_sampling::BernoulliSampler;
 use freshtrack_trace::Trace;
 use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
@@ -86,10 +84,14 @@ fn bench_epoch_opt(c: &mut Criterion) {
     for &rate in &[0.03f64, 1.0] {
         let sampler = BernoulliSampler::new(rate, 2);
         g.bench_with_input(BenchmarkId::new("with_opt", rate), &rate, |b, _| {
-            b.iter(|| black_box(prepared(OrderedListDetector::with_options(sampler, true)).run(&trace)))
+            b.iter(|| {
+                black_box(prepared(OrderedListDetector::with_options(sampler, true)).run(&trace))
+            })
         });
         g.bench_with_input(BenchmarkId::new("without_opt", rate), &rate, |b, _| {
-            b.iter(|| black_box(prepared(OrderedListDetector::with_options(sampler, false)).run(&trace)))
+            b.iter(|| {
+                black_box(prepared(OrderedListDetector::with_options(sampler, false)).run(&trace))
+            })
         });
     }
     g.finish();

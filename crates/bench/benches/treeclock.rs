@@ -132,7 +132,11 @@ fn run_ordered_sampling(trace: &Trace, rate: f64) -> u64 {
                     continue; // freshness skip
                 }
                 let d = lock.fresh - thread.fresh.get(lock.releaser);
-                let lock_list = lock.list.as_ref().expect("fresh lock has list").shallow_copy();
+                let lock_list = lock
+                    .list
+                    .as_ref()
+                    .expect("fresh lock has list")
+                    .shallow_copy();
                 let (lr, lf) = (lock.releaser, lock.fresh);
                 let thread = &mut threads[event.tid.index()];
                 thread.fresh.set(lr, lf);

@@ -21,9 +21,18 @@ fn main() {
         OnlineConfig::St(0.10),
     ];
 
-    println!("Fig. 5(a): latency relative to NT  (workers={}, txns/worker={})", options.workers, options.txns_per_worker);
+    println!(
+        "Fig. 5(a): latency relative to NT  (workers={}, txns/worker={})",
+        options.workers, options.txns_per_worker
+    );
     let mut table = Table::new(&[
-        "benchmark", "NT(us)", "ET", "FT", "ST-0.3%", "ST-3%", "ST-10%",
+        "benchmark",
+        "NT(us)",
+        "ET",
+        "FT",
+        "ST-0.3%",
+        "ST-3%",
+        "ST-10%",
     ]);
     let mut geo: Vec<f64> = vec![0.0; configs.len() - 1];
     let mut counted = 0usize;

@@ -19,7 +19,13 @@ fn main() {
         options.workers, options.txns_per_worker
     );
     let mut table = Table::new(&[
-        "benchmark", "SU-0.3%", "SU-3%", "SU-10%", "SO-0.3%", "SO-3%", "SO-10%",
+        "benchmark",
+        "SU-0.3%",
+        "SU-3%",
+        "SU-10%",
+        "SO-0.3%",
+        "SO-3%",
+        "SO-10%",
     ]);
     let mut sums = [0.0f64; 6];
     let mut counted = 0usize;

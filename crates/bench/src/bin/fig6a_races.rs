@@ -22,7 +22,14 @@ fn main() {
         options.workers, options.txns_per_worker
     );
     let mut table = Table::new(&[
-        "benchmark", "FT(abs)", "ST-0.3%", "ST-3%", "SU-0.3%", "SU-3%", "SO-0.3%", "SO-3%",
+        "benchmark",
+        "FT(abs)",
+        "ST-0.3%",
+        "ST-3%",
+        "SU-0.3%",
+        "SU-3%",
+        "SO-0.3%",
+        "SO-3%",
     ]);
 
     for mut workload in benchbase_suite() {

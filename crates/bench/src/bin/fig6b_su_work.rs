@@ -17,7 +17,13 @@ fn main() {
         options.workers, options.txns_per_worker
     );
     let mut table = Table::new(&[
-        "benchmark", "rate", "acq+rel", "handled", "ratio", "<50%?", "<25%?",
+        "benchmark",
+        "rate",
+        "acq+rel",
+        "handled",
+        "ratio",
+        "<50%?",
+        "<25%?",
     ]);
     let mut below50 = 0usize;
     let mut total = 0usize;

@@ -17,7 +17,13 @@ fn main() {
         options.workers, options.txns_per_worker
     );
     let mut table = Table::new(&[
-        "benchmark", "rate", "acquires", "entries", "per-acq", "≤3?", "≤6?",
+        "benchmark",
+        "rate",
+        "acquires",
+        "entries",
+        "per-acq",
+        "≤3?",
+        "≤6?",
     ]);
     let mut below6 = 0usize;
     let mut total = 0usize;

@@ -27,7 +27,12 @@ fn main() {
     let summaries = run_offline(&benchmarks, &engines, reps, scale);
 
     let mut table = Table::new(&[
-        "benchmark", "SU-(3%)", "SO-(3%)", "SU-(100%)", "SO-(100%)", "SU-(3%) bar",
+        "benchmark",
+        "SU-(3%)",
+        "SO-(3%)",
+        "SU-(100%)",
+        "SO-(100%)",
+        "SU-(3%) bar",
     ]);
     let mut over50 = 0usize;
     let mut over80 = 0usize;

@@ -27,9 +27,7 @@ fn main() {
     let benchmarks = corpus();
     let summaries = run_offline(&benchmarks, &engines, reps, scale);
 
-    let mut table = Table::new(&[
-        "benchmark", "SU-(3%)", "SO-(3%)", "SU-(100%)", "SO-(100%)",
-    ]);
+    let mut table = Table::new(&["benchmark", "SU-(3%)", "SO-(3%)", "SU-(100%)", "SO-(100%)"]);
     let mut so_below_su = 0usize;
     for bench in &benchmarks {
         let get = |label: &str| {

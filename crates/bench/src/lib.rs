@@ -126,11 +126,7 @@ pub fn run_online(workload: &DbWorkload, config: OnlineConfig, options: &RunOpti
     best.expect("at least one run")
 }
 
-fn run_online_once(
-    workload: &DbWorkload,
-    config: OnlineConfig,
-    options: &RunOptions,
-) -> OnlineRun {
+fn run_online_once(workload: &DbWorkload, config: OnlineConfig, options: &RunOptions) -> OnlineRun {
     let label = config.label();
     let seed = options.seed;
     match config {

@@ -104,9 +104,11 @@ mod tests {
 
     #[test]
     fn parses_positional_options_and_flags() {
-        let args =
-            Args::parse(["input.trace", "--rate", "0.03", "--counters", "--seed=7"], &["counters"])
-                .unwrap();
+        let args = Args::parse(
+            ["input.trace", "--rate", "0.03", "--counters", "--seed=7"],
+            &["counters"],
+        )
+        .unwrap();
         assert_eq!(args.positional(), &["input.trace".to_string()]);
         assert!(args.flag("counters"));
         assert_eq!(args.get("rate"), Some("0.03"));

@@ -1,9 +1,8 @@
-
 use std::sync::Arc;
 
 use freshtrack_core::{
-    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
-    NaiveSamplingDetector, OrderedListDetector, RaceReport,
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
+    OrderedListDetector, RaceReport,
 };
 use freshtrack_dbsim::{run_benchmark, DetectorInstrument, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
@@ -51,8 +50,8 @@ fn load_trace(args: &Args) -> Result<Trace, ArgError> {
         .positional()
         .first()
         .ok_or_else(|| ArgError("expected a trace file argument".into()))?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let trace = read_trace(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
     trace
         .validate()
@@ -314,7 +313,15 @@ mod tests {
         std::fs::write(&path, &out).unwrap();
 
         let path_s = path.to_str().unwrap();
-        let (code, out) = run_cli(&["analyze", path_s, "--engine", "so", "--rate", "1.0", "--counters"]);
+        let (code, out) = run_cli(&[
+            "analyze",
+            path_s,
+            "--engine",
+            "so",
+            "--rate",
+            "1.0",
+            "--counters",
+        ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("race report"), "{out}");
         assert!(out.contains("events="), "{out}");
@@ -355,7 +362,15 @@ mod tests {
     #[test]
     fn dbsim_smoke() {
         let (code, out) = run_cli(&[
-            "dbsim", "--mix", "sibench", "--workers", "2", "--txns", "20", "--engine", "so",
+            "dbsim",
+            "--mix",
+            "sibench",
+            "--workers",
+            "2",
+            "--txns",
+            "20",
+            "--engine",
+            "so",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("mean latency"), "{out}");

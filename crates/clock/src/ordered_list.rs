@@ -182,9 +182,7 @@ impl OrderedList {
 
     /// Pointwise comparison `clock ⊑ self`.
     pub fn geq_vector(&self, clock: &VectorClock) -> bool {
-        clock
-            .iter()
-            .all(|(tid, time)| time <= self.get(tid))
+        clock.iter().all(|(tid, time)| time <= self.get(tid))
     }
 
     /// Materializes the timestamp as a plain [`VectorClock`] (loses the

@@ -212,10 +212,11 @@ mod tests {
         b.set(t(1), 1);
         let mut lock = a.shallow_copy();
         assert!(a.is_shared());
+        assert!(lock.ptr_eq(&a));
         lock = b.shallow_copy();
         assert!(!a.is_shared());
         assert!(b.is_shared());
-        let _ = &mut lock;
+        assert!(lock.ptr_eq(&b));
     }
 
     #[test]

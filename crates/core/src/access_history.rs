@@ -49,9 +49,7 @@ impl AccessHistories {
     where
         F: Fn(ThreadId) -> Time,
     {
-        self.write
-            .get(var.index())
-            .is_some_and(|w| !leq(w, &clock))
+        self.write.get(var.index()).is_some_and(|w| !leq(w, &clock))
     }
 
     /// The write check of Algorithm 1/2: `(Cw_x ̸⊑ C_t, Cr_x ̸⊑ C_t)`.
@@ -59,10 +57,7 @@ impl AccessHistories {
     where
         F: Fn(ThreadId) -> Time,
     {
-        let with_write = self
-            .write
-            .get(var.index())
-            .is_some_and(|w| !leq(w, &clock));
+        let with_write = self.write.get(var.index()).is_some_and(|w| !leq(w, &clock));
         let with_read = self.read.get(var.index()).is_some_and(|r| !leq(r, &clock));
         (with_write, with_read)
     }

@@ -89,7 +89,10 @@ impl Counters {
     /// `SavedTraversals / AllTraversals` over non-skipped acquires — the
     /// saving ratio of Fig. 9.
     pub fn saving_ratio(&self) -> f64 {
-        ratio(self.entries_saved, self.entries_saved + self.entries_traversed)
+        ratio(
+            self.entries_saved,
+            self.entries_saved + self.entries_traversed,
+        )
     }
 
     /// Average clock entries traversed per acquire — the y-axis of

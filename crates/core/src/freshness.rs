@@ -94,7 +94,8 @@ impl<S: Sampler> FreshnessDetector<S> {
 
     fn ensure_thread(&mut self, tid: ThreadId) {
         if self.threads.len() <= tid.index() {
-            self.threads.resize_with(tid.index() + 1, ThreadState::default);
+            self.threads
+                .resize_with(tid.index() + 1, ThreadState::default);
         }
     }
 
@@ -218,9 +219,9 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
                 let threads = self.threads.len();
                 let state = &mut self.threads[tid.index()];
                 state.sampled_since_release = true;
-                let (with_write, with_read) =
-                    self.history.write_races(var, Self::view(state, tid));
-                self.history.record_write(var, threads, Self::view(state, tid));
+                let (with_write, with_read) = self.history.write_races(var, Self::view(state, tid));
+                self.history
+                    .record_write(var, threads, Self::view(state, tid));
                 (with_write || with_read).then(|| {
                     self.counters.races += 1;
                     RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
@@ -363,7 +364,10 @@ mod tests {
         let l2 = b.lock("l2");
         let l3 = b.lock("l3");
         let l4 = b.lock("l4");
-        b.acquire(0, l4).acquire(0, l3).acquire(0, l2).acquire(0, l1);
+        b.acquire(0, l4)
+            .acquire(0, l3)
+            .acquire(0, l2)
+            .acquire(0, l1);
         b.write(0, x); // e5, sampled
         b.release(0, l1);
         b.write(0, x); // e7, not sampled

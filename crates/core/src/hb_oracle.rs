@@ -103,8 +103,8 @@ impl HbOracle {
             if !sampled[b] {
                 continue;
             }
-            for a in 0..b {
-                if !sampled[a] {
+            for (a, &a_sampled) in sampled.iter().enumerate().take(b) {
+                if !a_sampled {
                     continue;
                 }
                 let (ea, eb) = (EventId::new(a as u64), EventId::new(b as u64));

@@ -76,7 +76,8 @@ impl<S: Sampler> NaiveSamplingDetector<S> {
 
     fn ensure_thread(&mut self, tid: ThreadId) {
         if self.threads.len() <= tid.index() {
-            self.threads.resize_with(tid.index() + 1, ThreadState::default);
+            self.threads
+                .resize_with(tid.index() + 1, ThreadState::default);
         }
     }
 
@@ -126,9 +127,9 @@ impl<S: Sampler> Detector for NaiveSamplingDetector<S> {
                 let threads = self.threads.len();
                 let state = &mut self.threads[tid.index()];
                 state.sampled_since_release = true;
-                let (with_write, with_read) =
-                    self.history.write_races(var, Self::view(state, tid));
-                self.history.record_write(var, threads, Self::view(state, tid));
+                let (with_write, with_read) = self.history.write_races(var, Self::view(state, tid));
+                self.history
+                    .record_write(var, threads, Self::view(state, tid));
                 (with_write || with_read).then(|| {
                     self.counters.races += 1;
                     RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)

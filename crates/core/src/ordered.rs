@@ -124,7 +124,8 @@ impl<S: Sampler> OrderedListDetector<S> {
 
     fn ensure_thread(&mut self, tid: ThreadId) {
         if self.threads.len() <= tid.index() {
-            self.threads.resize_with(tid.index() + 1, ThreadState::default);
+            self.threads
+                .resize_with(tid.index() + 1, ThreadState::default);
         }
     }
 
@@ -213,8 +214,7 @@ impl<S: Sampler> OrderedListDetector<S> {
             thread.fresh.bump(tid);
         }
         self.counters.entries_traversed += traversed;
-        self.counters.entries_saved +=
-            (self.threads.len() as u64).saturating_sub(traversed);
+        self.counters.entries_saved += (self.threads.len() as u64).saturating_sub(traversed);
         self.counters.vc_ops += 1;
     }
 
@@ -349,9 +349,9 @@ impl<S: Sampler> Detector for OrderedListDetector<S> {
                 let threads = self.threads.len();
                 let state = &mut self.threads[tid.index()];
                 state.sampled_since_release = true;
-                let (with_write, with_read) =
-                    self.history.write_races(var, Self::view(state, tid));
-                self.history.record_write(var, threads, Self::view(state, tid));
+                let (with_write, with_read) = self.history.write_races(var, Self::view(state, tid));
+                self.history
+                    .record_write(var, threads, Self::view(state, tid));
                 (with_write || with_read).then(|| {
                     self.counters.races += 1;
                     RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
@@ -478,7 +478,8 @@ mod tests {
         let mut so = OrderedListDetector::new(sampler);
         so.run(&trace);
         let c = so.counters();
-        let bound = c.sampled_accesses * (trace.thread_count() as u64) + trace.thread_count() as u64;
+        let bound =
+            c.sampled_accesses * (trace.thread_count() as u64) + trace.thread_count() as u64;
         assert!(c.deep_copies <= bound);
     }
 
@@ -491,7 +492,11 @@ mod tests {
         let mut so = OrderedListDetector::new(sampler);
         so.run(&trace);
         let c = so.counters();
-        assert!(c.acquire_skip_ratio() > 0.5, "skip {}", c.acquire_skip_ratio());
+        assert!(
+            c.acquire_skip_ratio() > 0.5,
+            "skip {}",
+            c.acquire_skip_ratio()
+        );
         assert!(
             c.traversals_per_acquire() < 2.0,
             "traversals {}",

@@ -1,0 +1,116 @@
+//! Differential conformance harness: the executable form of the paper's
+//! sampling-equivalence theorems over *structured* workloads.
+//!
+//! Where `equivalence.rs` hammers the engines with unstructured fuzzed
+//! traces, this suite runs the full cross-product of
+//!
+//! * **5 detectors** — Djit+ (ST), FastTrack, NaiveSampling (Algorithm
+//!   2), Freshness (SU, Algorithm 3), OrderedList (SO, Algorithm 4) —
+//!   plus SO with its local-epoch optimization disabled,
+//! * **6 workload patterns** — mixed, producer/consumer, pipeline,
+//!   fork/join, barrier phases, and the paper's Fig. 1 lock ladder,
+//! * **3 seeds per pattern**, and
+//! * **4 sampler families** — always, Bernoulli (two rates), periodic,
+//!   and never,
+//!
+//! asserting on every cell that the sampling engines are
+//! report-identical, that FastTrack agrees on the first race, and that
+//! the common report list matches the ground-truth [`HbOracle`] on the
+//! sampled accesses (per-event soundness + first-racy-event agreement).
+//!
+//! [`HbOracle`]: freshtrack_core::HbOracle
+
+use freshtrack_core::HbOracle;
+use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler, PeriodicSampler};
+use freshtrack_testutil::{assert_conformance, workload_matrix};
+
+/// Seeds for the workload generator (one trace per pattern per seed).
+const SEEDS: [u64; 3] = [11, 4242, 987_654_321];
+
+/// Trace size: big enough to exercise real clock growth and lock reuse,
+/// small enough that the quadratic oracle stays cheap per cell.
+const EVENTS: usize = 700;
+
+#[test]
+fn conformance_at_full_sampling() {
+    let mut racy_cells = 0usize;
+    for (label, trace) in workload_matrix(EVENTS, &SEEDS) {
+        let reports = assert_conformance(&label, &trace, AlwaysSampler::new());
+        racy_cells += usize::from(!reports.is_empty());
+    }
+    // The matrix must actually contain races for agreement to mean
+    // anything; the generator seeds unprotected accesses in every
+    // pattern, so a raceless matrix signals a generator regression.
+    assert!(
+        racy_cells >= 6,
+        "only {racy_cells} racy cells in the full-sampling matrix"
+    );
+}
+
+#[test]
+fn conformance_under_bernoulli_sampling() {
+    // The paper's evaluation rates: 3% (deployment) and 30% (stress).
+    for &rate in &[0.03f64, 0.3] {
+        for (label, trace) in workload_matrix(EVENTS, &SEEDS) {
+            // Derive the sampler seed from the cell label and rate so
+            // every cell sees a different sample set, reproducibly.
+            let seed = label.bytes().fold(0xfee1_600du64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+            }) ^ rate.to_bits().rotate_left(7);
+            let label = format!("{label}@bernoulli-{rate}");
+            assert_conformance(&label, &trace, BernoulliSampler::new(rate, seed));
+        }
+    }
+}
+
+#[test]
+fn conformance_under_periodic_sampling() {
+    for (label, trace) in workload_matrix(EVENTS, &SEEDS) {
+        for &period in &[7u64, 64] {
+            let label = format!("{label}@periodic-{period}");
+            assert_conformance(&label, &trace, PeriodicSampler::new(0.3, period, 5));
+        }
+    }
+}
+
+#[test]
+fn conformance_with_empty_sample_set() {
+    // With S = ∅ every engine must stay silent, and the oracle agrees
+    // (no sampled access can race).
+    for (label, trace) in workload_matrix(EVENTS, &SEEDS) {
+        let reports = assert_conformance(&label, &trace, NeverSampler::new());
+        assert!(
+            reports.is_empty(),
+            "[{label}] engines reported races for the empty sample set"
+        );
+    }
+}
+
+#[test]
+fn sampling_only_shrinks_race_detection() {
+    // Growing the sample set can only grow what is detectable. Note the
+    // guarantee is trace-level, not event-level: the engines keep
+    // *last-access* histories, so the particular events reported can
+    // legitimately differ between sample sets — but a trace that is racy
+    // under some sample set must also be racy under full sampling, and
+    // the oracle's racy-event set must be monotone in the mask.
+    for (label, trace) in workload_matrix(EVENTS, &SEEDS) {
+        let full = assert_conformance(&label, &trace, AlwaysSampler::new());
+        let sampler = BernoulliSampler::new(0.3, 99);
+        let sampled = assert_conformance(&format!("{label}@bernoulli-0.3"), &trace, sampler);
+        assert!(
+            sampled.is_empty() || !full.is_empty(),
+            "[{label}] racy under sampling but race-free at full sampling"
+        );
+
+        let oracle = HbOracle::new(&trace);
+        let full_racy = oracle.racy_events(&HbOracle::sample_mask(&trace, AlwaysSampler::new()));
+        let sampled_racy = oracle.racy_events(&HbOracle::sample_mask(&trace, sampler));
+        for event in &sampled_racy {
+            assert!(
+                full_racy.contains(event),
+                "[{label}] oracle racy set is not monotone: {event} missing at full sampling"
+            );
+        }
+    }
+}

@@ -8,8 +8,8 @@
 //! happens-before oracle.
 
 use freshtrack_core::{
-    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
-    NaiveSamplingDetector, OrderedListDetector, RaceReport,
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
+    OrderedListDetector, RaceReport,
 };
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, PeriodicSampler, Sampler};
 use freshtrack_trace::{Trace, TraceBuilder, VarId};

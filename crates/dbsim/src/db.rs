@@ -117,17 +117,9 @@ impl Database {
     /// never deadlock.
     ///
     /// Returns the number of shared accesses performed.
-    pub fn transaction(
-        &self,
-        tid: u32,
-        ops: &[(u32, u32, bool)],
-        inst: &dyn Instrument,
-    ) -> usize {
+    pub fn transaction(&self, tid: u32, ops: &[(u32, u32, bool)], inst: &dyn Instrument) -> usize {
         // Growing phase: lock the stripes of all touched rows.
-        let mut stripe_ids: Vec<u32> = ops
-            .iter()
-            .map(|&(t, r, _)| self.stripe_of(t, r))
-            .collect();
+        let mut stripe_ids: Vec<u32> = ops.iter().map(|&(t, r, _)| self.stripe_of(t, r)).collect();
         stripe_ids.sort_unstable();
         stripe_ids.dedup();
         let mut guards = Vec::with_capacity(stripe_ids.len());
@@ -261,7 +253,7 @@ mod tests {
     #[test]
     fn stripes_spread_rows() {
         let db = Database::new(1, 1_000, 32);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for r in 0..1_000 {
             seen[db.stripe_of(0, r) as usize] = true;
         }

@@ -159,7 +159,9 @@ fn worker_loop(
         // parsing/planning/formatting would — this is what
         // instrumentation overhead is measured *against*.
         for i in 0..workload.think_ops * 4_000 {
-            local_sink = local_sink.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            local_sink = local_sink
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64);
         }
         std::hint::black_box(local_sink);
 

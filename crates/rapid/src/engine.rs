@@ -2,8 +2,8 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use freshtrack_core::{
-    Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector,
-    NaiveSamplingDetector, OrderedListDetector, RaceReport,
+    Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector, NaiveSamplingDetector,
+    OrderedListDetector, RaceReport,
 };
 use freshtrack_sampling::BernoulliSampler;
 use freshtrack_trace::Trace;
@@ -158,23 +158,40 @@ mod tests {
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(EngineConfig::new(EngineKind::Su, 0.03, 0).label(), "SU-(3%)");
+        assert_eq!(
+            EngineConfig::new(EngineKind::Su, 0.03, 0).label(),
+            "SU-(3%)"
+        );
         assert_eq!(
             EngineConfig::new(EngineKind::So, 0.003, 0).label(),
             "SO-(0.3%)"
         );
-        assert_eq!(EngineConfig::new(EngineKind::So, 1.0, 0).label(), "SO-(100%)");
-        assert_eq!(EngineConfig::new(EngineKind::FastTrack, 1.0, 0).label(), "FT");
-        assert_eq!(EngineConfig::new(EngineKind::St, 0.1, 0).label(), "ST-(10%)");
+        assert_eq!(
+            EngineConfig::new(EngineKind::So, 1.0, 0).label(),
+            "SO-(100%)"
+        );
+        assert_eq!(
+            EngineConfig::new(EngineKind::FastTrack, 1.0, 0).label(),
+            "FT"
+        );
+        assert_eq!(
+            EngineConfig::new(EngineKind::St, 0.1, 0).label(),
+            "ST-(10%)"
+        );
     }
 
     #[test]
     fn sampling_engines_agree_on_reports() {
         let trace = generate(&WorkloadConfig::named("t").events(4_000).unprotected(0.05));
-        let runs: Vec<EngineRun> = [EngineKind::St, EngineKind::Sam, EngineKind::Su, EngineKind::So]
-            .iter()
-            .map(|&kind| run_engine(&trace, &EngineConfig::new(kind, 0.5, 9)))
-            .collect();
+        let runs: Vec<EngineRun> = [
+            EngineKind::St,
+            EngineKind::Sam,
+            EngineKind::Su,
+            EngineKind::So,
+        ]
+        .iter()
+        .map(|&kind| run_engine(&trace, &EngineConfig::new(kind, 0.5, 9)))
+        .collect();
         for pair in runs.windows(2) {
             assert_eq!(pair[0].reports, pair[1].reports);
         }

@@ -58,12 +58,12 @@ impl Table {
         }
         let mut out = String::new();
         let render_row = |out: &mut String, cells: &[String]| {
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 if i == 0 {
-                    let _ = write!(out, "{cell:<width$}", width = widths[i]);
+                    let _ = write!(out, "{cell:<width$}");
                 } else {
-                    let _ = write!(out, "  {cell:>width$}", width = widths[i]);
+                    let _ = write!(out, "  {cell:>width$}");
                 }
             }
             out.push('\n');

@@ -83,7 +83,10 @@ mod tests {
         for window in 0..20u64 {
             let first = s.sample(EventId::new(window * 100), access());
             for offset in 1..100 {
-                assert_eq!(first, s.sample(EventId::new(window * 100 + offset), access()));
+                assert_eq!(
+                    first,
+                    s.sample(EventId::new(window * 100 + offset), access())
+                );
             }
         }
     }

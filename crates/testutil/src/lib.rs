@@ -1,0 +1,245 @@
+//! Shared helpers for cross-detector differential conformance testing.
+//!
+//! The paper's central correctness claim (Lemmas 4, 7 and 8) is that the
+//! naive sampling detector (Algorithm 2), Djit+ restricted to the sample
+//! set (**ST**), the freshness engine (**SU**, Algorithm 3) and the
+//! ordered-list engine (**SO**, Algorithm 4) report *exactly* the same
+//! races for the same sample set — and that those races are exactly the
+//! HB-races among sampled accesses, which [`HbOracle`] computes
+//! independently in `O(N²)`. This crate packages that claim as reusable
+//! assertions so every integration suite (differential conformance, CLI
+//! smoke, future perf PRs) checks the same contract:
+//!
+//! * [`assert_sampling_engines_agree`] — the four sampling engines (plus
+//!   SO without its local-epoch optimization) are report-identical.
+//! * [`assert_fasttrack_first_race_agreement`] — FastTrack, whose epoch
+//!   histories are lossy after a variable's first race, still agrees
+//!   with Djit+ on the first race and on racy-or-not.
+//! * [`assert_oracle_agreement`] — every reported event is truly racy
+//!   among the sampled accesses, and the first report is the oracle's
+//!   first racy event.
+//! * [`assert_conformance`] — all of the above for one `(trace,
+//!   sampler)` pair.
+//! * [`workload_matrix`] / [`conformance_workload`] — seeded structured
+//!   workloads across every [`Pattern`], sized so the quadratic oracle
+//!   stays affordable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use freshtrack_core::{
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
+    OrderedListDetector, RaceReport,
+};
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::Trace;
+use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
+
+/// Every structural workload pattern, in a stable order.
+pub const ALL_PATTERNS: [Pattern; 6] = [
+    Pattern::Mixed,
+    Pattern::ProducerConsumer,
+    Pattern::Pipeline,
+    Pattern::ForkJoin,
+    Pattern::BarrierPhases,
+    Pattern::LockLadder,
+];
+
+/// A short stable name for a pattern, for assertion labels.
+pub fn pattern_name(pattern: Pattern) -> &'static str {
+    match pattern {
+        Pattern::Mixed => "mixed",
+        Pattern::ProducerConsumer => "producer_consumer",
+        Pattern::Pipeline => "pipeline",
+        Pattern::ForkJoin => "fork_join",
+        Pattern::BarrierPhases => "barrier_phases",
+        Pattern::LockLadder => "lock_ladder",
+    }
+}
+
+/// Generates the conformance workload for one `(pattern, seed)` cell.
+///
+/// The knobs deviate from the generator defaults in two ways: a raised
+/// unprotected fraction so most cells actually contain races (agreement
+/// on empty reports is a much weaker check), and a bounded event count
+/// because [`HbOracle`] is quadratic in the trace length.
+pub fn conformance_workload(pattern: Pattern, seed: u64, events: usize) -> Trace {
+    let trace = generate(
+        &WorkloadConfig::named(pattern_name(pattern))
+            .pattern(pattern)
+            .events(events)
+            .threads(5)
+            .locks(4)
+            .vars(24)
+            .unprotected(0.08)
+            .seed(seed),
+    );
+    assert!(
+        trace.validate().is_ok(),
+        "generator produced an invalid trace for {}/{seed}",
+        pattern_name(pattern)
+    );
+    trace
+}
+
+/// The full differential matrix: every pattern × every seed, labelled
+/// `pattern/seed`.
+pub fn workload_matrix(events: usize, seeds: &[u64]) -> Vec<(String, Trace)> {
+    let mut cells = Vec::with_capacity(ALL_PATTERNS.len() * seeds.len());
+    for &pattern in &ALL_PATTERNS {
+        for &seed in seeds {
+            cells.push((
+                format!("{}/{seed}", pattern_name(pattern)),
+                conformance_workload(pattern, seed, events),
+            ));
+        }
+    }
+    cells
+}
+
+/// Runs the four sampling engines (and SO without the local-epoch
+/// optimization) over `trace` with clones of `sampler`, asserting their
+/// race reports are identical, and returns the common report list.
+///
+/// This is the executable form of the paper's Lemmas 4, 7 and 8.
+pub fn assert_sampling_engines_agree<S: Sampler + Clone>(
+    label: &str,
+    trace: &Trace,
+    sampler: S,
+) -> Vec<RaceReport> {
+    let reference = NaiveSamplingDetector::new(sampler.clone()).run(trace);
+    let st = DjitDetector::new(sampler.clone()).run(trace);
+    let su = FreshnessDetector::new(sampler.clone()).run(trace);
+    let so = OrderedListDetector::new(sampler.clone()).run(trace);
+    let so_plain = OrderedListDetector::with_options(sampler, false).run(trace);
+    assert_eq!(reference, st, "[{label}] ST (Djit+ on S) vs Algorithm 2");
+    assert_eq!(reference, su, "[{label}] SU (Algorithm 3) vs Algorithm 2");
+    assert_eq!(reference, so, "[{label}] SO (Algorithm 4) vs Algorithm 2");
+    assert_eq!(
+        reference, so_plain,
+        "[{label}] SO without epoch opt vs Algorithm 2"
+    );
+    reference
+}
+
+/// Asserts FastTrack's agreement contract with Djit+ under the same
+/// sample set: identical first race (FastTrack is precise for the first
+/// race on each variable) and identical racy-or-not verdict.
+pub fn assert_fasttrack_first_race_agreement<S: Sampler + Clone>(
+    label: &str,
+    trace: &Trace,
+    sampler: S,
+) {
+    let djit = DjitDetector::new(sampler.clone()).run(trace);
+    let ft = FastTrackDetector::new(sampler.clone()).run(trace);
+    assert_eq!(
+        djit.first().map(|r| r.event),
+        ft.first().map(|r| r.event),
+        "[{label}] FastTrack vs Djit+ first race"
+    );
+    assert_eq!(
+        djit.is_empty(),
+        ft.is_empty(),
+        "[{label}] FastTrack vs Djit+ racy-or-not"
+    );
+    // Per-event soundness: FastTrack reports only truly racy events.
+    let oracle = HbOracle::new(trace);
+    let mask = HbOracle::sample_mask(trace, sampler);
+    let racy = oracle.racy_events(&mask);
+    for report in &ft {
+        assert!(
+            racy.contains(&report.event),
+            "[{label}] FastTrack reported non-racy event {}",
+            report.event
+        );
+    }
+}
+
+/// Asserts the common sampling-engine report list agrees with the
+/// ground-truth [`HbOracle`] on the sampled accesses: every reported
+/// event is truly racy, and the first report is the oracle's first racy
+/// event (so detection is not just sound but catches the earliest race).
+pub fn assert_oracle_agreement<S: Sampler + Clone>(
+    label: &str,
+    trace: &Trace,
+    sampler: S,
+    reports: &[RaceReport],
+) {
+    let oracle = HbOracle::new(trace);
+    let mask = HbOracle::sample_mask(trace, sampler);
+    let racy = oracle.racy_events(&mask);
+    for report in reports {
+        assert!(
+            racy.contains(&report.event),
+            "[{label}] detector reported non-racy event {} (racy: {racy:?})",
+            report.event
+        );
+    }
+    assert_eq!(
+        reports.first().map(|r| r.event),
+        racy.first().copied(),
+        "[{label}] first report vs oracle's first racy event"
+    );
+}
+
+/// The full conformance pipeline for one `(trace, sampler)` pair: the
+/// five detectors' mutual agreement contracts plus oracle agreement.
+/// Returns the common sampling-engine report list.
+pub fn assert_conformance<S: Sampler + Clone>(
+    label: &str,
+    trace: &Trace,
+    sampler: S,
+) -> Vec<RaceReport> {
+    let reports = assert_sampling_engines_agree(label, trace, sampler.clone());
+    assert_fasttrack_first_race_agreement(label, trace, sampler.clone());
+    assert_oracle_agreement(label, trace, sampler, &reports);
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freshtrack_sampling::AlwaysSampler;
+
+    #[test]
+    fn matrix_covers_every_pattern_and_seed() {
+        let cells = workload_matrix(300, &[1, 2]);
+        assert_eq!(cells.len(), ALL_PATTERNS.len() * 2);
+        for (label, trace) in &cells {
+            assert!(!trace.events().is_empty(), "{label} generated empty trace");
+        }
+    }
+
+    #[test]
+    fn conformance_passes_on_a_known_racy_trace() {
+        use freshtrack_trace::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        b.write(0, x);
+        b.write(1, x);
+        let trace = b.build();
+        let reports = assert_conformance("unit", &trace, AlwaysSampler::new());
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reported non-racy event")]
+    fn oracle_agreement_rejects_fabricated_reports() {
+        use freshtrack_trace::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.acquire(1, l).write(1, x).release(1, l);
+        let trace = b.build();
+        // The trace is race-free, so claiming a race must trip the check.
+        let fake = DjitDetector::new(AlwaysSampler::new()).run(&{
+            let mut r = TraceBuilder::new();
+            let y = r.var("x");
+            r.write(0, y);
+            r.write(1, y);
+            r.build()
+        });
+        assert_oracle_agreement("unit", &trace, AlwaysSampler::new(), &fake);
+    }
+}

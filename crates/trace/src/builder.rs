@@ -141,8 +141,10 @@ impl TraceBuilder {
         let thread = ThreadId::new(tid);
         if let Some(tokens) = self.pending_acquire.remove(&thread) {
             for token in tokens {
-                self.events.push(Event::new(thread, EventKind::Acquire(token)));
-                self.events.push(Event::new(thread, EventKind::Release(token)));
+                self.events
+                    .push(Event::new(thread, EventKind::Acquire(token)));
+                self.events
+                    .push(Event::new(thread, EventKind::Release(token)));
             }
         }
         self.events.push(Event::new(thread, kind));
@@ -157,6 +159,18 @@ impl TraceBuilder {
     /// Returns `true` if no events have been appended.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Declares that the trace has (at least) `n` threads, even if some
+    /// of them perform no events.
+    ///
+    /// Threads are normally observed from events; this exists so trace
+    /// I/O can preserve the thread count of traces whose trailing
+    /// threads are silent (e.g. a prefix cut before a thread's first
+    /// event).
+    pub fn declare_threads(&mut self, n: u32) -> &mut Self {
+        self.n_threads = self.n_threads.max(n);
+        self
     }
 
     /// Finishes the trace.

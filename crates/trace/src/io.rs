@@ -4,6 +4,9 @@
 //! Each non-empty, non-comment line is `<thread>|<op>(<operand>)`:
 //!
 //! ```text
+//! #! threads 2
+//! #! lock l
+//! #! var x
 //! # comment
 //! T0|acq(l)
 //! T0|w(x)
@@ -11,8 +14,18 @@
 //! T1|r(x)
 //! ```
 //!
-//! Operands are free-form names interned by the reader; threads must be
-//! written `T<index>` with dense indices.
+//! Operands are free-form names interned by the reader (surrounding
+//! whitespace is trimmed, in event lines and declarations alike);
+//! threads must be written `T<index>` with dense indices.
+//!
+//! Lines starting with `#!` are **declarations**: `#! threads <n>`
+//! declares the thread count and `#! lock <name>` / `#! var <name>`
+//! pre-intern entity names in id order. [`write_trace`] always emits a
+//! full declaration header, which makes `read_trace(write_trace(t))`
+//! the *identity* — entity tables, id assignment and silent threads all
+//! survive the round trip, not just the event shapes. Headerless input
+//! (plain RAPID-style traces) still parses; ids are then assigned in
+//! first-use order.
 
 use std::fmt::Write as _;
 
@@ -23,6 +36,15 @@ use crate::{EventKind, Trace, TraceBuilder};
 /// The output parses back to an equivalent trace via [`read_trace`].
 pub fn write_trace(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.len() * 12);
+    if trace.thread_count() > 0 {
+        let _ = writeln!(out, "#! threads {}", trace.thread_count());
+    }
+    for l in 0..trace.lock_count() {
+        let _ = writeln!(out, "#! lock {}", trace.lock_name(l));
+    }
+    for v in 0..trace.var_count() {
+        let _ = writeln!(out, "#! var {}", trace.var_name(v));
+    }
     for event in trace.events() {
         let _ = match event.kind {
             EventKind::Read(v) => writeln!(out, "{}|r({})", event.tid, trace.var_name(v.index())),
@@ -47,6 +69,24 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseTraceError> {
     let mut builder = TraceBuilder::new();
     for (line_no, raw) in text.lines().enumerate() {
         let line = raw.trim();
+        if let Some(directive) = line.strip_prefix("#!") {
+            let directive = Directive::parse(directive).map_err(|reason| ParseTraceError {
+                line: line_no + 1,
+                reason,
+            })?;
+            match directive {
+                Directive::Threads(n) => {
+                    builder.declare_threads(n);
+                }
+                Directive::Lock(name) => {
+                    builder.lock(name);
+                }
+                Directive::Var(name) => {
+                    builder.var(name);
+                }
+            }
+            continue;
+        }
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -56,6 +96,45 @@ pub fn read_trace(text: &str) -> Result<Trace, ParseTraceError> {
         })?;
     }
     Ok(builder.build())
+}
+
+/// One parsed `#!` declaration. The single grammar shared by the batch
+/// reader ([`read_trace`]) and the streaming reader
+/// ([`EventReader`](crate::EventReader)), so the two can never diverge
+/// on the same input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Directive<'a> {
+    /// `#! threads <n>` — declares the thread count.
+    Threads(u32),
+    /// `#! lock <name>` — pre-interns a lock name.
+    Lock(&'a str),
+    /// `#! var <name>` — pre-interns a variable name.
+    Var(&'a str),
+}
+
+impl<'a> Directive<'a> {
+    /// Parses the text after the `#!` marker.
+    pub(crate) fn parse(directive: &'a str) -> Result<Self, String> {
+        let (keyword, operand) = directive
+            .trim()
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| "declaration needs an operand".to_owned())?;
+        let operand = operand.trim();
+        if operand.is_empty() {
+            return Err("empty declaration operand".to_owned());
+        }
+        match keyword {
+            "threads" => {
+                let n: u32 = operand
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                Ok(Directive::Threads(n))
+            }
+            "lock" => Ok(Directive::Lock(operand)),
+            "var" => Ok(Directive::Var(operand)),
+            other => Err(format!("unknown declaration `{other}`")),
+        }
+    }
 }
 
 fn parse_line(builder: &mut TraceBuilder, line: &str) -> Result<(), String> {
@@ -75,7 +154,7 @@ fn parse_line(builder: &mut TraceBuilder, line: &str) -> Result<(), String> {
     if !op.ends_with(')') {
         return Err("missing `)` in operation".to_owned());
     }
-    let (name, operand) = (&op[..open], &op[open + 1..op.len() - 1]);
+    let (name, operand) = (&op[..open], op[open + 1..op.len() - 1].trim());
     if operand.is_empty() {
         return Err("empty operand".to_owned());
     }
@@ -138,7 +217,33 @@ mod tests {
         let text = "T0|acq(l)\nT0|w(x)\nT0|rel(l)\nT1|r(x)\n";
         let trace = read_trace(text).unwrap();
         assert_eq!(trace.len(), 4);
-        assert_eq!(write_trace(&trace), text);
+        // The writer prepends the declaration header (its normal form)…
+        let written = write_trace(&trace);
+        assert_eq!(
+            written,
+            "#! threads 2\n#! lock l\n#! var x\nT0|acq(l)\nT0|w(x)\nT0|rel(l)\nT1|r(x)\n"
+        );
+        // …and writing is idempotent from there.
+        assert_eq!(write_trace(&read_trace(&written).unwrap()), written);
+    }
+
+    #[test]
+    fn declarations_preserve_silent_entities_and_id_order() {
+        let text = "#! threads 5\n#! var quiet\n#! var x\nT0|w(x)\n";
+        let trace = read_trace(text).unwrap();
+        assert_eq!(trace.thread_count(), 5);
+        assert_eq!(trace.var_count(), 2);
+        assert_eq!(trace.var_name(0), "quiet");
+        // `x` got id 1 from its declaration, not id 0 from first use.
+        assert!(matches!(trace[0].kind, EventKind::Write(v) if v.index() == 1));
+    }
+
+    #[test]
+    fn malformed_declarations_are_rejected() {
+        for bad in ["#! threads many", "#! threads", "#! widget w", "#! lock "] {
+            let err = read_trace(&format!("{bad}\nT0|w(x)\n")).unwrap_err();
+            assert_eq!(err.line, 1, "{bad}");
+        }
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct EventReader<R> {
     pending: std::collections::VecDeque<Event>,
     /// Fork tokens each thread must take before its next event.
     pending_acquire: HashMap<ThreadId, Vec<LockId>>,
+    /// Thread count from `#! threads` declarations.
+    declared_threads: u32,
     failed: bool,
 }
 
@@ -54,8 +56,15 @@ impl<R: std::io::Read> EventReader<R> {
             vars: HashMap::new(),
             pending: std::collections::VecDeque::new(),
             pending_acquire: HashMap::new(),
+            declared_threads: 0,
             failed: false,
         }
+    }
+
+    /// The thread count declared by `#! threads` headers seen so far
+    /// (0 when the input has no header).
+    pub fn declared_threads(&self) -> u32 {
+        self.declared_threads
     }
 
     /// Number of distinct locks seen so far (including token locks).
@@ -90,11 +99,33 @@ impl<R: std::io::Read> EventReader<R> {
     fn enqueue_with_tokens(&mut self, tid: ThreadId, event: Event) {
         if let Some(tokens) = self.pending_acquire.remove(&tid) {
             for token in tokens {
-                self.pending.push_back(Event::new(tid, EventKind::Acquire(token)));
-                self.pending.push_back(Event::new(tid, EventKind::Release(token)));
+                self.pending
+                    .push_back(Event::new(tid, EventKind::Acquire(token)));
+                self.pending
+                    .push_back(Event::new(tid, EventKind::Release(token)));
             }
         }
         self.pending.push_back(event);
+    }
+
+    /// Applies one `#!` declaration, interning names in declared order
+    /// so streaming and batch parsing assign identical ids. The grammar
+    /// itself lives in [`crate::io::Directive`], shared with
+    /// [`read_trace`](crate::read_trace).
+    fn apply_directive(&mut self, directive: &str) -> Result<(), ParseTraceError> {
+        match crate::io::Directive::parse(directive) {
+            Ok(crate::io::Directive::Threads(n)) => {
+                self.declared_threads = self.declared_threads.max(n);
+            }
+            Ok(crate::io::Directive::Lock(name)) => {
+                self.lock(name);
+            }
+            Ok(crate::io::Directive::Var(name)) => {
+                self.var(name);
+            }
+            Err(reason) => return Err(self.err(reason)),
+        }
+        Ok(())
     }
 
     fn parse_line(&mut self, line: &str) -> Result<(), ParseTraceError> {
@@ -115,7 +146,7 @@ impl<R: std::io::Read> EventReader<R> {
         if !op.ends_with(')') {
             return Err(self.err("missing `)` in operation".into()));
         }
-        let (name, operand) = (&op[..open], &op[open + 1..op.len() - 1]);
+        let (name, operand) = (&op[..open], op[open + 1..op.len() - 1].trim());
         if operand.is_empty() {
             return Err(self.err("empty operand".into()));
         }
@@ -188,6 +219,12 @@ impl<R: std::io::Read> Iterator for EventReader<R> {
             };
             self.line_no += 1;
             let line = raw.trim();
+            if let Some(directive) = line.strip_prefix("#!") {
+                if let Err(e) = self.apply_directive(directive.trim()) {
+                    return Some(Err(e));
+                }
+                continue;
+            }
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }

@@ -1,0 +1,85 @@
+//! Round-trip tests for the text trace format over *generated
+//! workloads*: `write_trace` → `read_trace` is the identity on every
+//! pattern the workload generator produces (fork/join desugaring, token
+//! locks, many threads), not just on fuzzed builder traces.
+
+use freshtrack_trace::{read_trace, write_trace, Trace};
+use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
+
+const PATTERNS: [Pattern; 6] = [
+    Pattern::Mixed,
+    Pattern::ProducerConsumer,
+    Pattern::Pipeline,
+    Pattern::ForkJoin,
+    Pattern::BarrierPhases,
+    Pattern::LockLadder,
+];
+
+fn assert_identity_roundtrip(label: &str, trace: &Trace) {
+    let text = write_trace(trace);
+    let parsed = read_trace(&text).unwrap_or_else(|e| panic!("[{label}] reparse failed: {e:?}"));
+
+    // Event streams are identical, position by position.
+    assert_eq!(trace.len(), parsed.len(), "[{label}] length");
+    assert_eq!(trace.events(), parsed.events(), "[{label}] events");
+
+    // Entity tables survive: counts and names.
+    assert_eq!(trace.thread_count(), parsed.thread_count(), "[{label}]");
+    assert_eq!(trace.lock_count(), parsed.lock_count(), "[{label}]");
+    assert_eq!(trace.var_count(), parsed.var_count(), "[{label}]");
+    for v in 0..trace.var_count() {
+        assert_eq!(trace.var_name(v), parsed.var_name(v), "[{label}] var {v}");
+    }
+    for l in 0..trace.lock_count() {
+        assert_eq!(
+            trace.lock_name(l),
+            parsed.lock_name(l),
+            "[{label}] lock {l}"
+        );
+    }
+
+    // The writer is a normal form, and validity survives the trip.
+    assert_eq!(text, write_trace(&parsed), "[{label}] normal form");
+    assert!(parsed.validate().is_ok(), "[{label}] validity");
+
+    // Derived statistics are a function of the events alone.
+    assert_eq!(trace.stats(), parsed.stats(), "[{label}] stats");
+}
+
+#[test]
+fn generated_workloads_roundtrip_identically() {
+    for pattern in PATTERNS {
+        for seed in [3u64, 77, 123_456] {
+            let trace = generate(
+                &WorkloadConfig::named("roundtrip")
+                    .pattern(pattern)
+                    .events(1_500)
+                    .threads(6)
+                    .seed(seed),
+            );
+            assert_identity_roundtrip(&format!("{pattern:?}/{seed}"), &trace);
+        }
+    }
+}
+
+#[test]
+fn corpus_and_benchbase_shaped_configs_roundtrip() {
+    // Configs exercising the extremes: many locks, high sync ratio, hot
+    // location contention, and an all-unprotected free-for-all.
+    let configs = [
+        WorkloadConfig::named("locky").locks(32).sync_ratio(0.8),
+        WorkloadConfig::named("hot").vars(4).hot_fraction(0.9),
+        WorkloadConfig::named("wild").unprotected(1.0),
+        WorkloadConfig::named("wide").threads(32).events(3_000),
+    ];
+    for config in configs {
+        let trace = generate(&config.events(2_000).seed(9));
+        assert_identity_roundtrip(&trace.stats().events.to_string(), &trace);
+    }
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    let trace = generate(&WorkloadConfig::named("empty").events(0));
+    assert_identity_roundtrip("empty", &trace);
+}

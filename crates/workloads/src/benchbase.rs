@@ -122,7 +122,13 @@ mod tests {
 
     #[test]
     fn excluded_benchmarks_are_absent() {
-        for name in ["noop", "resourcestresser", "ot-metrics", "chbenchmark", "tpcds"] {
+        for name in [
+            "noop",
+            "resourcestresser",
+            "ot-metrics",
+            "chbenchmark",
+            "tpcds",
+        ] {
             assert!(by_name(name).is_none(), "{name} should be excluded");
         }
     }

@@ -42,6 +42,7 @@ impl CorpusBenchmark {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench(
     name: &'static str,
     threads: u32,
@@ -74,7 +75,16 @@ pub fn corpus() -> Vec<CorpusBenchmark> {
     vec![
         bench("wronglock", 3, 2, 8, 800, 0.25, 0.3, Mixed),
         bench("twostage", 3, 2, 8, 1_000, 0.3, 0.4, Mixed),
-        bench("producerconsumer", 4, 1, 16, 1_500, 0.45, 0.9, ProducerConsumer),
+        bench(
+            "producerconsumer",
+            4,
+            1,
+            16,
+            1_500,
+            0.45,
+            0.9,
+            ProducerConsumer,
+        ),
         bench("mergesort", 5, 4, 32, 2_000, 0.2, 0.5, ForkJoin),
         bench("lusearch", 8, 8, 128, 3_000, 0.25, 0.6, Mixed),
         bench("tsp", 6, 4, 64, 4_000, 0.2, 0.5, Mixed),

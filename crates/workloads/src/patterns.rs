@@ -55,9 +55,7 @@ pub fn pipeline(config: &WorkloadConfig) -> Trace {
     let stages = config.n_threads.max(2);
     let locks: Vec<_> = (0..stages).map(|s| b.lock(&format!("stage{s}"))).collect();
     let cells: Vec<_> = (0..stages).map(|s| b.var(&format!("cell{s}"))).collect();
-    let scratch: Vec<_> = (0..stages)
-        .map(|s| b.var(&format!("scratch{s}")))
-        .collect();
+    let scratch: Vec<_> = (0..stages).map(|s| b.var(&format!("scratch{s}"))).collect();
 
     // item → next stage to run. A bounded window of items is in flight.
     // Every access to cell `k` happens under lock `k`, so hand-offs are
@@ -89,11 +87,7 @@ pub fn fork_join(config: &WorkloadConfig) -> Trace {
     let mut b = TraceBuilder::new();
     let workers = config.n_threads.max(2) - 1;
     let part: Vec<Vec<_>> = (0..workers)
-        .map(|w| {
-            (0..4)
-                .map(|i| b.var(&format!("part{w}_{i}")))
-                .collect()
-        })
+        .map(|w| (0..4).map(|i| b.var(&format!("part{w}_{i}"))).collect())
         .collect();
     let shared_lock = b.lock("shared");
     let shared = b.var("shared");
@@ -169,17 +163,21 @@ pub fn barrier_phases(config: &WorkloadConfig) -> Trace {
         // Barrier, leader = thread 0: workers signal arrival, leader
         // collects, then signals departure.
         for &t in order.iter().filter(|&&t| t != 0) {
-            b.acquire(t, arrive[t as usize]).release(t, arrive[t as usize]);
+            b.acquire(t, arrive[t as usize])
+                .release(t, arrive[t as usize]);
         }
         for t in 1..threads {
-            b.acquire(0, arrive[t as usize]).release(0, arrive[t as usize]);
+            b.acquire(0, arrive[t as usize])
+                .release(0, arrive[t as usize]);
         }
         for t in 1..threads {
-            b.acquire(0, depart[t as usize]).release(0, depart[t as usize]);
+            b.acquire(0, depart[t as usize])
+                .release(0, depart[t as usize]);
         }
         shuffle(&mut rng, &mut order);
         for &t in order.iter().filter(|&&t| t != 0) {
-            b.acquire(t, depart[t as usize]).release(t, depart[t as usize]);
+            b.acquire(t, depart[t as usize])
+                .release(t, depart[t as usize]);
         }
         // Read neighbours' partitions — ordered through the barrier.
         shuffle(&mut rng, &mut order);
@@ -192,17 +190,21 @@ pub fn barrier_phases(config: &WorkloadConfig) -> Trace {
         // Second barrier: the next phase's writes must be ordered after
         // this phase's reads, exactly as a real phase barrier ensures.
         for &t in order.iter().filter(|&&t| t != 0) {
-            b.acquire(t, arrive[t as usize]).release(t, arrive[t as usize]);
+            b.acquire(t, arrive[t as usize])
+                .release(t, arrive[t as usize]);
         }
         for t in 1..threads {
-            b.acquire(0, arrive[t as usize]).release(0, arrive[t as usize]);
+            b.acquire(0, arrive[t as usize])
+                .release(0, arrive[t as usize]);
         }
         for t in 1..threads {
-            b.acquire(0, depart[t as usize]).release(0, depart[t as usize]);
+            b.acquire(0, depart[t as usize])
+                .release(0, depart[t as usize]);
         }
         shuffle(&mut rng, &mut order);
         for &t in order.iter().filter(|&&t| t != 0) {
-            b.acquire(t, depart[t as usize]).release(t, depart[t as usize]);
+            b.acquire(t, depart[t as usize])
+                .release(t, depart[t as usize]);
         }
     }
     b.build()
@@ -232,12 +234,12 @@ pub fn lock_ladder(config: &WorkloadConfig) -> Trace {
         }
         b.write(a, x);
         // a releases bottom-up; c chases, writing between rungs.
-        for l in 0..rungs {
-            b.release(a, locks[l]);
+        for &lock in locks.iter().take(rungs) {
+            b.release(a, lock);
             b.write(a, x);
-            b.acquire(c, locks[l]);
+            b.acquire(c, lock);
             b.write(c, x);
-            b.release(c, locks[l]);
+            b.release(c, lock);
         }
     }
     b.build()

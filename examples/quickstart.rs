@@ -18,7 +18,10 @@ fn main() {
     // T0 updates the balance under the account lock…
     b.acquire(0, l).write(0, balance).release(0, l);
     // …T1 does too (no race)…
-    b.acquire(1, l).read(1, balance).write(1, balance).release(1, l);
+    b.acquire(1, l)
+        .read(1, balance)
+        .write(1, balance)
+        .release(1, l);
     // …but both append to the audit log without any lock (race!).
     b.write(0, audit);
     b.write(1, audit);

@@ -43,7 +43,9 @@
 
 pub use freshtrack_clock as clock;
 pub use freshtrack_core as core;
+#[cfg(feature = "online")]
 pub use freshtrack_dbsim as dbsim;
+#[cfg(feature = "offline")]
 pub use freshtrack_rapid as rapid;
 pub use freshtrack_sampling as sampling;
 pub use freshtrack_trace as trace;

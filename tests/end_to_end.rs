@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use freshtrack::core::{
-    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
-    OrderedListDetector,
+    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, OrderedListDetector,
 };
 use freshtrack::dbsim::{run_benchmark, DetectorInstrument, NoInstrument, RunOptions};
 use freshtrack::rapid::{run_engine, run_offline, EngineConfig, EngineKind};
@@ -131,7 +130,12 @@ fn offline_runner_covers_benchmark_engine_product() {
         assert_eq!(s.runs, 2);
         assert!(s.counters.events > 0);
         // The headline claim: plenty of sync work is skipped.
-        assert!(s.counters.acquires_skipped > 0, "{}/{}", s.benchmark, s.engine);
+        assert!(
+            s.counters.acquires_skipped > 0,
+            "{}/{}",
+            s.benchmark,
+            s.engine
+        );
     }
     // SU and SO report identical race counts per benchmark.
     for bench in &benchmarks {
