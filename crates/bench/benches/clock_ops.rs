@@ -44,6 +44,16 @@ fn bench_vector_clock(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.bench_function("release_assign_64", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.assign_from(&b);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.bench_function("leq_64", |bench| bench.iter(|| black_box(a.leq(&b))));
     g.finish();
 }
@@ -76,12 +86,48 @@ fn bench_ordered_list(c: &mut Criterion) {
         });
     }
     g.bench_function("deep_clone_64", |bench| bench.iter(|| black_box(a.clone())));
+    g.bench_function("deep_clone_8", |bench| {
+        let small: OrderedList = (0..8).map(|t| (ThreadId::new(t), t as u64 + 1)).collect();
+        bench.iter(|| black_box(small.clone()))
+    });
+    for d in [4usize, 16, 64] {
+        // The acquire hot path: fold the first `d` fresh entries of a
+        // donor into a stale clone.
+        g.bench_with_input(BenchmarkId::new("join_prefix", d), &d, |bench, &d| {
+            let mut donor = dense_list(0);
+            for i in 0..d {
+                donor.set(ThreadId::new(i as u32), 10_000 + i as u64);
+            }
+            bench.iter_batched(
+                || a.clone(),
+                |mut x| {
+                    black_box(x.join_prefix(&donor, d));
+                    x
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("join_dense_64", |bench| {
+        let mut donor = dense_list(0);
+        for i in 0..THREADS {
+            donor.set(ThreadId::new(i as u32), 10_000 + i as u64);
+        }
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                black_box(x.join(&donor));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 
 fn bench_shared_clock(c: &mut Criterion) {
     let mut g = c.benchmark_group("shared_clock");
-    let base = SharedClock::from_list(dense_list(0));
+    let mut base = SharedClock::from_list(dense_list(0));
     g.bench_function("shallow_copy", |bench| {
         bench.iter(|| black_box(base.shallow_copy()))
     });
@@ -98,7 +144,7 @@ fn bench_shared_clock(c: &mut Criterion) {
     g.bench_function("mutate_shared_deep_copy", |bench| {
         bench.iter_batched(
             || {
-                let x = SharedClock::from_list(dense_list(0));
+                let mut x = SharedClock::from_list(dense_list(0));
                 let alias = x.shallow_copy();
                 (x, alias)
             },
@@ -108,6 +154,27 @@ fn bench_shared_clock(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+    g.bench_function("release_acquire_cycle_d16", |bench| {
+        // The SO sync cycle: release hands the lock a shallow copy, the
+        // acquirer prefix-joins 16 fresh entries while its own clock is
+        // still aliased (one lazy deep copy).
+        let mut tick = 100_000u64;
+        let mut releaser = SharedClock::from_list(dense_list(0));
+        let mut acquirer = SharedClock::from_list(dense_list(1));
+        let mut lock_a = releaser.shallow_copy();
+        let mut lock_b = acquirer.shallow_copy();
+        bench.iter(|| {
+            for i in 0..16u32 {
+                tick += 1;
+                releaser.set(ThreadId::new(8 + i), tick);
+            }
+            lock_a = releaser.shallow_copy();
+            let res = acquirer.join_prefix(lock_a.list(), 16);
+            std::mem::swap(&mut releaser, &mut acquirer);
+            std::mem::swap(&mut lock_a, &mut lock_b);
+            black_box(res)
+        })
     });
     g.finish();
 }

@@ -18,7 +18,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use freshtrack_clock::{OrderedList, SharedClock, ThreadId, Time, TreeClock, VectorClock};
+use freshtrack_clock::{
+    ClockSnapshot, OrderedList, SharedClock, ThreadId, Time, TreeClock, VectorClock,
+};
 use freshtrack_trace::{EventKind, Trace};
 use freshtrack_workloads::{generate, WorkloadConfig};
 
@@ -103,7 +105,7 @@ fn run_ordered_sampling(trace: &Trace, rate: f64) -> u64 {
         epoch: Time,
     }
     struct Lock {
-        list: Option<SharedClock>,
+        list: Option<ClockSnapshot>,
         releaser: ThreadId,
         fresh: Time,
     }
@@ -132,23 +134,14 @@ fn run_ordered_sampling(trace: &Trace, rate: f64) -> u64 {
                     continue; // freshness skip
                 }
                 let d = lock.fresh - thread.fresh.get(lock.releaser);
-                let lock_list = lock
-                    .list
-                    .as_ref()
-                    .expect("fresh lock has list")
-                    .shallow_copy();
                 let (lr, lf) = (lock.releaser, lock.fresh);
+                let donor = lock.list.as_ref().expect("fresh lock has list").list();
                 let thread = &mut threads[event.tid.index()];
                 thread.fresh.set(lr, lf);
-                for (u, n) in lock_list.list().first(d as usize) {
-                    if n > thread.list.get(u) {
-                        let (list, _) = thread.list.make_mut();
-                        list.set(u, n);
-                        let tf = thread.fresh.get(event.tid) + 1;
-                        thread.fresh.set(event.tid, tf);
-                        acc += 1;
-                    }
-                }
+                let res = thread.list.join_prefix(donor, d as usize);
+                let tf = thread.fresh.get(event.tid) + res.changed as u64;
+                thread.fresh.set(event.tid, tf);
+                acc += res.changed as u64;
             }
             EventKind::Release(l) => {
                 release_counter += 1;
@@ -161,7 +154,7 @@ fn run_ordered_sampling(trace: &Trace, rate: f64) -> u64 {
                     thread.fresh.set(event.tid, tf);
                 }
                 let lock = &mut locks[l.index()];
-                lock.list = Some(thread.list.shallow_copy());
+                lock.list = Some(thread.list.snapshot());
                 lock.releaser = event.tid;
                 lock.fresh = thread.fresh.get(event.tid);
             }

@@ -1,0 +1,520 @@
+//! Records clock-operation baselines as machine-readable JSON.
+//!
+//! This is the measurement half of the repo's measure→optimize→document
+//! loop (see `ARCHITECTURE.md` § Performance model): it times the clock
+//! operations that dominate per-synchronization cost in the detectors —
+//! the Djit+/FastTrack release copy, the SO release/acquire cycle over
+//! [`SharedClock`], and ordered-list joins — and emits their medians as
+//! JSON so successive PRs can record before/after trajectories.
+//!
+//! Usage:
+//!
+//! ```text
+//! record_baseline --label before --out BENCH_before.json
+//! # ...optimize...
+//! record_baseline --label after --baseline BENCH_before.json \
+//!     --out BENCH_clock_ops.json
+//! ```
+//!
+//! With `--baseline`, the previous run is embedded under `runs.<label>`
+//! and per-op `improvement_pct` (positive = faster) is computed from the
+//! two medians. The ops mirror `crates/bench/benches/clock_ops.rs`; this
+//! binary exists because the vendored criterion shim only prints text,
+//! while the trajectory file must be diffable and machine-readable.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use freshtrack_clock::{
+    ClockSnapshot, FreshnessClock, OrderedList, SharedClock, ThreadId, VectorClock,
+};
+
+/// Thread count for the dense-clock ops (matches the criterion benches).
+const THREADS: usize = 64;
+/// Fresh-entry depth for the SO acquire partial traversal.
+const D: usize = 16;
+
+fn t(i: usize) -> ThreadId {
+    ThreadId::new(i as u32)
+}
+
+fn dense_clock(offset: u64) -> VectorClock {
+    (0..THREADS)
+        .map(|i| (t(i), (i as u64 * 7 + offset) % 100 + 1))
+        .collect()
+}
+
+fn dense_list(offset: u64) -> OrderedList {
+    (0..THREADS)
+        .map(|i| (t(i), (i as u64 * 7 + offset) % 100 + 1))
+        .collect()
+}
+
+/// One measured sample: a timed batch of `iters` identical operations.
+struct Sample {
+    elapsed: Duration,
+    iters: u64,
+}
+
+struct OpStats {
+    name: &'static str,
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Times `batch` (which runs a prepared batch and reports its size),
+/// returning per-iteration statistics over `samples` batches.
+fn measure(name: &'static str, samples: usize, mut batch: impl FnMut() -> Sample) -> OpStats {
+    // Warm-up: fill caches, trigger lazy allocation, settle the branch
+    // predictor on the op's steady state.
+    for _ in 0..3 {
+        batch();
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let s = batch();
+            s.elapsed.as_nanos() as f64 / s.iters.max(1) as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median_ns = per_iter[per_iter.len() / 2];
+    let min_ns = per_iter[0];
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let iters = batch().iters;
+    eprintln!("{name:<32} median {median_ns:>9.1} ns/op  (min {min_ns:>9.1}, mean {mean_ns:>9.1})");
+    OpStats {
+        name,
+        median_ns,
+        min_ns,
+        mean_ns,
+        samples,
+        iters_per_sample: iters,
+    }
+}
+
+/// The Djit+/FastTrack release hot path: overwrite the lock clock with
+/// the releasing thread's clock (`Cℓ ← C_t`). Alternates two sources so
+/// every copy actually changes entries, like real releases do.
+fn vc_release_copy(samples: usize) -> OpStats {
+    let a = dense_clock(0);
+    let b = dense_clock(3);
+    let mut lock = VectorClock::new();
+    measure("vc_release_copy_64", samples, move || {
+        const K: u64 = 4096;
+        let start = Instant::now();
+        for i in 0..K {
+            if i & 1 == 0 {
+                lock.assign_from(&a);
+            } else {
+                lock.assign_from(&b);
+            }
+            black_box(&lock);
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K,
+        }
+    })
+}
+
+/// Redundant-acquire join: the lock clock is already contained in the
+/// thread clock, so the join scans but changes nothing — the common case
+/// the freshness fast path exists to avoid entirely.
+fn vc_join_redundant(samples: usize) -> OpStats {
+    let lock = dense_clock(0);
+    let mut thread = dense_clock(0);
+    thread.join(&dense_clock(3));
+    measure("vc_join_redundant_64", samples, move || {
+        const K: u64 = 4096;
+        let start = Instant::now();
+        for _ in 0..K {
+            black_box(thread.join(&lock));
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K,
+        }
+    })
+}
+
+/// Dense ordered-list join: every entry of `other` improves `self`.
+/// Inputs are re-cloned per batch (untimed) because a join saturates.
+fn ordered_join_dense(samples: usize) -> OpStats {
+    let base = dense_list(0);
+    let mut fresh = dense_list(0);
+    for i in 0..THREADS {
+        fresh.set(t(i), 1_000 + i as u64);
+    }
+    measure("ordered_join_dense_64", samples, move || {
+        const K: usize = 512;
+        let mut targets: Vec<OrderedList> = (0..K).map(|_| base.clone()).collect();
+        let start = Instant::now();
+        for target in &mut targets {
+            black_box(target.join(&fresh));
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K as u64,
+        }
+    })
+}
+
+/// Sparse ordered-list join: only 4 of 64 entries improve, but the donor
+/// list must still be traversed in full.
+fn ordered_join_sparse(samples: usize) -> OpStats {
+    let base = dense_list(0);
+    let mut fresh = base.clone();
+    for i in 0..4 {
+        fresh.set(t(i * 16), 2_000 + i as u64);
+    }
+    measure("ordered_join_sparse_64", samples, move || {
+        const K: usize = 512;
+        let mut targets: Vec<OrderedList> = (0..K).map(|_| base.clone()).collect();
+        let start = Instant::now();
+        for target in &mut targets {
+            black_box(target.join(&fresh));
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K as u64,
+        }
+    })
+}
+
+/// The SO acquire partial join in isolation: the lock carries `D` fresh
+/// entries at the head of its ordered list; the acquiring thread joins
+/// exactly that prefix into its own (exclusively owned) clock and bumps
+/// its freshness counter per learned entry — the inner loop of
+/// `OrderedListDetector::handle_acquire`.
+fn so_acquire_prefix(samples: usize) -> OpStats {
+    let tid = t(0);
+    let mut lock_template = dense_list(0);
+    for i in 0..D {
+        lock_template.set(t(THREADS - 1 - i), 5_000 + i as u64);
+    }
+    let mut lock = SharedClock::from_list(lock_template);
+    let base = dense_list(0);
+    let mut fresh_base = FreshnessClock::new();
+    fresh_base.set(t(THREADS - 1), 1);
+    measure("so_acquire_prefix_64_d16", samples, move || {
+        const K: usize = 512;
+        let mut threads: Vec<(SharedClock, FreshnessClock)> = (0..K)
+            .map(|_| (SharedClock::from_list(base.clone()), fresh_base.clone()))
+            .collect();
+        let lock_list = lock.snapshot();
+        let start = Instant::now();
+        for (list, fresh) in &mut threads {
+            // Mirrors OrderedListDetector::handle_acquire's prefix join.
+            let res = list.join_prefix(lock_list.list(), D);
+            fresh.bump_by(tid, res.changed as u64);
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K as u64,
+        }
+    })
+}
+
+/// A full SO release/acquire cycle between two threads and two locks,
+/// exercising every lazy-copy state: the releaser mutates its still-
+/// shared clock (one deep copy), hands the lock an `O(1)` shallow
+/// reference, and the acquirer — whose own clock is still aliased by the
+/// *other* lock — partially joins the fresh prefix (second deep copy).
+fn so_release_acquire(samples: usize) -> OpStats {
+    struct Sim {
+        tid: ThreadId,
+        list: SharedClock,
+        fresh: FreshnessClock,
+    }
+    let mk = |i: usize| Sim {
+        tid: t(i),
+        list: SharedClock::from_list(dense_list(i as u64)),
+        fresh: FreshnessClock::new(),
+    };
+    let mut sims = [mk(0), mk(1)];
+    let mut locks: [Option<ClockSnapshot>; 2] = [None, None];
+    // Pre-share: each thread's clock starts aliased by "its" lock.
+    locks[0] = Some(sims[0].list.snapshot());
+    locks[1] = Some(sims[1].list.snapshot());
+    let mut tick: u64 = 10_000;
+    measure("so_release_acquire_64_d16", samples, move || {
+        const K: usize = 512;
+        let start = Instant::now();
+        for round in 0..K {
+            let (rel, acq) = (round & 1, (round & 1) ^ 1);
+            // The releaser learned D fresh entries since its last
+            // release (its clock is still aliased by lockₓ, so the
+            // first write pays the lazy deep copy).
+            for i in 0..D {
+                tick += 1;
+                sims[rel].list.set(t(8 + i), tick);
+            }
+            sims[rel].fresh.bump_by(sims[rel].tid, D as u64);
+            // Release: O(1) shallow hand-off to the releaser's lock.
+            locks[rel] = Some(sims[rel].list.snapshot());
+            // Acquire: the other thread joins the fresh prefix; its own
+            // clock is aliased by its lock, so the (single) batch
+            // copy-on-write resolution deep-copies.
+            let acq_tid = sims[acq].tid;
+            let donor = locks[rel].as_ref().expect("released").list();
+            let res = sims[acq].list.join_prefix(donor, D);
+            sims[acq].fresh.bump_by(acq_tid, res.changed as u64);
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K as u64,
+        }
+    })
+}
+
+/// Context: single hot `set` (arena write + move-to-front relink).
+fn ordered_set_hot(samples: usize) -> OpStats {
+    let mut list = dense_list(0);
+    let mut v = 1_000u64;
+    measure("ordered_set_hot_64", samples, move || {
+        const K: u64 = 4096;
+        let start = Instant::now();
+        for i in 0..K {
+            v += 1;
+            list.set(t((i % 61) as usize), v);
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K,
+        }
+    })
+}
+
+/// Context: the `O(1)` release-side shallow copy (the pointer-sized
+/// lock-facing snapshot detectors actually store).
+fn shared_shallow_copy(samples: usize) -> OpStats {
+    let mut base = SharedClock::from_list(dense_list(0));
+    measure("shared_shallow_copy_64", samples, move || {
+        const K: u64 = 4096;
+        let start = Instant::now();
+        for _ in 0..K {
+            black_box(base.snapshot());
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K,
+        }
+    })
+}
+
+/// Context: deep clone of a short (8-thread) list — the case inline
+/// small-vec storage exists for.
+fn ordered_clone_small(samples: usize) -> OpStats {
+    let list: OrderedList = (0..8).map(|i| (t(i), i as u64 + 1)).collect();
+    measure("ordered_clone_8", samples, move || {
+        const K: u64 = 4096;
+        let start = Instant::now();
+        for _ in 0..K {
+            black_box(list.clone());
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K,
+        }
+    })
+}
+
+/// Context: building a short list from scratch (allocation pressure of
+/// fresh per-thread/per-lock clocks).
+fn ordered_build_small(samples: usize) -> OpStats {
+    measure("ordered_build_8", samples, move || {
+        const K: u64 = 4096;
+        let start = Instant::now();
+        for _ in 0..K {
+            let mut l = OrderedList::new();
+            for i in 0..8 {
+                l.set(t(i), i as u64 + 1);
+            }
+            black_box(&l);
+        }
+        Sample {
+            elapsed: start.elapsed(),
+            iters: K,
+        }
+    })
+}
+
+fn run_all(samples: usize) -> Vec<OpStats> {
+    vec![
+        vc_release_copy(samples),
+        vc_join_redundant(samples),
+        ordered_join_dense(samples),
+        ordered_join_sparse(samples),
+        so_acquire_prefix(samples),
+        so_release_acquire(samples),
+        ordered_set_hot(samples),
+        shared_shallow_copy(samples),
+        ordered_clone_small(samples),
+        ordered_build_small(samples),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn run_json(label: &str, ops: &[OpStats]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"freshtrack/clock-ops-run/v1\",\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(label)));
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str(&format!("  \"acquire_depth\": {D},\n"));
+    out.push_str("  \"ops\": {\n");
+    for (i, op) in ops.iter().enumerate() {
+        let comma = if i + 1 == ops.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {:.2}, \"min_ns\": {:.2}, \"mean_ns\": {:.2}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            op.name, op.median_ns, op.min_ns, op.mean_ns, op.samples, op.iters_per_sample, comma
+        ));
+    }
+    out.push_str("  }\n}");
+    out
+}
+
+/// Extracts `(op, median_ns)` pairs from a previous run's JSON. Only
+/// this binary's own output shape is supported — enough to compute
+/// improvements without a JSON parser dependency.
+fn parse_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some((name_part, rest)) = line.split_once("\": {\"median_ns\": ") else {
+            continue;
+        };
+        let name = name_part.trim_start_matches('"');
+        let median: f64 = rest
+            .split(',')
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(f64::NAN);
+        if median.is_finite() {
+            out.push((name.to_string(), median));
+        }
+    }
+    out
+}
+
+/// Extracts the `"label"` of a previous run's JSON (defaults to
+/// `"before"`).
+fn parse_label(json: &str) -> String {
+    json.lines()
+        .find_map(|l| {
+            l.trim()
+                .strip_prefix("\"label\": \"")
+                .and_then(|rest| rest.split('"').next())
+        })
+        .unwrap_or("before")
+        .to_string()
+}
+
+fn indent(block: &str, pad: &str) -> String {
+    block
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut samples = 40usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = Some(args.next().expect("--out needs a value")),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .expect("--samples needs a value")
+                    .parse()
+                    .expect("--samples must be an integer")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "record_baseline [--label NAME] [--out FILE] [--baseline FILE] [--samples N]"
+                );
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let ops = run_all(samples);
+    let this_run = run_json(&label, &ops);
+
+    let json = match &baseline_path {
+        None => format!("{this_run}\n"),
+        Some(path) => {
+            let baseline = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            let base_label = parse_label(&baseline);
+            let base_medians = parse_medians(&baseline);
+            let mut improvements = Vec::new();
+            for op in &ops {
+                if let Some((_, before)) = base_medians.iter().find(|(n, _)| n == op.name) {
+                    let pct = (before - op.median_ns) / before * 100.0;
+                    improvements.push((op.name, pct));
+                    eprintln!(
+                        "{:<32} {:>9.1} → {:>9.1} ns/op  ({:+.1}%)",
+                        op.name, before, op.median_ns, -pct
+                    );
+                }
+            }
+            let mut out = String::new();
+            out.push_str("{\n");
+            out.push_str("  \"schema\": \"freshtrack/clock-ops-trajectory/v1\",\n");
+            out.push_str("  \"benchmark\": \"clock_ops\",\n");
+            out.push_str(&format!(
+                "  \"note\": \"medians in ns/op; improvement_pct is ({}−{})/{} — positive means faster\",\n",
+                json_escape(&base_label), json_escape(&label), json_escape(&base_label)
+            ));
+            out.push_str("  \"improvement_pct\": {\n");
+            for (i, (name, pct)) in improvements.iter().enumerate() {
+                let comma = if i + 1 == improvements.len() { "" } else { "," };
+                out.push_str(&format!("    \"{name}\": {pct:.1}{comma}\n"));
+            }
+            out.push_str("  },\n");
+            out.push_str("  \"runs\": {\n");
+            out.push_str(&format!(
+                "    \"{}\": {},\n",
+                json_escape(&base_label),
+                indent(baseline.trim(), "    ")
+            ));
+            out.push_str(&format!(
+                "    \"{}\": {}\n",
+                json_escape(&label),
+                indent(&this_run, "    ")
+            ));
+            out.push_str("  }\n}\n");
+            out
+        }
+    };
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

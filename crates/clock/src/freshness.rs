@@ -83,6 +83,13 @@ impl FreshnessClock {
         self.0.copy_from(&other.0)
     }
 
+    /// Overwrites `self` with a copy of `other` without counting changes
+    /// — the release hot path (see [`VectorClock::assign_from`]).
+    #[inline]
+    pub fn assign_from(&mut self, other: &FreshnessClock) {
+        self.0.assign_from(&other.0);
+    }
+
     /// Pointwise comparison.
     #[inline]
     pub fn leq(&self, other: &FreshnessClock) -> bool {

@@ -15,11 +15,21 @@
 //!   most recently updated entries can be traversed first.
 //! * [`SharedClock`] — lazy ("shallow") copying of ordered lists between
 //!   threads and locks, with deep-copy-on-write (Section 5, "A holistic
-//!   solution — lazy copy").
+//!   solution — lazy copy"). A two-state `Owned`/`Shared` design makes
+//!   exclusive mutation free of reference-count traffic; locks hold the
+//!   pointer-sized read-only [`ClockSnapshot`], and batch joins
+//!   ([`SharedClock::join_prefix`]) resolve the sharing state once per
+//!   synchronization, not per entry.
 //!
 //! All clocks treat missing entries as `0` (the `⊥` timestamp), matching
 //! the paper's convention `max ∅ = 0`, so they can grow lazily as threads
 //! appear.
+//!
+//! The cost model these types implement — which operations are `O(1)`,
+//! which are `O(d)`, and where the lazy deep copies land — is documented
+//! in `ARCHITECTURE.md` § Performance model at the repository root,
+//! together with the recorded before/after medians in
+//! `BENCH_clock_ops.json`.
 //!
 //! # Example
 //!
@@ -55,7 +65,7 @@ mod vector_clock;
 pub use epoch::Epoch;
 pub use freshness::FreshnessClock;
 pub use ordered_list::{OrderedList, RecentEntries};
-pub use shared::SharedClock;
+pub use shared::{ClockSnapshot, PrefixJoin, SharedClock};
 pub use thread_id::ThreadId;
 pub use tree_clock::TreeClock;
 pub use vector_clock::VectorClock;

@@ -4,11 +4,124 @@ use crate::{ThreadId, Time, VectorClock};
 
 const NIL: u32 = u32::MAX;
 
+/// Entries stored inline before spilling to the heap.
+///
+/// Most analyzed executions have far fewer threads than this (the
+/// paper's online evaluation uses 12 worker threads; its offline corpus
+/// averages under 10), so the common case — thread/lock clocks created
+/// per detector state — never allocates. A [`Node`] is 16 bytes, so the
+/// inline arena costs 128 bytes of struct space, well under one cache
+/// line pair.
+const INLINE: usize = 8;
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Node {
     time: Time,
     prev: u32,
     next: u32,
+}
+
+const ZERO_NODE: Node = Node {
+    time: 0,
+    prev: NIL,
+    next: NIL,
+};
+
+/// Arena storage for [`OrderedList`] nodes: a fixed inline array for
+/// short clocks, spilling to a `Vec` past [`INLINE`] threads.
+///
+/// This is the "small-vec" half of the hot-path optimization pass: a
+/// bottom list is allocation-free, and deep copies of short clocks are
+/// a straight memcpy with no heap traffic. All hot-path accesses go
+/// through [`as_slice`](NodeStore::as_slice) /
+/// [`as_mut_slice`](NodeStore::as_mut_slice), which cost one
+/// predictable branch.
+#[derive(Clone, Debug)]
+enum NodeStore {
+    Inline { nodes: [Node; INLINE], len: u8 },
+    Heap(Vec<Node>),
+}
+
+impl NodeStore {
+    #[inline]
+    const fn new() -> Self {
+        NodeStore::Inline {
+            nodes: [ZERO_NODE; INLINE],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            NodeStore::Inline { len, .. } => *len as usize,
+            NodeStore::Heap(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Node] {
+        match self {
+            NodeStore::Inline { nodes, len } => &nodes[..*len as usize],
+            NodeStore::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Node] {
+        match self {
+            NodeStore::Inline { nodes, len } => &mut nodes[..*len as usize],
+            NodeStore::Heap(v) => v,
+        }
+    }
+
+    fn push(&mut self, node: Node) {
+        match self {
+            NodeStore::Inline { nodes, len } => {
+                let l = *len as usize;
+                if l < INLINE {
+                    nodes[l] = node;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE * 2);
+                    v.extend_from_slice(&nodes[..]);
+                    v.push(node);
+                    *self = NodeStore::Heap(v);
+                }
+            }
+            NodeStore::Heap(v) => v.push(node),
+        }
+    }
+}
+
+/// Unlinks node `idx` and relinks it at the head of the recency chain.
+///
+/// Free function over the raw arena so callers can keep a hoisted
+/// `&mut [Node]` across a batch of updates (the join hot loop) instead
+/// of re-resolving the store per touched entry.
+#[inline]
+fn relink_front(nodes: &mut [Node], head: &mut u32, tail: &mut u32, idx: u32) {
+    if *head == idx {
+        return;
+    }
+    let Node { prev, next, .. } = nodes[idx as usize];
+    if prev != NIL {
+        nodes[prev as usize].next = next;
+    }
+    if next != NIL {
+        nodes[next as usize].prev = prev;
+    } else {
+        *tail = prev;
+    }
+    let old_head = *head;
+    nodes[idx as usize].prev = NIL;
+    nodes[idx as usize].next = old_head;
+    if old_head != NIL {
+        nodes[old_head as usize].prev = idx;
+    } else {
+        *tail = idx;
+    }
+    *head = idx;
 }
 
 /// The paper's *ordered list* (Section 5): a vector timestamp stored as a
@@ -21,6 +134,17 @@ struct Node {
 /// move the touched node to the head, so a reader that knows (via the
 /// freshness timestamp) that only `d` entries can possibly be newer needs
 /// to traverse only the first `d` nodes (`O[0:d]` in Algorithm 4).
+///
+/// # Performance model
+///
+/// See `ARCHITECTURE.md` § Performance model for the full cost table.
+/// In short: `get`/`set`/`increment` are `O(1)` arena operations;
+/// [`join_prefix`](OrderedList::join_prefix) is `O(d)` in the traversed
+/// prefix; the arena lives inline (no heap allocation) up to 8 threads
+/// and spills to a `Vec` beyond that. The *recency-prefix invariant* —
+/// entries modified since any past moment form a prefix of the chain —
+/// is what makes the `O(d)` partial traversal sound; it is enforced by
+/// `crates/clock/tests/proptests.rs` (`recency_prefix_invariant`).
 ///
 /// # Example
 ///
@@ -47,18 +171,24 @@ struct Node {
 /// assert_eq!(order[0], (t(0), 7));
 /// assert_eq!(order[1], (t(3), 6));
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct OrderedList {
-    nodes: Vec<Node>,
+    store: NodeStore,
     head: u32,
     tail: u32,
 }
 
+impl Default for OrderedList {
+    fn default() -> Self {
+        OrderedList::new()
+    }
+}
+
 impl OrderedList {
-    /// Creates the empty (bottom) ordered list.
-    pub fn new() -> Self {
+    /// Creates the empty (bottom) ordered list. Allocation-free.
+    pub const fn new() -> Self {
         OrderedList {
-            nodes: Vec::new(),
+            store: NodeStore::new(),
             head: NIL,
             tail: NIL,
         }
@@ -75,18 +205,18 @@ impl OrderedList {
     /// Number of threads represented (allocated nodes).
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.store.len()
     }
 
     /// Returns `true` if the list has no allocated entries.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.store.len() == 0
     }
 
     /// Returns `true` if every entry is zero.
     pub fn is_bottom(&self) -> bool {
-        self.nodes.iter().all(|n| n.time == 0)
+        self.store.as_slice().iter().all(|n| n.time == 0)
     }
 
     /// Grows the arena so that threads `0..threads` all have nodes.
@@ -95,15 +225,15 @@ impl OrderedList {
     /// recent position): a zero entry can never carry new information, so
     /// it must not displace genuinely fresh entries from the head prefix.
     pub fn ensure_thread_count(&mut self, threads: usize) {
-        while self.nodes.len() < threads {
-            let idx = self.nodes.len() as u32;
-            self.nodes.push(Node {
+        while self.store.len() < threads {
+            let idx = self.store.len() as u32;
+            self.store.push(Node {
                 time: 0,
                 prev: self.tail,
                 next: NIL,
             });
             if self.tail != NIL {
-                self.nodes[self.tail as usize].next = idx;
+                self.store.as_mut_slice()[self.tail as usize].next = idx;
             } else {
                 self.head = idx;
             }
@@ -114,25 +244,34 @@ impl OrderedList {
     /// `O.get(tid)`: the entry for `tid` (zero if never allocated). `O(1)`.
     #[inline]
     pub fn get(&self, tid: ThreadId) -> Time {
-        self.nodes.get(tid.index()).map_or(0, |n| n.time)
+        self.store.as_slice().get(tid.index()).map_or(0, |n| n.time)
     }
 
     /// `O.set(tid, time)`: writes the entry and moves it to the head of
-    /// the recency order. `O(1)`.
+    /// the recency order. `O(1)`; grows the arena only when `tid` is new.
+    #[inline]
     pub fn set(&mut self, tid: ThreadId, time: Time) {
-        self.ensure_thread_count(tid.index() + 1);
-        self.nodes[tid.index()].time = time;
-        self.move_to_front(tid.index() as u32);
+        let idx = tid.index();
+        if idx >= self.store.len() {
+            self.ensure_thread_count(idx + 1);
+        }
+        let nodes = self.store.as_mut_slice();
+        nodes[idx].time = time;
+        relink_front(nodes, &mut self.head, &mut self.tail, idx as u32);
     }
 
     /// `O.increment(tid, k)`: adds `k` to the entry and moves it to the
     /// head. Returns the new value. `O(1)`.
+    #[inline]
     pub fn increment(&mut self, tid: ThreadId, k: Time) -> Time {
-        self.ensure_thread_count(tid.index() + 1);
-        let node = &mut self.nodes[tid.index()];
-        node.time += k;
-        let time = node.time;
-        self.move_to_front(tid.index() as u32);
+        let idx = tid.index();
+        if idx >= self.store.len() {
+            self.ensure_thread_count(idx + 1);
+        }
+        let nodes = self.store.as_mut_slice();
+        nodes[idx].time += k;
+        let time = nodes[idx].time;
+        relink_front(nodes, &mut self.head, &mut self.tail, idx as u32);
         time
     }
 
@@ -140,7 +279,7 @@ impl OrderedList {
     /// updated — the order Algorithm 4 traverses `Oℓ[0:d]`.
     pub fn iter_recent(&self) -> RecentEntries<'_> {
         RecentEntries {
-            list: self,
+            nodes: self.store.as_slice(),
             cursor: self.head,
         }
     }
@@ -153,28 +292,96 @@ impl OrderedList {
 
     /// Pointwise-maximum join `self ← self ⊔ other`, moving every changed
     /// entry to the head. Returns the number of entries that changed.
+    ///
+    /// Equivalent to [`join_prefix`](OrderedList::join_prefix) with an
+    /// unbounded prefix. `O(|other|)`.
+    #[inline]
     pub fn join(&mut self, other: &OrderedList) -> usize {
+        self.join_prefix(other, usize::MAX)
+    }
+
+    /// Partial join: folds only the first `d` entries of `other`'s
+    /// recency order into `self` — Algorithm 4's `O ⊔ Oℓ[0:d]`, the
+    /// acquire hot path. Returns the number of entries that changed.
+    ///
+    /// Entries that improve are moved to the head (preserving the
+    /// recency-prefix invariant); untouched entries keep their order.
+    /// The arena grows only when an improving entry lies beyond the
+    /// current thread count, so joining against a longer-but-stale donor
+    /// does not inflate `len`.
+    pub fn join_prefix(&mut self, other: &OrderedList, d: usize) -> usize {
+        // The chain covers the whole arena, so the first
+        // `min(d, other.len())` entries exist: the hot loops below can
+        // count iterations instead of testing the cursor for NIL.
+        let mut remaining = d.min(other.len());
         let mut changed = 0;
-        for (tid, time) in other.iter_recent() {
-            if time > self.get(tid) {
-                self.set(tid, time);
-                changed += 1;
+        let mut cursor = other.head;
+        let onodes = other.store.as_slice();
+
+        if other.len() <= self.store.len() {
+            // Common steady-state case: the donor cannot name a thread
+            // we have not allocated, so the loop needs no growth check.
+            let nodes = self.store.as_mut_slice();
+            while remaining != 0 {
+                let onode = &onodes[cursor as usize];
+                if onode.time > nodes[cursor as usize].time {
+                    nodes[cursor as usize].time = onode.time;
+                    changed += 1;
+                    relink_front(nodes, &mut self.head, &mut self.tail, cursor);
+                }
+                cursor = onode.next;
+                remaining -= 1;
             }
+            return changed;
+        }
+
+        // General case: the outer loop re-hoists the arena slice only
+        // when an improving entry forces the arena to grow.
+        while remaining != 0 {
+            let slen = self.store.len() as u32;
+            let nodes = self.store.as_mut_slice();
+            let mut grow_to = NIL;
+            while remaining != 0 {
+                let idx = cursor;
+                let onode = &onodes[idx as usize];
+                let time = onode.time;
+                if idx < slen {
+                    if time > nodes[idx as usize].time {
+                        nodes[idx as usize].time = time;
+                        changed += 1;
+                        relink_front(nodes, &mut self.head, &mut self.tail, idx);
+                    }
+                } else if time > 0 {
+                    // A genuinely fresh thread: grow first, then retry
+                    // this entry with the re-hoisted slice.
+                    grow_to = idx;
+                    break;
+                }
+                cursor = onode.next;
+                remaining -= 1;
+            }
+            if grow_to == NIL {
+                break;
+            }
+            self.ensure_thread_count(grow_to as usize + 1);
         }
         changed
     }
 
     /// Pointwise comparison against another ordered list.
     pub fn leq(&self, other: &OrderedList) -> bool {
-        self.nodes
+        let others = other.store.as_slice();
+        self.store
+            .as_slice()
             .iter()
             .enumerate()
-            .all(|(idx, node)| node.time <= other.get(ThreadId::new(idx as u32)))
+            .all(|(idx, node)| node.time <= others.get(idx).map_or(0, |n| n.time))
     }
 
     /// Pointwise comparison `self ⊑ clock` against a plain vector clock.
     pub fn leq_vector(&self, clock: &VectorClock) -> bool {
-        self.nodes
+        self.store
+            .as_slice()
             .iter()
             .enumerate()
             .all(|(idx, node)| node.time <= clock.get(ThreadId::new(idx as u32)))
@@ -188,67 +395,36 @@ impl OrderedList {
     /// Materializes the timestamp as a plain [`VectorClock`] (loses the
     /// recency order). `O(T)`.
     pub fn to_vector_clock(&self) -> VectorClock {
-        let mut clock = VectorClock::with_capacity(self.nodes.len());
-        for (idx, node) in self.nodes.iter().enumerate() {
-            if node.time != 0 {
-                clock.set(ThreadId::new(idx as u32), node.time);
-            } else {
-                // Keep the length so `len()` agrees with observed threads.
-                clock.set(ThreadId::new(idx as u32), 0);
-            }
+        let mut clock = VectorClock::with_capacity(self.len());
+        for (idx, node) in self.store.as_slice().iter().enumerate() {
+            // Zeros are written too, so `len()` agrees with observed
+            // threads.
+            clock.set(ThreadId::new(idx as u32), node.time);
         }
         clock
     }
 
     /// Sum of all entries (mirrors [`VectorClock::total`]).
     pub fn total(&self) -> Time {
-        self.nodes.iter().map(|n| n.time).sum()
-    }
-
-    fn move_to_front(&mut self, idx: u32) {
-        if self.head == idx {
-            return;
-        }
-        // Unlink.
-        let (prev, next) = {
-            let node = &self.nodes[idx as usize];
-            (node.prev, node.next)
-        };
-        if prev != NIL {
-            self.nodes[prev as usize].next = next;
-        }
-        if next != NIL {
-            self.nodes[next as usize].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-        // Relink at head.
-        let old_head = self.head;
-        self.nodes[idx as usize].prev = NIL;
-        self.nodes[idx as usize].next = old_head;
-        if old_head != NIL {
-            self.nodes[old_head as usize].prev = idx;
-        } else {
-            self.tail = idx;
-        }
-        self.head = idx;
+        self.store.as_slice().iter().map(|n| n.time).sum()
     }
 
     /// Checks the doubly-linked-list invariants; used by tests.
     #[doc(hidden)]
     pub fn assert_invariants(&self) {
-        if self.nodes.is_empty() {
+        let nodes = self.store.as_slice();
+        if nodes.is_empty() {
             assert_eq!(self.head, NIL);
             assert_eq!(self.tail, NIL);
             return;
         }
         // Walk forward from head, ensure every node visited exactly once.
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; nodes.len()];
         let mut cursor = self.head;
         let mut prev = NIL;
         let mut count = 0;
         while cursor != NIL {
-            let node = &self.nodes[cursor as usize];
+            let node = &nodes[cursor as usize];
             assert_eq!(node.prev, prev, "prev pointer mismatch at {cursor}");
             assert!(!seen[cursor as usize], "cycle at {cursor}");
             seen[cursor as usize] = true;
@@ -257,7 +433,7 @@ impl OrderedList {
             count += 1;
         }
         assert_eq!(self.tail, prev);
-        assert_eq!(count, self.nodes.len(), "list does not cover arena");
+        assert_eq!(count, nodes.len(), "list does not cover arena");
     }
 }
 
@@ -277,7 +453,7 @@ impl PartialEq for OrderedList {
     /// Equality of the *timestamps* (values), ignoring recency order,
     /// matching timestamp semantics.
     fn eq(&self, other: &Self) -> bool {
-        let len = self.nodes.len().max(other.nodes.len());
+        let len = self.len().max(other.len());
         (0..len).all(|idx| {
             let tid = ThreadId::new(idx as u32);
             self.get(tid) == other.get(tid)
@@ -304,25 +480,26 @@ impl fmt::Debug for OrderedList {
 ///
 /// Produced by [`OrderedList::iter_recent`].
 pub struct RecentEntries<'a> {
-    list: &'a OrderedList,
+    nodes: &'a [Node],
     cursor: u32,
 }
 
 impl Iterator for RecentEntries<'_> {
     type Item = (ThreadId, Time);
 
+    #[inline]
     fn next(&mut self) -> Option<Self::Item> {
         if self.cursor == NIL {
             return None;
         }
         let idx = self.cursor;
-        let node = &self.list.nodes[idx as usize];
+        let node = &self.nodes[idx as usize];
         self.cursor = node.next;
         Some((ThreadId::new(idx), node.time))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (0, Some(self.list.nodes.len()))
+        (0, Some(self.nodes.len()))
     }
 }
 
@@ -465,5 +642,91 @@ mod tests {
         list.set(t(1), 3);
         list.set(t(0), 5);
         assert_eq!(format!("{list:?}"), "[T0:5 → T1:3]");
+    }
+
+    #[test]
+    fn inline_storage_spills_to_heap_transparently() {
+        // Cross the INLINE boundary one set at a time; every state must
+        // behave identically to a model map.
+        let mut list = OrderedList::new();
+        for i in 0..(INLINE as u32 + 4) {
+            list.set(t(i), (i + 1) as u64);
+            list.assert_invariants();
+            for j in 0..=i {
+                assert_eq!(list.get(t(j)), (j + 1) as u64, "after inserting {i}");
+            }
+        }
+        assert_eq!(list.len(), INLINE + 4);
+        // Most recent first after ascending sets.
+        let order: Vec<_> = list.iter_recent().map(|(tid, _)| tid).collect();
+        assert_eq!(order[0], t(INLINE as u32 + 3));
+    }
+
+    #[test]
+    fn spill_preserves_recency_order() {
+        let mut list = OrderedList::new();
+        for i in 0..INLINE as u32 {
+            list.set(t(i), 1);
+        }
+        list.set(t(2), 5); // t2 to head while still inline
+        list.set(t(INLINE as u32), 9); // forces the spill
+        let order: Vec<_> = list.iter_recent().take(2).map(|(tid, _)| tid).collect();
+        assert_eq!(order, vec![t(INLINE as u32), t(2)]);
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn join_prefix_limits_depth() {
+        let mut donor = OrderedList::new();
+        for i in 0..6 {
+            donor.set(t(i), 10 + i as u64); // recency: 5,4,3,2,1,0
+        }
+        let mut list = OrderedList::with_threads(6);
+        let changed = list.join_prefix(&donor, 2);
+        assert_eq!(changed, 2);
+        assert_eq!(list.get(t(5)), 15);
+        assert_eq!(list.get(t(4)), 14);
+        assert_eq!(list.get(t(3)), 0, "beyond the prefix");
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn join_prefix_equals_full_join_when_deep_enough() {
+        let donor = OrderedList::from_iter([(t(0), 3), (t(4), 9), (t(2), 1)]);
+        let base = OrderedList::from_iter([(t(0), 5), (t(2), 1), (t(7), 2)]);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let ca = a.join(&donor);
+        let cb = b.join_prefix(&donor, donor.len());
+        assert_eq!(ca, cb);
+        assert_eq!(a, b);
+        a.assert_invariants();
+        b.assert_invariants();
+    }
+
+    #[test]
+    fn join_grows_only_for_improving_entries() {
+        // The donor is long but only its zero entries exceed our length;
+        // the arena must not grow for them.
+        let mut donor = OrderedList::with_threads(12);
+        donor.set(t(1), 7);
+        let mut list = OrderedList::new();
+        list.set(t(0), 1);
+        let changed = list.join(&donor);
+        assert_eq!(changed, 1);
+        assert_eq!(list.len(), 2, "grown only to cover t1");
+        assert_eq!(list.get(t(1)), 7);
+        list.assert_invariants();
+    }
+
+    #[test]
+    fn join_moves_changed_entries_to_head() {
+        let mut list = OrderedList::from_iter([(t(0), 5), (t(1), 1), (t(2), 8)]);
+        let donor = OrderedList::from_iter([(t(1), 4)]);
+        let changed = list.join(&donor);
+        assert_eq!(changed, 1);
+        let order: Vec<_> = list.iter_recent().collect();
+        assert_eq!(order[0], (t(1), 4));
+        list.assert_invariants();
     }
 }

@@ -87,6 +87,10 @@ impl VectorClock {
     /// Returns the number of entries of `self` that changed, which is the
     /// quantity accumulated by the freshness timestamp `U`.
     pub fn join(&mut self, other: &VectorClock) -> usize {
+        // No in-function ⊥ fast path: the detectors check
+        // `other.is_empty()` at the call site (where the branch is
+        // free), and an extra early exit here measurably perturbs the
+        // codegen of the tight loop below (see BENCH_clock_ops.json).
         if other.entries.len() > self.entries.len() {
             self.entries.resize(other.entries.len(), 0);
         }
@@ -98,6 +102,20 @@ impl VectorClock {
             }
         }
         changed
+    }
+
+    /// Overwrites `self` with a copy of `other` without counting
+    /// changes — the Djit+/FastTrack release hot path (`Cℓ ← C_t`).
+    ///
+    /// Unlike [`copy_from`](VectorClock::copy_from) this is a straight
+    /// `memcpy` into the existing allocation: use it whenever the
+    /// change count is not needed. Trailing entries of a previously
+    /// longer `self` are dropped, which reads identically (missing
+    /// entries are `0`).
+    #[inline]
+    pub fn assign_from(&mut self, other: &VectorClock) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
     }
 
     /// Overwrites `self` with a copy of `other` and returns how many

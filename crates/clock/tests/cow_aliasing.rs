@@ -1,0 +1,280 @@
+//! Property tests for [`SharedClock`]'s copy-on-write protocol and the
+//! epoch/prefix fast paths added by the hot-path optimization pass.
+//!
+//! Three families:
+//!
+//! 1. **Aliasing state machine** — a fleet of thread clocks and lock
+//!    slots doing random release (`shallow_copy`) / acquire (`join`) /
+//!    mutate ops must track a plain map model exactly, and a lock's
+//!    snapshot must never observe a post-release mutation of its
+//!    releaser (the isolation Lemma 8's accounting relies on).
+//! 2. **Shrink/grow across thread counts** — clocks of different arena
+//!    lengths may alias; growing one past its alias's length must not
+//!    leak entries into (or out of) the alias.
+//! 3. **Fast-path equivalence** — `SharedClock::join_prefix` (with its
+//!    pointer and read-only-prescan fast paths) must agree with the
+//!    plain `OrderedList::join_prefix`, which must agree with a naive
+//!    prefix-fold model; full `join` is the `d = ∞` instance.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use freshtrack_clock::{OrderedList, SharedClock, ThreadId, Time};
+
+const T: u32 = 12;
+const LOCKS: usize = 3;
+const CLOCKS: usize = 4;
+
+fn tid(i: u32) -> ThreadId {
+    ThreadId::new(i)
+}
+
+/// Naive model of a prefix join: fold the first `d` recency entries of
+/// `donor` into `base` by pointwise max.
+fn model_join_prefix(base: &OrderedList, donor: &OrderedList, d: usize) -> HashMap<u32, Time> {
+    let mut model: HashMap<u32, Time> = base.iter_recent().map(|(t, v)| (t.as_u32(), v)).collect();
+    for (t, v) in donor.first(d) {
+        let e = model.entry(t.as_u32()).or_insert(0);
+        *e = (*e).max(v);
+    }
+    model
+}
+
+fn assert_matches_model(list: &OrderedList, model: &HashMap<u32, Time>, ctx: &str) {
+    for t in 0..T {
+        assert_eq!(
+            list.get(tid(t)),
+            model.get(&t).copied().unwrap_or(0),
+            "{ctx}: entry {t}"
+        );
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// `clocks[c].set(t, fresh strictly-increasing value)`
+    Set(usize, u32),
+    /// `clocks[c].increment(t, k)`
+    Increment(usize, u32, u64),
+    /// Release: `locks[l] = clocks[c].shallow_copy()`
+    Release(usize, usize),
+    /// Acquire: `clocks[c] ⊔= locks[l][0:d]` (`d = T` means full join)
+    Acquire(usize, usize, usize),
+    /// Drop the lock's snapshot (lock destroyed / replaced by ⊥).
+    ClearLock(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CLOCKS, 0..T).prop_map(|(c, t)| Op::Set(c, t)),
+        (0..CLOCKS, 0..T, 1u64..5).prop_map(|(c, t, k)| Op::Increment(c, t, k)),
+        (0..CLOCKS, 0..LOCKS).prop_map(|(c, l)| Op::Release(c, l)),
+        (0..CLOCKS, 0..LOCKS, 1usize..(T as usize + 2)).prop_map(|(c, l, d)| Op::Acquire(c, l, d)),
+        (0..LOCKS).prop_map(Op::ClearLock),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn aliasing_state_machine_matches_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut clocks: Vec<SharedClock> = (0..CLOCKS).map(|_| SharedClock::new()).collect();
+        let mut clock_models: Vec<HashMap<u32, Time>> = vec![HashMap::new(); CLOCKS];
+        let mut locks: Vec<Option<SharedClock>> = vec![None; LOCKS];
+        let mut lock_models: Vec<HashMap<u32, Time>> = vec![HashMap::new(); LOCKS];
+        let mut stamp: Time = 0;
+
+        for op in &ops {
+            match *op {
+                Op::Set(c, t) => {
+                    stamp += 1;
+                    clocks[c].set(tid(t), stamp);
+                    clock_models[c].insert(t, stamp);
+                }
+                Op::Increment(c, t, k) => {
+                    clocks[c].increment(tid(t), k);
+                    *clock_models[c].entry(t).or_insert(0) += k;
+                }
+                Op::Release(c, l) => {
+                    locks[l] = Some(clocks[c].shallow_copy());
+                    lock_models[l] = clock_models[c].clone();
+                }
+                Op::Acquire(c, l, d) => {
+                    if let Some(lock) = &locks[l] {
+                        let donor = lock.list();
+                        let before_donor: Vec<_> = donor.iter_recent().collect();
+                        let expected = {
+                            let mut m = clock_models[c].clone();
+                            for (t, v) in donor.first(d) {
+                                let e = m.entry(t.as_u32()).or_insert(0);
+                                *e = (*e).max(v);
+                            }
+                            m
+                        };
+                        // Clone the donor handle so `clocks[c]` can be
+                        // mutated; this alias is what makes the join's
+                        // pointer fast path reachable when c released l.
+                        let donor = lock.clone();
+                        let res = clocks[c].join_prefix(donor.list(), d);
+                        prop_assert_eq!(
+                            res.traversed,
+                            d.min(donor.list().len()),
+                            "traversed must be the examined prefix"
+                        );
+                        clock_models[c] = expected;
+                        // The donor must be bit-for-bit untouched.
+                        let after_donor: Vec<_> = donor.list().iter_recent().collect();
+                        prop_assert_eq!(&before_donor, &after_donor);
+                    }
+                }
+                Op::ClearLock(l) => {
+                    locks[l] = None;
+                }
+            }
+            clocks.iter().for_each(|c| c.list().assert_invariants());
+        }
+
+        for (c, model) in clock_models.iter().enumerate() {
+            assert_matches_model(clocks[c].list(), model, &format!("clock {c}"));
+        }
+        for (l, model) in lock_models.iter().enumerate() {
+            if let Some(lock) = &locks[l] {
+                assert_matches_model(lock.list(), model, &format!("lock {l} snapshot"));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_mutation(
+        pre in prop::collection::vec((0..T, 1u64..50), 0..12),
+        post in prop::collection::vec((0..T, 1u64..50), 1..12),
+        use_second_alias in any::<bool>(),
+    ) {
+        let mut owner = SharedClock::new();
+        for &(t, v) in &pre {
+            owner.set(tid(t), v);
+        }
+        let snap1 = owner.shallow_copy();
+        // A second alias (another lock) keeps the count above 2, so the
+        // owner's next mutation must deep-copy rather than reclaim.
+        let snap2 = use_second_alias.then(|| owner.shallow_copy());
+        let frozen: Vec<_> = snap1.list().iter_recent().collect();
+        for &(t, v) in &post {
+            owner.increment(tid(t), v);
+        }
+        let now: Vec<_> = snap1.list().iter_recent().collect();
+        prop_assert_eq!(&frozen, &now);
+        if let Some(snap2) = snap2 {
+            let now2: Vec<_> = snap2.list().iter_recent().collect();
+            prop_assert_eq!(&frozen, &now2);
+            prop_assert!(snap1.ptr_eq(&snap2));
+        }
+        prop_assert!(!owner.is_shared());
+    }
+
+    #[test]
+    fn shrink_grow_across_thread_counts(
+        short_len in 1usize..6,
+        long_len in 8usize..16,
+        writes in prop::collection::vec((0u32..16, 1u64..50), 1..10),
+    ) {
+        // A short clock is aliased, then grown well past the alias's
+        // arena length (including across the inline→heap spill).
+        let mut owner = SharedClock::with_threads(short_len);
+        owner.set(tid(0), 1);
+        let alias = owner.shallow_copy();
+        let alias_len = alias.list().len();
+        owner.make_mut().0.ensure_thread_count(long_len);
+        for &(t, v) in &writes {
+            owner.set(tid(t % long_len as u32), v);
+        }
+        // The alias keeps its original arena: same length, same values.
+        prop_assert_eq!(alias.list().len(), alias_len);
+        prop_assert_eq!(alias.get(tid(0)), 1);
+        for t in 1..alias_len as u32 {
+            prop_assert_eq!(alias.get(tid(t)), 0);
+        }
+        alias.list().assert_invariants();
+        owner.list().assert_invariants();
+        prop_assert_eq!(owner.list().len(), long_len.max(
+            writes.iter().map(|&(t, _)| (t % long_len as u32) as usize + 1).max().unwrap_or(0)
+        ));
+
+        // And the reverse: a long donor joined into a short clock grows
+        // it only as far as improving entries require.
+        let mut short = SharedClock::with_threads(1);
+        let res = short.join(owner.list());
+        prop_assert_eq!(res.changed > 0, !owner.list().is_bottom());
+        for t in 0..long_len as u32 {
+            prop_assert_eq!(short.get(tid(t)), owner.get(tid(t)));
+        }
+    }
+
+    #[test]
+    fn prefix_join_fast_paths_agree_with_naive_model(
+        base_ops in prop::collection::vec((0..T, 1u64..60), 0..15),
+        donor_ops in prop::collection::vec((0..T, 1u64..60), 0..15),
+        d in 0usize..16,
+        alias_donor in any::<bool>(),
+    ) {
+        let base: OrderedList = base_ops.iter().map(|&(t, v)| (tid(t), v)).collect();
+        let donor: OrderedList = donor_ops.iter().map(|&(t, v)| (tid(t), v)).collect();
+        let expected = model_join_prefix(&base, &donor, d);
+
+        // Plain ordered-list prefix join.
+        let mut plain = base.clone();
+        let changed = plain.join_prefix(&donor, d);
+        assert_matches_model(&plain, &expected, "OrderedList::join_prefix");
+        plain.assert_invariants();
+
+        // SharedClock::join_prefix — exclusive owner.
+        let mut owned = SharedClock::from_list(base.clone());
+        let res = owned.join_prefix(&donor, d);
+        prop_assert_eq!(res.changed, changed);
+        prop_assert!(!res.deep_copy);
+        assert_matches_model(owned.list(), &expected, "SharedClock owned");
+
+        // SharedClock::join_prefix — shared owner: same result, and the
+        // lazy deep copy happens iff something actually changed (the
+        // read-only pre-scan fast path must keep redundant joins free).
+        let mut shared = SharedClock::from_list(base.clone());
+        let alias = shared.shallow_copy();
+        let res = shared.join_prefix(&donor, d);
+        prop_assert_eq!(res.changed, changed);
+        prop_assert_eq!(res.deep_copy, changed > 0);
+        assert_matches_model(shared.list(), &expected, "SharedClock shared");
+        // The alias must retain the pre-join snapshot.
+        for t in 0..T {
+            prop_assert_eq!(alias.get(tid(t)), base.get(tid(t)));
+        }
+
+        // Joining a clock with its own alias: the pointer fast path
+        // must make it a no-op without breaking the sharing.
+        if alias_donor {
+            let mut me = SharedClock::from_list(base.clone());
+            let alias2 = me.shallow_copy();
+            let res = me.join_prefix(alias2.list(), d);
+            prop_assert_eq!(res.changed, 0);
+            prop_assert!(!res.deep_copy);
+            prop_assert!(me.is_shared());
+        }
+    }
+
+    #[test]
+    fn full_join_is_unbounded_prefix_join(
+        base_ops in prop::collection::vec((0..T, 1u64..60), 0..15),
+        donor_ops in prop::collection::vec((0..T, 1u64..60), 0..15),
+    ) {
+        let base: OrderedList = base_ops.iter().map(|&(t, v)| (tid(t), v)).collect();
+        let donor: OrderedList = donor_ops.iter().map(|&(t, v)| (tid(t), v)).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let ca = a.join(&donor);
+        let cb = b.join_prefix(&donor, usize::MAX);
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(&a, &b);
+        let expected = model_join_prefix(&base, &donor, usize::MAX);
+        assert_matches_model(&a, &expected, "full join");
+    }
+}

@@ -123,10 +123,12 @@ impl<S: Sampler> Detector for DjitDetector<S> {
                 self.counters.acquires += 1;
                 self.counters.acquires_processed += 1;
                 self.ensure_lock(lock);
-                let changed = self.threads[tid.index()]
-                    .clock
-                    .join(&self.locks[lock.index()]);
-                let _ = changed;
+                // Bottom fast path: a never-released lock carries ⊥ and
+                // cannot teach the thread anything.
+                let lock_clock = &self.locks[lock.index()];
+                if !lock_clock.is_empty() {
+                    self.threads[tid.index()].clock.join(lock_clock);
+                }
                 self.counters.vc_ops += 1;
                 self.counters.entries_traversed += self.thread_count() as u64;
                 None
@@ -135,9 +137,10 @@ impl<S: Sampler> Detector for DjitDetector<S> {
                 self.counters.releases += 1;
                 self.counters.releases_processed += 1;
                 self.ensure_lock(lock);
-                // Cℓ ← C_t, then bump the local component.
+                // Cℓ ← C_t (straight memcpy; the change count is not
+                // needed), then bump the local component.
                 let clock = &mut self.threads[tid.index()].clock;
-                self.locks[lock.index()].copy_from(clock);
+                self.locks[lock.index()].assign_from(clock);
                 clock.increment(tid);
                 self.counters.vc_ops += 1;
                 self.counters.entries_traversed += self.thread_count() as u64;
@@ -176,7 +179,7 @@ impl<S: Sampler> crate::SyncOps for DjitDetector<S> {
         self.counters.releases += 1;
         self.counters.releases_processed += 1;
         let clock = &mut self.threads[tid.index()].clock;
-        self.locks[sync.index()].copy_from(clock);
+        self.locks[sync.index()].assign_from(clock);
         clock.increment(tid);
         self.counters.local_increments += 1;
         self.counters.vc_ops += 1;
@@ -203,9 +206,10 @@ impl<S: Sampler> crate::SyncOps for DjitDetector<S> {
         self.ensure_lock(sync);
         self.counters.acquires += 1;
         self.counters.acquires_processed += 1;
-        self.threads[tid.index()]
-            .clock
-            .join(&self.locks[sync.index()]);
+        let lock_clock = &self.locks[sync.index()];
+        if !lock_clock.is_empty() {
+            self.threads[tid.index()].clock.join(lock_clock);
+        }
         self.counters.vc_ops += 1;
         self.counters.entries_traversed += self.threads.len() as u64;
     }

@@ -197,7 +197,13 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
                 self.counters.acquires += 1;
                 self.counters.acquires_processed += 1;
                 self.ensure_lock(lock);
-                self.threads[tid.index()].join(&self.locks[lock.index()]);
+                // Bottom fast path: a never-released lock's clock is ⊥,
+                // so there is nothing to join (the common first-acquire
+                // case for programs with many locks).
+                let lock_clock = &self.locks[lock.index()];
+                if !lock_clock.is_empty() {
+                    self.threads[tid.index()].join(lock_clock);
+                }
                 self.counters.vc_ops += 1;
                 self.counters.entries_traversed += self.threads.len() as u64;
                 None
@@ -207,7 +213,9 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
                 self.counters.releases_processed += 1;
                 self.ensure_lock(lock);
                 let clock = &mut self.threads[tid.index()];
-                self.locks[lock.index()].copy_from(clock);
+                // The release copy never needs the change count: use the
+                // straight memcpy assignment.
+                self.locks[lock.index()].assign_from(clock);
                 clock.increment(tid);
                 self.counters.vc_ops += 1;
                 self.counters.entries_traversed += self.threads.len() as u64;

@@ -174,8 +174,9 @@ impl<S: Sampler> FreshnessDetector<S> {
         lock_state.last_releaser = Some(tid);
         lock_state.mixed = false;
         if thread.fresh.get(tid) != lock_state.fresh.get(tid) {
-            lock_state.clock.copy_from(&thread.clock);
-            lock_state.fresh.copy_from(&thread.fresh);
+            // The release copy never needs the change count: memcpy.
+            lock_state.clock.assign_from(&thread.clock);
+            lock_state.fresh.assign_from(&thread.fresh);
             self.counters.releases_processed += 1;
             self.counters.vc_ops += 2;
             self.counters.entries_traversed += self.threads.len() as u64;
@@ -272,8 +273,8 @@ impl<S: Sampler> crate::SyncOps for FreshnessDetector<S> {
         self.flush_local_epoch(tid);
         let thread = &self.threads[tid.index()];
         let lock_state = &mut self.locks[sync.index()];
-        lock_state.clock.copy_from(&thread.clock);
-        lock_state.fresh.copy_from(&thread.fresh);
+        lock_state.clock.assign_from(&thread.clock);
+        lock_state.fresh.assign_from(&thread.fresh);
         lock_state.last_releaser = Some(tid);
         lock_state.mixed = false;
         self.counters.releases_processed += 1;

@@ -65,6 +65,18 @@ impl<D: Detector> OnlineDetector<D> {
         }
     }
 
+    /// Pre-sizes the wrapped detector's per-thread state for `n`
+    /// application threads, so the event hot path never pays a clock
+    /// grow (and its reallocation) while the serialization mutex is
+    /// held. Call once before the workers start.
+    pub fn reserve_threads(&self, n: usize) {
+        self.inner
+            .lock()
+            .expect("detector mutex poisoned")
+            .detector
+            .reserve_threads(n);
+    }
+
     /// Feeds one event; returns `true` if it was reported as racing.
     pub fn on_event(&self, tid: u32, kind: EventKind) -> bool {
         let mut inner = self.inner.lock().expect("detector mutex poisoned");

@@ -1,4 +1,4 @@
-use freshtrack_clock::{FreshnessClock, SharedClock, ThreadId, Time};
+use freshtrack_clock::{ClockSnapshot, FreshnessClock, SharedClock, ThreadId, Time};
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
 
@@ -83,8 +83,10 @@ impl Default for ThreadState {
 
 #[derive(Clone, Debug, Default)]
 struct LockState {
-    /// Shallow reference to the releasing thread's list (`Oℓ`).
-    list: Option<SharedClock>,
+    /// Read-only shallow reference to the releasing thread's list
+    /// (`Oℓ`). The snapshot type has no mutators, so lock state can
+    /// never trigger a deep copy.
+    list: Option<ClockSnapshot>,
     /// `LRℓ`: the last thread to release this lock.
     last_releaser: Option<ThreadId>,
     /// The scalar freshness `Uℓ = U_t(t)` of the last releaser.
@@ -148,22 +150,16 @@ impl<S: Sampler> OrderedListDetector<S> {
         let lock_state = &self.locks[lock.index()];
         if let Some(joined) = &lock_state.joined {
             // Join-mode object (Appendix A.2): no freshness fast path —
-            // perform a full join.
+            // perform a full join. The sharing state is resolved once
+            // for the whole batch by `SharedClock::join`.
             self.counters.acquires_processed += 1;
             let thread = &mut self.threads[tid.index()];
-            let mut traversed = 0u64;
-            for (u, n) in joined.iter_recent() {
-                traversed += 1;
-                if n > thread.list.get(u) {
-                    let (list, deep) = thread.list.make_mut();
-                    if deep {
-                        self.counters.deep_copies += 1;
-                    }
-                    list.set(u, n);
-                    thread.fresh.bump(tid);
-                }
+            let res = thread.list.join(joined);
+            if res.deep_copy {
+                self.counters.deep_copies += 1;
             }
-            self.counters.entries_traversed += traversed;
+            thread.fresh.bump_by(tid, res.changed as u64);
+            self.counters.entries_traversed += res.traversed as u64;
             self.counters.vc_ops += 1;
             return;
         }
@@ -181,29 +177,24 @@ impl<S: Sampler> OrderedListDetector<S> {
         let d = lock_state.fresh - thread.fresh.get(lr);
         let releaser_flushed = lock_state.releaser_flushed;
         let lock_fresh = lock_state.fresh;
-        // O(1) handle clone so we can walk the lock's list while mutating
-        // the thread's (they never alias here: an alias would imply
-        // lr == tid, which the freshness check already filtered out).
+        // Walk the lock's list directly while mutating the thread's
+        // state: `locks` and `threads` are disjoint fields, and the two
+        // lists never alias here (an alias would imply lr == tid, which
+        // the freshness check already filtered out — and the prefix
+        // join's pointer check would make it a no-op anyway).
         let lock_list = lock_state
             .list
             .as_ref()
             .expect("released lock must carry a clock")
-            .shallow_copy();
+            .list();
 
         let thread = &mut self.threads[tid.index()];
         thread.fresh.set(lr, lock_fresh);
-        let mut traversed = 0u64;
-        for (u, n) in lock_list.list().first(d as usize) {
-            traversed += 1;
-            if n > thread.list.get(u) {
-                let (list, deep) = thread.list.make_mut();
-                if deep {
-                    self.counters.deep_copies += 1;
-                }
-                list.set(u, n);
-                thread.fresh.bump(tid);
-            }
+        let res = thread.list.join_prefix(lock_list, d as usize);
+        if res.deep_copy {
+            self.counters.deep_copies += 1;
         }
+        thread.fresh.bump_by(tid, res.changed as u64);
         if self.local_epoch_opt && releaser_flushed > thread.list.get(lr) {
             // The releaser's own flushed time travels as a scalar.
             let (list, deep) = thread.list.make_mut();
@@ -213,6 +204,7 @@ impl<S: Sampler> OrderedListDetector<S> {
             list.set(lr, releaser_flushed);
             thread.fresh.bump(tid);
         }
+        let traversed = res.traversed as u64;
         self.counters.entries_traversed += traversed;
         self.counters.entries_saved += (self.threads.len() as u64).saturating_sub(traversed);
         self.counters.vc_ops += 1;
@@ -222,12 +214,17 @@ impl<S: Sampler> OrderedListDetector<S> {
         self.counters.releases += 1;
         self.ensure_lock(lock);
         self.flush_local_epoch(tid);
-        let thread = &self.threads[tid.index()];
+        let thread = &mut self.threads[tid.index()];
+        // `snapshot` moves the thread's clock to the Shared state (the
+        // paper's `shared_t := true`), hence the `&mut`.
+        let snapshot = thread.list.snapshot();
+        let fresh = thread.fresh.get(tid);
+        let flushed = thread.flushed;
         let lock_state = &mut self.locks[lock.index()];
-        lock_state.list = Some(thread.list.shallow_copy());
+        lock_state.list = Some(snapshot);
         lock_state.last_releaser = Some(tid);
-        lock_state.fresh = thread.fresh.get(tid);
-        lock_state.releaser_flushed = thread.flushed;
+        lock_state.fresh = fresh;
+        lock_state.releaser_flushed = flushed;
         lock_state.joined = None;
         self.counters.shallow_copies += 1;
     }

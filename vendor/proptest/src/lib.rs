@@ -3,10 +3,10 @@
 //! The build environment has no crates.io access, so this workspace
 //! vendors the subset of proptest it actually uses:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
-//!   [`Strategy::boxed`];
-//! * strategies for integer/float ranges, tuples, [`any`], `Just`,
-//!   [`prop::collection::vec`], and [`prop_oneof!`] unions;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//!   `boxed`;
+//! * strategies for integer/float ranges, tuples, `any`, `Just`,
+//!   `prop::collection::vec`, and [`prop_oneof!`] unions;
 //! * the [`proptest!`] test macro with `#![proptest_config(..)]`,
 //!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
 //!   [`prop_assume!`].
@@ -346,7 +346,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// A size specification for [`vec`]: a fixed size or a range.
+    /// A size specification for [`vec()`]: a fixed size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
