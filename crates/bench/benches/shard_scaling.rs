@@ -1,0 +1,126 @@
+//! Multi-threaded ingestion throughput: the single-mutex
+//! [`OnlineDetector`] against [`ShardedOnlineDetector`] at shard counts
+//! {1, 2, 4, 8}.
+//!
+//! Four producer threads hammer the façade with a dbsim-shaped event
+//! mix (accesses dominating, one short critical section per batch, each
+//! thread using a private lock so the emitted stream trivially obeys
+//! the locking discipline). The measured quantity is wall-clock per
+//! round of `4 × EVENTS` events — ingestion throughput under real
+//! contention, the thing the analysis-mutex split exists to improve.
+//! `record_baseline --dbsim` measures the same effect end to end
+//! through dbsim transactions.
+//!
+//! [`OnlineDetector`]: freshtrack_core::OnlineDetector
+//! [`ShardedOnlineDetector`]: freshtrack_core::ShardedOnlineDetector
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use freshtrack_core::{Detector, DjitDetector, OnlineDetector, ShardedOnlineDetector};
+use freshtrack_sampling::AlwaysSampler;
+
+/// Producer threads.
+const THREADS: u32 = 4;
+/// Events per producer per round.
+const EVENTS: u32 = 2_000;
+/// Shared-variable space (hot: dense ids, like dbsim row ids).
+const VARS: u32 = 512;
+
+/// The ingestion surface both façades share, so the producer script is
+/// written exactly once and cannot diverge between the baseline and
+/// sharded arms of the comparison.
+trait Ingest: Sync {
+    fn write(&self, tid: u32, var: u32);
+    fn acquire(&self, tid: u32, lock: u32);
+    fn release(&self, tid: u32, lock: u32);
+}
+
+impl<D: Detector + Send> Ingest for OnlineDetector<D> {
+    fn write(&self, tid: u32, var: u32) {
+        OnlineDetector::write(self, tid, var);
+    }
+    fn acquire(&self, tid: u32, lock: u32) {
+        OnlineDetector::acquire(self, tid, lock);
+    }
+    fn release(&self, tid: u32, lock: u32) {
+        OnlineDetector::release(self, tid, lock);
+    }
+}
+
+impl<D: Detector + Send> Ingest for ShardedOnlineDetector<D> {
+    fn write(&self, tid: u32, var: u32) {
+        ShardedOnlineDetector::write(self, tid, var);
+    }
+    fn acquire(&self, tid: u32, lock: u32) {
+        ShardedOnlineDetector::acquire(self, tid, lock);
+    }
+    fn release(&self, tid: u32, lock: u32) {
+        ShardedOnlineDetector::release(self, tid, lock);
+    }
+}
+
+/// One producer's event script: mostly accesses, with a private-lock
+/// critical section every 8 events (≈ dbsim's access:sync ratio).
+fn produce<I: Ingest>(online: &I, t: u32) {
+    for i in 0..EVENTS {
+        match i % 8 {
+            0 => online.acquire(t, t),
+            7 => online.release(t, t),
+            _ => {
+                let var = (i.wrapping_mul(7).wrapping_add(t * 131)) % VARS;
+                online.write(t, var);
+            }
+        }
+    }
+}
+
+/// Runs the full multi-threaded round against either façade.
+fn drive<I: Ingest>(online: &I) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || produce(online, t));
+        }
+    });
+}
+
+fn detector() -> DjitDetector<AlwaysSampler> {
+    let mut d = DjitDetector::new(AlwaysSampler::new());
+    d.reserve_threads(THREADS as usize);
+    d
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_ingest");
+    g.throughput(Throughput::Elements((THREADS * EVENTS) as u64));
+    g.bench_function("single_mutex", |b| {
+        b.iter(|| {
+            let online = OnlineDetector::new(detector());
+            drive(&online);
+            std::hint::black_box(online.finish());
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &n| {
+            b.iter(|| {
+                let online = ShardedOnlineDetector::new(detector(), n);
+                drive(&online);
+                std::hint::black_box(online.finish());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_shard_scaling
+}
+criterion_main!(benches);

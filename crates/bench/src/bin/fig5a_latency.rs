@@ -5,13 +5,44 @@
 //! / 5.8× at the three rates. Expect the same *ordering* here
 //! (NT < ET < ST-0.3% < ST-3% < ST-10% < FT); absolute factors depend on
 //! the substrate.
+//!
+//! With `--out FILE`, additionally writes the absolute latencies as
+//! machine-readable JSON (`freshtrack/dbsim-latency-table/v1`) so the
+//! numbers land on the perf trajectory; `FT_SHARDS` selects the
+//! ingestion path (see `record_baseline --dbsim` for the dedicated
+//! single-mutex-vs-sharded scaling measurement).
 
-use freshtrack_bench::{run_online, run_options, OnlineConfig};
+use freshtrack_bench::{run_online, run_options, IngestMode, OnlineConfig, OnlineRun};
 use freshtrack_rapid::report::{fmt3, Table};
 use freshtrack_workloads::benchbase::benchbase_suite;
 
+fn json_row(benchmark: &str, run: &OnlineRun) -> String {
+    format!(
+        "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"mean_us\": {:.2}, \"p50_us\": {}, \"p95_us\": {}}}",
+        benchmark,
+        run.label,
+        run.mean_latency.as_nanos() as f64 / 1_000.0,
+        run.p50_us,
+        run.p95_us
+    )
+}
+
 fn main() {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                eprintln!("fig5a_latency [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_SEED/FT_RUNS/FT_SHARDS)");
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
     let options = run_options();
+    let mode = IngestMode::from_env();
     let configs = [
         OnlineConfig::Nt,
         OnlineConfig::Et,
@@ -22,8 +53,10 @@ fn main() {
     ];
 
     println!(
-        "Fig. 5(a): latency relative to NT  (workers={}, txns/worker={})",
-        options.workers, options.txns_per_worker
+        "Fig. 5(a): latency relative to NT  (workers={}, txns/worker={}{})",
+        options.workers,
+        options.txns_per_worker,
+        mode.label_suffix()
     );
     let mut table = Table::new(&[
         "benchmark",
@@ -36,6 +69,7 @@ fn main() {
     ]);
     let mut geo: Vec<f64> = vec![0.0; configs.len() - 1];
     let mut counted = 0usize;
+    let mut json_rows: Vec<String> = Vec::new();
 
     for workload in benchbase_suite() {
         let runs: Vec<_> = configs
@@ -49,6 +83,9 @@ fn main() {
             geo[i - 1] += rel.ln();
             cells.push(fmt3(rel));
         }
+        for run in &runs {
+            json_rows.push(json_row(workload.name, run));
+        }
         counted += 1;
         table.row_owned(cells);
     }
@@ -61,4 +98,24 @@ fn main() {
     print!("{}", table.render());
     println!();
     println!("expected shape: 1 < ET < ST-0.3% < ST-3% < ST-10% < FT");
+
+    if let Some(path) = out_path {
+        let shards = match mode {
+            IngestMode::SingleMutex => 0,
+            IngestMode::Sharded(n) => n,
+        };
+        let json = format!(
+            "{{\n  \"schema\": \"freshtrack/dbsim-latency-table/v1\",\n  \
+             \"workers\": {},\n  \"txns_per_worker\": {},\n  \"seed\": {},\n  \
+             \"shards\": {},\n  \"note\": \"absolute per-transaction latencies; shards=0 means the single-mutex ingestion path\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            options.workers,
+            options.txns_per_worker,
+            options.seed,
+            shards,
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }

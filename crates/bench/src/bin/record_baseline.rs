@@ -21,13 +21,28 @@
 //! two medians. The ops mirror `crates/bench/benches/clock_ops.rs`; this
 //! binary exists because the vendored criterion shim only prints text,
 //! while the trajectory file must be diffable and machine-readable.
+//!
+//! A second mode, `--dbsim`, measures **end-to-end dbsim ingestion**
+//! instead of clock ops: the single-mutex `OnlineDetector` baseline
+//! against `ShardedOnlineDetector` at shard counts {1, 2, 4, 8}, for a
+//! heavy-analysis config (FT) and a sampling config (SO-3%). Both sides
+//! run in the same invocation — the same-sitting before/after pair the
+//! trajectory files require — and land in a `shard_scaling` section:
+//!
+//! ```text
+//! record_baseline --dbsim --out BENCH_dbsim_latency.json
+//! ```
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use freshtrack_bench::{
+    env_or, run_online_single, run_options, IngestMode, OnlineConfig, OnlineRun,
+};
 use freshtrack_clock::{
     ClockSnapshot, FreshnessClock, OrderedList, SharedClock, ThreadId, VectorClock,
 };
+use freshtrack_workloads::benchbase;
 
 /// Thread count for the dense-clock ops (matches the criterion benches).
 const THREADS: usize = 64;
@@ -431,17 +446,121 @@ fn indent(block: &str, pad: &str) -> String {
         .join("\n")
 }
 
+/// Shard counts for the `--dbsim` scaling sweep.
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn dbsim_point_json(run: &OnlineRun) -> String {
+    format!(
+        "{{\"mean_us\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"races\": {}}}",
+        run.mean_latency.as_nanos() as f64 / 1_000.0,
+        run.p50_us,
+        run.p95_us,
+        run.reports.len()
+    )
+}
+
+/// The `--dbsim` mode: single-mutex vs sharded dbsim latency.
+///
+/// All points (both configs, the single-mutex baseline and every shard
+/// count) are measured in **interleaved rounds** — round-robin over the
+/// whole point set, `FT_ROUNDS` times — and each point keeps its
+/// fastest round. Sequential per-configuration blocks would confound
+/// the comparison with machine drift on a time-shared host; an
+/// interleaved minimum is the drift-robust estimator of each point's
+/// unperturbed latency, and all points still come from one sitting.
+fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
+    let workload =
+        benchbase::by_name(mix).unwrap_or_else(|| panic!("unknown workload mix `{mix}`"));
+    let options = run_options();
+    let rounds = env_or("FT_ROUNDS", 6u32).max(1);
+    let configs = [OnlineConfig::Ft, OnlineConfig::So(0.03)];
+    let modes: Vec<IngestMode> = std::iter::once(IngestMode::SingleMutex)
+        .chain(SHARD_SWEEP.iter().map(|&n| IngestMode::Sharded(n)))
+        .collect();
+
+    // best[c][m] = fastest run so far for configs[c] under modes[m].
+    let mut best: Vec<Vec<Option<OnlineRun>>> = vec![vec![None; modes.len()]; configs.len()];
+    for round in 0..rounds {
+        eprintln!("round {}/{rounds}…", round + 1);
+        for (c, &config) in configs.iter().enumerate() {
+            for (m, &mode) in modes.iter().enumerate() {
+                let mut opts = options;
+                opts.seed = options.seed.wrapping_add(round as u64);
+                let run = run_online_single(&workload, config, &opts, mode);
+                let slot = &mut best[c][m];
+                if slot
+                    .as_ref()
+                    .map_or(true, |b| run.mean_latency < b.mean_latency)
+                {
+                    *slot = Some(run);
+                }
+            }
+        }
+    }
+
+    let mut sections = Vec::new();
+    for (c, &config) in configs.iter().enumerate() {
+        let label = config.label();
+        let base = best[c][0].as_ref().expect("at least one round");
+        let base_us = base.mean_latency.as_nanos() as f64 / 1_000.0;
+        eprintln!("[{label}] single_mutex  mean {base_us:>9.1} us");
+        let mut shard_lines = Vec::new();
+        for (m, mode) in modes.iter().enumerate().skip(1) {
+            let IngestMode::Sharded(n) = mode else {
+                unreachable!("mode list starts with the single-mutex baseline");
+            };
+            let run = best[c][m].as_ref().expect("at least one round");
+            let us = run.mean_latency.as_nanos() as f64 / 1_000.0;
+            let speedup = base_us / us.max(0.001);
+            eprintln!("[{label}] sharded n={n:<2}  mean {us:>9.1} us  ({speedup:.2}x vs mutex)");
+            shard_lines.push(format!("        \"{}\": {}", n, dbsim_point_json(run)));
+        }
+        sections.push(format!(
+            "    \"{}\": {{\n      \"single_mutex\": {},\n      \"shard_scaling\": {{\n{}\n      }}\n    }}",
+            json_escape(&label),
+            dbsim_point_json(base),
+            shard_lines.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"freshtrack/dbsim-latency/v1\",\n  \
+         \"benchmark\": \"dbsim_shard_scaling\",\n  \
+         \"workload\": \"{}\",\n  \"workers\": {},\n  \"txns_per_worker\": {},\n  \
+         \"seed\": {},\n  \"rounds\": {},\n  \
+         \"note\": \"mean/p50/p95 per-transaction latency in us; single_mutex is the paper-faithful OnlineDetector path, shard_scaling.N is ShardedOnlineDetector with N shards; every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
+         \"configs\": {{\n{}\n  }}\n}}\n",
+        json_escape(mix),
+        options.workers,
+        options.txns_per_worker,
+        options.seed,
+        rounds,
+        sections.join(",\n")
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut samples = 40usize;
+    let mut dbsim = false;
+    let mut mix = String::from("ycsb");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out_path = Some(args.next().expect("--out needs a value")),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
+            "--dbsim" => dbsim = true,
+            "--mix" => mix = args.next().expect("--mix needs a value"),
             "--samples" => {
                 samples = args
                     .next()
@@ -451,12 +570,18 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "record_baseline [--label NAME] [--out FILE] [--baseline FILE] [--samples N]"
+                    "record_baseline [--label NAME] [--out FILE] [--baseline FILE] [--samples N]\n\
+                     record_baseline --dbsim [--mix NAME] [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_RUNS/FT_SEED)"
                 );
                 return;
             }
             other => panic!("unknown argument: {other}"),
         }
+    }
+
+    if dbsim {
+        run_dbsim_scaling(&mix, out_path);
+        return;
     }
 
     let ops = run_all(samples);

@@ -11,17 +11,18 @@
 //! | `FT_REPS` | offline repetitions (paper: 30) | 3 |
 //! | `FT_SCALE` | offline trace scale (1.0 = corpus default) | 0.2 |
 //! | `FT_SEED` | base seed | 42 |
+//! | `FT_SHARDS` | ingestion shards (≤1 = paper-faithful single mutex) | 1 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use freshtrack_core::{
-    Detector, DjitDetector, EmptyDetector, FreshnessDetector, OrderedListDetector, RaceReport,
+    Counters, Detector, DjitDetector, EmptyDetector, FreshnessDetector, OrderedListDetector,
+    RaceReport,
 };
-use freshtrack_dbsim::{run_benchmark, DetectorInstrument, NoInstrument, RunOptions};
+use freshtrack_dbsim::{run_benchmark, run_detector, run_sharded, NoInstrument, RunOptions};
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
 use freshtrack_workloads::DbWorkload;
 
@@ -91,6 +92,43 @@ impl OnlineConfig {
     }
 }
 
+/// Which ingestion path routes dbsim events into the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestMode {
+    /// The paper-faithful single analysis mutex
+    /// ([`freshtrack_dbsim::DetectorInstrument`]) — every event
+    /// serializes through one lock, reproducing the contention model of
+    /// the paper's Fig. 5.
+    SingleMutex,
+    /// Sharded ingestion
+    /// ([`freshtrack_dbsim::ShardedInstrument`] with the given shard
+    /// count): accesses route to `hash(var) % N`, sync events replicate
+    /// to all shards. Same verdicts, higher throughput.
+    Sharded(usize),
+}
+
+impl IngestMode {
+    /// The mode selected by `FT_SHARDS`: `0`/`1` (the default) is the
+    /// single-mutex baseline; `N ≥ 2` enables sharding. Use
+    /// [`IngestMode::Sharded`]`(1)` directly to measure the sharded
+    /// skeleton's overhead at one shard.
+    pub fn from_env() -> IngestMode {
+        match env_or("FT_SHARDS", 1usize) {
+            0 | 1 => IngestMode::SingleMutex,
+            n => IngestMode::Sharded(n),
+        }
+    }
+
+    /// A short suffix for labels: empty for the baseline,
+    /// `"+shards=N"` for sharded runs.
+    pub fn label_suffix(&self) -> String {
+        match self {
+            IngestMode::SingleMutex => String::new(),
+            IngestMode::Sharded(n) => format!("+shards={n}"),
+        }
+    }
+}
+
 /// The outcome of one online run.
 #[derive(Clone, Debug)]
 pub struct OnlineRun {
@@ -98,24 +136,41 @@ pub struct OnlineRun {
     pub label: String,
     /// Mean transaction latency.
     pub mean_latency: Duration,
+    /// Median (p50) transaction latency, microseconds.
+    pub p50_us: u64,
+    /// Tail (p95) transaction latency, microseconds.
+    pub p95_us: u64,
     /// Race reports (empty for NT/ET).
     pub reports: Vec<RaceReport>,
-    /// Detector counters (zeroed for NT).
-    pub counters: freshtrack_core::Counters,
+    /// Detector counters (zeroed for NT; merged across shards for
+    /// sharded runs — see [`Counters::merge`]).
+    pub counters: Counters,
 }
 
-/// Runs one online configuration over a workload mix.
+/// Runs one online configuration over a workload mix, on the ingestion
+/// path selected by `FT_SHARDS` (see [`IngestMode::from_env`]).
 ///
 /// To tame scheduler noise the measurement repeats `FT_RUNS` times
 /// (default 2) and keeps the run with the lowest mean latency, as
 /// latency benchmarks conventionally do.
 pub fn run_online(workload: &DbWorkload, config: OnlineConfig, options: &RunOptions) -> OnlineRun {
+    run_online_with(workload, config, options, IngestMode::from_env())
+}
+
+/// [`run_online`] with an explicit ingestion mode — the entry point for
+/// shard-scaling measurements (`record_baseline --dbsim`).
+pub fn run_online_with(
+    workload: &DbWorkload,
+    config: OnlineConfig,
+    options: &RunOptions,
+    mode: IngestMode,
+) -> OnlineRun {
     let runs = env_or("FT_RUNS", 2u32).max(1);
     let mut best: Option<OnlineRun> = None;
     for i in 0..runs {
         let mut opts = *options;
         opts.seed = options.seed.wrapping_add(i as u64);
-        let run = run_online_once(workload, config, &opts);
+        let run = run_online_once(workload, config, &opts, mode);
         if best
             .as_ref()
             .map_or(true, |b| run.mean_latency < b.mean_latency)
@@ -126,20 +181,42 @@ pub fn run_online(workload: &DbWorkload, config: OnlineConfig, options: &RunOpti
     best.expect("at least one run")
 }
 
-fn run_online_once(workload: &DbWorkload, config: OnlineConfig, options: &RunOptions) -> OnlineRun {
+/// One un-repeated online run (no `FT_RUNS` best-of loop) — the
+/// building block for measurement harnesses that do their own
+/// interleaved repetition, like `record_baseline --dbsim` (on a
+/// time-shared host, back-to-back blocks per configuration confound
+/// the comparison with machine drift; interleaving rounds and taking
+/// per-point minima does not).
+pub fn run_online_single(
+    workload: &DbWorkload,
+    config: OnlineConfig,
+    options: &RunOptions,
+    mode: IngestMode,
+) -> OnlineRun {
+    run_online_once(workload, config, options, mode)
+}
+
+fn run_online_once(
+    workload: &DbWorkload,
+    config: OnlineConfig,
+    options: &RunOptions,
+    mode: IngestMode,
+) -> OnlineRun {
     let label = config.label();
     let seed = options.seed;
     match config {
         OnlineConfig::Nt => {
-            let stats = run_benchmark(workload, options, Arc::new(NoInstrument));
+            let stats = run_benchmark(workload, options, std::sync::Arc::new(NoInstrument));
             OnlineRun {
                 label,
                 mean_latency: Duration::from_nanos((stats.mean_us() * 1_000.0) as u64),
+                p50_us: stats.percentile_us(50.0),
+                p95_us: stats.percentile_us(95.0),
                 reports: Vec::new(),
-                counters: freshtrack_core::Counters::new(),
+                counters: Counters::new(),
             }
         }
-        OnlineConfig::Et => finish(label, workload, options, EmptyDetector::new()),
+        OnlineConfig::Et => finish(label, workload, options, EmptyDetector::new(), mode),
         // The full-detection baseline uses the same vector-clock access
         // histories as the sampling engines (Djit+), mirroring the
         // weight of TSan's shadow-memory access analysis; FastTrack's
@@ -150,6 +227,7 @@ fn run_online_once(workload: &DbWorkload, config: OnlineConfig, options: &RunOpt
             workload,
             options,
             DjitDetector::new(AlwaysSampler::new()),
+            mode,
         ),
         // ST uses Djit+ access histories like SU/SO, so the three
         // sampling configurations differ *only* in their synchronization
@@ -160,18 +238,21 @@ fn run_online_once(workload: &DbWorkload, config: OnlineConfig, options: &RunOpt
             workload,
             options,
             DjitDetector::new(BernoulliSampler::new(r, seed)),
+            mode,
         ),
         OnlineConfig::Su(r) => finish(
             label,
             workload,
             options,
             FreshnessDetector::new(BernoulliSampler::new(r, seed)),
+            mode,
         ),
         OnlineConfig::So(r) => finish(
             label,
             workload,
             options,
             OrderedListDetector::new(BernoulliSampler::new(r, seed)),
+            mode,
         ),
     }
 }
@@ -183,22 +264,32 @@ pub fn clock_width() -> usize {
     env_or("FT_CLOCK_WIDTH", 64)
 }
 
-fn finish<D: Detector + Send + 'static>(
+fn finish<D: Detector + Clone + Send + 'static>(
     label: String,
     workload: &DbWorkload,
     options: &RunOptions,
     mut detector: D,
+    mode: IngestMode,
 ) -> OnlineRun {
     detector.reserve_threads(clock_width());
-    let inst = Arc::new(DetectorInstrument::new(detector));
-    let stats = run_benchmark(workload, options, inst.clone());
-    let inst = Arc::try_unwrap(inst).ok().expect("workers joined");
-    let (detector, reports) = inst.finish();
+    let (stats, reports, counters) = match mode {
+        IngestMode::SingleMutex => {
+            let (stats, detector, reports) = run_detector(workload, options, detector);
+            (stats, reports, *detector.counters())
+        }
+        IngestMode::Sharded(shards) => {
+            let (stats, _shards, reports, counters) =
+                run_sharded(workload, options, detector, shards);
+            (stats, reports, counters)
+        }
+    };
     OnlineRun {
         label,
         mean_latency: Duration::from_nanos((stats.mean_us() * 1_000.0) as u64),
+        p50_us: stats.percentile_us(50.0),
+        p95_us: stats.percentile_us(95.0),
         reports,
-        counters: *detector.counters(),
+        counters,
     }
 }
 
@@ -225,6 +316,8 @@ mod tests {
         assert_eq!(OnlineConfig::St(0.003).label(), "ST-0.3%");
         assert_eq!(OnlineConfig::So(0.1).label(), "SO-10%");
         assert_eq!(OnlineConfig::Nt.label(), "NT");
+        assert_eq!(IngestMode::SingleMutex.label_suffix(), "");
+        assert_eq!(IngestMode::Sharded(4).label_suffix(), "+shards=4");
     }
 
     #[test]
@@ -243,6 +336,29 @@ mod tests {
         ] {
             let run = run_online(&w, cfg, &opts);
             assert_eq!(run.label, cfg.label());
+            assert!(run.p95_us >= run.p50_us);
+        }
+    }
+
+    #[test]
+    fn online_run_sharded_smoke() {
+        let w = benchbase::by_name("sibench").unwrap();
+        let opts = RunOptions {
+            workers: 2,
+            txns_per_worker: 30,
+            seed: 1,
+        };
+        for mode in [IngestMode::Sharded(1), IngestMode::Sharded(4)] {
+            let run = run_online_with(&w, OnlineConfig::Ft, &opts, mode);
+            assert_eq!(run.label, "FT");
+            assert_eq!(run.counters.races as usize, run.reports.len());
+            assert_eq!(
+                run.counters.events,
+                run.counters.reads
+                    + run.counters.writes
+                    + run.counters.acquires
+                    + run.counters.releases
+            );
         }
     }
 }

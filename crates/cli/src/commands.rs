@@ -1,10 +1,8 @@
-use std::sync::Arc;
-
 use freshtrack_core::{
     Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
     OrderedListDetector, RaceReport,
 };
-use freshtrack_dbsim::{run_benchmark, DetectorInstrument, RunOptions};
+use freshtrack_dbsim::{run_detector, run_sharded, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
 use freshtrack_sampling::BernoulliSampler;
 use freshtrack_trace::{read_trace, write_trace, Trace};
@@ -223,34 +221,58 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
     };
     let engine: String = args.get_or("engine", "so".to_owned())?;
     let rate: f64 = args.get_or("rate", 0.03)?;
+    let shards: usize = args.get_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
     let sampler = BernoulliSampler::new(rate, options.seed);
 
     // Monomorphized per engine; the run/report plumbing is shared.
-    fn go<D: Detector + Send + 'static, W: std::io::Write>(
+    // `--shards 1` (the default) is the paper-faithful single analysis
+    // mutex; `--shards N` routes ingestion through N detector shards.
+    fn go<D: Detector + Clone + Send + 'static, W: std::io::Write>(
         detector: D,
         workload: &freshtrack_workloads::DbWorkload,
         options: &RunOptions,
+        shards: usize,
         out: &mut W,
     ) {
-        let inst = Arc::new(DetectorInstrument::new(detector));
-        let stats = run_benchmark(workload, options, inst.clone());
-        let (detector, reports) = Arc::try_unwrap(inst).ok().expect("workers joined").finish();
-        let c = detector.counters();
+        let name = detector.name();
+        let (stats, reports, counters) = if shards >= 2 {
+            let (stats, _, reports, counters) = run_sharded(workload, options, detector, shards);
+            (stats, reports, counters)
+        } else {
+            let (stats, detector, reports) = run_detector(workload, options, detector);
+            let counters = *detector.counters();
+            (stats, reports, counters)
+        };
+        let suffix = if shards >= 2 {
+            format!(" (shards={shards})")
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "{}: {} txns, mean latency {:.1} µs, p95 {} µs",
-            detector.name(),
+            "{name}{suffix}: {} txns, mean latency {:.1} µs, p95 {} µs",
             stats.transactions,
             stats.mean_us(),
             stats.percentile_us(95.0)
         );
+        // Merged counters sum work across shards but count each
+        // replicated acquire once (`Counters::merge`), so the skip
+        // ratio must be averaged over shards to stay a fraction.
+        let skip_ratio = if counters.acquires == 0 {
+            0.0
+        } else {
+            counters.acquires_skipped as f64 / (counters.acquires * shards.max(1) as u64) as f64
+        };
         let _ = writeln!(
             out,
             "events={} sampled={} races={} acquires skipped={}",
-            c.events,
-            c.sampled_accesses,
+            counters.events,
+            counters.sampled_accesses,
             reports.len(),
-            pct(c.acquire_skip_ratio())
+            pct(skip_ratio)
         );
     }
 
@@ -259,11 +281,24 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             FastTrackDetector::new(BernoulliSampler::new(1.0, options.seed)),
             &workload,
             &options,
+            shards,
             out,
         ),
-        "st" => go(DjitDetector::new(sampler), &workload, &options, out),
-        "su" => go(FreshnessDetector::new(sampler), &workload, &options, out),
-        "so" => go(OrderedListDetector::new(sampler), &workload, &options, out),
+        "st" => go(DjitDetector::new(sampler), &workload, &options, shards, out),
+        "su" => go(
+            FreshnessDetector::new(sampler),
+            &workload,
+            &options,
+            shards,
+            out,
+        ),
+        "so" => go(
+            OrderedListDetector::new(sampler),
+            &workload,
+            &options,
+            shards,
+            out,
+        ),
         other => return Err(ArgError(format!("unknown engine `{other}`"))),
     }
     Ok(())
@@ -374,5 +409,29 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("mean latency"), "{out}");
+    }
+
+    #[test]
+    fn dbsim_sharded_smoke() {
+        let (code, out) = run_cli(&[
+            "dbsim",
+            "--mix",
+            "sibench",
+            "--workers",
+            "2",
+            "--txns",
+            "20",
+            "--engine",
+            "ft",
+            "--shards",
+            "4",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(shards=4)"), "{out}");
+        assert!(out.contains("mean latency"), "{out}");
+
+        let (code, out) = run_cli(&["dbsim", "--shards", "0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--shards"), "{out}");
     }
 }

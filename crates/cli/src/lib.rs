@@ -45,5 +45,8 @@ COMMANDS:
     dbsim             run the online database benchmark
                       --mix <name> (default ycsb) --engine ft|st|su|so
                       --rate <f> --workers <n> --txns <n> --seed <n>
+                      --shards <n>  ingestion shards (default 1 =
+                      single analysis mutex; N>=2 shards detectors
+                      by variable, same verdicts)
     help              show this message
 ";

@@ -31,10 +31,25 @@ pub trait Detector {
     fn reserve_threads(&mut self, _n: usize) {}
 
     /// Runs the detector over a complete trace, returning all reports.
+    ///
+    /// Reports are **strictly sorted by racing [`EventId`]**: events are
+    /// processed in trace order, a report's `event` field is the event
+    /// being processed, and each event yields at most one report. The
+    /// sharded ingestion merge
+    /// ([`ShardedOnlineDetector::finish`](crate::ShardedOnlineDetector::finish))
+    /// and the differential suites both rely on this order being
+    /// deterministic; `crates/core/tests/sharding.rs` has the
+    /// regression test.
     fn run(&mut self, trace: &Trace) -> Vec<RaceReport> {
-        let mut reports = Vec::new();
+        let mut reports: Vec<RaceReport> = Vec::new();
         for (id, event) in trace.iter() {
             if let Some(report) = self.process(id, event) {
+                debug_assert!(
+                    reports
+                        .last()
+                        .map_or(true, |prev| prev.event < report.event),
+                    "reports must stay sorted by EventId"
+                );
                 reports.push(report);
             }
         }

@@ -20,6 +20,12 @@
 //! much timestamping work they perform, which is recorded in
 //! [`Counters`].
 //!
+//! For concurrent ingestion two thread-safe façades wrap a detector:
+//! [`OnlineDetector`] (one serialization mutex — the paper-faithful
+//! contention model of Fig. 5) and [`ShardedOnlineDetector`]
+//! (per-variable detector shards with a replicated sync skeleton — same
+//! verdicts, parallel access analysis).
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +60,7 @@ mod naive_sampling;
 mod online;
 mod ordered;
 mod report;
+mod shard;
 mod sync_ops;
 
 pub use access_history::AccessHistories;
@@ -67,4 +74,5 @@ pub use naive_sampling::NaiveSamplingDetector;
 pub use online::{EmptyDetector, OnlineDetector};
 pub use ordered::OrderedListDetector;
 pub use report::{AccessKind, RaceReport};
+pub use shard::ShardedOnlineDetector;
 pub use sync_ops::{SyncClock, SyncOps};

@@ -126,8 +126,20 @@ impl<D: Detector> OnlineDetector<D> {
     }
 
     /// Consumes the façade, returning the detector and all reports.
+    ///
+    /// Reports are **strictly sorted by racing [`EventId`]**: ticket
+    /// assignment and analysis happen atomically under the mutex, so
+    /// reports accumulate in ticket order. This is the same
+    /// deterministic order
+    /// [`ShardedOnlineDetector::finish`](crate::ShardedOnlineDetector::finish)
+    /// produces by merging, which keeps the two ingestion paths
+    /// directly comparable.
     pub fn finish(self) -> (D, Vec<RaceReport>) {
         let inner = self.inner.into_inner().expect("detector mutex poisoned");
+        debug_assert!(
+            inner.reports.windows(2).all(|w| w[0].event < w[1].event),
+            "reports must stay sorted by EventId"
+        );
         (inner.detector, inner.reports)
     }
 }

@@ -12,56 +12,17 @@ use freshtrack_core::{
     OrderedListDetector, RaceReport,
 };
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, PeriodicSampler, Sampler};
-use freshtrack_trace::{Trace, TraceBuilder, VarId};
+use freshtrack_testutil::trace_from_fuel;
+use freshtrack_trace::{Trace, TraceBuilder};
 use proptest::prelude::*;
 
-/// Raw fuel for the trace interpreter: each tuple is
+/// Raw fuel for the shared trace interpreter
+/// ([`freshtrack_testutil::trace_from_fuel`]): each tuple is
 /// `(thread, action, operand)`.
 type Fuel = Vec<(u8, u8, u8)>;
 
-/// Interprets raw fuel into a trace that satisfies the locking
-/// discipline: acquires only of free locks, releases only of locks held
-/// by the acting thread; everything else becomes an access.
 fn interpret(fuel: &Fuel, threads: u8, locks: u8, vars: u8) -> Trace {
-    let mut b = TraceBuilder::new();
-    let var_ids: Vec<VarId> = (0..vars).map(|v| b.var(&format!("x{v}"))).collect();
-    let lock_ids: Vec<_> = (0..locks).map(|l| b.lock(&format!("l{l}"))).collect();
-    // holder[l] = Some(t) while lock l is held.
-    let mut holder: Vec<Option<u8>> = vec![None; locks as usize];
-
-    for &(t, action, operand) in fuel {
-        let t = t % threads;
-        match action % 4 {
-            0 => {
-                // Try to acquire `operand % locks` if free.
-                let l = (operand % locks) as usize;
-                if holder[l].is_none() {
-                    holder[l] = Some(t);
-                    b.acquire(t as u32, lock_ids[l]);
-                } else {
-                    b.read(t as u32, var_ids[(operand % vars) as usize]);
-                }
-            }
-            1 => {
-                // Release some lock this thread holds, if any.
-                if let Some(l) = holder.iter().position(|&h| h == Some(t)) {
-                    holder[l] = None;
-                    b.release(t as u32, lock_ids[l]);
-                } else {
-                    b.write(t as u32, var_ids[(operand % vars) as usize]);
-                }
-            }
-            2 => {
-                b.read(t as u32, var_ids[(operand % vars) as usize]);
-            }
-            _ => {
-                b.write(t as u32, var_ids[(operand % vars) as usize]);
-            }
-        }
-    }
-    // Traces need not release held locks at the end (prefix semantics),
-    // so we leave them held.
-    b.build()
+    trace_from_fuel(fuel, threads, locks, vars)
 }
 
 fn fuel_strategy(len: usize) -> impl Strategy<Value = Fuel> {

@@ -1,6 +1,7 @@
+use std::fmt;
 use std::sync::Arc;
 
-use freshtrack_core::{Detector, OnlineDetector, RaceReport};
+use freshtrack_core::{Counters, Detector, OnlineDetector, RaceReport, ShardedOnlineDetector};
 
 /// The callback surface of an instrumented binary.
 ///
@@ -36,12 +37,46 @@ impl Instrument for NoInstrument {
     fn release(&self, _tid: u32, _lock: u32) {}
 }
 
+/// Error returned by the fallible shutdown paths
+/// ([`DetectorInstrument::try_finish`] /
+/// [`ShardedInstrument::try_finish`]) when worker threads still hold
+/// handles to the detector: finishing now could lose events those
+/// workers are still emitting, so the caller must join the workers
+/// first and retry with the returned instrument.
+pub struct StillShared<T> {
+    /// The instrument, handed back so the caller can retry.
+    pub instrument: T,
+    /// Number of other live handles observed at the failed attempt.
+    pub handles: usize,
+}
+
+impl<T> fmt::Debug for StillShared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StillShared")
+            .field("handles", &self.handles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Display for StillShared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot finish instrumentation: {} worker handle(s) still live; join the workers first",
+            self.handles
+        )
+    }
+}
+
+impl<T> std::error::Error for StillShared<T> {}
+
 /// Routes instrumentation callbacks into a streaming detector behind
 /// [`OnlineDetector`]'s serialization mutex.
 ///
 /// The serialization is part of what the paper measures: the more work a
 /// detector performs per event, the longer application threads queue
-/// here, amplifying the application's own contention.
+/// here, amplifying the application's own contention. For the
+/// throughput-oriented alternative, see [`ShardedInstrument`].
 pub struct DetectorInstrument<D> {
     online: Arc<OnlineDetector<D>>,
 }
@@ -59,16 +94,31 @@ impl<D: Detector + Send> DetectorInstrument<D> {
         self.online.race_count()
     }
 
+    /// Consumes the instrument, returning the detector and reports, or
+    /// an error (carrying the instrument back) if worker threads still
+    /// hold handles — the safe shutdown path.
+    pub fn try_finish(self) -> Result<(D, Vec<RaceReport>), StillShared<Self>> {
+        match Arc::try_unwrap(self.online) {
+            Ok(online) => Ok(online.finish()),
+            Err(online) => {
+                let handles = Arc::strong_count(&online) - 1;
+                Err(StillShared {
+                    instrument: DetectorInstrument { online },
+                    handles,
+                })
+            }
+        }
+    }
+
     /// Consumes the instrument, returning the detector and reports.
     ///
     /// # Panics
     ///
-    /// Panics if worker threads still hold references.
+    /// Panics if worker threads still hold references; use
+    /// [`try_finish`](DetectorInstrument::try_finish) to get an error
+    /// instead.
     pub fn finish(self) -> (D, Vec<RaceReport>) {
-        Arc::try_unwrap(self.online)
-            .ok()
-            .expect("workers must be joined before finish()")
-            .finish()
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A shareable handle for worker threads.
@@ -78,6 +128,104 @@ impl<D: Detector + Send> DetectorInstrument<D> {
 }
 
 impl<D: Detector + Send> Instrument for DetectorInstrument<D> {
+    fn read(&self, tid: u32, var: u32) {
+        self.online.read(tid, var);
+    }
+
+    fn write(&self, tid: u32, var: u32) {
+        self.online.write(tid, var);
+    }
+
+    fn acquire(&self, tid: u32, lock: u32) {
+        self.online.acquire(tid, lock);
+    }
+
+    fn release(&self, tid: u32, lock: u32) {
+        self.online.release(tid, lock);
+    }
+}
+
+/// Routes instrumentation callbacks into a
+/// [`ShardedOnlineDetector`]: per-variable detector shards with a
+/// replicated happens-before skeleton, instead of one global analysis
+/// mutex.
+///
+/// This is the scale-oriented ingestion path. It deliberately does
+/// *not* reproduce the paper's single-lock contention model —
+/// [`DetectorInstrument`] remains the paper-faithful baseline — but it
+/// reports the same races for the same event stream (the replication
+/// invariant; see [`ShardedOnlineDetector`]).
+pub struct ShardedInstrument<D> {
+    online: Arc<ShardedOnlineDetector<D>>,
+}
+
+impl<D: Detector + Send> ShardedInstrument<D> {
+    /// Builds an instrument with `shards` detector shards, each a clone
+    /// of `detector` (which must be in its initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(detector: D, shards: usize) -> Self
+    where
+        D: Clone,
+    {
+        ShardedInstrument {
+            online: Arc::new(ShardedOnlineDetector::new(detector, shards)),
+        }
+    }
+
+    /// Number of detector shards.
+    pub fn shard_count(&self) -> usize {
+        self.online.shard_count()
+    }
+
+    /// Pre-sizes every shard's clock state for `n` worker threads.
+    pub fn reserve_threads(&self, n: usize) {
+        self.online.reserve_threads(n);
+    }
+
+    /// Races found so far, across all shards.
+    pub fn race_count(&self) -> usize {
+        self.online.race_count()
+    }
+
+    /// Consumes the instrument, returning the per-shard detectors, the
+    /// merged (EventId-sorted) reports, and the aggregated
+    /// [`Counters`], or an error (carrying the instrument back) if
+    /// worker threads still hold handles — the safe shutdown path.
+    pub fn try_finish(self) -> Result<(Vec<D>, Vec<RaceReport>, Counters), StillShared<Self>> {
+        match Arc::try_unwrap(self.online) {
+            Ok(online) => Ok(online.finish_merged()),
+            Err(online) => {
+                let handles = Arc::strong_count(&online) - 1;
+                Err(StillShared {
+                    instrument: ShardedInstrument { online },
+                    handles,
+                })
+            }
+        }
+    }
+
+    /// Consumes the instrument, returning shards, merged reports and
+    /// aggregated counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker threads still hold references; use
+    /// [`try_finish`](ShardedInstrument::try_finish) to get an error
+    /// instead.
+    pub fn finish(self) -> (Vec<D>, Vec<RaceReport>, Counters) {
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A shareable handle for worker threads.
+    pub fn handle(&self) -> Arc<ShardedOnlineDetector<D>> {
+        Arc::clone(&self.online)
+    }
+}
+
+impl<D: Detector + Send> Instrument for ShardedInstrument<D> {
     fn read(&self, tid: u32, var: u32) {
         self.online.read(tid, var);
     }
@@ -129,5 +277,51 @@ mod tests {
         let (d, reports) = inst.finish();
         assert!(reports.is_empty());
         assert_eq!(d.counters().events, 3);
+    }
+
+    #[test]
+    fn try_finish_fails_while_handles_are_live_then_succeeds() {
+        let inst = DetectorInstrument::new(DjitDetector::new(AlwaysSampler::new()));
+        let handle = inst.handle();
+        handle.write(0, 1);
+        let err = inst.try_finish().expect_err("handle is still live");
+        assert_eq!(err.handles, 1);
+        assert!(err.to_string().contains("join the workers"));
+        drop(handle);
+        let (_, reports) = err.instrument.try_finish().expect("handle dropped");
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn sharded_instrument_finds_races_and_merges_counters() {
+        let inst = ShardedInstrument::new(DjitDetector::new(AlwaysSampler::new()), 4);
+        assert_eq!(inst.shard_count(), 4);
+        inst.acquire(0, 0);
+        inst.write(0, 3);
+        inst.release(0, 0);
+        inst.write(1, 3); // races with t0's write (no common lock held)
+        inst.write(1, 9);
+        assert_eq!(inst.race_count(), 1);
+        let (shards, reports, counters) = inst.finish();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(counters.events, 5);
+        assert_eq!(counters.acquires, 1);
+        assert_eq!(counters.releases, 1);
+        assert_eq!(counters.writes, 3);
+        assert_eq!(counters.races, 1);
+    }
+
+    #[test]
+    fn sharded_try_finish_roundtrips_through_live_handles() {
+        let inst = ShardedInstrument::new(EmptyDetector::new(), 2);
+        let handle = inst.handle();
+        let err = inst.try_finish().expect_err("handle is still live");
+        assert_eq!(err.handles, 1);
+        drop(handle);
+        let (shards, reports, counters) = err.instrument.try_finish().expect("handle dropped");
+        assert_eq!(shards.len(), 2);
+        assert!(reports.is_empty());
+        assert_eq!(counters.events, 0);
     }
 }

@@ -12,9 +12,15 @@
 //!   have: one call per row access and per lock operation, invoked
 //!   *while the application actually holds the corresponding lock*, so
 //!   the emitted event stream always satisfies the locking discipline.
+//!   Two detector-backed implementations exist: [`DetectorInstrument`]
+//!   (the paper-faithful single analysis mutex) and
+//!   [`ShardedInstrument`] (per-variable detector shards with a
+//!   replicated sync skeleton — same verdicts, higher throughput).
 //! * [`run_benchmark`] — a worker pool executing a
 //!   [`DbWorkload`](freshtrack_workloads::DbWorkload) mix, measuring
-//!   per-transaction latency, exactly the metric of the paper's Fig. 5.
+//!   per-transaction latency, exactly the metric of the paper's Fig. 5;
+//!   [`run_detector`] / [`run_sharded`] bundle the run with a safe
+//!   ([`try_finish`](DetectorInstrument::try_finish)-based) shutdown.
 //!
 //! The database seeds the same kind of race the evaluation finds in real
 //! servers: a small fraction of accesses bypass row locking (an
@@ -43,5 +49,7 @@ mod instrument;
 mod server;
 
 pub use db::Database;
-pub use instrument::{DetectorInstrument, Instrument, NoInstrument};
-pub use server::{run_benchmark, LatencyStats, RunOptions};
+pub use instrument::{
+    DetectorInstrument, Instrument, NoInstrument, ShardedInstrument, StillShared,
+};
+pub use server::{run_benchmark, run_detector, run_sharded, LatencyStats, RunOptions};

@@ -4,9 +4,10 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use freshtrack_core::{Counters, Detector, RaceReport};
 use freshtrack_workloads::DbWorkload;
 
-use crate::{Database, Instrument};
+use crate::{Database, DetectorInstrument, Instrument, ShardedInstrument};
 
 /// Options for a benchmark run.
 #[derive(Clone, Copy, Debug)]
@@ -102,6 +103,61 @@ pub fn run_benchmark(
         latencies.extend(h.join().expect("worker panicked"));
     }
     LatencyStats::from_latencies(latencies)
+}
+
+/// Runs a workload through the paper-faithful single-mutex ingestion
+/// path ([`DetectorInstrument`]) and shuts it down, returning latency
+/// statistics, the detector, and its race reports.
+///
+/// This is the canonical server lifecycle: build the instrument, run
+/// the worker pool, join it, then tear the analysis down via the
+/// fallible [`DetectorInstrument::try_finish`] — an error here means a
+/// worker handle leaked past the join, which is a bug worth a loud,
+/// descriptive panic rather than a silent misuse.
+pub fn run_detector<D: Detector + Send + 'static>(
+    workload: &DbWorkload,
+    options: &RunOptions,
+    detector: D,
+) -> (LatencyStats, D, Vec<RaceReport>) {
+    let inst = Arc::new(DetectorInstrument::new(detector));
+    let stats = run_benchmark(workload, options, inst.clone());
+    let inst = Arc::try_unwrap(inst)
+        .ok()
+        .expect("run_benchmark joins every worker before returning");
+    match inst.try_finish() {
+        Ok((detector, reports)) => (stats, detector, reports),
+        Err(e) => panic!("shutdown after joined run cannot fail: {e}"),
+    }
+}
+
+/// Runs a workload through the sharded ingestion path
+/// ([`ShardedInstrument`] with `shards` detector shards) and shuts it
+/// down, returning latency statistics, the per-shard detectors, the
+/// merged (EventId-sorted) reports, and the aggregated [`Counters`].
+///
+/// Same lifecycle as [`run_detector`]; both paths report identical
+/// races for the same event stream (the replication invariant), so the
+/// choice is purely a throughput/faithfulness trade-off.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn run_sharded<D: Detector + Clone + Send + 'static>(
+    workload: &DbWorkload,
+    options: &RunOptions,
+    detector: D,
+    shards: usize,
+) -> (LatencyStats, Vec<D>, Vec<RaceReport>, Counters) {
+    let inst = Arc::new(ShardedInstrument::new(detector, shards));
+    inst.reserve_threads(options.workers as usize);
+    let stats = run_benchmark(workload, options, inst.clone());
+    let inst = Arc::try_unwrap(inst)
+        .ok()
+        .expect("run_benchmark joins every worker before returning");
+    match inst.try_finish() {
+        Ok((detectors, reports, counters)) => (stats, detectors, reports, counters),
+        Err(e) => panic!("shutdown after joined run cannot fail: {e}"),
+    }
 }
 
 fn worker_loop(
@@ -231,6 +287,56 @@ mod tests {
         let inst = Arc::try_unwrap(inst).ok().expect("workers joined");
         let (_, reports) = inst.finish();
         assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn run_detector_helper_shuts_down_cleanly() {
+        let mut w = benchbase::by_name("smallbank").unwrap();
+        w.unprotected_fraction = 0.0;
+        let (stats, detector, reports) = run_detector(
+            &w,
+            &small_opts(),
+            OrderedListDetector::new(AlwaysSampler::new()),
+        );
+        assert_eq!(stats.transactions, 400);
+        assert!(reports.is_empty(), "{reports:?}");
+        assert!(detector.counters().events > 0);
+    }
+
+    #[test]
+    fn sharded_run_finds_seeded_races_with_sorted_merged_reports() {
+        let mut w = benchbase::by_name("ycsb").unwrap();
+        w.unprotected_fraction = 0.2; // make the seeded race frequent
+        let (stats, shards, reports, counters) = run_sharded(
+            &w,
+            &small_opts(),
+            FastTrackDetector::new(AlwaysSampler::new()),
+            4,
+        );
+        assert_eq!(stats.transactions, 400);
+        assert_eq!(shards.len(), 4);
+        assert!(!reports.is_empty(), "seeded race not found");
+        assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
+        assert_eq!(counters.races as usize, reports.len());
+        assert_eq!(
+            counters.events,
+            counters.reads + counters.writes + counters.acquires + counters.releases
+        );
+    }
+
+    #[test]
+    fn sharded_lock_protected_rows_do_not_race() {
+        let mut w = benchbase::by_name("smallbank").unwrap();
+        w.unprotected_fraction = 0.0;
+        for shards in [1usize, 8] {
+            let (_, _, reports, _) = run_sharded(
+                &w,
+                &small_opts(),
+                OrderedListDetector::new(AlwaysSampler::new()),
+                shards,
+            );
+            assert!(reports.is_empty(), "{shards} shards: {reports:?}");
+        }
     }
 
     #[test]

@@ -23,16 +23,23 @@
 //! * [`workload_matrix`] / [`conformance_workload`] — seeded structured
 //!   workloads across every [`Pattern`], sized so the quadratic oracle
 //!   stays affordable.
+//! * [`run_sharded_trace`] / [`assert_shard_equivalence`] — sharded
+//!   ingestion ([`ShardedOnlineDetector`]) vs the single-mutex path:
+//!   identical reports, matching per-kind counters, for any shard
+//!   count. Used by `crates/core/tests/sharding.rs`.
+//! * [`trace_from_fuel`] — the shared fuzz-trace interpreter: raw
+//!   `(thread, action, operand)` fuel into a trace obeying the locking
+//!   discipline (used by the proptest suites).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use freshtrack_core::{
-    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
-    OrderedListDetector, RaceReport,
+    Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
+    NaiveSamplingDetector, OrderedListDetector, RaceReport, ShardedOnlineDetector,
 };
 use freshtrack_sampling::Sampler;
-use freshtrack_trace::Trace;
+use freshtrack_trace::{Trace, TraceBuilder, VarId};
 use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
 
 /// Every structural workload pattern, in a stable order.
@@ -196,6 +203,123 @@ pub fn assert_conformance<S: Sampler + Clone>(
     reports
 }
 
+/// Interprets raw fuzz fuel — `(thread, action, operand)` triples —
+/// into a trace that satisfies the locking discipline: acquires only of
+/// free locks, releases only of locks held by the acting thread;
+/// everything else becomes an access. This is the shared trace
+/// interpreter behind the property-based suites (`equivalence.rs`,
+/// `sharding.rs`), so every fuzzer explores the same event space.
+pub fn trace_from_fuel(fuel: &[(u8, u8, u8)], threads: u8, locks: u8, vars: u8) -> Trace {
+    assert!(threads > 0 && locks > 0 && vars > 0, "empty fuel domain");
+    let mut b = TraceBuilder::new();
+    let var_ids: Vec<VarId> = (0..vars).map(|v| b.var(&format!("x{v}"))).collect();
+    let lock_ids: Vec<_> = (0..locks).map(|l| b.lock(&format!("l{l}"))).collect();
+    // holder[l] = Some(t) while lock l is held.
+    let mut holder: Vec<Option<u8>> = vec![None; locks as usize];
+
+    for &(t, action, operand) in fuel {
+        let t = t % threads;
+        match action % 4 {
+            0 => {
+                // Try to acquire `operand % locks` if free.
+                let l = (operand % locks) as usize;
+                if holder[l].is_none() {
+                    holder[l] = Some(t);
+                    b.acquire(t as u32, lock_ids[l]);
+                } else {
+                    b.read(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            1 => {
+                // Release some lock this thread holds, if any.
+                if let Some(l) = holder.iter().position(|&h| h == Some(t)) {
+                    holder[l] = None;
+                    b.release(t as u32, lock_ids[l]);
+                } else {
+                    b.write(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            2 => {
+                b.read(t as u32, var_ids[(operand % vars) as usize]);
+            }
+            _ => {
+                b.write(t as u32, var_ids[(operand % vars) as usize]);
+            }
+        }
+    }
+    // Traces need not release held locks at the end (prefix semantics),
+    // so we leave them held.
+    b.build()
+}
+
+/// Feeds `trace` event by event through a [`ShardedOnlineDetector`]
+/// built from clones of `detector`, returning the per-shard detectors,
+/// the merged (EventId-sorted) reports, and the aggregated counters.
+///
+/// The sequential feed assigns ticket ids in trace order, so the
+/// sharded run analyzes exactly the given trace — the deterministic
+/// setting the equivalence assertions need.
+pub fn run_sharded_trace<D: Detector + Clone>(
+    trace: &Trace,
+    detector: D,
+    shards: usize,
+) -> (Vec<D>, Vec<RaceReport>, Counters) {
+    let sharded = ShardedOnlineDetector::new(detector, shards);
+    for (_, event) in trace.iter() {
+        sharded.on_event(event.tid.as_u32(), event.kind);
+    }
+    sharded.finish_merged()
+}
+
+/// Asserts that sharded ingestion is verdict-preserving for one
+/// `(trace, detector)` pair: for every shard count in `shard_counts`,
+/// the sharded run reports exactly the single-mutex path's races (same
+/// order — both are EventId-sorted) and its merged counters agree on
+/// every **per-kind** field (`events`, `reads`, `writes`,
+/// `sampled_accesses`, `acquires`, `releases`, `races`). Work counters
+/// are exempt by design: replicating sync events to `N` shards
+/// multiplies sync-side clock work (see
+/// [`Counters::merge`]).
+///
+/// Returns the common report list.
+pub fn assert_shard_equivalence<D: Detector + Clone>(
+    label: &str,
+    trace: &Trace,
+    detector: D,
+    shard_counts: &[usize],
+) -> Vec<RaceReport> {
+    let mut baseline = detector.clone();
+    let baseline_reports = baseline.run(trace);
+    let expected = *baseline.counters();
+    for &shards in shard_counts {
+        let (detectors, reports, merged) = run_sharded_trace(trace, detector.clone(), shards);
+        assert_eq!(detectors.len(), shards, "[{label}] shard count");
+        assert_eq!(
+            reports, baseline_reports,
+            "[{label}] sharded({shards}) vs single-mutex reports"
+        );
+        for (field, got, want) in [
+            ("events", merged.events, expected.events),
+            ("reads", merged.reads, expected.reads),
+            ("writes", merged.writes, expected.writes),
+            (
+                "sampled_accesses",
+                merged.sampled_accesses,
+                expected.sampled_accesses,
+            ),
+            ("acquires", merged.acquires, expected.acquires),
+            ("releases", merged.releases, expected.releases),
+            ("races", merged.races, expected.races),
+        ] {
+            assert_eq!(
+                got, want,
+                "[{label}] sharded({shards}) merged counter `{field}`"
+            );
+        }
+    }
+    baseline_reports
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +344,28 @@ mod tests {
         let trace = b.build();
         let reports = assert_conformance("unit", &trace, AlwaysSampler::new());
         assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn fuel_interpreter_obeys_locking_discipline() {
+        let fuel: Vec<(u8, u8, u8)> = (0..200u16)
+            .map(|i| (i as u8, (i / 3) as u8, (i / 7) as u8))
+            .collect();
+        let trace = trace_from_fuel(&fuel, 4, 3, 3);
+        assert!(trace.validate().is_ok());
+        assert!(!trace.events().is_empty());
+    }
+
+    #[test]
+    fn shard_equivalence_holds_on_a_structured_cell() {
+        let trace = conformance_workload(Pattern::Mixed, 5, 400);
+        let reports = assert_shard_equivalence(
+            "unit",
+            &trace,
+            DjitDetector::new(AlwaysSampler::new()),
+            &[1, 3],
+        );
+        assert!(!reports.is_empty(), "mixed/5 should contain races");
     }
 
     #[test]

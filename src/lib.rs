@@ -13,8 +13,9 @@
 //! * [`sampling`] — online samplers that decide which access events belong
 //!   to the sample set `S`.
 //! * [`core`] — the race detectors: Djit+, FastTrack, and the paper's
-//!   three sampling engines (ST / SU / SO), plus metric counters and a
-//!   ground-truth happens-before oracle.
+//!   three sampling engines (ST / SU / SO), plus metric counters, a
+//!   ground-truth happens-before oracle, and the online ingestion
+//!   façades (single-mutex and sharded).
 //! * [`workloads`] — seeded synthetic workload and trace generators
 //!   (benchmark-corpus and database-workload shaped).
 //! * [`dbsim`] — a multi-threaded in-memory database used as the online
