@@ -1,6 +1,9 @@
 //! Multi-threaded ingestion throughput: the single-mutex
 //! [`OnlineDetector`] against [`ShardedOnlineDetector`] at shard counts
-//! {1, 2, 4, 8}.
+//! {1, 2, 4, 8}, in both sync-skeleton constructions (two-plane
+//! `sharded` vs legacy `sharded_replicated`). The per-sync-event cost
+//! in isolation is the `sync_cost` bench's job; this one measures the
+//! whole contended pipeline.
 //!
 //! Four producer threads hammer the façade with a dbsim-shaped event
 //! mix (accesses dominating, one short critical section per batch, each
@@ -16,7 +19,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use freshtrack_core::{Detector, DjitDetector, OnlineDetector, ShardedOnlineDetector};
+use freshtrack_bench::sync_stream::Ingest;
+use freshtrack_core::{Detector, DjitDetector, OnlineDetector, ShardedOnlineDetector, SyncMode};
 use freshtrack_sampling::AlwaysSampler;
 
 /// Producer threads.
@@ -26,41 +30,11 @@ const EVENTS: u32 = 2_000;
 /// Shared-variable space (hot: dense ids, like dbsim row ids).
 const VARS: u32 = 512;
 
-/// The ingestion surface both façades share, so the producer script is
-/// written exactly once and cannot diverge between the baseline and
-/// sharded arms of the comparison.
-trait Ingest: Sync {
-    fn write(&self, tid: u32, var: u32);
-    fn acquire(&self, tid: u32, lock: u32);
-    fn release(&self, tid: u32, lock: u32);
-}
-
-impl<D: Detector + Send> Ingest for OnlineDetector<D> {
-    fn write(&self, tid: u32, var: u32) {
-        OnlineDetector::write(self, tid, var);
-    }
-    fn acquire(&self, tid: u32, lock: u32) {
-        OnlineDetector::acquire(self, tid, lock);
-    }
-    fn release(&self, tid: u32, lock: u32) {
-        OnlineDetector::release(self, tid, lock);
-    }
-}
-
-impl<D: Detector + Send> Ingest for ShardedOnlineDetector<D> {
-    fn write(&self, tid: u32, var: u32) {
-        ShardedOnlineDetector::write(self, tid, var);
-    }
-    fn acquire(&self, tid: u32, lock: u32) {
-        ShardedOnlineDetector::acquire(self, tid, lock);
-    }
-    fn release(&self, tid: u32, lock: u32) {
-        ShardedOnlineDetector::release(self, tid, lock);
-    }
-}
-
 /// One producer's event script: mostly accesses, with a private-lock
 /// critical section every 8 events (≈ dbsim's access:sync ratio).
+/// The façade surface is the shared [`Ingest`] trait
+/// (`freshtrack_bench::sync_stream`), so the producer script cannot
+/// diverge between the baseline and sharded arms of the comparison.
 fn produce<I: Ingest>(online: &I, t: u32) {
     for i in 0..EVENTS {
         match i % 8 {
@@ -75,7 +49,7 @@ fn produce<I: Ingest>(online: &I, t: u32) {
 }
 
 /// Runs the full multi-threaded round against either façade.
-fn drive<I: Ingest>(online: &I) {
+fn drive<I: Ingest + Sync>(online: &I) {
     std::thread::scope(|s| {
         for t in 0..THREADS {
             s.spawn(move || produce(online, t));
@@ -99,14 +73,19 @@ fn bench_shard_scaling(c: &mut Criterion) {
             std::hint::black_box(online.finish());
         })
     });
-    for shards in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &n| {
-            b.iter(|| {
-                let online = ShardedOnlineDetector::new(detector(), n);
-                drive(&online);
-                std::hint::black_box(online.finish());
-            })
-        });
+    for (tag, mode) in [
+        ("sharded", SyncMode::Shared),
+        ("sharded_replicated", SyncMode::Replicated),
+    ] {
+        for shards in [1usize, 2, 4, 8] {
+            g.bench_with_input(BenchmarkId::new(tag, shards), &shards, |b, &n| {
+                b.iter(|| {
+                    let online = ShardedOnlineDetector::with_mode(detector(), n, mode);
+                    drive(&online);
+                    std::hint::black_box(online.finish());
+                })
+            });
+        }
     }
     g.finish();
 }

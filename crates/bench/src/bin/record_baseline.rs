@@ -32,16 +32,29 @@
 //! ```text
 //! record_baseline --dbsim --out BENCH_dbsim_latency.json
 //! ```
+//!
+//! A third mode, `--sync-cost`, isolates **per-sync-event ingestion
+//! cost** (single-threaded feed, no contention) for the single-mutex
+//! baseline and sharded ingestion at `N ∈ {1, 2, 4, 8}` under both
+//! sync-skeleton constructions — the replicated "before" against the
+//! two-plane "after", interleaved in one invocation so the pair comes
+//! from one sitting:
+//!
+//! ```text
+//! record_baseline --sync-cost --out BENCH_sync_cost.json
+//! ```
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use freshtrack_bench::{
-    env_or, run_online_single, run_options, IngestMode, OnlineConfig, OnlineRun,
+    env_or, run_online_with, run_options, sync_stream, IngestMode, OnlineConfig, OnlineRun,
 };
 use freshtrack_clock::{
     ClockSnapshot, FreshnessClock, OrderedList, SharedClock, ThreadId, VectorClock,
 };
+use freshtrack_core::{Detector, DjitDetector, OrderedListDetector, SplitDetector, SyncMode};
+use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
 use freshtrack_workloads::benchbase;
 
 /// Thread count for the dense-clock ops (matches the criterion benches).
@@ -459,15 +472,18 @@ fn dbsim_point_json(run: &OnlineRun) -> String {
     )
 }
 
-/// The `--dbsim` mode: single-mutex vs sharded dbsim latency.
+/// The `--dbsim` mode: single-mutex vs sharded dbsim latency, with
+/// both sync-skeleton constructions (two-plane and replicated) in the
+/// shard sweep.
 ///
 /// All points (both configs, the single-mutex baseline and every shard
-/// count) are measured in **interleaved rounds** — round-robin over the
-/// whole point set, `FT_ROUNDS` times — and each point keeps its
-/// fastest round. Sequential per-configuration blocks would confound
-/// the comparison with machine drift on a time-shared host; an
-/// interleaved minimum is the drift-robust estimator of each point's
-/// unperturbed latency, and all points still come from one sitting.
+/// count × sync mode) are measured in **interleaved rounds** —
+/// round-robin over the whole point set, `FT_ROUNDS` times — and each
+/// point keeps its fastest round. Sequential per-configuration blocks
+/// would confound the comparison with machine drift on a time-shared
+/// host; an interleaved minimum is the drift-robust estimator of each
+/// point's unperturbed latency, and all points still come from one
+/// sitting.
 fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
     let workload =
         benchbase::by_name(mix).unwrap_or_else(|| panic!("unknown workload mix `{mix}`"));
@@ -476,6 +492,11 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
     let configs = [OnlineConfig::Ft, OnlineConfig::So(0.03)];
     let modes: Vec<IngestMode> = std::iter::once(IngestMode::SingleMutex)
         .chain(SHARD_SWEEP.iter().map(|&n| IngestMode::Sharded(n)))
+        .chain(
+            SHARD_SWEEP
+                .iter()
+                .map(|&n| IngestMode::ShardedReplicated(n)),
+        )
         .collect();
 
     // best[c][m] = fastest run so far for configs[c] under modes[m].
@@ -486,7 +507,7 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
             for (m, &mode) in modes.iter().enumerate() {
                 let mut opts = options;
                 opts.seed = options.seed.wrapping_add(round as u64);
-                let run = run_online_single(&workload, config, &opts, mode);
+                let run = run_online_with(&workload, config, &opts, mode, 1);
                 let slot = &mut best[c][m];
                 if slot
                     .as_ref()
@@ -504,31 +525,39 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
         let base = best[c][0].as_ref().expect("at least one round");
         let base_us = base.mean_latency.as_nanos() as f64 / 1_000.0;
         eprintln!("[{label}] single_mutex  mean {base_us:>9.1} us");
-        let mut shard_lines = Vec::new();
+        let mut shared_lines = Vec::new();
+        let mut replicated_lines = Vec::new();
         for (m, mode) in modes.iter().enumerate().skip(1) {
-            let IngestMode::Sharded(n) = mode else {
-                unreachable!("mode list starts with the single-mutex baseline");
+            let (n, tag, lines) = match mode {
+                IngestMode::Sharded(n) => (n, "shared", &mut shared_lines),
+                IngestMode::ShardedReplicated(n) => (n, "replicated", &mut replicated_lines),
+                IngestMode::SingleMutex => {
+                    unreachable!("mode list starts with the single-mutex baseline")
+                }
             };
             let run = best[c][m].as_ref().expect("at least one round");
             let us = run.mean_latency.as_nanos() as f64 / 1_000.0;
             let speedup = base_us / us.max(0.001);
-            eprintln!("[{label}] sharded n={n:<2}  mean {us:>9.1} us  ({speedup:.2}x vs mutex)");
-            shard_lines.push(format!("        \"{}\": {}", n, dbsim_point_json(run)));
+            eprintln!(
+                "[{label}] sharded n={n:<2} ({tag:<10})  mean {us:>9.1} us  ({speedup:.2}x vs mutex)"
+            );
+            lines.push(format!("          \"{}\": {}", n, dbsim_point_json(run)));
         }
         sections.push(format!(
-            "    \"{}\": {{\n      \"single_mutex\": {},\n      \"shard_scaling\": {{\n{}\n      }}\n    }}",
+            "    \"{}\": {{\n      \"single_mutex\": {},\n      \"shard_scaling\": {{\n        \"shared\": {{\n{}\n        }},\n        \"replicated\": {{\n{}\n        }}\n      }}\n    }}",
             json_escape(&label),
             dbsim_point_json(base),
-            shard_lines.join(",\n")
+            shared_lines.join(",\n"),
+            replicated_lines.join(",\n")
         ));
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"freshtrack/dbsim-latency/v1\",\n  \
+        "{{\n  \"schema\": \"freshtrack/dbsim-latency/v2\",\n  \
          \"benchmark\": \"dbsim_shard_scaling\",\n  \
          \"workload\": \"{}\",\n  \"workers\": {},\n  \"txns_per_worker\": {},\n  \
          \"seed\": {},\n  \"rounds\": {},\n  \
-         \"note\": \"mean/p50/p95 per-transaction latency in us; single_mutex is the paper-faithful OnlineDetector path, shard_scaling.N is ShardedOnlineDetector with N shards; every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
+         \"note\": \"mean/p50/p95 per-transaction latency in us; single_mutex is the paper-faithful OnlineDetector path, shard_scaling.shared.N is the two-plane ShardedOnlineDetector with N access shards, shard_scaling.replicated.N is the legacy replicated-skeleton construction; every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
          \"configs\": {{\n{}\n  }}\n}}\n",
         json_escape(mix),
         options.workers,
@@ -546,12 +575,129 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
     }
 }
 
+/// One sync-cost sweep point: builds the façade, warms up, and times
+/// the shared sync-heavy stream ([`freshtrack_bench::sync_stream`]) —
+/// the same mix the `sync_cost` criterion bench drives, so the
+/// recorded JSON and the interactive bench stay comparable. Returns ns
+/// per sync event.
+/// Acquire/release pairs per `--sync-cost` measurement round.
+const SYNC_COST_PAIRS: u32 = 20_000;
+
+fn sync_cost_point<D: SplitDetector + 'static>(
+    detector: D,
+    point: Option<(SyncMode, usize)>,
+) -> f64 {
+    let facade = sync_stream::Facade::new(detector, point);
+    if let sync_stream::Facade::Sharded(f) = &facade {
+        f.reserve_threads(freshtrack_bench::clock_width());
+    }
+    sync_stream::warm_up(&facade);
+    let start = Instant::now();
+    sync_stream::drive_pairs(&facade, SYNC_COST_PAIRS);
+    let elapsed = start.elapsed();
+    elapsed.as_nanos() as f64 / (2 * SYNC_COST_PAIRS) as f64
+}
+
+/// The `--sync-cost` mode: isolated per-sync-event ingestion cost of
+/// the single-mutex baseline vs sharded ingestion at `N ∈ {1, 2, 4, 8}`
+/// under **both** sync-skeleton constructions. The replicated series is
+/// the "before", the two-plane (shared) series the "after", measured in
+/// interleaved rounds in one invocation — one sitting by construction.
+/// The claim this records: replicated cost grows `O(N)`, two-plane cost
+/// is flat in `N`.
+fn run_sync_cost(out_path: Option<String>) {
+    let rounds = env_or("FT_ROUNDS", 7u32).max(1);
+    let width = freshtrack_bench::clock_width();
+
+    type Point = (&'static str, Option<(SyncMode, usize)>);
+    let mut points: Vec<Point> = vec![("single_mutex", None)];
+    for &n in &SHARD_SWEEP {
+        points.push(("replicated", Some((SyncMode::Replicated, n))));
+    }
+    for &n in &SHARD_SWEEP {
+        points.push(("shared", Some((SyncMode::Shared, n))));
+    }
+
+    let configs: [&str; 2] = ["FT", "SO-3%"];
+    // best[config][point] = fastest ns/sync-event over the rounds.
+    let mut best = vec![vec![f64::INFINITY; points.len()]; configs.len()];
+    for round in 0..rounds {
+        eprintln!("sync-cost round {}/{rounds}…", round + 1);
+        for (c, _name) in configs.iter().enumerate() {
+            for (p, &(_, point)) in points.iter().enumerate() {
+                let ns = if c == 0 {
+                    let mut d = DjitDetector::new(AlwaysSampler::new());
+                    d.reserve_threads(width);
+                    sync_cost_point(d, point)
+                } else {
+                    let mut d = OrderedListDetector::new(BernoulliSampler::new(0.03, 7));
+                    d.reserve_threads(width);
+                    sync_cost_point(d, point)
+                };
+                if ns < best[c][p] {
+                    best[c][p] = ns;
+                }
+            }
+        }
+    }
+
+    let mut sections = Vec::new();
+    for (c, name) in configs.iter().enumerate() {
+        eprintln!("[{name}] single_mutex  {:>8.1} ns/sync-event", best[c][0]);
+        let series = |tag: &str| -> String {
+            points
+                .iter()
+                .enumerate()
+                .filter(|(_, (t, m))| *t == tag && m.is_some())
+                .map(|(p, (_, m))| {
+                    let (_, n) = m.expect("filtered to sharded points");
+                    eprintln!(
+                        "[{name}] {tag:<10} n={n:<2} {:>8.1} ns/sync-event",
+                        best[c][p]
+                    );
+                    format!("        \"{}\": {:.1}", n, best[c][p])
+                })
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let replicated = series("replicated");
+        let shared = series("shared");
+        sections.push(format!(
+            "    \"{}\": {{\n      \"single_mutex\": {:.1},\n      \"replicated\": {{\n{}\n      }},\n      \"shared\": {{\n{}\n      }}\n    }}",
+            json_escape(name),
+            best[c][0],
+            replicated,
+            shared
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"freshtrack/sync-cost/v1\",\n  \"benchmark\": \"sync_cost\",\n  \
+         \"threads\": {},\n  \"locks\": {},\n  \"clock_width\": {width},\n  \
+         \"sync_events_per_round\": {},\n  \"rounds\": {rounds},\n  \
+         \"note\": \"ns per sync event, single-threaded feed (isolation, no contention); replicated.N is the before (PR 3 sync fan-out, O(N)), shared.N the after (two-plane shared sync engine, flat in N); every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
+         \"configs\": {{\n{}\n  }}\n}}\n",
+        sync_stream::THREADS,
+        sync_stream::LOCKS,
+        2 * SYNC_COST_PAIRS,
+        sections.join(",\n")
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut samples = 40usize;
     let mut dbsim = false;
+    let mut sync_cost = false;
     let mut mix = String::from("ycsb");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -560,6 +706,7 @@ fn main() {
             "--out" => out_path = Some(args.next().expect("--out needs a value")),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
             "--dbsim" => dbsim = true,
+            "--sync-cost" => sync_cost = true,
             "--mix" => mix = args.next().expect("--mix needs a value"),
             "--samples" => {
                 samples = args
@@ -571,7 +718,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "record_baseline [--label NAME] [--out FILE] [--baseline FILE] [--samples N]\n\
-                     record_baseline --dbsim [--mix NAME] [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_RUNS/FT_SEED)"
+                     record_baseline --dbsim [--mix NAME] [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_ROUNDS/FT_SEED)\n\
+                     record_baseline --sync-cost [--out FILE]            (env: FT_ROUNDS/FT_CLOCK_WIDTH)"
                 );
                 return;
             }
@@ -579,6 +727,10 @@ fn main() {
         }
     }
 
+    if sync_cost {
+        run_sync_cost(out_path);
+        return;
+    }
     if dbsim {
         run_dbsim_scaling(&mix, out_path);
         return;

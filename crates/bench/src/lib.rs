@@ -18,9 +18,9 @@
 
 use std::time::Duration;
 
+use freshtrack_core::SyncMode;
 use freshtrack_core::{
-    Counters, Detector, DjitDetector, EmptyDetector, FreshnessDetector, OrderedListDetector,
-    RaceReport,
+    Counters, DjitDetector, EmptyDetector, FreshnessDetector, OrderedListDetector, RaceReport,
 };
 use freshtrack_dbsim::{run_benchmark, run_detector, run_sharded, NoInstrument, RunOptions};
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
@@ -100,31 +100,44 @@ pub enum IngestMode {
     /// serializes through one lock, reproducing the contention model of
     /// the paper's Fig. 5.
     SingleMutex,
-    /// Sharded ingestion
-    /// ([`freshtrack_dbsim::ShardedInstrument`] with the given shard
-    /// count): accesses route to `hash(var) % N`, sync events replicate
-    /// to all shards. Same verdicts, higher throughput.
+    /// Two-plane sharded ingestion
+    /// ([`freshtrack_dbsim::ShardedInstrument`], the default
+    /// [`SyncMode::Shared`]): accesses route to `hash(var) % N` shards,
+    /// sync events update one shared sync engine — per-sync cost flat
+    /// in `N`. Same verdicts, higher throughput.
     Sharded(usize),
+    /// PR 3's replicated-skeleton sharding ([`SyncMode::Replicated`]):
+    /// sync events fan out to all `N` shards. Kept selectable so the
+    /// `O(N)` → `O(1)×` sync-cost drop stays measurable
+    /// (`record_baseline --sync-cost`, `BENCH_sync_cost.json`).
+    ShardedReplicated(usize),
 }
 
 impl IngestMode {
-    /// The mode selected by `FT_SHARDS`: `0`/`1` (the default) is the
-    /// single-mutex baseline; `N ≥ 2` enables sharding. Use
-    /// [`IngestMode::Sharded`]`(1)` directly to measure the sharded
-    /// skeleton's overhead at one shard.
+    /// The mode selected by `FT_SHARDS` (and `FT_SYNC_MODE`): `0`/`1`
+    /// (the default) is the single-mutex baseline; `N ≥ 2` enables
+    /// two-plane sharding, or replicated-skeleton sharding when
+    /// `FT_SYNC_MODE=replicated`. Use [`IngestMode::Sharded`]`(1)`
+    /// directly to measure the sharded skeleton's overhead at one
+    /// shard.
     pub fn from_env() -> IngestMode {
+        let replicated = std::env::var("FT_SYNC_MODE")
+            .map(|v| v.eq_ignore_ascii_case("replicated"))
+            .unwrap_or(false);
         match env_or("FT_SHARDS", 1usize) {
             0 | 1 => IngestMode::SingleMutex,
+            n if replicated => IngestMode::ShardedReplicated(n),
             n => IngestMode::Sharded(n),
         }
     }
 
     /// A short suffix for labels: empty for the baseline,
-    /// `"+shards=N"` for sharded runs.
+    /// `"+shards=N"` / `"+shards=N(replicated)"` for sharded runs.
     pub fn label_suffix(&self) -> String {
         match self {
             IngestMode::SingleMutex => String::new(),
             IngestMode::Sharded(n) => format!("+shards={n}"),
+            IngestMode::ShardedReplicated(n) => format!("+shards={n}(replicated)"),
         }
     }
 }
@@ -154,20 +167,34 @@ pub struct OnlineRun {
 /// (default 2) and keeps the run with the lowest mean latency, as
 /// latency benchmarks conventionally do.
 pub fn run_online(workload: &DbWorkload, config: OnlineConfig, options: &RunOptions) -> OnlineRun {
-    run_online_with(workload, config, options, IngestMode::from_env())
+    run_online_with(
+        workload,
+        config,
+        options,
+        IngestMode::from_env(),
+        env_or("FT_RUNS", 2u32),
+    )
 }
 
-/// [`run_online`] with an explicit ingestion mode — the entry point for
-/// shard-scaling measurements (`record_baseline --dbsim`).
+/// [`run_online`] with an explicit ingestion mode and repeat count —
+/// the single parameterized entry point every harness shares.
+///
+/// Repeats the measurement `runs` times (clamped to at least one),
+/// bumping the seed each round, and keeps the run with the lowest mean
+/// latency. Pass `runs = 1` for one un-repeated run — the building
+/// block for harnesses that do their own interleaved repetition, like
+/// `record_baseline --dbsim` (on a time-shared host, back-to-back
+/// blocks per configuration confound the comparison with machine
+/// drift; interleaving rounds and taking per-point minima does not).
 pub fn run_online_with(
     workload: &DbWorkload,
     config: OnlineConfig,
     options: &RunOptions,
     mode: IngestMode,
+    runs: u32,
 ) -> OnlineRun {
-    let runs = env_or("FT_RUNS", 2u32).max(1);
     let mut best: Option<OnlineRun> = None;
-    for i in 0..runs {
+    for i in 0..runs.max(1) {
         let mut opts = *options;
         opts.seed = options.seed.wrapping_add(i as u64);
         let run = run_online_once(workload, config, &opts, mode);
@@ -179,21 +206,6 @@ pub fn run_online_with(
         }
     }
     best.expect("at least one run")
-}
-
-/// One un-repeated online run (no `FT_RUNS` best-of loop) — the
-/// building block for measurement harnesses that do their own
-/// interleaved repetition, like `record_baseline --dbsim` (on a
-/// time-shared host, back-to-back blocks per configuration confound
-/// the comparison with machine drift; interleaving rounds and taking
-/// per-point minima does not).
-pub fn run_online_single(
-    workload: &DbWorkload,
-    config: OnlineConfig,
-    options: &RunOptions,
-    mode: IngestMode,
-) -> OnlineRun {
-    run_online_once(workload, config, options, mode)
 }
 
 fn run_online_once(
@@ -264,7 +276,7 @@ pub fn clock_width() -> usize {
     env_or("FT_CLOCK_WIDTH", 64)
 }
 
-fn finish<D: Detector + Clone + Send + 'static>(
+fn finish<D: freshtrack_core::SplitDetector + 'static>(
     label: String,
     workload: &DbWorkload,
     options: &RunOptions,
@@ -278,9 +290,10 @@ fn finish<D: Detector + Clone + Send + 'static>(
             (stats, reports, *detector.counters())
         }
         IngestMode::Sharded(shards) => {
-            let (stats, _shards, reports, counters) =
-                run_sharded(workload, options, detector, shards);
-            (stats, reports, counters)
+            run_sharded(workload, options, detector, shards, SyncMode::Shared)
+        }
+        IngestMode::ShardedReplicated(shards) => {
+            run_sharded(workload, options, detector, shards, SyncMode::Replicated)
         }
     };
     OnlineRun {
@@ -301,6 +314,121 @@ pub fn racy_locations(reports: &[RaceReport]) -> usize {
     vars.len()
 }
 
+/// The shared sync-cost isolation driver: one single-threaded,
+/// sync-heavy event mix used by **both** the `sync_cost` criterion
+/// bench and `record_baseline --sync-cost`, so the interactive numbers
+/// and the recorded `BENCH_sync_cost.json` always measure the same
+/// workload.
+pub mod sync_stream {
+    use freshtrack_core::{
+        Detector, OnlineDetector, ShardedOnlineDetector, SplitDetector, SyncMode,
+    };
+
+    /// Virtual application threads issuing the stream.
+    pub const THREADS: u32 = 8;
+    /// Locks; fewer than threads so hand-off crosses threads and
+    /// acquires do real join work.
+    pub const LOCKS: u32 = 4;
+
+    /// The ingestion surface both façades share.
+    pub trait Ingest {
+        /// Feeds a write of `var` by `tid`.
+        fn write(&self, tid: u32, var: u32);
+        /// Feeds an acquire of `lock` by `tid`.
+        fn acquire(&self, tid: u32, lock: u32);
+        /// Feeds a release of `lock` by `tid`.
+        fn release(&self, tid: u32, lock: u32);
+    }
+
+    impl<D: Detector + Send> Ingest for OnlineDetector<D> {
+        fn write(&self, tid: u32, var: u32) {
+            OnlineDetector::write(self, tid, var);
+        }
+        fn acquire(&self, tid: u32, lock: u32) {
+            OnlineDetector::acquire(self, tid, lock);
+        }
+        fn release(&self, tid: u32, lock: u32) {
+            OnlineDetector::release(self, tid, lock);
+        }
+    }
+
+    impl<D: SplitDetector + 'static> Ingest for ShardedOnlineDetector<D> {
+        fn write(&self, tid: u32, var: u32) {
+            ShardedOnlineDetector::write(self, tid, var);
+        }
+        fn acquire(&self, tid: u32, lock: u32) {
+            ShardedOnlineDetector::acquire(self, tid, lock);
+        }
+        fn release(&self, tid: u32, lock: u32) {
+            ShardedOnlineDetector::release(self, tid, lock);
+        }
+    }
+
+    /// Either ingestion façade behind one constructor — the shape the
+    /// measurement harnesses sweep over.
+    pub enum Facade<D: SplitDetector + 'static> {
+        /// The single-mutex [`OnlineDetector`] baseline.
+        Mutex(OnlineDetector<D>),
+        /// A [`ShardedOnlineDetector`] in some [`SyncMode`].
+        Sharded(ShardedOnlineDetector<D>),
+    }
+
+    impl<D: SplitDetector + 'static> Facade<D> {
+        /// Builds the façade for one sweep point: `None` is the
+        /// single-mutex baseline, `Some((mode, n))` a sharded detector.
+        pub fn new(detector: D, point: Option<(SyncMode, usize)>) -> Self {
+            match point {
+                None => Facade::Mutex(OnlineDetector::new(detector)),
+                Some((mode, n)) => {
+                    Facade::Sharded(ShardedOnlineDetector::with_mode(detector, n, mode))
+                }
+            }
+        }
+    }
+
+    impl<D: SplitDetector + 'static> Ingest for Facade<D> {
+        fn write(&self, tid: u32, var: u32) {
+            match self {
+                Facade::Mutex(f) => Ingest::write(f, tid, var),
+                Facade::Sharded(f) => Ingest::write(f, tid, var),
+            }
+        }
+        fn acquire(&self, tid: u32, lock: u32) {
+            match self {
+                Facade::Mutex(f) => Ingest::acquire(f, tid, lock),
+                Facade::Sharded(f) => Ingest::acquire(f, tid, lock),
+            }
+        }
+        fn release(&self, tid: u32, lock: u32) {
+            match self {
+                Facade::Mutex(f) => Ingest::release(f, tid, lock),
+                Facade::Sharded(f) => Ingest::release(f, tid, lock),
+            }
+        }
+    }
+
+    /// Warm-up: one lock-protected write per thread, so `RelAfter_S`
+    /// releases exist and clocks are non-trivial before measurement.
+    pub fn warm_up<I: Ingest>(online: &I) {
+        for t in 0..THREADS {
+            online.acquire(t, t % LOCKS);
+            online.write(t, t);
+            online.release(t, t % LOCKS);
+        }
+    }
+
+    /// The measured stream: `pairs` acquire/release pairs with
+    /// cross-thread lock hand-off (thread `i % THREADS` takes lock
+    /// `i % LOCKS`, so consecutive holders of a lock differ and
+    /// acquires do real join work).
+    pub fn drive_pairs<I: Ingest>(online: &I, pairs: u32) {
+        for i in 0..pairs {
+            online.acquire(i % THREADS, i % LOCKS);
+            online.release(i % THREADS, i % LOCKS);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +446,10 @@ mod tests {
         assert_eq!(OnlineConfig::Nt.label(), "NT");
         assert_eq!(IngestMode::SingleMutex.label_suffix(), "");
         assert_eq!(IngestMode::Sharded(4).label_suffix(), "+shards=4");
+        assert_eq!(
+            IngestMode::ShardedReplicated(2).label_suffix(),
+            "+shards=2(replicated)"
+        );
     }
 
     #[test]
@@ -348,8 +480,12 @@ mod tests {
             txns_per_worker: 30,
             seed: 1,
         };
-        for mode in [IngestMode::Sharded(1), IngestMode::Sharded(4)] {
-            let run = run_online_with(&w, OnlineConfig::Ft, &opts, mode);
+        for mode in [
+            IngestMode::Sharded(1),
+            IngestMode::Sharded(4),
+            IngestMode::ShardedReplicated(4),
+        ] {
+            let run = run_online_with(&w, OnlineConfig::Ft, &opts, mode, 1);
             assert_eq!(run.label, "FT");
             assert_eq!(run.counters.races as usize, run.reports.len());
             assert_eq!(

@@ -1,6 +1,6 @@
 use freshtrack_core::{
     Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
-    OrderedListDetector, RaceReport,
+    OrderedListDetector, RaceReport, SplitDetector, SyncMode,
 };
 use freshtrack_dbsim::{run_detector, run_sharded, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
@@ -225,29 +225,44 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
     if shards == 0 {
         return Err(ArgError("--shards must be at least 1".into()));
     }
+    let mode = match args.get_or("sync", "shared".to_owned())?.as_str() {
+        "shared" => SyncMode::Shared,
+        "replicated" => SyncMode::Replicated,
+        other => {
+            return Err(ArgError(format!(
+                "--sync must be `shared` or `replicated`, got `{other}`"
+            )))
+        }
+    };
     let sampler = BernoulliSampler::new(rate, options.seed);
 
     // Monomorphized per engine; the run/report plumbing is shared.
     // `--shards 1` (the default) is the paper-faithful single analysis
-    // mutex; `--shards N` routes ingestion through N detector shards.
-    fn go<D: Detector + Clone + Send + 'static, W: std::io::Write>(
+    // mutex; `--shards N` routes ingestion through N access shards in
+    // the `--sync` mode (two-plane shared sync engine by default, the
+    // legacy replicated skeleton on request).
+    fn go<D: SplitDetector + 'static, W: std::io::Write>(
         detector: D,
         workload: &freshtrack_workloads::DbWorkload,
         options: &RunOptions,
         shards: usize,
+        mode: SyncMode,
         out: &mut W,
     ) {
         let name = detector.name();
         let (stats, reports, counters) = if shards >= 2 {
-            let (stats, _, reports, counters) = run_sharded(workload, options, detector, shards);
-            (stats, reports, counters)
+            run_sharded(workload, options, detector, shards, mode)
         } else {
             let (stats, detector, reports) = run_detector(workload, options, detector);
             let counters = *detector.counters();
             (stats, reports, counters)
         };
         let suffix = if shards >= 2 {
-            format!(" (shards={shards})")
+            let tag = match mode {
+                SyncMode::Shared => "",
+                SyncMode::Replicated => ", replicated",
+            };
+            format!(" (shards={shards}{tag})")
         } else {
             String::new()
         };
@@ -258,13 +273,18 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             stats.mean_us(),
             stats.percentile_us(95.0)
         );
-        // Merged counters sum work across shards but count each
-        // replicated acquire once (`Counters::merge`), so the skip
-        // ratio must be averaged over shards to stay a fraction.
+        // Replicated merges sum skip counts across shards while the
+        // replicated acquires are counted once (`Counters::merge`), so
+        // that mode's skip ratio averages over shards; the two-plane
+        // construction keeps sync counters once by design.
+        let skip_shards = match mode {
+            SyncMode::Replicated if shards >= 2 => shards as u64,
+            _ => 1,
+        };
         let skip_ratio = if counters.acquires == 0 {
             0.0
         } else {
-            counters.acquires_skipped as f64 / (counters.acquires * shards.max(1) as u64) as f64
+            counters.acquires_skipped as f64 / (counters.acquires * skip_shards) as f64
         };
         let _ = writeln!(
             out,
@@ -282,14 +302,23 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             &workload,
             &options,
             shards,
+            mode,
             out,
         ),
-        "st" => go(DjitDetector::new(sampler), &workload, &options, shards, out),
+        "st" => go(
+            DjitDetector::new(sampler),
+            &workload,
+            &options,
+            shards,
+            mode,
+            out,
+        ),
         "su" => go(
             FreshnessDetector::new(sampler),
             &workload,
             &options,
             shards,
+            mode,
             out,
         ),
         "so" => go(
@@ -297,6 +326,7 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             &workload,
             &options,
             shards,
+            mode,
             out,
         ),
         other => return Err(ArgError(format!("unknown engine `{other}`"))),
@@ -433,5 +463,30 @@ mod tests {
         let (code, out) = run_cli(&["dbsim", "--shards", "0"]);
         assert_eq!(code, 1);
         assert!(out.contains("--shards"), "{out}");
+    }
+
+    #[test]
+    fn dbsim_sync_mode_flag() {
+        let (code, out) = run_cli(&[
+            "dbsim",
+            "--mix",
+            "sibench",
+            "--workers",
+            "2",
+            "--txns",
+            "20",
+            "--engine",
+            "st",
+            "--shards",
+            "2",
+            "--sync",
+            "replicated",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(shards=2, replicated)"), "{out}");
+
+        let (code, out) = run_cli(&["dbsim", "--sync", "bogus"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--sync"), "{out}");
     }
 }

@@ -45,8 +45,11 @@ COMMANDS:
     dbsim             run the online database benchmark
                       --mix <name> (default ycsb) --engine ft|st|su|so
                       --rate <f> --workers <n> --txns <n> --seed <n>
-                      --shards <n>  ingestion shards (default 1 =
-                      single analysis mutex; N>=2 shards detectors
-                      by variable, same verdicts)
+                      --shards <n>  access shards (default 1 =
+                      single analysis mutex; N>=2 shards access
+                      analysis by variable, same verdicts)
+                      --sync shared|replicated  sync-skeleton mode for
+                      N>=2 (default shared: one sync engine, O(1)x
+                      per-sync cost; replicated: legacy N-way fan-out)
     help              show this message
 ";

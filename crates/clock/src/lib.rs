@@ -20,6 +20,10 @@
 //!   pointer-sized read-only [`ClockSnapshot`], and batch joins
 //!   ([`SharedClock::join_prefix`]) resolve the sharing state once per
 //!   synchronization, not per entry.
+//! * [`SharedVectorClock`] — the same lazy-copy protocol for plain
+//!   vector clocks, used by the two-plane ingestion split to *publish*
+//!   a thread's clock across the sync/access plane boundary as a
+//!   pointer-sized read-only [`VectorClockSnapshot`] without copying.
 //!
 //! All clocks treat missing entries as `0` (the `⊥` timestamp), matching
 //! the paper's convention `max ∅ = 0`, so they can grow lazily as threads
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cow_vector;
 mod epoch;
 mod freshness;
 mod ordered_list;
@@ -62,6 +67,7 @@ mod thread_id;
 mod tree_clock;
 mod vector_clock;
 
+pub use cow_vector::{SharedVectorClock, VectorClockSnapshot};
 pub use epoch::Epoch;
 pub use freshness::FreshnessClock;
 pub use ordered_list::{OrderedList, RecentEntries};

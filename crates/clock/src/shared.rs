@@ -292,8 +292,15 @@ impl SharedClock {
         self.join_prefix(other, usize::MAX)
     }
 
-    /// Grants mutable access, returning to the **Owned** state first.
-    /// The boolean reports whether a deep copy happened.
+    /// Grants mutable access, resolving any sharing first. The boolean
+    /// reports whether a deep copy happened.
+    ///
+    /// A sole-holder `Shared` clock is mutated **in place** through its
+    /// `Arc` — no unwrap, no move of the inline arena, no reallocation
+    /// on the next [`snapshot`](SharedClock::snapshot) — so a
+    /// snapshot/drop/mutate cycle (every release whose previous lock
+    /// slot was overwritten, and the two-plane publication hot path)
+    /// costs one reference-count round trip after the first share.
     ///
     /// Prefer the dedicated mutators where possible; this is the escape
     /// hatch for multi-step updates.
@@ -301,34 +308,28 @@ impl SharedClock {
         let deep = self.unshare();
         match &mut self.state {
             State::Owned(list) => (list, deep),
-            State::Shared(_) => unreachable!("unshare always leaves the clock Owned"),
+            State::Shared(arc) => (
+                Arc::get_mut(arc).expect("unshare leaves a sole holder"),
+                deep,
+            ),
         }
     }
 
-    /// Moves a `Shared` clock back to `Owned`: reclaims the allocation
-    /// when the alias is gone, deep-copies when it is not. Returns
+    /// Resolves sharing before a mutation: keeps a sole-holder `Arc` in
+    /// place, deep-copies to `Owned` when a live alias remains. Returns
     /// whether a deep copy was performed.
     fn unshare(&mut self) -> bool {
-        if matches!(self.state, State::Owned(_)) {
+        let State::Shared(arc) = &mut self.state else {
+            return false;
+        };
+        if Arc::get_mut(arc).is_some() {
+            // Last holder: mutate through the existing allocation.
             return false;
         }
-        let State::Shared(arc) =
-            std::mem::replace(&mut self.state, State::Owned(OrderedList::new()))
-        else {
-            unreachable!("just matched Shared");
-        };
-        match Arc::try_unwrap(arc) {
-            Ok(list) => {
-                // Last holder: take the list back without copying.
-                self.state = State::Owned(list);
-                false
-            }
-            Err(arc) => {
-                // Still aliased by a lock: this is the lazy deep copy.
-                self.state = State::Owned((*arc).clone());
-                true
-            }
-        }
+        // Still aliased by a lock: this is the lazy deep copy.
+        let list = (**arc).clone();
+        self.state = State::Owned(list);
+        true
     }
 }
 

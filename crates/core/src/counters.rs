@@ -114,9 +114,12 @@ impl Counters {
         )
     }
 
-    /// Aggregates per-shard counters from a replicated-sync sharded run
-    /// (see [`ShardedOnlineDetector`](crate::ShardedOnlineDetector))
-    /// into one view comparable with an unsharded run.
+    /// Aggregates per-shard counters from a **replicated-sync** sharded
+    /// run ([`SyncMode::Replicated`](crate::SyncMode::Replicated)) into
+    /// one view comparable with an unsharded run. (The two-plane
+    /// [`SyncMode::Shared`](crate::SyncMode::Shared) construction needs
+    /// no such special-casing: its planes partition the event space, so
+    /// its counters combine with plain `+=`.)
     ///
     /// Two kinds of fields are treated differently:
     ///
@@ -133,6 +136,11 @@ impl Counters {
     ///   per-sync structural identities such as `acquires_skipped +
     ///   acquires_processed == acquires` hold per shard but **not** on
     ///   the merged value.
+    ///
+    /// The merge is **order-independent** across shard permutations
+    /// (max/first-of-equal for observation counts — the shards must
+    /// agree, checked in debug builds — plus commutative sums), which
+    /// `crates/core/tests/sharding.rs` pins with a proptest.
     ///
     /// Returns zeroed counters for an empty iterator.
     pub fn merge(shards: impl IntoIterator<Item = Counters>) -> Counters {

@@ -9,6 +9,15 @@ use crate::{Counters, RaceReport};
 /// drives a whole [`Trace`] through the detector and collects the
 /// reports.
 ///
+/// The event loop has a natural seam between synchronization handling
+/// (thread/lock clocks — global state) and access handling
+/// (per-variable histories — partitionable state). Engines that expose
+/// that seam additionally implement
+/// [`SplitDetector`](crate::SplitDetector), which is how
+/// [`ShardedOnlineDetector`](crate::ShardedOnlineDetector) distributes
+/// them across one sync engine and many access shards; their monolithic
+/// `process` is a composition of the same two halves.
+///
 /// [`run`]: Detector::run
 pub trait Detector {
     /// Processes one event; returns a report if the event races with the

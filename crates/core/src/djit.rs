@@ -1,8 +1,143 @@
-use freshtrack_clock::{ThreadId, VectorClock};
+use freshtrack_clock::{SharedVectorClock, ThreadId, VectorClock, VectorClockSnapshot};
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
 
-use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
+use crate::plane::{BorrowedView, HistoryAccessEngine, SplitDetector, SyncEngine};
+use crate::{Counters, Detector, RaceReport};
+
+/// The sync-plane half shared by the engines whose synchronization
+/// handlers are the classical Djit+ ones: every thread clock and lock
+/// clock held once, acquire = `O(T)` join, release = `O(T)` copy plus a
+/// local increment. Both [`DjitDetector`] and
+/// [`FastTrackDetector`](crate::FastTrackDetector) are compositions
+/// over this type (FastTrack's epoch optimization only changes *access*
+/// handling), and it is what a two-plane
+/// [`ShardedOnlineDetector`](crate::ShardedOnlineDetector) holds behind
+/// its sync-only lock.
+///
+/// Thread clocks live in [`SharedVectorClock`]s so a published
+/// [`VectorClockSnapshot`] view is an `O(1)` hand-off; a monolithic
+/// detector never publishes, so its clocks stay exclusively owned and
+/// every mutation is as cheap as a plain `VectorClock`.
+#[derive(Clone, Debug, Default)]
+pub struct VectorSyncEngine {
+    threads: Vec<SharedVectorClock>,
+    locks: Vec<VectorClock>,
+}
+
+impl VectorSyncEngine {
+    /// Creates an empty sync engine.
+    pub fn new() -> Self {
+        VectorSyncEngine::default()
+    }
+
+    fn ensure_lock(&mut self, lock: LockId) {
+        if self.locks.len() <= lock.index() {
+            self.locks.resize_with(lock.index() + 1, VectorClock::new);
+        }
+    }
+
+    /// Number of threads observed so far.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Read access to thread `tid`'s clock (which must exist).
+    pub fn thread_clock(&self, tid: ThreadId) -> &VectorClock {
+        self.threads[tid.index()].clock()
+    }
+
+    /// `Release` (join) semantics for non-mutex sync objects
+    /// (Appendix A.2): the object's clock *accumulates* the thread's.
+    pub(crate) fn release_join(&mut self, tid: ThreadId, lock: LockId, counters: &mut Counters) {
+        self.ensure_thread(tid);
+        self.ensure_lock(lock);
+        counters.releases += 1;
+        counters.releases_processed += 1;
+        let (clock, deep) = self.threads[tid.index()].make_mut();
+        if deep {
+            counters.deep_copies += 1;
+        }
+        self.locks[lock.index()].join(clock);
+        clock.increment(tid);
+        counters.local_increments += 1;
+        counters.vc_ops += 1;
+        counters.entries_traversed += self.threads.len() as u64;
+    }
+}
+
+impl SyncEngine for VectorSyncEngine {
+    type View = VectorClockSnapshot;
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        while self.threads.len() <= tid.index() {
+            let next = ThreadId::new(self.threads.len() as u32);
+            // C_t ← ⊥[t ↦ 1]
+            self.threads
+                .push(SharedVectorClock::from_clock(VectorClock::bottom_with(
+                    next, 1,
+                )));
+        }
+    }
+
+    fn acquire(&mut self, tid: ThreadId, lock: LockId, counters: &mut Counters) {
+        counters.acquires += 1;
+        counters.acquires_processed += 1;
+        self.ensure_lock(lock);
+        // Bottom fast path: a never-released lock carries ⊥ and cannot
+        // teach the thread anything.
+        let lock_clock = &self.locks[lock.index()];
+        if !lock_clock.is_empty() {
+            let (clock, deep) = self.threads[tid.index()].make_mut();
+            if deep {
+                counters.deep_copies += 1;
+            }
+            clock.join(lock_clock);
+        }
+        counters.vc_ops += 1;
+        counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    fn release(
+        &mut self,
+        tid: ThreadId,
+        lock: LockId,
+        _sampled_since_release: bool,
+        counters: &mut Counters,
+    ) {
+        counters.releases += 1;
+        counters.releases_processed += 1;
+        self.ensure_lock(lock);
+        // Cℓ ← C_t (straight memcpy; the change count is not needed),
+        // then bump the local component.
+        let (clock, deep) = self.threads[tid.index()].make_mut();
+        if deep {
+            counters.deep_copies += 1;
+        }
+        self.locks[lock.index()].assign_from(clock);
+        clock.increment(tid);
+        counters.vc_ops += 1;
+        counters.entries_traversed += self.threads.len() as u64;
+        counters.local_increments += 1;
+    }
+
+    fn publish(&mut self, tid: ThreadId) -> VectorClockSnapshot {
+        self.threads[tid.index()].snapshot()
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let last = ThreadId::new(n as u32 - 1);
+        self.ensure_thread(last);
+        for clock in &mut self.threads {
+            let (clock, _) = clock.make_mut();
+            let pad = clock.get(last);
+            clock.set(last, pad);
+        }
+    }
+}
 
 /// Algorithm 1 of the paper: the classical Djit+ vector-clock race
 /// detector, extended with access-level sampling.
@@ -13,6 +148,13 @@ use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
 /// without optimizations on synchronization handlers": non-sampled
 /// accesses are skipped entirely, but every acquire still performs an
 /// `O(T)` join and every release an `O(T)` copy plus a local increment.
+///
+/// Internally the detector is a composition of its two planes — a
+/// [`VectorSyncEngine`] for acquire/release and a
+/// [`HistoryAccessEngine`] for read/write — the same halves a two-plane
+/// [`ShardedOnlineDetector`](crate::ShardedOnlineDetector) distributes
+/// across its sync lock and access shards (see [`SplitDetector`]), so
+/// the sharded and monolithic semantics cannot drift apart.
 ///
 /// # Example
 ///
@@ -30,53 +172,18 @@ use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
 /// ```
 #[derive(Clone, Debug)]
 pub struct DjitDetector<S> {
-    sampler: S,
-    threads: Vec<ThreadState>,
-    locks: Vec<VectorClock>,
-    history: AccessHistories,
+    sync: VectorSyncEngine,
+    access: HistoryAccessEngine<S, VectorClockSnapshot>,
     counters: Counters,
-}
-
-#[derive(Clone, Debug)]
-struct ThreadState {
-    clock: VectorClock,
-}
-
-impl ThreadState {
-    fn new(tid: ThreadId) -> Self {
-        // C_t ← ⊥[t ↦ 1]
-        ThreadState {
-            clock: VectorClock::bottom_with(tid, 1),
-        }
-    }
 }
 
 impl<S: Sampler> DjitDetector<S> {
     /// Creates a detector using `sampler` to pick the sample set.
     pub fn new(sampler: S) -> Self {
         DjitDetector {
-            sampler,
-            threads: Vec::new(),
-            locks: Vec::new(),
-            history: AccessHistories::new(),
+            sync: VectorSyncEngine::new(),
+            access: HistoryAccessEngine::new(sampler),
             counters: Counters::new(),
-        }
-    }
-
-    fn thread_count(&self) -> usize {
-        self.threads.len()
-    }
-
-    fn ensure_thread(&mut self, tid: ThreadId) {
-        while self.threads.len() <= tid.index() {
-            let next = ThreadId::new(self.threads.len() as u32);
-            self.threads.push(ThreadState::new(next));
-        }
-    }
-
-    fn ensure_lock(&mut self, lock: LockId) {
-        if self.locks.len() <= lock.index() {
-            self.locks.resize_with(lock.index() + 1, VectorClock::new);
         }
     }
 }
@@ -85,66 +192,27 @@ impl<S: Sampler> Detector for DjitDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.ensure_thread(tid);
+        self.sync.ensure_thread(tid);
         match event.kind {
-            EventKind::Read(var) => {
-                self.counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
-                self.counters.sampled_accesses += 1;
-                self.counters.race_checks += 1;
-                let clock = &self.threads[tid.index()].clock;
-                let races = self.history.read_races(var, |u| clock.get(u));
-                let local = clock.get(tid);
-                self.history.record_read(var, tid, local);
-                races.then(|| {
-                    self.counters.races += 1;
-                    RaceReport::new(id, tid, var, AccessKind::Read, true, false)
-                })
-            }
-            EventKind::Write(var) => {
-                self.counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
-                self.counters.sampled_accesses += 1;
-                self.counters.race_checks += 1;
-                let threads = self.thread_count();
-                let clock = &self.threads[tid.index()].clock;
-                let (with_write, with_read) = self.history.write_races(var, |u| clock.get(u));
-                self.history.record_write(var, threads, |u| clock.get(u));
-                (with_write || with_read).then(|| {
-                    self.counters.races += 1;
-                    RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
-                })
+            EventKind::Read(_) | EventKind::Write(_) => {
+                let Self {
+                    sync,
+                    access,
+                    counters,
+                } = self;
+                let clock = sync.thread_clock(tid);
+                let view = BorrowedView {
+                    lookup: |u| clock.get(u),
+                    width: sync.thread_count(),
+                };
+                access.access_with(id, event, &view, counters).report
             }
             EventKind::Acquire(lock) => {
-                self.counters.acquires += 1;
-                self.counters.acquires_processed += 1;
-                self.ensure_lock(lock);
-                // Bottom fast path: a never-released lock carries ⊥ and
-                // cannot teach the thread anything.
-                let lock_clock = &self.locks[lock.index()];
-                if !lock_clock.is_empty() {
-                    self.threads[tid.index()].clock.join(lock_clock);
-                }
-                self.counters.vc_ops += 1;
-                self.counters.entries_traversed += self.thread_count() as u64;
+                self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
-                self.counters.releases += 1;
-                self.counters.releases_processed += 1;
-                self.ensure_lock(lock);
-                // Cℓ ← C_t (straight memcpy; the change count is not
-                // needed), then bump the local component.
-                let clock = &mut self.threads[tid.index()].clock;
-                self.locks[lock.index()].assign_from(clock);
-                clock.increment(tid);
-                self.counters.vc_ops += 1;
-                self.counters.entries_traversed += self.thread_count() as u64;
-                self.counters.local_increments += 1;
+                self.sync.release(tid, lock, false, &mut self.counters);
                 None
             }
         }
@@ -155,15 +223,7 @@ impl<S: Sampler> Detector for DjitDetector<S> {
     }
 
     fn reserve_threads(&mut self, n: usize) {
-        if n == 0 {
-            return;
-        }
-        let last = ThreadId::new(n as u32 - 1);
-        self.ensure_thread(last);
-        for state in &mut self.threads {
-            let pad = state.clock.get(last);
-            state.clock.set(last, pad);
-        }
+        self.sync.reserve_threads(n);
     }
 
     fn name(&self) -> &'static str {
@@ -171,47 +231,36 @@ impl<S: Sampler> Detector for DjitDetector<S> {
     }
 }
 
+impl<S: Sampler + Clone + Send> SplitDetector for DjitDetector<S> {
+    type Sync = VectorSyncEngine;
+    type Access = HistoryAccessEngine<S, VectorClockSnapshot>;
+    type View = VectorClockSnapshot;
+
+    fn split_sync(&self) -> VectorSyncEngine {
+        VectorSyncEngine::new()
+    }
+
+    fn split_access(&self) -> Self::Access {
+        self.access.clone()
+    }
+}
+
 impl<S: Sampler> crate::SyncOps for DjitDetector<S> {
     fn release_store(&mut self, tid: u32, sync: LockId) {
         let tid = ThreadId::new(tid);
-        self.ensure_thread(tid);
-        self.ensure_lock(sync);
-        self.counters.releases += 1;
-        self.counters.releases_processed += 1;
-        let clock = &mut self.threads[tid.index()].clock;
-        self.locks[sync.index()].assign_from(clock);
-        clock.increment(tid);
-        self.counters.local_increments += 1;
-        self.counters.vc_ops += 1;
-        self.counters.entries_traversed += self.threads.len() as u64;
+        self.sync.ensure_thread(tid);
+        self.sync.release(tid, sync, false, &mut self.counters);
     }
 
     fn release_join(&mut self, tid: u32, sync: LockId) {
-        let tid = ThreadId::new(tid);
-        self.ensure_thread(tid);
-        self.ensure_lock(sync);
-        self.counters.releases += 1;
-        self.counters.releases_processed += 1;
-        let clock = &mut self.threads[tid.index()].clock;
-        self.locks[sync.index()].join(clock);
-        clock.increment(tid);
-        self.counters.local_increments += 1;
-        self.counters.vc_ops += 1;
-        self.counters.entries_traversed += self.threads.len() as u64;
+        self.sync
+            .release_join(ThreadId::new(tid), sync, &mut self.counters);
     }
 
     fn acquire_sync(&mut self, tid: u32, sync: LockId) {
         let tid = ThreadId::new(tid);
-        self.ensure_thread(tid);
-        self.ensure_lock(sync);
-        self.counters.acquires += 1;
-        self.counters.acquires_processed += 1;
-        let lock_clock = &self.locks[sync.index()];
-        if !lock_clock.is_empty() {
-            self.threads[tid.index()].clock.join(lock_clock);
-        }
-        self.counters.vc_ops += 1;
-        self.counters.entries_traversed += self.threads.len() as u64;
+        self.sync.ensure_thread(tid);
+        self.sync.acquire(tid, sync, &mut self.counters);
     }
 }
 
@@ -325,5 +374,20 @@ mod tests {
         assert_eq!(c.releases_processed, 2);
         assert_eq!(c.local_increments, 2);
         assert_eq!(c.acquires_skipped, 0);
+    }
+
+    #[test]
+    fn monolithic_clocks_never_deep_copy() {
+        // A monolithic detector never publishes views, so its shared
+        // thread clocks stay exclusively owned throughout.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        for t in 0..3 {
+            b.acquire(t, l).write(t, x).release(t, l);
+        }
+        let mut d = full();
+        d.run(&b.build());
+        assert_eq!(d.counters().deep_copies, 0);
     }
 }

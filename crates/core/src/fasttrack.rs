@@ -1,7 +1,12 @@
-use freshtrack_clock::{Epoch, ThreadId, VectorClock};
+use freshtrack_clock::{Epoch, ThreadId, VectorClock, VectorClockSnapshot};
 use freshtrack_sampling::Sampler;
-use freshtrack_trace::{Event, EventId, EventKind, LockId, VarId};
+use freshtrack_trace::{Event, EventId, EventKind, VarId};
 
+use crate::djit::VectorSyncEngine;
+use crate::plane::{
+    history_leq_view, AccessEngine, AccessOutcome, BorrowedView, ClockView, SplitDetector,
+    SyncEngine,
+};
 use crate::{AccessKind, Counters, Detector, RaceReport};
 
 /// The FastTrack race detector (Flanagan & Freund, PLDI 2009) with
@@ -13,9 +18,13 @@ use crate::{AccessKind, Counters, Detector, RaceReport};
 /// reads). The paper uses FastTrack as the full-detection baseline
 /// (**FT**), and ThreadSanitizer's analysis is based on it.
 ///
-/// The synchronization handlers are identical to Djit+'s; the epoch
-/// optimization only affects access handling, which is why the paper's
-/// innovations (which target synchronization) compose with it.
+/// The synchronization handlers are identical to Djit+'s — the detector
+/// literally composes the same [`VectorSyncEngine`] sync plane as
+/// [`DjitDetector`](crate::DjitDetector) with its own
+/// [`EpochAccessEngine`] access plane — which is why the paper's
+/// innovations (which target synchronization) compose with it, and why
+/// its access histories shard cleanly in a two-plane
+/// [`ShardedOnlineDetector`](crate::ShardedOnlineDetector).
 ///
 /// # Example
 ///
@@ -33,10 +42,8 @@ use crate::{AccessKind, Counters, Detector, RaceReport};
 /// ```
 #[derive(Clone, Debug)]
 pub struct FastTrackDetector<S> {
-    sampler: S,
-    threads: Vec<VectorClock>,
-    locks: Vec<VectorClock>,
-    vars: Vec<VarState>,
+    sync: VectorSyncEngine,
+    access: EpochAccessEngine<S>,
     counters: Counters,
 }
 
@@ -64,28 +71,23 @@ impl Default for VarState {
     }
 }
 
-impl<S: Sampler> FastTrackDetector<S> {
-    /// Creates a detector using `sampler` to pick the sample set.
+/// FastTrack's access-plane half: the sampler plus per-variable
+/// epoch/adaptive-vector histories. Requires only a read-only
+/// [`ClockView`] of the accessing thread's clock, so it serves both the
+/// monolithic [`FastTrackDetector`] and the access shards of a
+/// two-plane sharded run.
+#[derive(Clone, Debug)]
+pub struct EpochAccessEngine<S> {
+    sampler: S,
+    vars: Vec<VarState>,
+}
+
+impl<S: Sampler> EpochAccessEngine<S> {
+    /// Creates an empty access engine around `sampler`.
     pub fn new(sampler: S) -> Self {
-        FastTrackDetector {
+        EpochAccessEngine {
             sampler,
-            threads: Vec::new(),
-            locks: Vec::new(),
             vars: Vec::new(),
-            counters: Counters::new(),
-        }
-    }
-
-    fn ensure_thread(&mut self, tid: ThreadId) {
-        while self.threads.len() <= tid.index() {
-            let next = ThreadId::new(self.threads.len() as u32);
-            self.threads.push(VectorClock::bottom_with(next, 1));
-        }
-    }
-
-    fn ensure_lock(&mut self, lock: LockId) {
-        if self.locks.len() <= lock.index() {
-            self.locks.resize_with(lock.index() + 1, VectorClock::new);
         }
     }
 
@@ -95,24 +97,26 @@ impl<S: Sampler> FastTrackDetector<S> {
         }
     }
 
-    fn epoch_of(&self, tid: ThreadId) -> Epoch {
-        Epoch::new(tid, self.threads[tid.index()].get(tid))
-    }
-
-    fn handle_read(&mut self, id: EventId, tid: ThreadId, var: VarId) -> Option<RaceReport> {
+    fn handle_read<W: ClockView>(
+        &mut self,
+        id: EventId,
+        tid: ThreadId,
+        var: VarId,
+        view: &W,
+        counters: &mut Counters,
+    ) -> Option<RaceReport> {
         self.ensure_var(var);
-        let epoch = self.epoch_of(tid);
-        let clock = &self.threads[tid.index()];
+        let epoch = Epoch::new(tid, view.time_of(tid));
         let state = &mut self.vars[var.index()];
 
         // READ SAME EPOCH fast path.
         if matches!(state.read, ReadState::Epoch(r) if r == epoch) {
             return None;
         }
-        self.counters.race_checks += 1;
+        counters.race_checks += 1;
 
         // Check against the last write.
-        let races = !state.write.is_zero() && !clock.contains_epoch(state.write);
+        let races = !state.write.is_zero() && state.write.time() > view.time_of(state.write.tid());
 
         // Update the read history.
         match &mut state.read {
@@ -121,7 +125,7 @@ impl<S: Sampler> FastTrackDetector<S> {
                 v.set(tid, epoch.time());
             }
             ReadState::Epoch(r) => {
-                if r.is_zero() || clock.contains_epoch(*r) {
+                if r.is_zero() || r.time() <= view.time_of(r.tid()) {
                     // READ EXCLUSIVE: the previous read happens-before us.
                     state.read = ReadState::Epoch(epoch);
                 } else {
@@ -135,27 +139,34 @@ impl<S: Sampler> FastTrackDetector<S> {
         }
 
         races.then(|| {
-            self.counters.races += 1;
+            counters.races += 1;
             RaceReport::new(id, tid, var, AccessKind::Read, true, false)
         })
     }
 
-    fn handle_write(&mut self, id: EventId, tid: ThreadId, var: VarId) -> Option<RaceReport> {
+    fn handle_write<W: ClockView>(
+        &mut self,
+        id: EventId,
+        tid: ThreadId,
+        var: VarId,
+        view: &W,
+        counters: &mut Counters,
+    ) -> Option<RaceReport> {
         self.ensure_var(var);
-        let epoch = self.epoch_of(tid);
-        let clock = &self.threads[tid.index()];
+        let epoch = Epoch::new(tid, view.time_of(tid));
         let state = &mut self.vars[var.index()];
 
         // WRITE SAME EPOCH fast path.
         if state.write == epoch {
             return None;
         }
-        self.counters.race_checks += 1;
+        counters.race_checks += 1;
 
-        let with_write = !state.write.is_zero() && !clock.contains_epoch(state.write);
+        let with_write =
+            !state.write.is_zero() && state.write.time() > view.time_of(state.write.tid());
         let with_read = match &state.read {
-            ReadState::Epoch(r) => !r.is_zero() && !clock.contains_epoch(*r),
-            ReadState::Vector(v) => !v.leq(clock),
+            ReadState::Epoch(r) => !r.is_zero() && r.time() > view.time_of(r.tid()),
+            ReadState::Vector(v) => !history_leq_view(v, view),
         };
 
         state.write = epoch;
@@ -165,9 +176,65 @@ impl<S: Sampler> FastTrackDetector<S> {
         }
 
         (with_write || with_read).then(|| {
-            self.counters.races += 1;
+            counters.races += 1;
             RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
         })
+    }
+
+    pub(crate) fn access_with<W: ClockView>(
+        &mut self,
+        id: EventId,
+        event: Event,
+        view: &W,
+        counters: &mut Counters,
+    ) -> AccessOutcome {
+        let tid = event.tid;
+        match event.kind {
+            EventKind::Read(var) => {
+                counters.reads += 1;
+                if !self.sampler.sample(id, event) {
+                    return AccessOutcome::skipped();
+                }
+                counters.sampled_accesses += 1;
+                AccessOutcome::sampled(self.handle_read(id, tid, var, view, counters))
+            }
+            EventKind::Write(var) => {
+                counters.writes += 1;
+                if !self.sampler.sample(id, event) {
+                    return AccessOutcome::skipped();
+                }
+                counters.sampled_accesses += 1;
+                AccessOutcome::sampled(self.handle_write(id, tid, var, view, counters))
+            }
+            EventKind::Acquire(_) | EventKind::Release(_) => {
+                unreachable!("sync events belong to the sync plane")
+            }
+        }
+    }
+}
+
+impl<S: Sampler + Send> AccessEngine for EpochAccessEngine<S> {
+    type View = VectorClockSnapshot;
+
+    fn access(
+        &mut self,
+        id: EventId,
+        event: Event,
+        view: &VectorClockSnapshot,
+        counters: &mut Counters,
+    ) -> AccessOutcome {
+        self.access_with(id, event, view, counters)
+    }
+}
+
+impl<S: Sampler> FastTrackDetector<S> {
+    /// Creates a detector using `sampler` to pick the sample set.
+    pub fn new(sampler: S) -> Self {
+        FastTrackDetector {
+            sync: VectorSyncEngine::new(),
+            access: EpochAccessEngine::new(sampler),
+            counters: Counters::new(),
+        }
     }
 }
 
@@ -175,51 +242,27 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.ensure_thread(tid);
+        self.sync.ensure_thread(tid);
         match event.kind {
-            EventKind::Read(var) => {
-                self.counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
-                self.counters.sampled_accesses += 1;
-                self.handle_read(id, tid, var)
-            }
-            EventKind::Write(var) => {
-                self.counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
-                self.counters.sampled_accesses += 1;
-                self.handle_write(id, tid, var)
+            EventKind::Read(_) | EventKind::Write(_) => {
+                let Self {
+                    sync,
+                    access,
+                    counters,
+                } = self;
+                let clock = sync.thread_clock(tid);
+                let view = BorrowedView {
+                    lookup: |u| clock.get(u),
+                    width: sync.thread_count(),
+                };
+                access.access_with(id, event, &view, counters).report
             }
             EventKind::Acquire(lock) => {
-                self.counters.acquires += 1;
-                self.counters.acquires_processed += 1;
-                self.ensure_lock(lock);
-                // Bottom fast path: a never-released lock's clock is ⊥,
-                // so there is nothing to join (the common first-acquire
-                // case for programs with many locks).
-                let lock_clock = &self.locks[lock.index()];
-                if !lock_clock.is_empty() {
-                    self.threads[tid.index()].join(lock_clock);
-                }
-                self.counters.vc_ops += 1;
-                self.counters.entries_traversed += self.threads.len() as u64;
+                self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
-                self.counters.releases += 1;
-                self.counters.releases_processed += 1;
-                self.ensure_lock(lock);
-                let clock = &mut self.threads[tid.index()];
-                // The release copy never needs the change count: use the
-                // straight memcpy assignment.
-                self.locks[lock.index()].assign_from(clock);
-                clock.increment(tid);
-                self.counters.vc_ops += 1;
-                self.counters.entries_traversed += self.threads.len() as u64;
-                self.counters.local_increments += 1;
+                self.sync.release(tid, lock, false, &mut self.counters);
                 None
             }
         }
@@ -230,19 +273,25 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
     }
 
     fn reserve_threads(&mut self, n: usize) {
-        if n == 0 {
-            return;
-        }
-        let last = ThreadId::new(n as u32 - 1);
-        self.ensure_thread(last);
-        for clock in &mut self.threads {
-            let pad = clock.get(last);
-            clock.set(last, pad);
-        }
+        self.sync.reserve_threads(n);
     }
 
     fn name(&self) -> &'static str {
         "FastTrack"
+    }
+}
+
+impl<S: Sampler + Clone + Send> SplitDetector for FastTrackDetector<S> {
+    type Sync = VectorSyncEngine;
+    type Access = EpochAccessEngine<S>;
+    type View = VectorClockSnapshot;
+
+    fn split_sync(&self) -> VectorSyncEngine {
+        VectorSyncEngine::new()
+    }
+
+    fn split_access(&self) -> EpochAccessEngine<S> {
+        self.access.clone()
     }
 }
 

@@ -1,8 +1,11 @@
-use freshtrack_clock::{FreshnessClock, ThreadId, Time, VectorClock};
+use freshtrack_clock::{
+    FreshnessClock, SharedVectorClock, ThreadId, Time, VectorClock, VectorClockSnapshot,
+};
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
 
-use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
+use crate::plane::{BorrowedView, EpochView, HistoryAccessEngine, SplitDetector, SyncEngine};
+use crate::{Counters, Detector, RaceReport};
 
 /// Algorithm 3 of the paper (**SU**): sampling timestamps plus
 /// *freshness timestamps*.
@@ -14,6 +17,10 @@ use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
 /// can *skip* acquires whose lock clock carries nothing new, and skip
 /// the lock-clock copy at releases when the thread has learned nothing
 /// since the lock last saw it.
+///
+/// Like the other sampling engines the detector is a composition of its
+/// two planes — a [`FreshnessSyncEngine`] and a [`HistoryAccessEngine`]
+/// over the epoch-spliced view (see [`SplitDetector`]).
 ///
 /// Race reports are identical to [`NaiveSamplingDetector`]'s for the same
 /// sample set (Lemma 7); only the amount of clock work differs, visible
@@ -42,28 +49,27 @@ use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
 /// ```
 #[derive(Clone, Debug)]
 pub struct FreshnessDetector<S> {
-    sampler: S,
-    threads: Vec<ThreadState>,
-    locks: Vec<LockState>,
-    history: AccessHistories,
+    sync: FreshnessSyncEngine,
+    access: HistoryAccessEngine<S, EpochView<VectorClockSnapshot>>,
+    /// `RelAfter_S` bits, as in
+    /// [`OrderedListDetector`](crate::OrderedListDetector).
+    sampled: Vec<bool>,
     counters: Counters,
 }
 
 #[derive(Clone, Debug)]
 struct ThreadState {
-    clock: VectorClock,
+    clock: SharedVectorClock,
     fresh: FreshnessClock,
     epoch: Time,
-    sampled_since_release: bool,
 }
 
 impl Default for ThreadState {
     fn default() -> Self {
         ThreadState {
-            clock: VectorClock::new(),
+            clock: SharedVectorClock::new(),
             fresh: FreshnessClock::new(),
             epoch: 1,
-            sampled_since_release: false,
         }
     }
 }
@@ -80,23 +86,18 @@ struct LockState {
     mixed: bool,
 }
 
-impl<S: Sampler> FreshnessDetector<S> {
-    /// Creates a detector using `sampler` to pick the sample set.
-    pub fn new(sampler: S) -> Self {
-        FreshnessDetector {
-            sampler,
-            threads: Vec::new(),
-            locks: Vec::new(),
-            history: AccessHistories::new(),
-            counters: Counters::new(),
-        }
-    }
+/// The sync-plane half of the SU engine: Algorithm 3's thread/lock
+/// sampling clocks *and* freshness clocks, held exactly once.
+#[derive(Clone, Debug, Default)]
+pub struct FreshnessSyncEngine {
+    threads: Vec<ThreadState>,
+    locks: Vec<LockState>,
+}
 
-    fn ensure_thread(&mut self, tid: ThreadId) {
-        if self.threads.len() <= tid.index() {
-            self.threads
-                .resize_with(tid.index() + 1, ThreadState::default);
-        }
+impl FreshnessSyncEngine {
+    /// Creates an empty sync engine.
+    pub fn new() -> Self {
+        FreshnessSyncEngine::default()
     }
 
     fn ensure_lock(&mut self, lock: LockId) {
@@ -105,85 +106,210 @@ impl<S: Sampler> FreshnessDetector<S> {
         }
     }
 
-    fn view(state: &ThreadState, tid: ThreadId) -> impl Fn(ThreadId) -> Time + '_ {
-        let epoch = state.epoch;
-        move |u| if u == tid { epoch } else { state.clock.get(u) }
+    /// Number of threads observed so far.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
     }
 
-    fn handle_acquire(&mut self, tid: ThreadId, lock: LockId) {
-        self.counters.acquires += 1;
+    fn thread_view(&self, tid: ThreadId) -> (&SharedVectorClock, Time) {
+        let state = &self.threads[tid.index()];
+        (&state.clock, state.epoch)
+    }
+
+    /// Flushes the local epoch if this release is in `RelAfter_S`.
+    fn flush_local_epoch(&mut self, tid: ThreadId, sampled: bool, counters: &mut Counters) {
+        let thread = &mut self.threads[tid.index()];
+        if sampled {
+            let (clock, deep) = thread.clock.make_mut();
+            if deep {
+                counters.deep_copies += 1;
+            }
+            clock.set(tid, thread.epoch);
+            thread.fresh.bump(tid);
+            thread.epoch += 1;
+            counters.local_increments += 1;
+        }
+    }
+
+    /// `ReleaseStore` semantics for non-mutex sync objects: always copy
+    /// (the store need not follow an acquire by the same thread, so the
+    /// release skip of Algorithm 3 would be unsound — Appendix A.2).
+    pub(crate) fn release_store(
+        &mut self,
+        tid: ThreadId,
+        sync: LockId,
+        sampled: bool,
+        counters: &mut Counters,
+    ) {
+        self.ensure_lock(sync);
+        counters.releases += 1;
+        self.flush_local_epoch(tid, sampled, counters);
+        let thread = &self.threads[tid.index()];
+        let lock_state = &mut self.locks[sync.index()];
+        lock_state.clock.assign_from(thread.clock.clock());
+        lock_state.fresh.assign_from(&thread.fresh);
+        lock_state.last_releaser = Some(tid);
+        lock_state.mixed = false;
+        counters.releases_processed += 1;
+        counters.vc_ops += 2;
+        counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    /// `Release` (join) semantics for non-mutex sync objects
+    /// (Appendix A.2): the object accumulates multiple threads' clocks.
+    pub(crate) fn release_join(
+        &mut self,
+        tid: ThreadId,
+        sync: LockId,
+        sampled: bool,
+        counters: &mut Counters,
+    ) {
+        self.ensure_lock(sync);
+        counters.releases += 1;
+        self.flush_local_epoch(tid, sampled, counters);
+        let thread = &self.threads[tid.index()];
+        let lock_state = &mut self.locks[sync.index()];
+        lock_state.clock.join(thread.clock.clock());
+        lock_state.fresh.join(&thread.fresh);
+        lock_state.last_releaser = None;
+        lock_state.mixed = true;
+        counters.releases_processed += 1;
+        counters.vc_ops += 2;
+        counters.entries_traversed += self.threads.len() as u64;
+    }
+}
+
+impl SyncEngine for FreshnessSyncEngine {
+    type View = EpochView<VectorClockSnapshot>;
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        if self.threads.len() <= tid.index() {
+            self.threads
+                .resize_with(tid.index() + 1, ThreadState::default);
+        }
+    }
+
+    fn acquire(&mut self, tid: ThreadId, lock: LockId, counters: &mut Counters) {
+        counters.acquires += 1;
         self.ensure_lock(lock);
         let lock_state = &self.locks[lock.index()];
         if lock_state.mixed {
             // Join-mode object (Appendix A.2): no freshness fast path.
-            self.counters.acquires_processed += 1;
+            counters.acquires_processed += 1;
             let lock_state = &self.locks[lock.index()];
             let thread = &mut self.threads[tid.index()];
             thread.fresh.join(&lock_state.fresh);
-            let changed = thread.clock.join(&lock_state.clock);
+            let (clock, deep) = thread.clock.make_mut();
+            if deep {
+                counters.deep_copies += 1;
+            }
+            let changed = clock.join(&lock_state.clock);
             if changed > 0 {
                 thread.fresh.bump_by(tid, changed as Time);
             }
-            self.counters.vc_ops += 2;
-            self.counters.entries_traversed += self.threads.len() as u64;
+            counters.vc_ops += 2;
+            counters.entries_traversed += self.threads.len() as u64;
             return;
         }
         let Some(lr) = lock_state.last_releaser else {
             // Never released: the lock clock is ⊥, nothing to learn.
-            self.counters.acquires_skipped += 1;
+            counters.acquires_skipped += 1;
             return;
         };
         let thread = &self.threads[tid.index()];
         if lock_state.fresh.get(lr) <= thread.fresh.get(lr) {
             // Proposition 5: Cℓ ⊑ C_t — the join would be a no-op.
-            self.counters.acquires_skipped += 1;
+            counters.acquires_skipped += 1;
             return;
         }
-        self.counters.acquires_processed += 1;
+        counters.acquires_processed += 1;
         let lock_state = &self.locks[lock.index()];
         let thread = &mut self.threads[tid.index()];
         thread.fresh.join(&lock_state.fresh);
         // Entry-wise join of the C clock, counting changed entries so the
         // own freshness component stays an exact change count (VT).
-        let changed = thread.clock.join(&lock_state.clock);
+        let (clock, deep) = thread.clock.make_mut();
+        if deep {
+            counters.deep_copies += 1;
+        }
+        let changed = clock.join(&lock_state.clock);
         if changed > 0 {
             thread.fresh.bump_by(tid, changed as Time);
         }
-        self.counters.vc_ops += 2;
-        self.counters.entries_traversed += self.threads.len() as u64;
+        counters.vc_ops += 2;
+        counters.entries_traversed += self.threads.len() as u64;
     }
 
-    /// Flushes the local epoch if this release is in `RelAfter_S`.
-    fn flush_local_epoch(&mut self, tid: ThreadId) {
-        let thread = &mut self.threads[tid.index()];
-        if thread.sampled_since_release {
-            thread.clock.set(tid, thread.epoch);
-            thread.fresh.bump(tid);
-            thread.epoch += 1;
-            thread.sampled_since_release = false;
-            self.counters.local_increments += 1;
-        }
-    }
-
-    fn handle_release(&mut self, tid: ThreadId, lock: LockId) {
-        self.counters.releases += 1;
+    fn release(
+        &mut self,
+        tid: ThreadId,
+        lock: LockId,
+        sampled_since_release: bool,
+        counters: &mut Counters,
+    ) {
+        counters.releases += 1;
         self.ensure_lock(lock);
-        self.flush_local_epoch(tid);
+        self.flush_local_epoch(tid, sampled_since_release, counters);
         let thread = &self.threads[tid.index()];
         let lock_state = &mut self.locks[lock.index()];
         lock_state.last_releaser = Some(tid);
         lock_state.mixed = false;
         if thread.fresh.get(tid) != lock_state.fresh.get(tid) {
             // The release copy never needs the change count: memcpy.
-            lock_state.clock.assign_from(&thread.clock);
+            lock_state.clock.assign_from(thread.clock.clock());
             lock_state.fresh.assign_from(&thread.fresh);
-            self.counters.releases_processed += 1;
-            self.counters.vc_ops += 2;
-            self.counters.entries_traversed += self.threads.len() as u64;
+            counters.releases_processed += 1;
+            counters.vc_ops += 2;
+            counters.entries_traversed += self.threads.len() as u64;
         } else {
             // The lock already carries this thread's current timestamp.
-            self.counters.releases_skipped += 1;
+            counters.releases_skipped += 1;
         }
+    }
+
+    fn publish(&mut self, tid: ThreadId) -> EpochView<VectorClockSnapshot> {
+        let state = &mut self.threads[tid.index()];
+        EpochView {
+            snap: state.clock.snapshot(),
+            epoch: state.epoch,
+            tid,
+        }
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let last = ThreadId::new(n as u32 - 1);
+        self.ensure_thread(last);
+        for state in &mut self.threads {
+            let (clock, _) = state.clock.make_mut();
+            let pad = clock.get(last);
+            clock.set(last, pad);
+        }
+    }
+}
+
+impl<S: Sampler> FreshnessDetector<S> {
+    /// Creates a detector using `sampler` to pick the sample set.
+    pub fn new(sampler: S) -> Self {
+        FreshnessDetector {
+            sync: FreshnessSyncEngine::new(),
+            access: HistoryAccessEngine::new(sampler),
+            sampled: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        self.sync.ensure_thread(tid);
+        if self.sampled.len() <= tid.index() {
+            self.sampled.resize(tid.index() + 1, false);
+        }
+    }
+
+    fn take_sampled(&mut self, tid: ThreadId) -> bool {
+        std::mem::take(&mut self.sampled[tid.index()])
     }
 }
 
@@ -193,47 +319,31 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
         let tid = event.tid;
         self.ensure_thread(tid);
         match event.kind {
-            EventKind::Read(var) => {
-                self.counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
+            EventKind::Read(_) | EventKind::Write(_) => {
+                let Self {
+                    sync,
+                    access,
+                    sampled,
+                    counters,
+                } = self;
+                let (clock, epoch) = sync.thread_view(tid);
+                let view = BorrowedView {
+                    lookup: |u| if u == tid { epoch } else { clock.get(u) },
+                    width: sync.thread_count(),
+                };
+                let outcome = access.access_with(id, event, &view, counters);
+                if outcome.sampled {
+                    sampled[tid.index()] = true;
                 }
-                self.counters.sampled_accesses += 1;
-                self.counters.race_checks += 1;
-                let state = &mut self.threads[tid.index()];
-                state.sampled_since_release = true;
-                let epoch = state.epoch;
-                let races = self.history.read_races(var, Self::view(state, tid));
-                self.history.record_read(var, tid, epoch);
-                races.then(|| {
-                    self.counters.races += 1;
-                    RaceReport::new(id, tid, var, AccessKind::Read, true, false)
-                })
-            }
-            EventKind::Write(var) => {
-                self.counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
-                self.counters.sampled_accesses += 1;
-                self.counters.race_checks += 1;
-                let threads = self.threads.len();
-                let state = &mut self.threads[tid.index()];
-                state.sampled_since_release = true;
-                let (with_write, with_read) = self.history.write_races(var, Self::view(state, tid));
-                self.history
-                    .record_write(var, threads, Self::view(state, tid));
-                (with_write || with_read).then(|| {
-                    self.counters.races += 1;
-                    RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
-                })
+                outcome.report
             }
             EventKind::Acquire(lock) => {
-                self.handle_acquire(tid, lock);
+                self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
-                self.handle_release(tid, lock);
+                let sampled = self.take_sampled(tid);
+                self.sync.release(tid, lock, sampled, &mut self.counters);
                 None
             }
         }
@@ -247,12 +357,8 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
         if n == 0 {
             return;
         }
-        let last = ThreadId::new(n as u32 - 1);
-        self.ensure_thread(last);
-        for state in &mut self.threads {
-            let pad = state.clock.get(last);
-            state.clock.set(last, pad);
-        }
+        self.ensure_thread(ThreadId::new(n as u32 - 1));
+        self.sync.reserve_threads(n);
     }
 
     fn name(&self) -> &'static str {
@@ -260,53 +366,43 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
     }
 }
 
+impl<S: Sampler + Clone + Send> SplitDetector for FreshnessDetector<S> {
+    type Sync = FreshnessSyncEngine;
+    type Access = HistoryAccessEngine<S, EpochView<VectorClockSnapshot>>;
+    type View = EpochView<VectorClockSnapshot>;
+
+    fn split_sync(&self) -> FreshnessSyncEngine {
+        FreshnessSyncEngine::new()
+    }
+
+    fn split_access(&self) -> Self::Access {
+        self.access.clone()
+    }
+}
+
 impl<S: Sampler> crate::SyncOps for FreshnessDetector<S> {
     fn release_store(&mut self, tid: u32, sync: LockId) {
-        // A release-store need not follow an acquire by the same thread,
-        // so the lock clock may not grow monotonically and the release
-        // skip of Algorithm 3 would be unsound (Appendix A.2) — always
-        // copy.
         let tid = ThreadId::new(tid);
         self.ensure_thread(tid);
-        self.ensure_lock(sync);
-        self.counters.releases += 1;
-        self.flush_local_epoch(tid);
-        let thread = &self.threads[tid.index()];
-        let lock_state = &mut self.locks[sync.index()];
-        lock_state.clock.assign_from(&thread.clock);
-        lock_state.fresh.assign_from(&thread.fresh);
-        lock_state.last_releaser = Some(tid);
-        lock_state.mixed = false;
-        self.counters.releases_processed += 1;
-        self.counters.vc_ops += 2;
-        self.counters.entries_traversed += self.threads.len() as u64;
+        let sampled = self.take_sampled(tid);
+        self.sync
+            .release_store(tid, sync, sampled, &mut self.counters);
     }
 
     fn release_join(&mut self, tid: u32, sync: LockId) {
-        // The sync object accumulates multiple threads' clocks; the
-        // paper adopts no freshness innovation here (Appendix A.2).
         let tid = ThreadId::new(tid);
         self.ensure_thread(tid);
-        self.ensure_lock(sync);
-        self.counters.releases += 1;
-        self.flush_local_epoch(tid);
-        let thread = &self.threads[tid.index()];
-        let lock_state = &mut self.locks[sync.index()];
-        lock_state.clock.join(&thread.clock);
-        lock_state.fresh.join(&thread.fresh);
-        lock_state.last_releaser = None;
-        lock_state.mixed = true;
-        self.counters.releases_processed += 1;
-        self.counters.vc_ops += 2;
-        self.counters.entries_traversed += self.threads.len() as u64;
+        let sampled = self.take_sampled(tid);
+        self.sync
+            .release_join(tid, sync, sampled, &mut self.counters);
     }
 
     fn acquire_sync(&mut self, tid: u32, sync: LockId) {
         let tid = ThreadId::new(tid);
         self.ensure_thread(tid);
-        // `handle_acquire` already falls back to a full join for mixed
-        // objects and uses the freshness skip after stores.
-        self.handle_acquire(tid, sync);
+        // `acquire` already falls back to a full join for mixed objects
+        // and uses the freshness skip after stores.
+        self.sync.acquire(tid, sync, &mut self.counters);
     }
 }
 

@@ -20,11 +20,18 @@
 //! much timestamping work they perform, which is recorded in
 //! [`Counters`].
 //!
+//! Every engine is internally a composition of its two planes — a
+//! [`SyncEngine`] owning the thread/lock clocks and an [`AccessEngine`]
+//! owning per-variable histories (the [`SplitDetector`] seam) — so the
+//! same halves serve the monolithic detectors and sharded ingestion
+//! without semantic drift.
+//!
 //! For concurrent ingestion two thread-safe façades wrap a detector:
 //! [`OnlineDetector`] (one serialization mutex — the paper-faithful
 //! contention model of Fig. 5) and [`ShardedOnlineDetector`]
-//! (per-variable detector shards with a replicated sync skeleton — same
-//! verdicts, parallel access analysis).
+//! (per-variable access shards around a shared sync plane — same
+//! verdicts, parallel access analysis; the replicated-sync construction
+//! of PR 3 remains available via [`SyncMode::Replicated`]).
 //!
 //! # Example
 //!
@@ -59,6 +66,7 @@ mod hb_oracle;
 mod naive_sampling;
 mod online;
 mod ordered;
+mod plane;
 mod report;
 mod shard;
 mod sync_ops;
@@ -66,13 +74,17 @@ mod sync_ops;
 pub use access_history::AccessHistories;
 pub use counters::Counters;
 pub use detector::Detector;
-pub use djit::DjitDetector;
-pub use fasttrack::FastTrackDetector;
-pub use freshness::FreshnessDetector;
+pub use djit::{DjitDetector, VectorSyncEngine};
+pub use fasttrack::{EpochAccessEngine, FastTrackDetector};
+pub use freshness::{FreshnessDetector, FreshnessSyncEngine};
 pub use hb_oracle::HbOracle;
 pub use naive_sampling::NaiveSamplingDetector;
-pub use online::{EmptyDetector, OnlineDetector};
-pub use ordered::OrderedListDetector;
+pub use online::{EmptyAccessEngine, EmptyDetector, EmptySyncEngine, OnlineDetector};
+pub use ordered::{OrderedListDetector, OrderedSyncEngine};
+pub use plane::{
+    AccessEngine, AccessOutcome, ClockView, EpochView, HistoryAccessEngine, SplitDetector,
+    SyncEngine,
+};
 pub use report::{AccessKind, RaceReport};
-pub use shard::ShardedOnlineDetector;
+pub use shard::{ShardedOnlineDetector, SyncMode};
 pub use sync_ops::{SyncClock, SyncOps};

@@ -182,6 +182,75 @@ impl Detector for EmptyDetector {
     }
 }
 
+/// The (stateless) sync-plane half of [`EmptyDetector`]: counts
+/// acquire/release observations, touches no clocks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EmptySyncEngine;
+
+impl crate::plane::SyncEngine for EmptySyncEngine {
+    type View = ();
+
+    fn ensure_thread(&mut self, _tid: ThreadId) {}
+
+    fn acquire(&mut self, _tid: ThreadId, _lock: LockId, counters: &mut Counters) {
+        counters.acquires += 1;
+    }
+
+    fn release(
+        &mut self,
+        _tid: ThreadId,
+        _lock: LockId,
+        _sampled_since_release: bool,
+        counters: &mut Counters,
+    ) {
+        counters.releases += 1;
+    }
+
+    fn publish(&mut self, _tid: ThreadId) {}
+
+    fn reserve_threads(&mut self, _n: usize) {}
+}
+
+/// The (stateless) access-plane half of [`EmptyDetector`]: counts
+/// read/write observations, analyzes nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EmptyAccessEngine;
+
+impl crate::plane::AccessEngine for EmptyAccessEngine {
+    type View = ();
+
+    fn access(
+        &mut self,
+        _id: EventId,
+        event: Event,
+        _view: &(),
+        counters: &mut Counters,
+    ) -> crate::plane::AccessOutcome {
+        match event.kind {
+            EventKind::Read(_) => counters.reads += 1,
+            EventKind::Write(_) => counters.writes += 1,
+            EventKind::Acquire(_) | EventKind::Release(_) => {
+                unreachable!("sync events belong to the sync plane")
+            }
+        }
+        crate::plane::AccessOutcome::skipped()
+    }
+}
+
+impl crate::plane::SplitDetector for EmptyDetector {
+    type Sync = EmptySyncEngine;
+    type Access = EmptyAccessEngine;
+    type View = ();
+
+    fn split_sync(&self) -> EmptySyncEngine {
+        EmptySyncEngine
+    }
+
+    fn split_access(&self) -> EmptyAccessEngine {
+        EmptyAccessEngine
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

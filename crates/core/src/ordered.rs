@@ -2,7 +2,8 @@ use freshtrack_clock::{ClockSnapshot, FreshnessClock, SharedClock, ThreadId, Tim
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
 
-use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
+use crate::plane::{BorrowedView, EpochView, HistoryAccessEngine, SplitDetector, SyncEngine};
+use crate::{Counters, Detector, RaceReport};
 
 /// Algorithm 4 of the paper (**SO**): ordered lists plus lazy copies.
 ///
@@ -28,6 +29,13 @@ use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
 /// a `RelAfter_S` release does not force a deep copy. Construct with
 /// [`with_options`](OrderedListDetector::with_options) to ablate it.
 ///
+/// Internally the detector composes an [`OrderedSyncEngine`] (every
+/// thread/lock list, held once) with a [`HistoryAccessEngine`] over the
+/// epoch-spliced view `C_t[t ↦ e_t]` — the same halves a two-plane
+/// [`ShardedOnlineDetector`](crate::ShardedOnlineDetector) distributes;
+/// the `RelAfter_S` bit is the only state crossing the seam (see
+/// [`SplitDetector`]).
+///
 /// Race reports are identical to the other sampling engines for the same
 /// sample set (Lemma 8).
 ///
@@ -47,12 +55,13 @@ use crate::{AccessHistories, AccessKind, Counters, Detector, RaceReport};
 /// ```
 #[derive(Clone, Debug)]
 pub struct OrderedListDetector<S> {
-    sampler: S,
-    threads: Vec<ThreadState>,
-    locks: Vec<LockState>,
-    history: AccessHistories,
+    sync: OrderedSyncEngine,
+    access: HistoryAccessEngine<S, EpochView<ClockSnapshot>>,
+    /// `RelAfter_S` bits: has thread `t` sampled an access since its
+    /// last release? (The access plane reports sampling; the sync plane
+    /// consumes the bit at the next release.)
+    sampled: Vec<bool>,
     counters: Counters,
-    local_epoch_opt: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -66,7 +75,6 @@ struct ThreadState {
     /// The flushed own time `C_t(t)`; authoritative when the local-epoch
     /// optimization keeps it out of the list.
     flushed: Time,
-    sampled_since_release: bool,
 }
 
 impl Default for ThreadState {
@@ -76,7 +84,6 @@ impl Default for ThreadState {
             fresh: FreshnessClock::new(),
             epoch: 1,
             flushed: 0,
-            sampled_since_release: false,
         }
     }
 }
@@ -99,35 +106,31 @@ struct LockState {
     joined: Option<freshtrack_clock::OrderedList>,
 }
 
-impl<S: Sampler> OrderedListDetector<S> {
-    /// Creates a detector with the local-epoch optimization enabled.
-    pub fn new(sampler: S) -> Self {
-        OrderedListDetector::with_options(sampler, true)
-    }
+/// The sync-plane half of the SO engine: every thread's ordered-list
+/// clock, freshness clock and local epoch, plus every lock's snapshot
+/// slot — Algorithm 4's synchronization handlers, held exactly once.
+///
+/// Publication ([`SyncEngine::publish`]) reuses the engine's own `O(1)`
+/// [`SharedClock::snapshot`] machinery, so a two-plane sharded run pays
+/// per sync event exactly what the monolithic engine pays plus one
+/// pointer-sized hand-off; with the façade's take-before-mutate
+/// discipline the publication never adds deep copies beyond the ones
+/// lock aliases already cause.
+#[derive(Clone, Debug)]
+pub struct OrderedSyncEngine {
+    threads: Vec<ThreadState>,
+    locks: Vec<LockState>,
+    local_epoch_opt: bool,
+}
 
-    /// Creates a detector, choosing whether the local-epoch optimization
-    /// is applied (`false` reproduces Algorithm 4 verbatim; useful for
-    /// ablation).
-    pub fn with_options(sampler: S, local_epoch_opt: bool) -> Self {
-        OrderedListDetector {
-            sampler,
+impl OrderedSyncEngine {
+    /// Creates an empty sync engine; `local_epoch_opt` as in
+    /// [`OrderedListDetector::with_options`].
+    pub fn new(local_epoch_opt: bool) -> Self {
+        OrderedSyncEngine {
             threads: Vec::new(),
             locks: Vec::new(),
-            history: AccessHistories::new(),
-            counters: Counters::new(),
             local_epoch_opt,
-        }
-    }
-
-    /// Whether the local-epoch optimization is enabled.
-    pub fn local_epoch_opt(&self) -> bool {
-        self.local_epoch_opt
-    }
-
-    fn ensure_thread(&mut self, tid: ThreadId) {
-        if self.threads.len() <= tid.index() {
-            self.threads
-                .resize_with(tid.index() + 1, ThreadState::default);
         }
     }
 
@@ -137,138 +140,53 @@ impl<S: Sampler> OrderedListDetector<S> {
         }
     }
 
-    /// The race-check view `C_t[t ↦ e_t]`: own entry from the epoch, the
-    /// rest from the ordered list.
-    fn view(state: &ThreadState, tid: ThreadId) -> impl Fn(ThreadId) -> Time + '_ {
-        let epoch = state.epoch;
-        move |u| if u == tid { epoch } else { state.list.get(u) }
+    /// Number of threads observed so far.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
     }
 
-    fn handle_acquire(&mut self, tid: ThreadId, lock: LockId) {
-        self.counters.acquires += 1;
-        self.ensure_lock(lock);
-        let lock_state = &self.locks[lock.index()];
-        if let Some(joined) = &lock_state.joined {
-            // Join-mode object (Appendix A.2): no freshness fast path —
-            // perform a full join. The sharing state is resolved once
-            // for the whole batch by `SharedClock::join`.
-            self.counters.acquires_processed += 1;
-            let thread = &mut self.threads[tid.index()];
-            let res = thread.list.join(joined);
-            if res.deep_copy {
-                self.counters.deep_copies += 1;
-            }
-            thread.fresh.bump_by(tid, res.changed as u64);
-            self.counters.entries_traversed += res.traversed as u64;
-            self.counters.vc_ops += 1;
-            return;
-        }
-        let Some(lr) = lock_state.last_releaser else {
-            self.counters.acquires_skipped += 1;
-            return;
-        };
-        let thread = &self.threads[tid.index()];
-        if lock_state.fresh <= thread.fresh.get(lr) {
-            // Proposition 5: nothing new behind this lock.
-            self.counters.acquires_skipped += 1;
-            return;
-        }
-        self.counters.acquires_processed += 1;
-        let d = lock_state.fresh - thread.fresh.get(lr);
-        let releaser_flushed = lock_state.releaser_flushed;
-        let lock_fresh = lock_state.fresh;
-        // Walk the lock's list directly while mutating the thread's
-        // state: `locks` and `threads` are disjoint fields, and the two
-        // lists never alias here (an alias would imply lr == tid, which
-        // the freshness check already filtered out — and the prefix
-        // join's pointer check would make it a no-op anyway).
-        let lock_list = lock_state
-            .list
-            .as_ref()
-            .expect("released lock must carry a clock")
-            .list();
-
-        let thread = &mut self.threads[tid.index()];
-        thread.fresh.set(lr, lock_fresh);
-        let res = thread.list.join_prefix(lock_list, d as usize);
-        if res.deep_copy {
-            self.counters.deep_copies += 1;
-        }
-        thread.fresh.bump_by(tid, res.changed as u64);
-        if self.local_epoch_opt && releaser_flushed > thread.list.get(lr) {
-            // The releaser's own flushed time travels as a scalar.
-            let (list, deep) = thread.list.make_mut();
-            if deep {
-                self.counters.deep_copies += 1;
-            }
-            list.set(lr, releaser_flushed);
-            thread.fresh.bump(tid);
-        }
-        let traversed = res.traversed as u64;
-        self.counters.entries_traversed += traversed;
-        self.counters.entries_saved += (self.threads.len() as u64).saturating_sub(traversed);
-        self.counters.vc_ops += 1;
-    }
-
-    fn handle_release(&mut self, tid: ThreadId, lock: LockId) {
-        self.counters.releases += 1;
-        self.ensure_lock(lock);
-        self.flush_local_epoch(tid);
-        let thread = &mut self.threads[tid.index()];
-        // `snapshot` moves the thread's clock to the Shared state (the
-        // paper's `shared_t := true`), hence the `&mut`.
-        let snapshot = thread.list.snapshot();
-        let fresh = thread.fresh.get(tid);
-        let flushed = thread.flushed;
-        let lock_state = &mut self.locks[lock.index()];
-        lock_state.list = Some(snapshot);
-        lock_state.last_releaser = Some(tid);
-        lock_state.fresh = fresh;
-        lock_state.releaser_flushed = flushed;
-        lock_state.joined = None;
-        self.counters.shallow_copies += 1;
+    /// The communicated list and local epoch of `tid` (which must
+    /// exist) — the monolithic detector's borrowed race-check view.
+    fn thread_view(&self, tid: ThreadId) -> (&SharedClock, Time) {
+        let state = &self.threads[tid.index()];
+        (&state.list, state.epoch)
     }
 
     /// Flushes the local epoch if this release is in `RelAfter_S`
     /// (shared by the mutex and Appendix A.2 release handlers).
-    fn flush_local_epoch(&mut self, tid: ThreadId) {
+    fn flush_local_epoch(&mut self, tid: ThreadId, sampled: bool, counters: &mut Counters) {
         let opt = self.local_epoch_opt;
         let thread = &mut self.threads[tid.index()];
-        if thread.sampled_since_release {
+        if sampled {
             thread.flushed = thread.epoch;
             if !opt {
                 let (list, deep) = thread.list.make_mut();
                 if deep {
-                    self.counters.deep_copies += 1;
+                    counters.deep_copies += 1;
                 }
                 list.set(tid, thread.epoch);
             }
             thread.fresh.bump(tid);
             thread.epoch += 1;
-            thread.sampled_since_release = false;
-            self.counters.local_increments += 1;
-            self.counters.releases_processed += 1;
+            counters.local_increments += 1;
+            counters.releases_processed += 1;
         } else {
-            self.counters.releases_skipped += 1;
+            counters.releases_skipped += 1;
         }
     }
-}
 
-impl<S: Sampler> crate::SyncOps for OrderedListDetector<S> {
-    fn release_store(&mut self, tid: u32, sync: LockId) {
-        // Identical to the mutex release: a store overwrites the object
-        // with the thread's snapshot (and resets any join mode).
-        let tid = ThreadId::new(tid);
-        self.ensure_thread(tid);
-        self.handle_release(tid, sync);
-    }
-
-    fn release_join(&mut self, tid: u32, sync: LockId) {
-        let tid = ThreadId::new(tid);
-        self.ensure_thread(tid);
+    /// `Release` (join) semantics for non-mutex sync objects
+    /// (Appendix A.2).
+    pub(crate) fn release_join(
+        &mut self,
+        tid: ThreadId,
+        sync: LockId,
+        sampled: bool,
+        counters: &mut Counters,
+    ) {
         self.ensure_lock(sync);
-        self.counters.releases += 1;
-        self.flush_local_epoch(tid);
+        counters.releases += 1;
+        self.flush_local_epoch(tid, sampled, counters);
 
         // Materialize the thread's communicated clock (own entry is the
         // flushed time, possibly kept out of the list by the epoch opt).
@@ -302,14 +220,191 @@ impl<S: Sampler> crate::SyncOps for OrderedListDetector<S> {
         lock_state.list = None;
         lock_state.last_releaser = None;
         lock_state.fresh = 0;
-        self.counters.vc_ops += 1;
-        self.counters.entries_traversed += traversed;
+        counters.vc_ops += 1;
+        counters.entries_traversed += traversed;
+    }
+}
+
+impl SyncEngine for OrderedSyncEngine {
+    type View = EpochView<ClockSnapshot>;
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        if self.threads.len() <= tid.index() {
+            self.threads
+                .resize_with(tid.index() + 1, ThreadState::default);
+        }
+    }
+
+    fn acquire(&mut self, tid: ThreadId, lock: LockId, counters: &mut Counters) {
+        counters.acquires += 1;
+        self.ensure_lock(lock);
+        let lock_state = &self.locks[lock.index()];
+        if let Some(joined) = &lock_state.joined {
+            // Join-mode object (Appendix A.2): no freshness fast path —
+            // perform a full join. The sharing state is resolved once
+            // for the whole batch by `SharedClock::join`.
+            counters.acquires_processed += 1;
+            let thread = &mut self.threads[tid.index()];
+            let res = thread.list.join(joined);
+            if res.deep_copy {
+                counters.deep_copies += 1;
+            }
+            thread.fresh.bump_by(tid, res.changed as u64);
+            counters.entries_traversed += res.traversed as u64;
+            counters.vc_ops += 1;
+            return;
+        }
+        let Some(lr) = lock_state.last_releaser else {
+            counters.acquires_skipped += 1;
+            return;
+        };
+        let thread = &self.threads[tid.index()];
+        if lock_state.fresh <= thread.fresh.get(lr) {
+            // Proposition 5: nothing new behind this lock.
+            counters.acquires_skipped += 1;
+            return;
+        }
+        counters.acquires_processed += 1;
+        let d = lock_state.fresh - thread.fresh.get(lr);
+        let releaser_flushed = lock_state.releaser_flushed;
+        let lock_fresh = lock_state.fresh;
+        // Walk the lock's list directly while mutating the thread's
+        // state: `locks` and `threads` are disjoint fields, and the two
+        // lists never alias here (an alias would imply lr == tid, which
+        // the freshness check already filtered out — and the prefix
+        // join's pointer check would make it a no-op anyway).
+        let lock_list = lock_state
+            .list
+            .as_ref()
+            .expect("released lock must carry a clock")
+            .list();
+
+        let thread = &mut self.threads[tid.index()];
+        thread.fresh.set(lr, lock_fresh);
+        let res = thread.list.join_prefix(lock_list, d as usize);
+        if res.deep_copy {
+            counters.deep_copies += 1;
+        }
+        thread.fresh.bump_by(tid, res.changed as u64);
+        if self.local_epoch_opt && releaser_flushed > thread.list.get(lr) {
+            // The releaser's own flushed time travels as a scalar.
+            let (list, deep) = thread.list.make_mut();
+            if deep {
+                counters.deep_copies += 1;
+            }
+            list.set(lr, releaser_flushed);
+            thread.fresh.bump(tid);
+        }
+        let traversed = res.traversed as u64;
+        counters.entries_traversed += traversed;
+        counters.entries_saved += (self.threads.len() as u64).saturating_sub(traversed);
+        counters.vc_ops += 1;
+    }
+
+    fn release(
+        &mut self,
+        tid: ThreadId,
+        lock: LockId,
+        sampled_since_release: bool,
+        counters: &mut Counters,
+    ) {
+        counters.releases += 1;
+        self.ensure_lock(lock);
+        self.flush_local_epoch(tid, sampled_since_release, counters);
+        let thread = &mut self.threads[tid.index()];
+        // `snapshot` moves the thread's clock to the Shared state (the
+        // paper's `shared_t := true`), hence the `&mut`.
+        let snapshot = thread.list.snapshot();
+        let fresh = thread.fresh.get(tid);
+        let flushed = thread.flushed;
+        let lock_state = &mut self.locks[lock.index()];
+        lock_state.list = Some(snapshot);
+        lock_state.last_releaser = Some(tid);
+        lock_state.fresh = fresh;
+        lock_state.releaser_flushed = flushed;
+        lock_state.joined = None;
+        counters.shallow_copies += 1;
+    }
+
+    fn publish(&mut self, tid: ThreadId) -> EpochView<ClockSnapshot> {
+        let state = &mut self.threads[tid.index()];
+        EpochView {
+            snap: state.list.snapshot(),
+            epoch: state.epoch,
+            tid,
+        }
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.ensure_thread(ThreadId::new(n as u32 - 1));
+        for state in &mut self.threads {
+            let (list, _) = state.list.make_mut();
+            list.ensure_thread_count(n);
+        }
+    }
+}
+
+impl<S: Sampler> OrderedListDetector<S> {
+    /// Creates a detector with the local-epoch optimization enabled.
+    pub fn new(sampler: S) -> Self {
+        OrderedListDetector::with_options(sampler, true)
+    }
+
+    /// Creates a detector, choosing whether the local-epoch optimization
+    /// is applied (`false` reproduces Algorithm 4 verbatim; useful for
+    /// ablation).
+    pub fn with_options(sampler: S, local_epoch_opt: bool) -> Self {
+        OrderedListDetector {
+            sync: OrderedSyncEngine::new(local_epoch_opt),
+            access: HistoryAccessEngine::new(sampler),
+            sampled: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Whether the local-epoch optimization is enabled.
+    pub fn local_epoch_opt(&self) -> bool {
+        self.sync.local_epoch_opt
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        self.sync.ensure_thread(tid);
+        if self.sampled.len() <= tid.index() {
+            self.sampled.resize(tid.index() + 1, false);
+        }
+    }
+
+    /// Takes the `RelAfter_S` bit for `tid`, resetting it.
+    fn take_sampled(&mut self, tid: ThreadId) -> bool {
+        std::mem::take(&mut self.sampled[tid.index()])
+    }
+}
+
+impl<S: Sampler> crate::SyncOps for OrderedListDetector<S> {
+    fn release_store(&mut self, tid: u32, sync: LockId) {
+        // Identical to the mutex release: a store overwrites the object
+        // with the thread's snapshot (and resets any join mode).
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        let sampled = self.take_sampled(tid);
+        self.sync.release(tid, sync, sampled, &mut self.counters);
+    }
+
+    fn release_join(&mut self, tid: u32, sync: LockId) {
+        let tid = ThreadId::new(tid);
+        self.ensure_thread(tid);
+        let sampled = self.take_sampled(tid);
+        self.sync
+            .release_join(tid, sync, sampled, &mut self.counters);
     }
 
     fn acquire_sync(&mut self, tid: u32, sync: LockId) {
         let tid = ThreadId::new(tid);
         self.ensure_thread(tid);
-        self.handle_acquire(tid, sync);
+        self.sync.acquire(tid, sync, &mut self.counters);
     }
 }
 
@@ -319,47 +414,31 @@ impl<S: Sampler> Detector for OrderedListDetector<S> {
         let tid = event.tid;
         self.ensure_thread(tid);
         match event.kind {
-            EventKind::Read(var) => {
-                self.counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
+            EventKind::Read(_) | EventKind::Write(_) => {
+                let Self {
+                    sync,
+                    access,
+                    sampled,
+                    counters,
+                } = self;
+                let (list, epoch) = sync.thread_view(tid);
+                let view = BorrowedView {
+                    lookup: |u| if u == tid { epoch } else { list.get(u) },
+                    width: sync.thread_count(),
+                };
+                let outcome = access.access_with(id, event, &view, counters);
+                if outcome.sampled {
+                    sampled[tid.index()] = true;
                 }
-                self.counters.sampled_accesses += 1;
-                self.counters.race_checks += 1;
-                let state = &mut self.threads[tid.index()];
-                state.sampled_since_release = true;
-                let epoch = state.epoch;
-                let races = self.history.read_races(var, Self::view(state, tid));
-                self.history.record_read(var, tid, epoch);
-                races.then(|| {
-                    self.counters.races += 1;
-                    RaceReport::new(id, tid, var, AccessKind::Read, true, false)
-                })
-            }
-            EventKind::Write(var) => {
-                self.counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
-                self.counters.sampled_accesses += 1;
-                self.counters.race_checks += 1;
-                let threads = self.threads.len();
-                let state = &mut self.threads[tid.index()];
-                state.sampled_since_release = true;
-                let (with_write, with_read) = self.history.write_races(var, Self::view(state, tid));
-                self.history
-                    .record_write(var, threads, Self::view(state, tid));
-                (with_write || with_read).then(|| {
-                    self.counters.races += 1;
-                    RaceReport::new(id, tid, var, AccessKind::Write, with_write, with_read)
-                })
+                outcome.report
             }
             EventKind::Acquire(lock) => {
-                self.handle_acquire(tid, lock);
+                self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
-                self.handle_release(tid, lock);
+                let sampled = self.take_sampled(tid);
+                self.sync.release(tid, lock, sampled, &mut self.counters);
                 None
             }
         }
@@ -374,14 +453,25 @@ impl<S: Sampler> Detector for OrderedListDetector<S> {
             return;
         }
         self.ensure_thread(ThreadId::new(n as u32 - 1));
-        for state in &mut self.threads {
-            let (list, _) = state.list.make_mut();
-            list.ensure_thread_count(n);
-        }
+        self.sync.reserve_threads(n);
     }
 
     fn name(&self) -> &'static str {
         "SO"
+    }
+}
+
+impl<S: Sampler + Clone + Send> SplitDetector for OrderedListDetector<S> {
+    type Sync = OrderedSyncEngine;
+    type Access = HistoryAccessEngine<S, EpochView<ClockSnapshot>>;
+    type View = EpochView<ClockSnapshot>;
+
+    fn split_sync(&self) -> OrderedSyncEngine {
+        OrderedSyncEngine::new(self.sync.local_epoch_opt)
+    }
+
+    fn split_access(&self) -> Self::Access {
+        self.access.clone()
     }
 }
 

@@ -1,62 +1,94 @@
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard, RwLock};
 
 use freshtrack_clock::ThreadId;
 use freshtrack_trace::{Event, EventId, EventKind, LockId, VarId};
 
-use crate::{Counters, Detector, RaceReport};
+use crate::plane::{AccessEngine, SplitDetector, SyncEngine};
+use crate::{Counters, RaceReport};
 
-/// A sharded ingestion façade: `N` independently-locked detector shards
-/// instead of [`OnlineDetector`](crate::OnlineDetector)'s single mutex.
+/// How a [`ShardedOnlineDetector`] maintains the happens-before (sync)
+/// skeleton across its access shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// PR 3's construction: every shard is a full detector clone; a
+    /// sync event acquires **all** shard locks (ascending order) and is
+    /// replicated into every clone, so per-sync cost is `O(N)` lock
+    /// acquisitions plus `N×` the engine's sync clock work. Kept for
+    /// differential old-vs-new pinning; scheduled for retirement.
+    Replicated,
+    /// The two-plane construction (default): one [`SyncEngine`] owns
+    /// every thread/lock clock behind a sync-only lock and publishes
+    /// `O(1)` per-thread clock views; shards hold only
+    /// [`AccessEngine`] state. A sync event touches one engine — per-
+    /// sync cost is `O(1)×` the monolithic engine's, independent of `N`.
+    Shared,
+}
+
+/// A sharded ingestion façade: per-variable access analysis across `N`
+/// independently-locked shards, with the happens-before skeleton
+/// maintained according to a [`SyncMode`].
 ///
-/// The single-mutex façade reproduces the paper's Fig. 5 contention
-/// model faithfully — every event serializes through one analysis lock —
-/// but that same lock bounds throughput once per-event clock work is
-/// cheap. This type is the standard sanitizer-runtime answer
-/// (ThreadSanitizer's shadow memory is per-location, not globally
-/// locked): shard the analysis state by *variable* and keep
-/// synchronization global.
+/// The single-mutex [`OnlineDetector`](crate::OnlineDetector)
+/// reproduces the paper's Fig. 5 contention model faithfully — every
+/// event serializes through one analysis lock — but that same lock
+/// bounds throughput once per-event clock work is cheap. This type is
+/// the standard sanitizer-runtime answer (ThreadSanitizer's shadow
+/// memory is per-location; its thread/sync clocks are kept once):
+/// shard the *access* analysis by variable and keep synchronization
+/// state global.
 ///
 /// # Routing rule
 ///
 /// * **Access events** (`Read`/`Write` of variable `v`) go to exactly
 ///   one shard, `hash(v) % N`, under that shard's lock only.
-/// * **Sync events** (`Acquire`/`Release`) are *replicated*: the caller
-///   acquires every shard lock in ascending index order (so sync events
-///   are totally ordered and deadlock-free), then feeds the event to
-///   every shard's detector.
+/// * **Sync events** (`Acquire`/`Release`) go to the sync plane: under
+///   [`SyncMode::Shared`] they update the single [`SyncEngine`] behind
+///   its sync-only lock and republish the issuing thread's clock view;
+///   under [`SyncMode::Replicated`] they acquire every shard lock in
+///   ascending order and update all `N` detector clones.
 ///
-/// # Replication invariant (why verdicts are preserved)
+/// # Why verdicts are preserved (two-plane)
 ///
-/// Happens-before between two accesses is determined only by the sync
-/// events and program order between them — never by other accesses.
-/// Each shard therefore sees the *full* happens-before skeleton (every
-/// sync event, in one global order shared by all shards) plus its slice
-/// of the accesses, which is exactly the information needed to give
-/// every access of its variables the same verdict the unsharded
-/// detector would.
+/// Event ids come from one atomic ticket, drawn while holding the lock
+/// the event runs under (its shard lock, or the sync lock). Restricted
+/// to one shard, ticket order equals processing order (the ticket is
+/// drawn inside the critical section), so each shard's history is
+/// updated in ticket order; and a thread's events are issued in program
+/// order, so its accesses draw tickets after its past sync events and
+/// before its future ones. An access's verdict depends only on (a) the
+/// issuing thread's clock — which changes *only* at that thread's own
+/// sync events, all ticket-ordered around the access exactly as in a
+/// monolithic replay — and (b) its variable's history inside one shard.
+/// The view published at the thread's latest sync event is therefore
+/// precisely the clock a monolithic detector would consult at the
+/// access's ticket position, and the id-ordered merge of per-shard
+/// reports reproduces the monolithic report list. Samplers are
+/// deterministic in `(seed, EventId)` (invariant 4 in
+/// `ARCHITECTURE.md`), so the sample set is identical too. The one
+/// access→sync feedback, the `RelAfter_S` bit, travels through a
+/// per-thread atomic flag: set at the thread's sampled accesses,
+/// consumed at the same thread's next release — sequenced by that
+/// thread's own program order.
 ///
-/// Event ids come from one atomic ticket, taken while holding the
-/// event's shard lock(s). Because a ticket is only drawn inside the
-/// relevant critical section, ticket order restricted to any one shard
-/// (its accesses plus all sync events) coincides with that shard's
-/// processing order — so the id-ordered merged trace is a valid
-/// linearization of what every shard analyzed, sampling decisions
-/// (deterministic in `(seed, id)`) are identical to the unsharded run,
-/// and [`finish`](ShardedOnlineDetector::finish) can merge per-shard
-/// reports into one list sorted by [`EventId`] with a deterministic
-/// global order.
+/// Per-thread clock views are only ever read by their own thread's
+/// accesses and written by the same thread's sync events; callers must
+/// issue each thread id's events from one thread at a time (which every
+/// real instrumentation source does — a thread's events *are* its
+/// program order).
 ///
 /// # Cost model
 ///
-/// Access events — the overwhelming majority in real workloads — pay
-/// one uncontended-in-expectation lock instead of one global lock; the
-/// analysis of accesses to different shards proceeds in parallel. Sync
-/// events pay `N` lock acquisitions plus `N` copies of the detector's
-/// sync-event clock work (the fan-out cost of replication), so the
-/// sweet spot for `N` grows with the workload's access:sync ratio. The
-/// merged [`Counters`] from [`Counters::merge`] keep that honest: work
-/// counters are totals across shards.
+/// An access pays one `1/N`-contended shard lock; access analysis for
+/// different shards runs in parallel. A sync event pays one sync-lock
+/// acquisition plus **one** copy of the engine's sync clock work and an
+/// `O(1)` view publication — flat in `N` (measured in
+/// `BENCH_sync_cost.json`; the replicated mode's `N×` fan-out is kept
+/// alongside for comparison). The merged [`Counters`] keep this honest:
+/// in `Shared` mode planes partition the event space so counters sum
+/// directly; in `Replicated` mode [`Counters::merge`] counts the
+/// replicated sync observations once and sums work.
 ///
 /// # Example
 ///
@@ -78,75 +110,190 @@ use crate::{Counters, Detector, RaceReport};
 /// for h in handles {
 ///     h.join().unwrap();
 /// }
-/// let (_, races) = Arc::try_unwrap(sharded).ok().unwrap().finish();
+/// let races = Arc::try_unwrap(sharded).ok().unwrap().finish();
 /// assert_eq!(races.len(), 1); // the two writes race
 /// ```
-#[derive(Debug)]
-pub struct ShardedOnlineDetector<D> {
-    shards: Vec<Mutex<Shard<D>>>,
+pub struct ShardedOnlineDetector<D: SplitDetector> {
+    inner: Inner<D>,
     next_id: AtomicU64,
 }
 
-#[derive(Debug)]
-struct Shard<D> {
+enum Inner<D: SplitDetector> {
+    Replicated(Replicated<D>),
+    Shared(TwoPlane<D>),
+}
+
+// ---------------------------------------------------------------------
+// Replicated mode (PR 3's construction, kept for old-vs-new pinning).
+// ---------------------------------------------------------------------
+
+struct Replicated<D> {
+    shards: Vec<Mutex<ReplicatedShard<D>>>,
+}
+
+struct ReplicatedShard<D> {
     detector: D,
     reports: Vec<RaceReport>,
 }
 
-impl<D: Detector> ShardedOnlineDetector<D> {
-    /// Builds `shards` shards, each holding a clone of `detector`.
+// ---------------------------------------------------------------------
+// Shared (two-plane) mode.
+// ---------------------------------------------------------------------
+
+struct TwoPlane<D: SplitDetector> {
+    /// The sync plane: every thread/lock clock, exactly once, behind a
+    /// lock only sync events (and new-thread admission) take.
+    sync: Mutex<SyncPlane<D::Sync>>,
+    /// One publication slot per thread: the clock view its accesses
+    /// read, republished by its sync events.
+    slots: RwLock<Vec<Arc<ThreadSlot<D::View>>>>,
+    /// The access plane: per-variable histories, sharded.
+    shards: Vec<Mutex<AccessShard<D::Access>>>,
+}
+
+struct SyncPlane<E> {
+    engine: E,
+    counters: Counters,
+}
+
+struct AccessShard<A> {
+    engine: A,
+    counters: Counters,
+    reports: Vec<RaceReport>,
+}
+
+struct ThreadSlot<V> {
+    /// The thread's published clock view. Written only by the thread's
+    /// own sync events (take-before-mutate: the old view is dropped
+    /// before the sync engine mutates, so publication never forces a
+    /// lazy deep copy), read only by the same thread's accesses.
+    view: Mutex<Option<V>>,
+    /// The `RelAfter_S` bit: set by the thread's sampled accesses,
+    /// consumed (and reset) by its next release.
+    sampled: AtomicBool,
+}
+
+impl<D: SplitDetector> std::fmt::Debug for ShardedOnlineDetector<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedOnlineDetector")
+            .field("sync_mode", &self.sync_mode())
+            .field("shards", &self.shard_count())
+            .field("events", &self.events_processed())
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().expect("detector shard mutex poisoned")
+}
+
+impl<D: SplitDetector> ShardedOnlineDetector<D> {
+    /// Builds a sharded detector in the default [`SyncMode::Shared`]
+    /// (two-plane) construction.
     ///
-    /// Clones must start from identical (empty) analysis state; passing
-    /// a detector that has already processed events would give shards
-    /// inconsistent views of the happens-before skeleton.
+    /// `detector` must be in its initial state: it seeds the engine
+    /// configuration (and, in replicated mode, the per-shard clones);
+    /// a detector that has already processed events would give the
+    /// planes inconsistent views of the happens-before skeleton.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn new(detector: D, shards: usize) -> Self
-    where
-        D: Clone,
-    {
-        Self::with_factory(shards, |_| detector.clone())
+    pub fn new(detector: D, shards: usize) -> Self {
+        Self::with_mode(detector, shards, SyncMode::Shared)
     }
 
-    /// Builds `shards` shards, constructing each detector with
-    /// `factory(shard_index)`. All detectors must be configured
-    /// identically (same engine, same sampler seed): the shards
-    /// collectively emulate *one* detector, and a per-shard sampling
-    /// difference would break the replication invariant.
+    /// Builds a sharded detector with an explicit [`SyncMode`] — the
+    /// replicated variant exists so old-vs-new verdicts can be pinned
+    /// differentially (`crates/core/tests/sharding.rs`).
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn with_factory(shards: usize, mut factory: impl FnMut(usize) -> D) -> Self {
+    pub fn with_mode(detector: D, shards: usize, mode: SyncMode) -> Self {
         assert!(shards > 0, "at least one shard is required");
-        ShardedOnlineDetector {
-            shards: (0..shards)
-                .map(|i| {
-                    Mutex::new(Shard {
-                        detector: factory(i),
-                        reports: Vec::new(),
+        let inner = match mode {
+            SyncMode::Replicated => Inner::Replicated(Replicated {
+                shards: (0..shards)
+                    .map(|_| {
+                        Mutex::new(ReplicatedShard {
+                            detector: detector.clone(),
+                            reports: Vec::new(),
+                        })
                     })
-                })
-                .collect(),
+                    .collect(),
+            }),
+            SyncMode::Shared => Inner::Shared(TwoPlane {
+                sync: Mutex::new(SyncPlane {
+                    engine: detector.split_sync(),
+                    counters: Counters::new(),
+                }),
+                slots: RwLock::new(Vec::new()),
+                shards: (0..shards)
+                    .map(|_| {
+                        Mutex::new(AccessShard {
+                            engine: detector.split_access(),
+                            counters: Counters::new(),
+                            reports: Vec::new(),
+                        })
+                    })
+                    .collect(),
+            }),
+        };
+        ShardedOnlineDetector {
+            inner,
             next_id: AtomicU64::new(0),
         }
     }
 
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// The active sync-skeleton construction.
+    pub fn sync_mode(&self) -> SyncMode {
+        match &self.inner {
+            Inner::Replicated(_) => SyncMode::Replicated,
+            Inner::Shared(_) => SyncMode::Shared,
+        }
     }
 
-    /// Pre-sizes every shard's per-thread clock state for `n`
-    /// application threads (see
-    /// [`Detector::reserve_threads`]). Call once before the workers
-    /// start so the event hot path never grows a clock while a shard
+    /// Number of access shards.
+    pub fn shard_count(&self) -> usize {
+        match &self.inner {
+            Inner::Replicated(r) => r.shards.len(),
+            Inner::Shared(p) => p.shards.len(),
+        }
+    }
+
+    /// Pre-sizes per-thread clock state for `n` application threads
+    /// (see [`Detector::reserve_threads`](crate::Detector::reserve_threads)).
+    /// Call once before the
+    /// workers start so the event hot path never grows a clock while a
     /// lock is held.
     pub fn reserve_threads(&self, n: usize) {
-        for shard in &self.shards {
-            self.lock(shard).detector.reserve_threads(n);
+        match &self.inner {
+            Inner::Replicated(r) => {
+                for shard in &r.shards {
+                    lock(shard).detector.reserve_threads(n);
+                }
+            }
+            Inner::Shared(p) => {
+                let mut sync = lock(&p.sync);
+                sync.engine.reserve_threads(n);
+                let mut slots = p.slots.write().expect("slot table lock poisoned");
+                for idx in 0..n {
+                    let tid = ThreadId::new(idx as u32);
+                    if let Some(slot) = slots.get(idx) {
+                        // Republish: reservation may have regrown the
+                        // clock behind an already-published view.
+                        *lock(&slot.view) = Some(sync.engine.publish(tid));
+                    } else {
+                        sync.engine.ensure_thread(tid);
+                        let view = sync.engine.publish(tid);
+                        slots.push(Arc::new(ThreadSlot {
+                            view: Mutex::new(Some(view)),
+                            sampled: AtomicBool::new(false),
+                        }));
+                    }
+                }
+            }
         }
     }
 
@@ -157,33 +304,62 @@ impl<D: Detector> ShardedOnlineDetector<D> {
     #[inline]
     pub fn shard_of(&self, var: VarId) -> usize {
         let h = (var.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        ((h >> 32) as usize) % self.shards.len()
-    }
-
-    fn lock<'a>(&'a self, shard: &'a Mutex<Shard<D>>) -> MutexGuard<'a, Shard<D>> {
-        shard.lock().expect("detector shard mutex poisoned")
+        ((h >> 32) as usize) % self.shard_count()
     }
 
     /// Draws the event's globally unique, totally ordered ticket id.
     ///
-    /// Must only be called while holding the lock(s) of every shard the
-    /// event will be fed to — that is what makes per-shard processing
-    /// order agree with ticket order (see the type-level docs).
+    /// Must only be called while holding the lock the event runs under
+    /// (its shard lock / the sync lock / all shard locks in replicated
+    /// mode) — that is what makes per-shard processing order agree with
+    /// ticket order (see the type-level docs).
     #[inline]
     fn take_ticket(&self) -> EventId {
         EventId::new(self.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Returns thread `tid`'s publication slot, admitting the thread to
+    /// the sync plane (initial clock state + first published view) on
+    /// first sight. Two-plane mode only.
+    fn slot(&self, plane: &TwoPlane<D>, tid: ThreadId) -> Arc<ThreadSlot<D::View>> {
+        {
+            let slots = plane.slots.read().expect("slot table lock poisoned");
+            if let Some(slot) = slots.get(tid.index()) {
+                return Arc::clone(slot);
+            }
+        }
+        // Slow path (once per thread): admit under the sync lock.
+        let mut sync = lock(&plane.sync);
+        let mut slots = plane.slots.write().expect("slot table lock poisoned");
+        while slots.len() <= tid.index() {
+            let next = ThreadId::new(slots.len() as u32);
+            sync.engine.ensure_thread(next);
+            let view = sync.engine.publish(next);
+            slots.push(Arc::new(ThreadSlot {
+                view: Mutex::new(Some(view)),
+                sampled: AtomicBool::new(false),
+            }));
+        }
+        Arc::clone(&slots[tid.index()])
+    }
+
     /// Feeds one event; returns `true` if it was reported as racing.
     ///
-    /// Access events lock one shard; sync events lock all shards in
-    /// ascending order (a sync event never races, so the return value
-    /// is `false` for them).
+    /// Access events lock one shard; sync events lock the sync plane
+    /// (two-plane mode) or all shards in ascending order (replicated
+    /// mode). A sync event never races, so it returns `false`.
     pub fn on_event(&self, tid: u32, kind: EventKind) -> bool {
         let event = Event::new(ThreadId::new(tid), kind);
-        match kind {
+        match &self.inner {
+            Inner::Replicated(r) => self.on_event_replicated(r, event),
+            Inner::Shared(p) => self.on_event_two_plane(p, event),
+        }
+    }
+
+    fn on_event_replicated(&self, r: &Replicated<D>, event: Event) -> bool {
+        match event.kind {
             EventKind::Read(var) | EventKind::Write(var) => {
-                let mut shard = self.lock(&self.shards[self.shard_of(var)]);
+                let mut shard = lock(&r.shards[self.shard_of(var)]);
                 let id = self.take_ticket();
                 if let Some(report) = shard.detector.process(id, event) {
                     shard.reports.push(report);
@@ -200,7 +376,7 @@ impl<D: Detector> ShardedOnlineDetector<D> {
                 // a stack frame — all locks are held at the recursion
                 // floor, where the ticket is drawn, with no per-event
                 // guard collection on the heap.
-                self.replicate_sync(&self.shards, event);
+                self.replicate_sync(&r.shards, event);
                 false
             }
         }
@@ -210,15 +386,69 @@ impl<D: Detector> ShardedOnlineDetector<D> {
     /// up, with every lock still held — feeds the sync event to each
     /// shard. The ticket is drawn at the recursion floor, i.e. after
     /// the last lock is acquired.
-    fn replicate_sync(&self, shards: &[Mutex<Shard<D>>], event: Event) -> EventId {
+    fn replicate_sync(&self, shards: &[Mutex<ReplicatedShard<D>>], event: Event) -> EventId {
         match shards.split_first() {
             None => self.take_ticket(),
             Some((first, rest)) => {
-                let mut guard = self.lock(first);
+                let mut guard = lock(first);
                 let id = self.replicate_sync(rest, event);
                 let report = guard.detector.process(id, event);
                 debug_assert!(report.is_none(), "sync events never race");
                 id
+            }
+        }
+    }
+
+    fn on_event_two_plane(&self, plane: &TwoPlane<D>, event: Event) -> bool {
+        let tid = event.tid;
+        let slot = self.slot(plane, tid);
+        match event.kind {
+            EventKind::Read(var) | EventKind::Write(var) => {
+                let mut shard = lock(&plane.shards[self.shard_of(var)]);
+                let id = self.take_ticket();
+                let view = lock(&slot.view)
+                    .clone()
+                    .expect("admitted threads always carry a published view");
+                let AccessShard {
+                    engine,
+                    counters,
+                    reports,
+                } = &mut *shard;
+                counters.events += 1;
+                let outcome = engine.access(id, event, &view, counters);
+                if outcome.sampled {
+                    slot.sampled.store(true, Ordering::Relaxed);
+                }
+                if let Some(report) = outcome.report {
+                    reports.push(report);
+                    true
+                } else {
+                    false
+                }
+            }
+            EventKind::Acquire(lock_id) | EventKind::Release(lock_id) => {
+                let mut sync = lock(&plane.sync);
+                let _id = self.take_ticket();
+                // Take-before-mutate: drop the published view so the
+                // engine's mutation stays in place instead of
+                // deep-copying. Holding the slot lock across the engine
+                // op is deadlock-free (it is a leaf lock) and blocks no
+                // one — only this thread's own accesses read its slot,
+                // and this thread is here.
+                let mut view_slot = lock(&slot.view);
+                *view_slot = None;
+                let SyncPlane { engine, counters } = &mut *sync;
+                counters.events += 1;
+                match event.kind {
+                    EventKind::Acquire(_) => engine.acquire(tid, lock_id, counters),
+                    EventKind::Release(_) => {
+                        let sampled = slot.sampled.swap(false, Ordering::Relaxed);
+                        engine.release(tid, lock_id, sampled, counters);
+                    }
+                    _ => unreachable!("outer match admits only sync events"),
+                }
+                *view_slot = Some(engine.publish(tid));
+                false
             }
         }
     }
@@ -243,76 +473,107 @@ impl<D: Detector> ShardedOnlineDetector<D> {
         self.on_event(tid, EventKind::Release(LockId::new(lock)));
     }
 
-    /// Number of event tickets drawn so far (events dispatched to a
-    /// shard; an event's analysis completes before its shard lock is
-    /// released, so after all workers quiesce this equals events
-    /// analyzed).
+    /// Number of event tickets drawn so far (events dispatched; an
+    /// event's analysis completes before its lock is released, so after
+    /// all workers quiesce this equals events analyzed).
     pub fn events_processed(&self) -> u64 {
         self.next_id.load(Ordering::Relaxed)
     }
 
     /// Races reported so far, across all shards.
     pub fn race_count(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).reports.len()).sum()
-    }
-
-    /// Consumes the façade, returning the per-shard detectors and the
-    /// merged race reports.
-    ///
-    /// Reports are sorted by racing [`EventId`] — the same deterministic
-    /// global order [`OnlineDetector::finish`](crate::OnlineDetector::finish)
-    /// guarantees, so sharded and unsharded runs over the same event
-    /// stream are directly comparable. Aggregate the per-shard counters
-    /// with [`Counters::merge`].
-    pub fn finish(self) -> (Vec<D>, Vec<RaceReport>) {
-        let mut detectors = Vec::with_capacity(self.shards.len());
-        let mut reports = Vec::new();
-        for shard in self.shards {
-            let shard = shard.into_inner().expect("detector shard mutex poisoned");
-            detectors.push(shard.detector);
-            // Within a shard, reports are already in ticket order.
-            debug_assert!(shard.reports.windows(2).all(|w| w[0].event < w[1].event));
-            reports.extend(shard.reports);
+        match &self.inner {
+            Inner::Replicated(r) => r.shards.iter().map(|s| lock(s).reports.len()).sum(),
+            Inner::Shared(p) => p.shards.iter().map(|s| lock(s).reports.len()).sum(),
         }
-        reports.sort_unstable_by_key(|r| r.event);
-        (detectors, reports)
     }
 
-    /// Convenience for callers that only need the merged view:
-    /// [`finish`](ShardedOnlineDetector::finish) plus
-    /// [`Counters::merge`] in one call.
-    pub fn finish_merged(self) -> (Vec<D>, Vec<RaceReport>, Counters) {
-        let (detectors, reports) = self.finish();
-        let counters = Counters::merge(detectors.iter().map(|d| *d.counters()));
-        (detectors, reports, counters)
+    /// Consumes the façade, returning the merged race reports.
+    ///
+    /// Reports are **strictly sorted by racing [`EventId`]** — the same
+    /// deterministic global order
+    /// [`OnlineDetector::finish`](crate::OnlineDetector::finish)
+    /// guarantees, so sharded and unsharded runs over the same event
+    /// stream are directly comparable (`crates/core/tests/sharding.rs`
+    /// pins this for both sync modes and `N > 1`).
+    pub fn finish(self) -> Vec<RaceReport> {
+        self.finish_merged().0
+    }
+
+    /// [`finish`](ShardedOnlineDetector::finish) plus the aggregated
+    /// [`Counters`].
+    ///
+    /// In `Shared` mode the two planes partition the event space, so
+    /// counters sum directly (sync observations exist once by
+    /// construction). In `Replicated` mode the per-shard counters go
+    /// through [`Counters::merge`], which counts the replicated sync
+    /// observations once and sums work counters.
+    pub fn finish_merged(self) -> (Vec<RaceReport>, Counters) {
+        let mut reports = Vec::new();
+        let counters = match self.inner {
+            Inner::Replicated(r) => {
+                let mut shard_counters = Vec::with_capacity(r.shards.len());
+                for shard in r.shards {
+                    let shard = shard.into_inner().expect("detector shard mutex poisoned");
+                    shard_counters.push(*shard.detector.counters());
+                    // Within a shard, reports are already in ticket order.
+                    debug_assert!(shard.reports.windows(2).all(|w| w[0].event < w[1].event));
+                    reports.extend(shard.reports);
+                }
+                Counters::merge(shard_counters)
+            }
+            Inner::Shared(p) => {
+                let sync = p.sync.into_inner().expect("sync plane mutex poisoned");
+                let mut counters = sync.counters;
+                for shard in p.shards {
+                    let shard = shard.into_inner().expect("detector shard mutex poisoned");
+                    debug_assert!(shard.reports.windows(2).all(|w| w[0].event < w[1].event));
+                    counters += shard.counters;
+                    reports.extend(shard.reports);
+                }
+                counters
+            }
+        };
+        reports.sort_unstable_by_key(|r| r.event);
+        debug_assert!(
+            reports.windows(2).all(|w| w[0].event < w[1].event),
+            "merged reports must be strictly sorted by EventId"
+        );
+        (reports, counters)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DjitDetector, OnlineDetector, OrderedListDetector};
+    use crate::{Detector, DjitDetector, OnlineDetector, OrderedListDetector};
     use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
     use std::sync::Arc;
 
+    const BOTH_MODES: [SyncMode; 2] = [SyncMode::Replicated, SyncMode::Shared];
+
     #[test]
-    fn accesses_route_by_variable_and_syncs_replicate() {
-        let sharded = ShardedOnlineDetector::new(DjitDetector::new(AlwaysSampler::new()), 4);
-        sharded.acquire(0, 0);
-        for v in 0..32 {
-            sharded.write(0, v);
+    fn sync_cost_is_replicated_vs_counted_once() {
+        // One acquire/release pair and 32 partitioned writes. In Djit+
+        // every sync event performs exactly one vector-clock op, so the
+        // merged `vc_ops` pins the fan-out: N× under replication, 1×
+        // under the two-plane construction.
+        for (mode, want_vc_ops) in [(SyncMode::Replicated, 2 * 4), (SyncMode::Shared, 2)] {
+            let sharded =
+                ShardedOnlineDetector::with_mode(DjitDetector::new(AlwaysSampler::new()), 4, mode);
+            sharded.acquire(0, 0);
+            for v in 0..32 {
+                sharded.write(0, v);
+            }
+            sharded.release(0, 0);
+            let (reports, merged) = sharded.finish_merged();
+            assert!(reports.is_empty());
+            assert_eq!(merged.acquires, 1, "{mode:?}");
+            assert_eq!(merged.releases, 1, "{mode:?}");
+            assert_eq!(merged.writes, 32, "{mode:?}");
+            assert_eq!(merged.events, 34, "{mode:?}");
+            assert_eq!(merged.vc_ops, want_vc_ops, "{mode:?}");
         }
-        sharded.release(0, 0);
-        let (detectors, reports) = sharded.finish();
-        assert!(reports.is_empty());
-        // Every shard saw both sync events; the 32 accesses partition.
-        let mut accesses = 0;
-        for d in &detectors {
-            assert_eq!(d.counters().acquires, 1);
-            assert_eq!(d.counters().releases, 1);
-            accesses += d.counters().accesses();
-        }
-        assert_eq!(accesses, 32);
     }
 
     #[test]
@@ -326,7 +587,7 @@ mod tests {
     }
 
     #[test]
-    fn sequential_feed_matches_unsharded() {
+    fn sequential_feed_matches_unsharded_in_both_modes() {
         // A small lock-ladder-ish stream with genuine races.
         let script: Vec<(u32, EventKind)> = (0..200u32)
             .map(|i| {
@@ -368,84 +629,110 @@ mod tests {
         }
         let (baseline, baseline_reports) = unsharded.finish();
 
-        for shards in [1usize, 2, 3, 5] {
-            let sharded = ShardedOnlineDetector::new(OrderedListDetector::new(sampler), shards);
-            for &(t, kind) in &valid {
-                sharded.on_event(t, kind);
+        for mode in BOTH_MODES {
+            for shards in [1usize, 2, 3, 5] {
+                let sharded = ShardedOnlineDetector::with_mode(
+                    OrderedListDetector::new(sampler),
+                    shards,
+                    mode,
+                );
+                for &(t, kind) in &valid {
+                    sharded.on_event(t, kind);
+                }
+                assert_eq!(sharded.shard_count(), shards);
+                assert_eq!(sharded.sync_mode(), mode);
+                let (reports, merged) = sharded.finish_merged();
+                assert_eq!(reports, baseline_reports, "{mode:?} {shards} shards");
+                assert_eq!(merged.events, baseline.counters().events);
+                assert_eq!(merged.reads, baseline.counters().reads);
+                assert_eq!(merged.writes, baseline.counters().writes);
+                assert_eq!(
+                    merged.sampled_accesses,
+                    baseline.counters().sampled_accesses
+                );
+                assert_eq!(merged.acquires, baseline.counters().acquires);
+                assert_eq!(merged.releases, baseline.counters().releases);
+                assert_eq!(merged.races, baseline.counters().races);
             }
-            let (detectors, reports, merged) = sharded.finish_merged();
-            assert_eq!(detectors.len(), shards);
-            assert_eq!(reports, baseline_reports, "{shards} shards");
-            assert_eq!(merged.events, baseline.counters().events);
-            assert_eq!(merged.reads, baseline.counters().reads);
-            assert_eq!(merged.writes, baseline.counters().writes);
-            assert_eq!(
-                merged.sampled_accesses,
-                baseline.counters().sampled_accesses
-            );
-            assert_eq!(merged.acquires, baseline.counters().acquires);
-            assert_eq!(merged.releases, baseline.counters().releases);
-            assert_eq!(merged.races, baseline.counters().races);
         }
     }
 
     #[test]
     fn concurrent_ingestion_obeys_locking_discipline() {
-        let sharded = Arc::new(ShardedOnlineDetector::new(
-            OrderedListDetector::new(AlwaysSampler::new()),
-            4,
-        ));
-        sharded.reserve_threads(4);
-        let app_lock = Arc::new(std::sync::Mutex::new(()));
-        let handles: Vec<_> = (0..4u32)
-            .map(|t| {
-                let sharded = Arc::clone(&sharded);
-                let app_lock = Arc::clone(&app_lock);
-                std::thread::spawn(move || {
-                    for i in 0..100u32 {
-                        let guard = app_lock.lock().unwrap();
-                        sharded.acquire(t, 0);
-                        sharded.write(t, i % 13);
-                        sharded.release(t, 0);
-                        drop(guard);
-                    }
+        for mode in BOTH_MODES {
+            let sharded = Arc::new(ShardedOnlineDetector::with_mode(
+                OrderedListDetector::new(AlwaysSampler::new()),
+                4,
+                mode,
+            ));
+            sharded.reserve_threads(4);
+            let app_lock = Arc::new(std::sync::Mutex::new(()));
+            let handles: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let sharded = Arc::clone(&sharded);
+                    let app_lock = Arc::clone(&app_lock);
+                    std::thread::spawn(move || {
+                        for i in 0..100u32 {
+                            let guard = app_lock.lock().unwrap();
+                            sharded.acquire(t, 0);
+                            sharded.write(t, i % 13);
+                            sharded.release(t, 0);
+                            drop(guard);
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(sharded.events_processed(), 4 * 100 * 3);
+            let (reports, merged) = Arc::try_unwrap(sharded).ok().unwrap().finish_merged();
+            // All accesses are lock-protected: no races, on any shard.
+            assert!(reports.is_empty(), "{mode:?}: {reports:?}");
+            assert_eq!(merged.events, 1200);
+            assert_eq!(merged.acquires, 400);
+            assert_eq!(merged.releases, 400);
         }
-        assert_eq!(sharded.events_processed(), 4 * 100 * 3);
-        let (_, reports, merged) = Arc::try_unwrap(sharded).ok().unwrap().finish_merged();
-        // All accesses are lock-protected: no races, on any shard.
-        assert!(reports.is_empty(), "{reports:?}");
-        assert_eq!(merged.events, 1200);
-        assert_eq!(merged.acquires, 400);
-        assert_eq!(merged.releases, 400);
     }
 
     #[test]
     fn concurrent_races_are_found_and_sorted() {
-        let sharded = Arc::new(ShardedOnlineDetector::new(
-            DjitDetector::new(AlwaysSampler::new()),
-            3,
-        ));
-        let handles: Vec<_> = (0..4u32)
-            .map(|t| {
-                let sharded = Arc::clone(&sharded);
-                std::thread::spawn(move || {
-                    for v in 0..8u32 {
-                        sharded.write(t, v);
-                    }
+        for mode in BOTH_MODES {
+            let sharded = Arc::new(ShardedOnlineDetector::with_mode(
+                DjitDetector::new(AlwaysSampler::new()),
+                3,
+                mode,
+            ));
+            let handles: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let sharded = Arc::clone(&sharded);
+                    std::thread::spawn(move || {
+                        for v in 0..8u32 {
+                            sharded.write(t, v);
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(sharded.race_count() > 0);
+            let reports = Arc::try_unwrap(sharded).ok().unwrap().finish();
+            assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
         }
-        assert!(sharded.race_count() > 0);
-        let (_, reports) = Arc::try_unwrap(sharded).ok().unwrap().finish();
-        assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
+    }
+
+    #[test]
+    fn late_thread_admission_publishes_a_fresh_view() {
+        // Thread 5 appears mid-run with no prior sync events: its first
+        // access must see its initial clock, not garbage, and still
+        // race against the earlier unsynchronized write.
+        let sharded = ShardedOnlineDetector::new(DjitDetector::new(AlwaysSampler::new()), 2);
+        sharded.write(0, 9);
+        assert!(sharded.write(5, 9), "unsynchronized write must race");
+        let (reports, merged) = sharded.finish_merged();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(merged.writes, 2);
     }
 
     #[test]

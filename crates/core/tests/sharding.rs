@@ -1,14 +1,20 @@
 //! Sharded-ingestion differential suite: the executable form of the
-//! replication invariant.
+//! verdict-preservation invariant, for **both** sync-skeleton
+//! constructions.
 //!
 //! [`ShardedOnlineDetector`] routes access events to `hash(var) % N`
-//! shards and replicates sync events to all of them, claiming the
-//! merged result is indistinguishable from the single-mutex
+//! shards; the happens-before skeleton is either *replicated* into
+//! per-shard detector clones ([`SyncMode::Replicated`], PR 3) or held
+//! once by a shared sync engine behind a sync-only lock
+//! ([`SyncMode::Shared`], the two-plane default). Both claim the merged
+//! result is indistinguishable from the single-mutex
 //! [`OnlineDetector`]: identical (EventId-sorted) race reports and
 //! identical per-kind counters. This suite checks that claim for
 //!
 //! * **shard counts** `N ∈ {1, 2, 4, 7}` (including a prime, so routing
 //!   has no accidental alignment with the variable-id space),
+//! * **sync modes** — replicated and de-replicated two-plane, pinned
+//!   against one baseline (and therefore against each other),
 //! * **engines** Djit+ (ST), FastTrack, and the ordered-list engine
 //!   (SO) — per-variable vector-clock, lossy-epoch, and lazy-copy
 //!   histories respectively,
@@ -18,24 +24,36 @@
 //! a hardened pass) and the 6 structured workload patterns × 3 seeds.
 //!
 //! It also pins the **report-order invariant** the shard merge depends
-//! on: [`Detector::run`] and [`OnlineDetector::finish`] yield reports
-//! strictly sorted by racing [`EventId`].
+//! on — [`Detector::run`], [`OnlineDetector::finish`] *and*
+//! [`ShardedOnlineDetector::finish_merged`] at `N > 1` yield reports
+//! strictly sorted by racing [`EventId`] — and the **order
+//! independence of [`Counters::merge`]** across shard permutations
+//! (the sync-once/work-summed asymmetry must not depend on which shard
+//! happens to come first).
 //!
 //! [`EventId`]: freshtrack_trace::EventId
 //! [`OnlineDetector`]: freshtrack_core::OnlineDetector
 //! [`OnlineDetector::finish`]: freshtrack_core::OnlineDetector::finish
 //! [`ShardedOnlineDetector`]: freshtrack_core::ShardedOnlineDetector
+//! [`ShardedOnlineDetector::finish_merged`]: freshtrack_core::ShardedOnlineDetector::finish_merged
+//! [`Counters::merge`]: freshtrack_core::Counters::merge
 
 use freshtrack_core::{
-    Detector, DjitDetector, FastTrackDetector, OnlineDetector, OrderedListDetector, RaceReport,
+    Counters, Detector, DjitDetector, FastTrackDetector, OnlineDetector, OrderedListDetector,
+    RaceReport, ShardedOnlineDetector, SyncMode,
 };
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler, PeriodicSampler};
-use freshtrack_testutil::{assert_shard_equivalence, trace_from_fuel, workload_matrix};
+use freshtrack_testutil::{
+    assert_shard_equivalence, run_sharded_trace, trace_from_fuel, workload_matrix,
+};
 use freshtrack_trace::Trace;
 use proptest::prelude::*;
 
 /// Shard counts under test: identity, powers of two, and a prime.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Both sync-skeleton constructions.
+const BOTH_MODES: [SyncMode; 2] = [SyncMode::Replicated, SyncMode::Shared];
 
 /// Seeds for the structured workload matrix.
 const SEEDS: [u64; 3] = [11, 4242, 987_654_321];
@@ -44,9 +62,14 @@ const SEEDS: [u64; 3] = [11, 4242, 987_654_321];
 /// can be bigger than the conformance suite's.
 const EVENTS: usize = 600;
 
-/// Runs the shard-equivalence contract for all three engines over one
+/// Runs the shard-equivalence contract (both sync modes vs the
+/// single-mutex baseline) for all three engines over one
 /// `(trace, sampler)` cell.
-fn check_all_engines<S: freshtrack_sampling::Sampler + Copy>(label: &str, trace: &Trace, s: S) {
+fn check_all_engines<S: freshtrack_sampling::Sampler + Copy + Send>(
+    label: &str,
+    trace: &Trace,
+    s: S,
+) {
     assert_shard_equivalence(
         &format!("{label}/djit"),
         trace,
@@ -136,11 +159,55 @@ fn structured_patterns_under_periodic_and_never_sampling() {
     }
 }
 
+/// The dedicated old-vs-new pin: for every engine, shard count and a
+/// racy structured cell, the replicated and de-replicated runs produce
+/// *identical* verdicts (reports compared against each other directly,
+/// not just against the single-mutex baseline).
+#[test]
+fn replicated_and_two_plane_verdicts_are_identical() {
+    let sampler = BernoulliSampler::new(0.4, 2024);
+    for (label, trace) in workload_matrix(EVENTS, &[11]) {
+        for shards in SHARD_COUNTS {
+            let (old_reports, old_counters) = run_sharded_trace(
+                &trace,
+                DjitDetector::new(sampler),
+                shards,
+                SyncMode::Replicated,
+            );
+            let (new_reports, new_counters) =
+                run_sharded_trace(&trace, DjitDetector::new(sampler), shards, SyncMode::Shared);
+            assert_eq!(old_reports, new_reports, "[{label}] djit N={shards}");
+            assert_eq!(
+                old_counters.races, new_counters.races,
+                "[{label}] N={shards}"
+            );
+            assert_eq!(
+                old_counters.sampled_accesses, new_counters.sampled_accesses,
+                "[{label}] N={shards}"
+            );
+
+            let (old_reports, _) = run_sharded_trace(
+                &trace,
+                OrderedListDetector::new(sampler),
+                shards,
+                SyncMode::Replicated,
+            );
+            let (new_reports, _) = run_sharded_trace(
+                &trace,
+                OrderedListDetector::new(sampler),
+                shards,
+                SyncMode::Shared,
+            );
+            assert_eq!(old_reports, new_reports, "[{label}] so N={shards}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Fuzzed traces: every engine, every shard count, Bernoulli
-    /// sampling with arbitrary seed and rate.
+    /// Fuzzed traces: every engine, every shard count, both sync
+    /// modes, Bernoulli sampling with arbitrary seed and rate.
     #[test]
     fn fuzzed_traces_shard_equivalence(
         fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..150),
@@ -165,8 +232,10 @@ proptest! {
 
     /// Report-order regression (the invariant the shard merge builds
     /// on): every engine's `run` yields reports strictly sorted by
-    /// racing EventId, and the single-mutex online façade preserves
-    /// that through `finish`.
+    /// racing EventId, the single-mutex online façade preserves that
+    /// through `finish`, and — the multi-shard cases —
+    /// `ShardedOnlineDetector::finish_merged` preserves it at `N > 1`
+    /// in both sync modes.
     #[test]
     fn reports_are_sorted_by_event_id(
         fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..150),
@@ -187,6 +256,8 @@ proptest! {
         );
         assert_sorted("so", &OrderedListDetector::new(AlwaysSampler::new()).run(&trace));
 
+        let baseline = DjitDetector::new(AlwaysSampler::new()).run(&trace);
+
         let online = OnlineDetector::new(DjitDetector::new(AlwaysSampler::new()));
         for (_, event) in trace.iter() {
             online.on_event(event.tid.as_u32(), event.kind);
@@ -194,16 +265,82 @@ proptest! {
         let (_, reports) = online.finish();
         assert_sorted("online", &reports);
         assert_eq!(
-            reports,
-            DjitDetector::new(AlwaysSampler::new()).run(&trace),
+            reports, baseline,
             "online façade must replay the trace verbatim"
         );
+
+        // finish_merged at N > 1: the merge itself must restore strict
+        // EventId order from the per-shard partitions, in both modes.
+        for mode in BOTH_MODES {
+            for shards in [2usize, 4, 7] {
+                let (reports, merged) = run_sharded_trace(
+                    &trace,
+                    DjitDetector::new(AlwaysSampler::new()),
+                    shards,
+                    mode,
+                );
+                assert_sorted(&format!("finish_merged/{mode:?}/{shards}"), &reports);
+                assert_eq!(
+                    reports, baseline,
+                    "finish_merged({mode:?}, {shards}) must reproduce the baseline"
+                );
+                assert_eq!(reports.len() as u64, merged.races);
+            }
+        }
+    }
+
+    /// `Counters::merge` is order-independent across shard
+    /// permutations: the sync-once/work-summed asymmetry documented in
+    /// PR 3 must yield the same merged value no matter how the shards
+    /// are ordered (rotations and reversals cover every adjacent
+    /// transposition pattern the fold could be sensitive to).
+    #[test]
+    fn counters_merge_is_order_independent(
+        // Per-shard access-side and work-side counts; sync observation
+        // counts are shared (every shard sees every sync event).
+        per_shard in prop::collection::vec(
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+            1..8,
+        ),
+        acquires in 0u64..500,
+        releases in 0u64..500,
+        rotation in any::<usize>(),
+    ) {
+        let shards: Vec<Counters> = per_shard
+            .iter()
+            .map(|&(reads, writes, vc_ops, traversed, deep)| Counters {
+                reads,
+                writes,
+                sampled_accesses: reads / 2,
+                races: writes / 10,
+                acquires,
+                releases,
+                acquires_skipped: acquires / 2,
+                acquires_processed: acquires - acquires / 2,
+                vc_ops,
+                entries_traversed: traversed,
+                deep_copies: deep,
+                events: reads + writes + acquires + releases,
+                ..Counters::new()
+            })
+            .collect();
+
+        let reference = Counters::merge(shards.clone());
+
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotation % shards.len());
+        prop_assert_eq!(Counters::merge(rotated), reference);
+
+        let mut reversed = shards;
+        reversed.reverse();
+        prop_assert_eq!(Counters::merge(reversed), reference);
     }
 }
 
 /// A deterministic non-proptest regression: the racy mixed pattern has
 /// multiple reports, and the sharded merge keeps them sorted and equal
-/// to the baseline for every shard count.
+/// to the baseline for every shard count and both sync modes —
+/// including through `finish_merged` at `N > 1`.
 #[test]
 fn regression_sorted_merge_on_racy_cell() {
     let (label, trace) = workload_matrix(EVENTS, &[11])
@@ -218,4 +355,15 @@ fn regression_sorted_merge_on_racy_cell() {
     );
     assert!(reports.len() >= 2, "[{label}] want a multi-report cell");
     assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
+
+    for mode in BOTH_MODES {
+        let sharded =
+            ShardedOnlineDetector::with_mode(DjitDetector::new(AlwaysSampler::new()), 4, mode);
+        for (_, event) in trace.iter() {
+            sharded.on_event(event.tid.as_u32(), event.kind);
+        }
+        let (merged_reports, counters) = sharded.finish_merged();
+        assert_eq!(merged_reports, reports, "{mode:?}");
+        assert_eq!(counters.races as usize, reports.len(), "{mode:?}");
+    }
 }

@@ -1,7 +1,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use freshtrack_core::{Counters, Detector, OnlineDetector, RaceReport, ShardedOnlineDetector};
+use freshtrack_core::{
+    Counters, Detector, OnlineDetector, RaceReport, ShardedOnlineDetector, SplitDetector, SyncMode,
+};
 
 /// The callback surface of an instrumented binary.
 ///
@@ -146,32 +148,40 @@ impl<D: Detector + Send> Instrument for DetectorInstrument<D> {
 }
 
 /// Routes instrumentation callbacks into a
-/// [`ShardedOnlineDetector`]: per-variable detector shards with a
-/// replicated happens-before skeleton, instead of one global analysis
-/// mutex.
+/// [`ShardedOnlineDetector`]: per-variable access shards around a
+/// shared sync plane (or, via
+/// [`with_mode`](ShardedInstrument::with_mode), the legacy replicated
+/// skeleton), instead of one global analysis mutex.
 ///
 /// This is the scale-oriented ingestion path. It deliberately does
 /// *not* reproduce the paper's single-lock contention model —
 /// [`DetectorInstrument`] remains the paper-faithful baseline — but it
-/// reports the same races for the same event stream (the replication
-/// invariant; see [`ShardedOnlineDetector`]).
-pub struct ShardedInstrument<D> {
+/// reports the same races for the same event stream (the
+/// verdict-preservation invariant; see [`ShardedOnlineDetector`]).
+pub struct ShardedInstrument<D: SplitDetector> {
     online: Arc<ShardedOnlineDetector<D>>,
 }
 
-impl<D: Detector + Send> ShardedInstrument<D> {
-    /// Builds an instrument with `shards` detector shards, each a clone
-    /// of `detector` (which must be in its initial state).
+impl<D: SplitDetector + 'static> ShardedInstrument<D> {
+    /// Builds an instrument with `shards` access shards in the default
+    /// two-plane [`SyncMode::Shared`] construction; `detector` (which
+    /// must be in its initial state) seeds the engine configuration.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn new(detector: D, shards: usize) -> Self
-    where
-        D: Clone,
-    {
+    pub fn new(detector: D, shards: usize) -> Self {
+        Self::with_mode(detector, shards, SyncMode::Shared)
+    }
+
+    /// Builds an instrument with an explicit [`SyncMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_mode(detector: D, shards: usize, mode: SyncMode) -> Self {
         ShardedInstrument {
-            online: Arc::new(ShardedOnlineDetector::new(detector, shards)),
+            online: Arc::new(ShardedOnlineDetector::with_mode(detector, shards, mode)),
         }
     }
 
@@ -190,11 +200,11 @@ impl<D: Detector + Send> ShardedInstrument<D> {
         self.online.race_count()
     }
 
-    /// Consumes the instrument, returning the per-shard detectors, the
-    /// merged (EventId-sorted) reports, and the aggregated
-    /// [`Counters`], or an error (carrying the instrument back) if
-    /// worker threads still hold handles — the safe shutdown path.
-    pub fn try_finish(self) -> Result<(Vec<D>, Vec<RaceReport>, Counters), StillShared<Self>> {
+    /// Consumes the instrument, returning the merged (EventId-sorted)
+    /// reports and the aggregated [`Counters`], or an error (carrying
+    /// the instrument back) if worker threads still hold handles — the
+    /// safe shutdown path.
+    pub fn try_finish(self) -> Result<(Vec<RaceReport>, Counters), StillShared<Self>> {
         match Arc::try_unwrap(self.online) {
             Ok(online) => Ok(online.finish_merged()),
             Err(online) => {
@@ -207,7 +217,7 @@ impl<D: Detector + Send> ShardedInstrument<D> {
         }
     }
 
-    /// Consumes the instrument, returning shards, merged reports and
+    /// Consumes the instrument, returning merged reports and
     /// aggregated counters.
     ///
     /// # Panics
@@ -215,7 +225,7 @@ impl<D: Detector + Send> ShardedInstrument<D> {
     /// Panics if worker threads still hold references; use
     /// [`try_finish`](ShardedInstrument::try_finish) to get an error
     /// instead.
-    pub fn finish(self) -> (Vec<D>, Vec<RaceReport>, Counters) {
+    pub fn finish(self) -> (Vec<RaceReport>, Counters) {
         self.try_finish().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -225,7 +235,7 @@ impl<D: Detector + Send> ShardedInstrument<D> {
     }
 }
 
-impl<D: Detector + Send> Instrument for ShardedInstrument<D> {
+impl<D: SplitDetector + 'static> Instrument for ShardedInstrument<D> {
     fn read(&self, tid: u32, var: u32) {
         self.online.read(tid, var);
     }
@@ -294,22 +304,24 @@ mod tests {
 
     #[test]
     fn sharded_instrument_finds_races_and_merges_counters() {
-        let inst = ShardedInstrument::new(DjitDetector::new(AlwaysSampler::new()), 4);
-        assert_eq!(inst.shard_count(), 4);
-        inst.acquire(0, 0);
-        inst.write(0, 3);
-        inst.release(0, 0);
-        inst.write(1, 3); // races with t0's write (no common lock held)
-        inst.write(1, 9);
-        assert_eq!(inst.race_count(), 1);
-        let (shards, reports, counters) = inst.finish();
-        assert_eq!(shards.len(), 4);
-        assert_eq!(reports.len(), 1);
-        assert_eq!(counters.events, 5);
-        assert_eq!(counters.acquires, 1);
-        assert_eq!(counters.releases, 1);
-        assert_eq!(counters.writes, 3);
-        assert_eq!(counters.races, 1);
+        for mode in [SyncMode::Replicated, SyncMode::Shared] {
+            let inst =
+                ShardedInstrument::with_mode(DjitDetector::new(AlwaysSampler::new()), 4, mode);
+            assert_eq!(inst.shard_count(), 4);
+            inst.acquire(0, 0);
+            inst.write(0, 3);
+            inst.release(0, 0);
+            inst.write(1, 3); // races with t0's write (no common lock held)
+            inst.write(1, 9);
+            assert_eq!(inst.race_count(), 1, "{mode:?}");
+            let (reports, counters) = inst.finish();
+            assert_eq!(reports.len(), 1, "{mode:?}");
+            assert_eq!(counters.events, 5, "{mode:?}");
+            assert_eq!(counters.acquires, 1, "{mode:?}");
+            assert_eq!(counters.releases, 1, "{mode:?}");
+            assert_eq!(counters.writes, 3, "{mode:?}");
+            assert_eq!(counters.races, 1, "{mode:?}");
+        }
     }
 
     #[test]
@@ -319,8 +331,7 @@ mod tests {
         let err = inst.try_finish().expect_err("handle is still live");
         assert_eq!(err.handles, 1);
         drop(handle);
-        let (shards, reports, counters) = err.instrument.try_finish().expect("handle dropped");
-        assert_eq!(shards.len(), 2);
+        let (reports, counters) = err.instrument.try_finish().expect("handle dropped");
         assert!(reports.is_empty());
         assert_eq!(counters.events, 0);
     }

@@ -14,8 +14,10 @@
 //!   the emitted event stream always satisfies the locking discipline.
 //!   Two detector-backed implementations exist: [`DetectorInstrument`]
 //!   (the paper-faithful single analysis mutex) and
-//!   [`ShardedInstrument`] (per-variable detector shards with a
-//!   replicated sync skeleton — same verdicts, higher throughput).
+//!   [`ShardedInstrument`] (per-variable access shards around a shared
+//!   sync plane — same verdicts, higher throughput; the legacy
+//!   replicated skeleton stays selectable per
+//!   [`SyncMode`](freshtrack_core::SyncMode)).
 //! * [`run_benchmark`] — a worker pool executing a
 //!   [`DbWorkload`](freshtrack_workloads::DbWorkload) mix, measuring
 //!   per-transaction latency, exactly the metric of the paper's Fig. 5;

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use freshtrack_core::{Counters, Detector, RaceReport};
+use freshtrack_core::{Counters, Detector, RaceReport, SplitDetector, SyncMode};
 use freshtrack_workloads::DbWorkload;
 
 use crate::{Database, DetectorInstrument, Instrument, ShardedInstrument};
@@ -131,31 +131,33 @@ pub fn run_detector<D: Detector + Send + 'static>(
 }
 
 /// Runs a workload through the sharded ingestion path
-/// ([`ShardedInstrument`] with `shards` detector shards) and shuts it
-/// down, returning latency statistics, the per-shard detectors, the
+/// ([`ShardedInstrument`] with `shards` access shards in the given
+/// [`SyncMode`]) and shuts it down, returning latency statistics, the
 /// merged (EventId-sorted) reports, and the aggregated [`Counters`].
 ///
-/// Same lifecycle as [`run_detector`]; both paths report identical
-/// races for the same event stream (the replication invariant), so the
-/// choice is purely a throughput/faithfulness trade-off.
+/// Same lifecycle as [`run_detector`]; all ingestion paths report
+/// identical races for the same event stream (the verdict-preservation
+/// invariant), so the choice is purely a
+/// throughput/faithfulness trade-off.
 ///
 /// # Panics
 ///
 /// Panics if `shards` is zero.
-pub fn run_sharded<D: Detector + Clone + Send + 'static>(
+pub fn run_sharded<D: SplitDetector + 'static>(
     workload: &DbWorkload,
     options: &RunOptions,
     detector: D,
     shards: usize,
-) -> (LatencyStats, Vec<D>, Vec<RaceReport>, Counters) {
-    let inst = Arc::new(ShardedInstrument::new(detector, shards));
+    mode: SyncMode,
+) -> (LatencyStats, Vec<RaceReport>, Counters) {
+    let inst = Arc::new(ShardedInstrument::with_mode(detector, shards, mode));
     inst.reserve_threads(options.workers as usize);
     let stats = run_benchmark(workload, options, inst.clone());
     let inst = Arc::try_unwrap(inst)
         .ok()
         .expect("run_benchmark joins every worker before returning");
     match inst.try_finish() {
-        Ok((detectors, reports, counters)) => (stats, detectors, reports, counters),
+        Ok((reports, counters)) => (stats, reports, counters),
         Err(e) => panic!("shutdown after joined run cannot fail: {e}"),
     }
 }
@@ -307,21 +309,23 @@ mod tests {
     fn sharded_run_finds_seeded_races_with_sorted_merged_reports() {
         let mut w = benchbase::by_name("ycsb").unwrap();
         w.unprotected_fraction = 0.2; // make the seeded race frequent
-        let (stats, shards, reports, counters) = run_sharded(
-            &w,
-            &small_opts(),
-            FastTrackDetector::new(AlwaysSampler::new()),
-            4,
-        );
-        assert_eq!(stats.transactions, 400);
-        assert_eq!(shards.len(), 4);
-        assert!(!reports.is_empty(), "seeded race not found");
-        assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
-        assert_eq!(counters.races as usize, reports.len());
-        assert_eq!(
-            counters.events,
-            counters.reads + counters.writes + counters.acquires + counters.releases
-        );
+        for mode in [SyncMode::Replicated, SyncMode::Shared] {
+            let (stats, reports, counters) = run_sharded(
+                &w,
+                &small_opts(),
+                FastTrackDetector::new(AlwaysSampler::new()),
+                4,
+                mode,
+            );
+            assert_eq!(stats.transactions, 400);
+            assert!(!reports.is_empty(), "{mode:?}: seeded race not found");
+            assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
+            assert_eq!(counters.races as usize, reports.len());
+            assert_eq!(
+                counters.events,
+                counters.reads + counters.writes + counters.acquires + counters.releases
+            );
+        }
     }
 
     #[test]
@@ -329,11 +333,12 @@ mod tests {
         let mut w = benchbase::by_name("smallbank").unwrap();
         w.unprotected_fraction = 0.0;
         for shards in [1usize, 8] {
-            let (_, _, reports, _) = run_sharded(
+            let (_, reports, _) = run_sharded(
                 &w,
                 &small_opts(),
                 OrderedListDetector::new(AlwaysSampler::new()),
                 shards,
+                SyncMode::Shared,
             );
             assert!(reports.is_empty(), "{shards} shards: {reports:?}");
         }

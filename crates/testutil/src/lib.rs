@@ -24,9 +24,10 @@
 //!   workloads across every [`Pattern`], sized so the quadratic oracle
 //!   stays affordable.
 //! * [`run_sharded_trace`] / [`assert_shard_equivalence`] — sharded
-//!   ingestion ([`ShardedOnlineDetector`]) vs the single-mutex path:
-//!   identical reports, matching per-kind counters, for any shard
-//!   count. Used by `crates/core/tests/sharding.rs`.
+//!   ingestion ([`ShardedOnlineDetector`], in both [`SyncMode`]s) vs
+//!   the single-mutex path: identical reports, matching per-kind
+//!   counters, for any shard count. Used by
+//!   `crates/core/tests/sharding.rs`.
 //! * [`trace_from_fuel`] — the shared fuzz-trace interpreter: raw
 //!   `(thread, action, operand)` fuel into a trace obeying the locking
 //!   discipline (used by the proptest suites).
@@ -36,7 +37,8 @@
 
 use freshtrack_core::{
     Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
-    NaiveSamplingDetector, OrderedListDetector, RaceReport, ShardedOnlineDetector,
+    NaiveSamplingDetector, OrderedListDetector, RaceReport, ShardedOnlineDetector, SplitDetector,
+    SyncMode,
 };
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Trace, TraceBuilder, VarId};
@@ -253,18 +255,19 @@ pub fn trace_from_fuel(fuel: &[(u8, u8, u8)], threads: u8, locks: u8, vars: u8) 
 }
 
 /// Feeds `trace` event by event through a [`ShardedOnlineDetector`]
-/// built from clones of `detector`, returning the per-shard detectors,
-/// the merged (EventId-sorted) reports, and the aggregated counters.
+/// built from `detector` in the given [`SyncMode`], returning the
+/// merged (EventId-sorted) reports and the aggregated counters.
 ///
 /// The sequential feed assigns ticket ids in trace order, so the
 /// sharded run analyzes exactly the given trace — the deterministic
 /// setting the equivalence assertions need.
-pub fn run_sharded_trace<D: Detector + Clone>(
+pub fn run_sharded_trace<D: SplitDetector>(
     trace: &Trace,
     detector: D,
     shards: usize,
-) -> (Vec<D>, Vec<RaceReport>, Counters) {
-    let sharded = ShardedOnlineDetector::new(detector, shards);
+    mode: SyncMode,
+) -> (Vec<RaceReport>, Counters) {
+    let sharded = ShardedOnlineDetector::with_mode(detector, shards, mode);
     for (_, event) in trace.iter() {
         sharded.on_event(event.tid.as_u32(), event.kind);
     }
@@ -272,17 +275,20 @@ pub fn run_sharded_trace<D: Detector + Clone>(
 }
 
 /// Asserts that sharded ingestion is verdict-preserving for one
-/// `(trace, detector)` pair: for every shard count in `shard_counts`,
-/// the sharded run reports exactly the single-mutex path's races (same
-/// order — both are EventId-sorted) and its merged counters agree on
-/// every **per-kind** field (`events`, `reads`, `writes`,
-/// `sampled_accesses`, `acquires`, `releases`, `races`). Work counters
-/// are exempt by design: replicating sync events to `N` shards
-/// multiplies sync-side clock work (see
-/// [`Counters::merge`]).
+/// `(trace, detector)` pair, in **both** sync-skeleton constructions:
+/// for every shard count in `shard_counts` and every [`SyncMode`]
+/// (replicated and de-replicated two-plane), the sharded run reports
+/// exactly the single-mutex path's races (same order — all are
+/// EventId-sorted) and its merged counters agree on every **per-kind**
+/// field (`events`, `reads`, `writes`, `sampled_accesses`, `acquires`,
+/// `releases`, `races`). Running both modes against one baseline also
+/// pins old-vs-new equivalence transitively. Work counters are exempt
+/// by design: replication multiplies sync-side clock work `N×`, the
+/// two-plane construction does not (see [`Counters::merge`] and the
+/// `sync_cost` bench).
 ///
 /// Returns the common report list.
-pub fn assert_shard_equivalence<D: Detector + Clone>(
+pub fn assert_shard_equivalence<D: SplitDetector>(
     label: &str,
     trace: &Trace,
     detector: D,
@@ -292,29 +298,30 @@ pub fn assert_shard_equivalence<D: Detector + Clone>(
     let baseline_reports = baseline.run(trace);
     let expected = *baseline.counters();
     for &shards in shard_counts {
-        let (detectors, reports, merged) = run_sharded_trace(trace, detector.clone(), shards);
-        assert_eq!(detectors.len(), shards, "[{label}] shard count");
-        assert_eq!(
-            reports, baseline_reports,
-            "[{label}] sharded({shards}) vs single-mutex reports"
-        );
-        for (field, got, want) in [
-            ("events", merged.events, expected.events),
-            ("reads", merged.reads, expected.reads),
-            ("writes", merged.writes, expected.writes),
-            (
-                "sampled_accesses",
-                merged.sampled_accesses,
-                expected.sampled_accesses,
-            ),
-            ("acquires", merged.acquires, expected.acquires),
-            ("releases", merged.releases, expected.releases),
-            ("races", merged.races, expected.races),
-        ] {
+        for mode in [SyncMode::Replicated, SyncMode::Shared] {
+            let (reports, merged) = run_sharded_trace(trace, detector.clone(), shards, mode);
             assert_eq!(
-                got, want,
-                "[{label}] sharded({shards}) merged counter `{field}`"
+                reports, baseline_reports,
+                "[{label}] sharded({shards}, {mode:?}) vs single-mutex reports"
             );
+            for (field, got, want) in [
+                ("events", merged.events, expected.events),
+                ("reads", merged.reads, expected.reads),
+                ("writes", merged.writes, expected.writes),
+                (
+                    "sampled_accesses",
+                    merged.sampled_accesses,
+                    expected.sampled_accesses,
+                ),
+                ("acquires", merged.acquires, expected.acquires),
+                ("releases", merged.releases, expected.releases),
+                ("races", merged.races, expected.races),
+            ] {
+                assert_eq!(
+                    got, want,
+                    "[{label}] sharded({shards}, {mode:?}) merged counter `{field}`"
+                );
+            }
         }
     }
     baseline_reports
