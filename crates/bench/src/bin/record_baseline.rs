@@ -43,6 +43,15 @@
 //! ```text
 //! record_baseline --sync-cost --out BENCH_sync_cost.json
 //! ```
+//!
+//! A fourth mode, `--trace-io`, measures **trace codec throughput**:
+//! text vs binary (`.ftb`) parse/decode/write rates (events/s) and
+//! file sizes over a corpus trace, both formats in one invocation
+//! (interleaved best-of-rounds — one sitting by construction):
+//!
+//! ```text
+//! record_baseline --trace-io --out BENCH_trace_io.json
+//! ```
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -55,7 +64,11 @@ use freshtrack_clock::{
 };
 use freshtrack_core::{Detector, DjitDetector, OrderedListDetector, SplitDetector, SyncMode};
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
-use freshtrack_workloads::benchbase;
+use freshtrack_trace::{
+    read_trace, read_trace_binary, write_trace, write_trace_binary, BinaryEventReader, EventReader,
+    EventSource,
+};
+use freshtrack_workloads::{benchbase, corpus};
 
 /// Thread count for the dense-clock ops (matches the criterion benches).
 const THREADS: usize = 64;
@@ -691,6 +704,132 @@ fn run_sync_cost(out_path: Option<String>) {
     }
 }
 
+/// The `--trace-io` mode: text vs binary codec throughput (events/s)
+/// and file size over a corpus trace. Both formats are measured in
+/// interleaved rounds (each point keeps its fastest round) in one
+/// invocation, so the comparison comes from one sitting by
+/// construction. `FT_TRACE_BENCH`/`FT_TRACE_SCALE` pick the corpus
+/// trace; `FT_ROUNDS` the round count.
+fn run_trace_io(out_path: Option<String>) {
+    let bench_name = std::env::var("FT_TRACE_BENCH").unwrap_or_else(|_| "derby".to_owned());
+    let scale = std::env::var("FT_TRACE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0f64);
+    let rounds = env_or("FT_ROUNDS", 7u32).max(1);
+    let bench = corpus::by_name(&bench_name)
+        .unwrap_or_else(|| panic!("unknown corpus benchmark `{bench_name}`"));
+    let trace = bench.trace(scale, 0);
+    let events = trace.len() as f64;
+    let text = write_trace(&trace);
+    let mut binary = Vec::new();
+    write_trace_binary(&trace, &mut binary).expect("in-memory write");
+
+    // (name, op) pairs; each op runs one full pass and returns the
+    // event count it touched (drives the events/s denominator and
+    // defeats dead-code elimination).
+    type Op<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
+    let mut ops: Vec<Op> = vec![
+        (
+            "text_parse",
+            Box::new(|| read_trace(&text).expect("well-formed").len()),
+        ),
+        (
+            "binary_decode",
+            Box::new(|| read_trace_binary(&binary).expect("well-formed").len()),
+        ),
+        (
+            "text_stream",
+            Box::new(|| {
+                let mut reader = EventReader::new(text.as_bytes());
+                let mut n = 0usize;
+                while let Some(e) = reader.next_event().expect("well-formed") {
+                    black_box(e);
+                    n += 1;
+                }
+                n
+            }),
+        ),
+        (
+            "binary_stream",
+            Box::new(|| {
+                let mut reader = BinaryEventReader::new(&binary[..]).expect("magic");
+                let mut n = 0usize;
+                while let Some(e) = reader.next_event().expect("well-formed") {
+                    black_box(e);
+                    n += 1;
+                }
+                n
+            }),
+        ),
+        (
+            "text_write",
+            Box::new(|| black_box(write_trace(&trace)).len() / 12),
+        ),
+        (
+            "binary_write",
+            Box::new(|| {
+                let mut out = Vec::with_capacity(binary.len());
+                write_trace_binary(&trace, &mut out).expect("in-memory write");
+                black_box(out).len()
+            }),
+        ),
+    ];
+
+    // best[i] = fastest wall time for ops[i] across interleaved rounds.
+    let mut best = vec![Duration::MAX; ops.len()];
+    for round in 0..rounds {
+        eprintln!("trace-io round {}/{rounds}…", round + 1);
+        for (i, (_, op)) in ops.iter_mut().enumerate() {
+            let start = Instant::now();
+            black_box(op());
+            let elapsed = start.elapsed();
+            if elapsed < best[i] {
+                best[i] = elapsed;
+            }
+        }
+    }
+
+    let mut lines = Vec::new();
+    for (i, (name, _)) in ops.iter().enumerate() {
+        let ev_per_s = events / best[i].as_secs_f64();
+        eprintln!("{name:<16} {:>8.2} Mev/s", ev_per_s / 1e6);
+        let comma = if i + 1 == ops.len() { "" } else { "," };
+        lines.push(format!("    \"{name}\": {:.0}{comma}", ev_per_s));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"freshtrack/trace-io/v1\",\n  \"benchmark\": \"trace_io\",\n  \
+         \"trace\": {{\"corpus\": \"{}\", \"scale\": {scale}, \"seed\": 0, \"events\": {}, \
+         \"threads\": {}, \"locks\": {}, \"vars\": {}}},\n  \
+         \"sizes\": {{\"text_bytes\": {}, \"binary_bytes\": {}, \
+         \"text_bytes_per_event\": {:.2}, \"binary_bytes_per_event\": {:.2}, \
+         \"text_over_binary\": {:.2}}},\n  \"rounds\": {rounds},\n  \
+         \"note\": \"events/s, fastest of FT_ROUNDS interleaved rounds in one sitting; \
+         *_parse/_decode materialize a Trace, *_stream drain the EventSource without \
+         materializing (the streaming analyze path), *_write serialize a materialized trace\",\n  \
+         \"events_per_s\": {{\n{}\n  }}\n}}\n",
+        json_escape(&bench_name),
+        trace.len(),
+        trace.thread_count(),
+        trace.lock_count(),
+        trace.var_count(),
+        text.len(),
+        binary.len(),
+        text.len() as f64 / events,
+        binary.len() as f64 / events,
+        text.len() as f64 / binary.len() as f64,
+        lines.join("\n")
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path: Option<String> = None;
@@ -698,6 +837,7 @@ fn main() {
     let mut samples = 40usize;
     let mut dbsim = false;
     let mut sync_cost = false;
+    let mut trace_io = false;
     let mut mix = String::from("ycsb");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -707,6 +847,7 @@ fn main() {
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a value")),
             "--dbsim" => dbsim = true,
             "--sync-cost" => sync_cost = true,
+            "--trace-io" => trace_io = true,
             "--mix" => mix = args.next().expect("--mix needs a value"),
             "--samples" => {
                 samples = args
@@ -719,7 +860,8 @@ fn main() {
                 eprintln!(
                     "record_baseline [--label NAME] [--out FILE] [--baseline FILE] [--samples N]\n\
                      record_baseline --dbsim [--mix NAME] [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_ROUNDS/FT_SEED)\n\
-                     record_baseline --sync-cost [--out FILE]            (env: FT_ROUNDS/FT_CLOCK_WIDTH)"
+                     record_baseline --sync-cost [--out FILE]            (env: FT_ROUNDS/FT_CLOCK_WIDTH)\n\
+                     record_baseline --trace-io [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)"
                 );
                 return;
             }
@@ -727,6 +869,10 @@ fn main() {
         }
     }
 
+    if trace_io {
+        run_trace_io(out_path);
+        return;
+    }
     if sync_cost {
         run_sync_cost(out_path);
         return;

@@ -1,11 +1,16 @@
+use std::io::{Read, Write};
+
 use freshtrack_core::{
-    Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector,
-    OrderedListDetector, RaceReport, SplitDetector, SyncMode,
+    Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
+    NaiveSamplingDetector, OrderedListDetector, RaceReport, SplitDetector, SyncMode,
 };
 use freshtrack_dbsim::{run_detector, run_sharded, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
 use freshtrack_sampling::BernoulliSampler;
-use freshtrack_trace::{read_trace, write_trace, Trace};
+use freshtrack_trace::{
+    is_binary_trace, write_source, write_source_binary, write_trace, BinaryEventReader,
+    EventReader, EventSource, Trace, TraceStats, Validated,
+};
 use freshtrack_workloads::{benchbase, corpus, generate, Pattern, WorkloadConfig};
 
 use crate::{ArgError, Args, USAGE};
@@ -32,6 +37,7 @@ fn dispatch<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), ArgErr
         "analyze" => analyze(rest, out),
         "oracle" => oracle(rest, out),
         "stats" => stats(rest, out),
+        "convert" => convert(rest, out),
         "generate" => generate_cmd(rest, out),
         "corpus" => corpus_cmd(rest, out),
         "dbsim" => dbsim_cmd(rest, out),
@@ -43,14 +49,59 @@ fn dispatch<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), ArgErr
     }
 }
 
-fn load_trace(args: &Args) -> Result<Trace, ArgError> {
-    let path = args
-        .positional()
+/// Opens `path` (or stdin for `-`) as an [`EventSource`], sniffing the
+/// text vs binary format from the first bytes
+/// ([`BINARY_MAGIC`](freshtrack_trace::BINARY_MAGIC)).
+fn open_input(path: &str) -> Result<Box<dyn EventSource>, ArgError> {
+    let mut reader: Box<dyn Read> = if path == "-" {
+        Box::new(std::io::stdin())
+    } else {
+        Box::new(
+            std::fs::File::open(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?,
+        )
+    };
+    // Sniff up to 8 bytes, then stitch them back in front: stdin
+    // cannot be reopened, so detection must not consume the stream.
+    let mut head = [0u8; 8];
+    let mut sniffed = 0;
+    while sniffed < head.len() {
+        match reader.read(&mut head[sniffed..]) {
+            Ok(0) => break,
+            Ok(n) => sniffed += n,
+            Err(e) => return Err(ArgError(format!("cannot read {path}: {e}"))),
+        }
+    }
+    let binary = is_binary_trace(&head[..sniffed]);
+    let stitched = std::io::Cursor::new(head[..sniffed].to_vec()).chain(reader);
+    Ok(if binary {
+        Box::new(BinaryEventReader::new(stitched).map_err(|e| ArgError(format!("{path}: {e}")))?)
+    } else {
+        Box::new(EventReader::new(stitched))
+    })
+}
+
+fn input_path(args: &Args) -> Result<&str, ArgError> {
+    args.positional()
         .first()
-        .ok_or_else(|| ArgError("expected a trace file argument".into()))?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
-    let trace = read_trace(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        .map(String::as_str)
+        .ok_or_else(|| ArgError("expected a trace file argument (or `-` for stdin)".into()))
+}
+
+/// A boxed input stream with the streaming lock-discipline check.
+type ValidatedInput = Validated<Box<dyn EventSource>>;
+
+/// Opens the positional trace argument as a discipline-checked stream.
+fn open_validated(args: &Args) -> Result<(ValidatedInput, &str), ArgError> {
+    let path = input_path(args)?;
+    Ok((Validated::new(open_input(path)?), path))
+}
+
+/// Materializes the positional trace argument (for the `O(N²)` oracle,
+/// which genuinely needs random access).
+fn load_trace(args: &Args) -> Result<Trace, ArgError> {
+    let path = input_path(args)?;
+    let mut input = open_input(path)?;
+    let trace = Trace::from_source(&mut input).map_err(|e| ArgError(format!("{path}: {e}")))?;
     trace
         .validate()
         .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
@@ -59,54 +110,60 @@ fn load_trace(args: &Args) -> Result<Trace, ArgError> {
 
 fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
     let args = Args::parse(rest.iter().cloned(), &["counters"])?;
-    let trace = load_trace(&args)?;
     let engine: String = args.get_or("engine", "so".to_owned())?;
     let rate: f64 = args.get_or("rate", 0.03)?;
     let seed: u64 = args.get_or("seed", 0)?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(ArgError(format!("--rate must be in [0,1], got {rate}")));
     }
+    let (mut source, path) = open_validated(&args)?;
     let sampler = BernoulliSampler::new(rate, seed);
 
+    // The trace streams through the engine in constant memory; event
+    // ids are stream positions, so text, binary, and stdin inputs all
+    // produce byte-identical reports.
+    fn drive<D: Detector>(
+        mut d: D,
+        source: &mut dyn EventSource,
+        path: &str,
+    ) -> Result<(&'static str, Vec<RaceReport>, Counters), ArgError> {
+        let reports = d
+            .run_source(source)
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        Ok((d.name(), reports, *d.counters()))
+    }
     let (name, reports, counters) = match engine.as_str() {
-        "ft" => {
-            let mut d = FastTrackDetector::new(BernoulliSampler::new(1.0, seed));
-            (d.name(), d.run(&trace), *d.counters())
-        }
-        "st" => {
-            let mut d = DjitDetector::new(sampler);
-            (d.name(), d.run(&trace), *d.counters())
-        }
-        "sam" => {
-            let mut d = NaiveSamplingDetector::new(sampler);
-            (d.name(), d.run(&trace), *d.counters())
-        }
-        "su" => {
-            let mut d = FreshnessDetector::new(sampler);
-            (d.name(), d.run(&trace), *d.counters())
-        }
-        "so" => {
-            let mut d = OrderedListDetector::new(sampler);
-            (d.name(), d.run(&trace), *d.counters())
-        }
+        "ft" => drive(
+            FastTrackDetector::new(BernoulliSampler::new(1.0, seed)),
+            &mut source,
+            path,
+        )?,
+        "st" => drive(DjitDetector::new(sampler), &mut source, path)?,
+        "sam" => drive(NaiveSamplingDetector::new(sampler), &mut source, path)?,
+        "su" => drive(FreshnessDetector::new(sampler), &mut source, path)?,
+        "so" => drive(OrderedListDetector::new(sampler), &mut source, path)?,
         other => return Err(ArgError(format!("unknown engine `{other}`"))),
     };
 
     let _ = writeln!(
         out,
         "{name} over {} events ({} sampled): {} race report(s)",
-        trace.len(),
+        counters.events,
         counters.sampled_accesses,
         reports.len()
     );
-    print_reports(&trace, &reports, out);
+    print_reports(&source, &reports, out);
     if args.flag("counters") {
         let _ = writeln!(out, "{counters}");
     }
     Ok(())
 }
 
-fn print_reports<W: std::io::Write>(trace: &Trace, reports: &[RaceReport], out: &mut W) {
+fn print_reports<S, W>(source: &S, reports: &[RaceReport], out: &mut W)
+where
+    S: EventSource + ?Sized,
+    W: std::io::Write,
+{
     for report in reports {
         let _ = writeln!(
             out,
@@ -114,7 +171,7 @@ fn print_reports<W: std::io::Write>(trace: &Trace, reports: &[RaceReport], out: 
             report.tid,
             report.event,
             report.access,
-            trace.var_name(report.var.index()),
+            source.var_name(report.var.index()),
             match (report.with_write, report.with_read) {
                 (true, true) => "write and read",
                 (true, false) => "write",
@@ -122,6 +179,32 @@ fn print_reports<W: std::io::Write>(trace: &Trace, reports: &[RaceReport], out: 
             }
         );
     }
+}
+
+fn convert<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let path = input_path(&args)?;
+    let to: String = args.require("to")?;
+    // Conversion is a pure re-encoding pipe: the input streams straight
+    // into the opposite writer, declarations and all, in constant
+    // memory — no Trace is ever materialized. The writers issue many
+    // small writes (per record, per varint byte) and `main` hands us
+    // line-buffered stdout, so buffer the sink or every 0x0A byte in
+    // the binary output becomes a flush syscall.
+    let mut source = open_input(path)?;
+    let mut sink = std::io::BufWriter::new(out);
+    let result = match to.as_str() {
+        "binary" => write_source_binary(&mut source, &mut sink),
+        "text" => write_source(&mut source, &mut sink),
+        other => {
+            return Err(ArgError(format!(
+                "--to must be `text` or `binary`, got `{other}`"
+            )))
+        }
+    };
+    result.map_err(|e| ArgError(format!("{path}: {e}")))?;
+    sink.flush()
+        .map_err(|e| ArgError(format!("{path}: write failed: {e}")))
 }
 
 fn oracle<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
@@ -147,8 +230,10 @@ fn oracle<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErro
 
 fn stats<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
     let args = Args::parse(rest.iter().cloned(), &[])?;
-    let trace = load_trace(&args)?;
-    let s = trace.stats();
+    // Counts accumulate per event and entity counts come from the
+    // source metadata: constant memory regardless of trace size.
+    let (mut source, path) = open_validated(&args)?;
+    let s = TraceStats::from_source(&mut source).map_err(|e| ArgError(format!("{path}: {e}")))?;
     let _ = writeln!(out, "{s}");
     let _ = writeln!(out, "sync ratio: {}", pct(s.sync_ratio()));
     Ok(())
@@ -337,6 +422,7 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use freshtrack_trace::read_trace;
 
     fn run_cli(args: &[&str]) -> (i32, String) {
         let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -398,6 +484,116 @@ mod tests {
         let (code, out) = run_cli(&["oracle", path_s, "--rate", "1.0"]);
         assert_eq!(code, 0);
         assert!(out.contains("racy event"), "{out}");
+    }
+
+    fn run_cli_bytes(args: &[&str]) -> (i32, Vec<u8>) {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&raw, &mut out);
+        (code, out)
+    }
+
+    #[test]
+    fn convert_round_trips_text_and_binary() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-convert");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("t.trace");
+        let bin_path = dir.join("t.ftb");
+
+        let (code, text) = run_cli(&["generate", "--events", "1500", "--seed", "3"]);
+        assert_eq!(code, 0);
+        std::fs::write(&text_path, &text).unwrap();
+
+        let (code, bin) =
+            run_cli_bytes(&["convert", text_path.to_str().unwrap(), "--to", "binary"]);
+        assert_eq!(code, 0);
+        assert!(freshtrack_trace::is_binary_trace(&bin));
+        assert!(bin.len() < text.len(), "binary should be denser");
+        std::fs::write(&bin_path, &bin).unwrap();
+
+        // binary → text reproduces the original normal form exactly.
+        let (code, back) = run_cli(&["convert", bin_path.to_str().unwrap(), "--to", "text"]);
+        assert_eq!(code, 0);
+        assert_eq!(back, text);
+
+        // Converting binary → binary is the identity too.
+        let (code, bin2) =
+            run_cli_bytes(&["convert", bin_path.to_str().unwrap(), "--to", "binary"]);
+        assert_eq!(code, 0);
+        assert_eq!(bin2, bin);
+    }
+
+    #[test]
+    fn analyze_and_stats_agree_across_formats() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-formats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("t.trace");
+        let bin_path = dir.join("t.ftb");
+
+        let (code, text) = run_cli(&[
+            "generate",
+            "--events",
+            "2000",
+            "--unprotected",
+            "0.1",
+            "--seed",
+            "5",
+        ]);
+        assert_eq!(code, 0);
+        std::fs::write(&text_path, &text).unwrap();
+        let (code, bin) =
+            run_cli_bytes(&["convert", text_path.to_str().unwrap(), "--to", "binary"]);
+        assert_eq!(code, 0);
+        std::fs::write(&bin_path, &bin).unwrap();
+
+        let analyze_args = ["--engine", "su", "--rate", "1.0", "--counters"];
+        let (code, from_text) =
+            run_cli(&[&["analyze", text_path.to_str().unwrap()], &analyze_args[..]].concat());
+        assert_eq!(code, 0, "{from_text}");
+        assert!(from_text.contains("race report"), "{from_text}");
+        let (code, from_bin) =
+            run_cli(&[&["analyze", bin_path.to_str().unwrap()], &analyze_args[..]].concat());
+        assert_eq!(code, 0, "{from_bin}");
+        // Byte-identical reports whether the input was text or binary.
+        assert_eq!(from_text, from_bin);
+
+        let (code, stats_text) = run_cli(&["stats", text_path.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        let (code, stats_bin) = run_cli(&["stats", bin_path.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert_eq!(stats_text, stats_bin);
+        assert!(stats_text.contains("sync ratio"), "{stats_text}");
+    }
+
+    #[test]
+    fn convert_validates_its_arguments() {
+        let (code, out) = run_cli(&["convert", "/nonexistent", "--to", "binary"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot read"), "{out}");
+        let (code, out) = run_cli(&["convert", "/nonexistent"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--to"), "{out}");
+        let dir = std::env::temp_dir().join("freshtrack-cli-convert-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "T0|w(x)\n").unwrap();
+        let (code, out) = run_cli(&["convert", path.to_str().unwrap(), "--to", "xml"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("`text` or `binary`"), "{out}");
+    }
+
+    #[test]
+    fn analyze_streams_invalid_traces_to_an_error() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-invalid");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "T0|acq(l)\nT1|rel(l)\n").unwrap();
+        let (code, out) = run_cli(&["analyze", path.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("invalid trace"), "{out}");
+        let (code, out) = run_cli(&["stats", path.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("invalid trace"), "{out}");
     }
 
     #[test]

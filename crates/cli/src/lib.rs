@@ -2,12 +2,19 @@
 //!
 //! Subcommands:
 //!
-//! * `analyze <trace>` — run a detector engine over a trace file.
+//! * `analyze <trace>` — run a detector engine over a trace, streamed
+//!   in constant memory.
 //! * `oracle <trace>` — ground-truth racy events (small traces only).
-//! * `stats <trace>` — trace statistics.
+//! * `stats <trace>` — trace statistics, streamed in constant memory.
+//! * `convert <trace>` — re-encode between the text and binary formats.
 //! * `generate` — generate a synthetic workload trace.
 //! * `corpus` — list or emit the offline benchmark corpus.
 //! * `dbsim` — run the online database benchmark with a detector.
+//!
+//! Trace-consuming commands accept `-` for stdin and auto-detect the
+//! text vs binary (`.ftb`) format from the input's first bytes, so
+//! `freshtrack generate | freshtrack convert - --to binary |
+//! freshtrack analyze -` pipes end to end without temporary files.
 //!
 //! Run `freshtrack help` for full usage. The library entry point
 //! [`run`] is separated from `main` so commands are unit-testable.
@@ -29,13 +36,19 @@ USAGE:
     freshtrack <command> [options]
 
 COMMANDS:
-    analyze <trace>   run a detector over a trace file
+    analyze <trace>   run a detector over a trace, streaming in
+                      constant memory (`-` = stdin; text or binary
+                      input is auto-detected)
                       --engine ft|st|sam|su|so (default so)
                       --rate <0..1> (default 0.03)  --seed <n>
                       --counters    print work counters
     oracle <trace>    ground-truth racy events (O(N^2) memory!)
                       --rate <0..1> (default 1.0)   --seed <n>
-    stats <trace>     print trace statistics
+    stats <trace>     print trace statistics (streaming, constant
+                      memory; `-` = stdin, format auto-detected)
+    convert <trace>   re-encode a trace to stdout (`-` = stdin,
+                      input format auto-detected)
+                      --to text|binary   target format (required)
     generate          generate a workload trace to stdout
                       --pattern mixed|pc|pipeline|forkjoin|barrier|ladder
                       --events <n> --threads <n> --locks <n> --vars <n>

@@ -1,4 +1,4 @@
-use freshtrack_trace::{Event, EventId, Trace};
+use freshtrack_trace::{Event, EventId, EventSource, SourceError, Trace};
 
 use crate::{Counters, RaceReport};
 
@@ -39,19 +39,33 @@ pub trait Detector {
     /// the sanitizer's configured width; it never changes verdicts.
     fn reserve_threads(&mut self, _n: usize) {}
 
-    /// Runs the detector over a complete trace, returning all reports.
+    /// Runs the detector over a streaming [`EventSource`], returning all
+    /// reports — the primary analysis loop; detectors never require a
+    /// materialized trace.
     ///
-    /// Reports are **strictly sorted by racing [`EventId`]**: events are
-    /// processed in trace order, a report's `event` field is the event
-    /// being processed, and each event yields at most one report. The
-    /// sharded ingestion merge
+    /// Events are numbered by stream position ([`EventId`] = position),
+    /// so analyzing a trace file streamed from disk and analyzing the
+    /// same trace materialized produce identical reports. Reports are
+    /// **strictly sorted by racing [`EventId`]**: events are processed
+    /// in stream order, a report's `event` field is the event being
+    /// processed, and each event yields at most one report. The sharded
+    /// ingestion merge
     /// ([`ShardedOnlineDetector::finish`](crate::ShardedOnlineDetector::finish))
     /// and the differential suites both rely on this order being
     /// deterministic; `crates/core/tests/sharding.rs` has the
     /// regression test.
-    fn run(&mut self, trace: &Trace) -> Vec<RaceReport> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports (reports gathered
+    /// up to that point are dropped with it — a partial analysis of a
+    /// malformed input is not a verdict).
+    fn run_source(&mut self, source: &mut dyn EventSource) -> Result<Vec<RaceReport>, SourceError> {
         let mut reports: Vec<RaceReport> = Vec::new();
-        for (id, event) in trace.iter() {
+        let mut next_id: u64 = 0;
+        while let Some(event) = source.next_event()? {
+            let id = EventId::new(next_id);
+            next_id += 1;
             if let Some(report) = self.process(id, event) {
                 debug_assert!(
                     reports
@@ -62,7 +76,17 @@ pub trait Detector {
                 reports.push(report);
             }
         }
-        reports
+        Ok(reports)
+    }
+
+    /// Runs the detector over a complete trace, returning all reports.
+    ///
+    /// A thin wrapper over [`run_source`](Detector::run_source) driving
+    /// the trace's [`EventSource`] view; the two paths are the same loop
+    /// by construction.
+    fn run(&mut self, trace: &Trace) -> Vec<RaceReport> {
+        self.run_source(&mut trace.source())
+            .expect("materialized traces never fail to stream")
     }
 }
 
@@ -72,6 +96,35 @@ mod tests {
     use crate::DjitDetector;
     use freshtrack_sampling::AlwaysSampler;
     use freshtrack_trace::TraceBuilder;
+
+    #[test]
+    fn run_source_matches_run_over_a_streamed_text_trace() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.write(1, x);
+        b.write(0, x);
+        let trace = b.build();
+        let text = freshtrack_trace::write_trace(&trace);
+
+        let materialized = DjitDetector::new(AlwaysSampler::new()).run(&trace);
+        let mut reader = freshtrack_trace::EventReader::new(text.as_bytes());
+        let streamed = DjitDetector::new(AlwaysSampler::new())
+            .run_source(&mut reader)
+            .unwrap();
+        assert_eq!(materialized, streamed);
+        assert!(!streamed.is_empty());
+    }
+
+    #[test]
+    fn run_source_propagates_parse_errors() {
+        let mut reader = freshtrack_trace::EventReader::new(&b"T0|w(x)\nbogus\n"[..]);
+        let err = DjitDetector::new(AlwaysSampler::new())
+            .run_source(&mut reader)
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
 
     #[test]
     fn run_collects_reports_in_order() {

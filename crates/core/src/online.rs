@@ -111,6 +111,38 @@ impl<D: Detector> OnlineDetector<D> {
         self.on_event(tid, EventKind::Release(LockId::new(lock)));
     }
 
+    /// Drains a streaming [`EventSource`](freshtrack_trace::EventSource)
+    /// through the façade, one event per mutex acquisition, returning
+    /// the number of events fed — the façade twin of
+    /// [`Detector::run_source`], for replaying a recorded trace into a
+    /// *live* online detector (e.g. warming one up with a corpus
+    /// prefix before application threads attach) without
+    /// materializing it.
+    ///
+    /// Ticket order equals stream order when a single feeder drains
+    /// the source, so the reports accumulated by
+    /// [`finish`](OnlineDetector::finish) match what
+    /// [`Detector::run_source`] would produce over the same stream
+    /// (`feed_source_matches_run_source` pins this). Offline
+    /// consumers that own their detector — the CLI `analyze` path,
+    /// `rapid::run_engine_source` — use `run_source` directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports; events fed before
+    /// the error remain processed.
+    pub fn feed_source(
+        &self,
+        source: &mut dyn freshtrack_trace::EventSource,
+    ) -> Result<u64, freshtrack_trace::SourceError> {
+        let mut fed = 0;
+        while let Some(event) = source.next_event()? {
+            self.on_event(event.tid.as_u32(), event.kind);
+            fed += 1;
+        }
+        Ok(fed)
+    }
+
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.inner.lock().expect("detector mutex poisoned").next_id
@@ -290,6 +322,36 @@ mod tests {
         // All accesses are lock-protected: no races.
         assert!(races.is_empty());
         assert_eq!(detector.counters().events, 1200);
+    }
+
+    #[test]
+    fn feed_source_matches_run_source() {
+        use crate::{Detector, DjitDetector};
+        use freshtrack_trace::EventReader;
+        let text = "T0|acq(l)\nT0|w(x)\nT0|rel(l)\nT1|w(x)\nT0|w(x)\nbogus\n";
+        let good = &text[..text.len() - "bogus\n".len()];
+
+        let online = OnlineDetector::new(DjitDetector::new(AlwaysSampler::new()));
+        let fed = online
+            .feed_source(&mut EventReader::new(good.as_bytes()))
+            .unwrap();
+        assert_eq!(fed, 5);
+        let (detector, online_reports) = online.finish();
+        assert_eq!(detector.counters().events, 5);
+
+        let batch_reports = DjitDetector::new(AlwaysSampler::new())
+            .run_source(&mut EventReader::new(good.as_bytes()))
+            .unwrap();
+        assert_eq!(online_reports, batch_reports);
+        assert!(!online_reports.is_empty());
+
+        // Errors propagate; events before the error stay processed.
+        let online = OnlineDetector::new(DjitDetector::new(AlwaysSampler::new()));
+        let err = online
+            .feed_source(&mut EventReader::new(text.as_bytes()))
+            .unwrap_err();
+        assert!(err.to_string().contains("line 6"), "{err}");
+        assert_eq!(online.events_processed(), 5);
     }
 
     #[test]

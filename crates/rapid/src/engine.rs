@@ -6,7 +6,7 @@ use freshtrack_core::{
     OrderedListDetector, RaceReport,
 };
 use freshtrack_sampling::BernoulliSampler;
-use freshtrack_trace::Trace;
+use freshtrack_trace::{EventSource, SourceError, Trace};
 
 /// The detector engines of the evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -106,8 +106,22 @@ impl EngineRun {
     }
 }
 
-/// Runs one engine configuration over a trace.
-pub fn run_engine(trace: &Trace, config: &EngineConfig) -> EngineRun {
+/// Runs one engine configuration over a streaming [`EventSource`] —
+/// the primary entry point; the engine never materializes the trace,
+/// so corpus files stream through in constant memory.
+///
+/// Event numbering is by stream position, so running over a trace file
+/// and over the same trace materialized produce identical reports
+/// (with identical sample sets: the sampler is seeded per config, not
+/// per input representation).
+///
+/// # Errors
+///
+/// Propagates the first error the source reports.
+pub fn run_engine_source(
+    source: &mut dyn EventSource,
+    config: &EngineConfig,
+) -> Result<EngineRun, SourceError> {
     let sampler = BernoulliSampler::new(
         if matches!(config.kind, EngineKind::FastTrack) {
             1.0
@@ -116,39 +130,35 @@ pub fn run_engine(trace: &Trace, config: &EngineConfig) -> EngineRun {
         },
         config.seed,
     );
+    fn drive<D: Detector>(
+        mut d: D,
+        source: &mut dyn EventSource,
+    ) -> Result<(Vec<RaceReport>, Counters), SourceError> {
+        let reports = d.run_source(source)?;
+        Ok((reports, *d.counters()))
+    }
     let start = Instant::now();
     let (reports, counters) = match config.kind {
-        EngineKind::FastTrack => {
-            let mut d = FastTrackDetector::new(sampler);
-            (d.run(trace), *d.counters())
-        }
-        EngineKind::St => {
-            let mut d = DjitDetector::new(sampler);
-            (d.run(trace), *d.counters())
-        }
-        EngineKind::Sam => {
-            let mut d = NaiveSamplingDetector::new(sampler);
-            (d.run(trace), *d.counters())
-        }
-        EngineKind::Su => {
-            let mut d = FreshnessDetector::new(sampler);
-            (d.run(trace), *d.counters())
-        }
-        EngineKind::So => {
-            let mut d = OrderedListDetector::new(sampler);
-            (d.run(trace), *d.counters())
-        }
-        EngineKind::SoPlain => {
-            let mut d = OrderedListDetector::with_options(sampler, false);
-            (d.run(trace), *d.counters())
-        }
+        EngineKind::FastTrack => drive(FastTrackDetector::new(sampler), source)?,
+        EngineKind::St => drive(DjitDetector::new(sampler), source)?,
+        EngineKind::Sam => drive(NaiveSamplingDetector::new(sampler), source)?,
+        EngineKind::Su => drive(FreshnessDetector::new(sampler), source)?,
+        EngineKind::So => drive(OrderedListDetector::new(sampler), source)?,
+        EngineKind::SoPlain => drive(OrderedListDetector::with_options(sampler, false), source)?,
     };
-    EngineRun {
+    Ok(EngineRun {
         label: config.label(),
         reports,
         counters,
         elapsed: start.elapsed(),
-    }
+    })
+}
+
+/// Runs one engine configuration over a materialized trace — a thin
+/// wrapper over [`run_engine_source`] driving the trace's source view.
+pub fn run_engine(trace: &Trace, config: &EngineConfig) -> EngineRun {
+    run_engine_source(&mut trace.source(), config)
+        .expect("materialized traces never fail to stream")
 }
 
 #[cfg(test)]
@@ -194,6 +204,21 @@ mod tests {
         .collect();
         for pair in runs.windows(2) {
             assert_eq!(pair[0].reports, pair[1].reports);
+        }
+    }
+
+    #[test]
+    fn streamed_and_materialized_runs_agree() {
+        use freshtrack_trace::{write_trace, EventReader};
+        let trace = generate(&WorkloadConfig::named("t").events(3_000).unprotected(0.1));
+        let text = write_trace(&trace);
+        for kind in [EngineKind::FastTrack, EngineKind::So] {
+            let config = EngineConfig::new(kind, 0.5, 3);
+            let materialized = run_engine(&trace, &config);
+            let mut reader = EventReader::new(text.as_bytes());
+            let streamed = run_engine_source(&mut reader, &config).unwrap();
+            assert_eq!(materialized.reports, streamed.reports);
+            assert_eq!(materialized.counters, streamed.counters);
         }
     }
 

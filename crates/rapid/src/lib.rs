@@ -34,5 +34,5 @@ mod engine;
 pub mod report;
 mod runner;
 
-pub use engine::{run_engine, EngineConfig, EngineKind, EngineRun};
+pub use engine::{run_engine, run_engine_source, EngineConfig, EngineKind, EngineRun};
 pub use runner::{run_offline, BenchmarkSummary};

@@ -1,0 +1,672 @@
+//! The binary trace format (`.ftb`): magic + declaration records +
+//! varint/delta-encoded event records.
+//!
+//! The format is the byte-oriented twin of the text format and inherits
+//! its identity guarantee: `read ∘ write` is the *identity* on traces —
+//! entity tables, id assignment, silent threads and silent entities all
+//! survive (`crates/trace/tests/io_roundtrip.rs` enforces it across
+//! formats). It is also fully streamable in both directions: the writer
+//! emits declaration records as names are interned (so a lazy
+//! [`EventSource`] serializes in constant memory), and
+//! [`BinaryEventReader`] decodes record by record without buffering.
+//!
+//! # Layout
+//!
+//! ```text
+//! magic    8 bytes  "FTB1\r\n\x1a\n"  (version byte is the '1')
+//! records  *        declaration and event records, in stream order
+//! end      1 byte   0xF7
+//! ```
+//!
+//! Declaration records mirror the text format's `#!` header lines:
+//!
+//! ```text
+//! 0xF0 <varint len> <utf8 bytes>   define next lock name   (#! lock)
+//! 0xF1 <varint len> <utf8 bytes>   define next var name    (#! var)
+//! 0xF2 <varint n>                  declare thread count    (#! threads)
+//! ```
+//!
+//! Names are defined in dense id order — a definition record always
+//! names id `lock_count()`/`var_count()` — and always precede the first
+//! event that references the id.
+//!
+//! Every other tag byte below `0xF0` is an **event record**:
+//!
+//! ```text
+//! bits 0-1   kind: 0 read, 1 write, 2 acquire, 3 release
+//! bit  2     same thread as the previous event (no tid field follows)
+//! bits 3-7   operand id 0..=28 inline; 29 = varint operand follows
+//! ```
+//!
+//! followed by `<varint tid>` when bit 2 is clear, then
+//! `<varint operand>` when the inline field is the escape value 29.
+//! Small operand ids and runs of same-thread events — both the common
+//! case in real traces — therefore cost a single byte per event.
+//! Varints are LEB128, low 7 bits first.
+
+use std::io::{Read, Write};
+
+use freshtrack_clock::ThreadId;
+
+use crate::io::{EmittedMeta, WriteSourceError};
+use crate::source::{EventSource, Interner, SourceError};
+use crate::{Event, EventKind, LockId, Trace, VarId};
+
+/// The 8-byte magic prefix of a binary trace (version byte is the `1`).
+///
+/// The `\r\n\x1a\n` tail guards against line-ending translation, PNG
+/// style: a binary trace mangled by text-mode transfer no longer
+/// matches the magic and is rejected up front.
+pub const BINARY_MAGIC: [u8; 8] = *b"FTB1\r\n\x1a\n";
+
+/// Returns `true` if `prefix` starts with the binary-trace magic.
+///
+/// Callers sniffing a file should pass its first 8 bytes; shorter
+/// prefixes (tiny text traces) are never binary.
+pub fn is_binary_trace(prefix: &[u8]) -> bool {
+    prefix.len() >= BINARY_MAGIC.len() && prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC
+}
+
+const TAG_DEF_LOCK: u8 = 0xF0;
+const TAG_DEF_VAR: u8 = 0xF1;
+const TAG_THREADS: u8 = 0xF2;
+const TAG_END: u8 = 0xF7;
+/// Operand ids `0..=28` ride inline in the tag; 29 escapes to a varint.
+const OPERAND_ESCAPE: u8 = 29;
+
+/// Serializes a materialized trace to the binary format: full
+/// declaration header (threads, locks, vars — the normal form), then
+/// the event records.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `out`.
+pub fn write_trace_binary<W: Write>(trace: &Trace, out: &mut W) -> std::io::Result<()> {
+    write_source_binary(&mut trace.source(), out).map_err(|e| match e {
+        WriteSourceError::Io(e) => e,
+        WriteSourceError::Source(e) => {
+            unreachable!("materialized traces never fail to stream: {e}")
+        }
+    })
+}
+
+/// Streams any [`EventSource`] to the binary format, in constant
+/// memory.
+///
+/// Declaration records are emitted as soon as the source interns the
+/// corresponding entity, always before the first event that references
+/// it — the binary twin of [`crate::write_source`]'s interleaved `#!`
+/// lines. Reading the output back yields an identical trace.
+///
+/// # Errors
+///
+/// Propagates the first source error or I/O failure.
+pub fn write_source_binary<S, W>(source: &mut S, out: &mut W) -> Result<(), WriteSourceError>
+where
+    S: EventSource + ?Sized,
+    W: Write,
+{
+    out.write_all(&BINARY_MAGIC)?;
+    let mut emitted = EmittedMeta::default();
+    flush_binary_meta(&mut emitted, source, out)?;
+    let mut prev_tid: Option<ThreadId> = None;
+    while let Some(event) = source.next_event()? {
+        flush_binary_meta(&mut emitted, source, out)?;
+        let (kind_bits, operand) = match event.kind {
+            EventKind::Read(v) => (0u8, v.index() as u64),
+            EventKind::Write(v) => (1, v.index() as u64),
+            EventKind::Acquire(l) => (2, l.index() as u64),
+            EventKind::Release(l) => (3, l.index() as u64),
+        };
+        let same_tid = prev_tid == Some(event.tid);
+        let inline = if operand < OPERAND_ESCAPE as u64 {
+            operand as u8
+        } else {
+            OPERAND_ESCAPE
+        };
+        out.write_all(&[kind_bits | (u8::from(same_tid) << 2) | (inline << 3)])?;
+        if !same_tid {
+            write_varint(out, event.tid.as_u32() as u64)?;
+        }
+        if inline == OPERAND_ESCAPE {
+            write_varint(out, operand)?;
+        }
+        prev_tid = Some(event.tid);
+    }
+    // Trailing declarations (silent entities, late thread counts), then
+    // the final effective thread count: fork/join desugaring erases the
+    // records that named a silent child, so a lazy source's observed
+    // threads must be declared explicitly to survive the round trip.
+    flush_binary_meta(&mut emitted, source, out)?;
+    let threads = source.threads();
+    if threads > emitted.threads {
+        out.write_all(&[TAG_THREADS])?;
+        write_varint(out, threads as u64)?;
+    }
+    out.write_all(&[TAG_END])?;
+    Ok(())
+}
+
+/// Emits declaration records for everything the source has interned
+/// beyond what was already written.
+fn flush_binary_meta<S, W>(
+    emitted: &mut EmittedMeta,
+    source: &S,
+    out: &mut W,
+) -> std::io::Result<()>
+where
+    S: EventSource + ?Sized,
+    W: Write,
+{
+    let declared = source.declared_threads();
+    if declared > emitted.threads {
+        emitted.threads = declared;
+        out.write_all(&[TAG_THREADS])?;
+        write_varint(out, declared as u64)?;
+    }
+    for l in emitted.locks..source.lock_count() {
+        write_name(out, TAG_DEF_LOCK, source.lock_name(l))?;
+    }
+    emitted.locks = source.lock_count();
+    for v in emitted.vars..source.var_count() {
+        write_name(out, TAG_DEF_VAR, source.var_name(v))?;
+    }
+    emitted.vars = source.var_count();
+    Ok(())
+}
+
+/// The name constraints both codec directions enforce (writer with
+/// `InvalidData`, reader with [`BinaryTraceError`]): a name must
+/// re-parse as the same single operand when carried as `#! lock <name>`
+/// / `op(<name>)` text, or conversion between the formats would
+/// silently change the trace. [`TraceBuilder`](crate::TraceBuilder)
+/// itself accepts arbitrary strings, so the check lives at the
+/// serialization boundary.
+fn validate_name(name: &str) -> Result<(), String> {
+    if name.len() > 1 << 20 {
+        return Err(format!("unreasonable name length {}", name.len()));
+    }
+    if name.is_empty() || name.trim() != name {
+        return Err(format!(
+            "name {name:?} is empty or has surrounding whitespace"
+        ));
+    }
+    if name.chars().any(|c| c.is_control() || c == '(' || c == ')') {
+        return Err(format!(
+            "name {name:?} contains characters the text format cannot carry"
+        ));
+    }
+    Ok(())
+}
+
+fn write_name<W: Write>(out: &mut W, tag: u8, name: &str) -> std::io::Result<()> {
+    validate_name(name)
+        .map_err(|reason| std::io::Error::new(std::io::ErrorKind::InvalidData, reason))?;
+    out.write_all(&[tag])?;
+    write_varint(out, name.len() as u64)?;
+    out.write_all(name.as_bytes())
+}
+
+fn write_varint<W: Write>(out: &mut W, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return out.write_all(&[byte]);
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// An error from the binary decoder, pointing at the offending byte
+/// offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinaryTraceError {
+    /// Byte offset (from the start of the input) of the record that
+    /// failed to decode.
+    pub offset: u64,
+    pub(crate) reason: String,
+}
+
+impl std::fmt::Display for BinaryTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for BinaryTraceError {}
+
+/// A streaming decoder for the binary trace format, mirroring
+/// [`EventReader`](crate::EventReader) for the text format.
+///
+/// Implements [`EventSource`]; metadata (name tables, thread counts)
+/// grows as declaration records are consumed and is complete by the end
+/// of the stream. Decoding stops at the first malformed record; a
+/// missing end marker (truncated input) is an error, so silent prefix
+/// loss cannot masquerade as success.
+#[derive(Debug)]
+pub struct BinaryEventReader<R> {
+    input: std::io::BufReader<R>,
+    /// Byte offset of the next unread byte.
+    offset: u64,
+    locks: Interner,
+    vars: Interner,
+    declared_threads: u32,
+    observed_threads: u32,
+    prev_tid: Option<ThreadId>,
+    done: bool,
+}
+
+impl<R: Read> BinaryEventReader<R> {
+    /// Creates a decoder, consuming and checking the magic prefix.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input does not start with [`BINARY_MAGIC`].
+    pub fn new(input: R) -> Result<Self, BinaryTraceError> {
+        let mut reader = BinaryEventReader {
+            input: std::io::BufReader::new(input),
+            offset: 0,
+            locks: Interner::default(),
+            vars: Interner::default(),
+            declared_threads: 0,
+            observed_threads: 0,
+            prev_tid: None,
+            done: false,
+        };
+        let mut magic = [0u8; 8];
+        reader
+            .input
+            .read_exact(&mut magic)
+            .map_err(|e| reader.fail(format!("cannot read magic: {e}")))?;
+        reader.offset = 8;
+        if magic != BINARY_MAGIC {
+            return Err(reader.fail("not a binary trace (bad magic)".to_owned()));
+        }
+        Ok(reader)
+    }
+
+    fn fail(&mut self, reason: String) -> BinaryTraceError {
+        self.done = true;
+        BinaryTraceError {
+            offset: self.offset,
+            reason,
+        }
+    }
+
+    fn read_byte(&mut self) -> Result<u8, BinaryTraceError> {
+        let mut byte = [0u8];
+        match self.input.read_exact(&mut byte) {
+            Ok(()) => {
+                self.offset += 1;
+                Ok(byte[0])
+            }
+            Err(e) => Err(self.fail(format!("truncated input: {e}"))),
+        }
+    }
+
+    fn read_varint(&mut self) -> Result<u64, BinaryTraceError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.read_byte()?;
+            // The 10th byte may only carry the top bit of a u64; a
+            // larger payload (or a continuation) would be silently
+            // truncated by the shift, so reject it as malformed.
+            if shift == 63 && byte > 1 {
+                return Err(self.fail("varint overflows u64".to_owned()));
+            }
+            value |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(self.fail("varint overflows u64".to_owned()))
+    }
+
+    /// Reads a definition record's name, enforcing [`validate_name`]'s
+    /// constraints (duplicates are rejected at the call site): a
+    /// foreign `.ftb` with a metacharacter-laden name is rejected here
+    /// rather than silently turning into a *different* trace after a
+    /// text round trip. The writer enforces the same rules, so the
+    /// codec's own output always decodes.
+    fn read_name(&mut self) -> Result<String, BinaryTraceError> {
+        let len = self.read_varint()?;
+        if len > 1 << 20 {
+            return Err(self.fail(format!("unreasonable name length {len}")));
+        }
+        let mut bytes = vec![0u8; len as usize];
+        if let Err(e) = self.input.read_exact(&mut bytes) {
+            return Err(self.fail(format!("truncated name: {e}")));
+        }
+        self.offset += len;
+        let name =
+            String::from_utf8(bytes).map_err(|e| self.fail(format!("name is not UTF-8: {e}")))?;
+        validate_name(&name).map_err(|reason| self.fail(reason))?;
+        Ok(name)
+    }
+
+    fn decode_event(&mut self, tag: u8) -> Result<Event, BinaryTraceError> {
+        let kind_bits = tag & 0b11;
+        let same_tid = tag & 0b100 != 0;
+        let inline = tag >> 3;
+        let tid = if same_tid {
+            match self.prev_tid {
+                Some(tid) => tid,
+                None => return Err(self.fail("same-thread bit with no previous event".to_owned())),
+            }
+        } else {
+            let raw = self.read_varint()?;
+            // `>=` because thread *counts* (`tid + 1`) must fit a u32
+            // too; u32::MAX itself would overflow observed_threads.
+            if raw >= u32::MAX as u64 {
+                return Err(self.fail(format!("thread id {raw} overflows u32")));
+            }
+            ThreadId::new(raw as u32)
+        };
+        let operand = if inline == OPERAND_ESCAPE {
+            self.read_varint()?
+        } else {
+            inline as u64
+        };
+        if operand > u32::MAX as u64 {
+            return Err(self.fail(format!("operand id {operand} overflows u32")));
+        }
+        let operand = operand as u32;
+        let (defined, what) = if kind_bits < 2 {
+            (self.vars.len(), "var")
+        } else {
+            (self.locks.len(), "lock")
+        };
+        if operand as usize >= defined {
+            return Err(self.fail(format!(
+                "{what} id {operand} not yet defined (have {defined})"
+            )));
+        }
+        let kind = match kind_bits {
+            0 => EventKind::Read(VarId::new(operand)),
+            1 => EventKind::Write(VarId::new(operand)),
+            2 => EventKind::Acquire(LockId::new(operand)),
+            _ => EventKind::Release(LockId::new(operand)),
+        };
+        self.prev_tid = Some(tid);
+        self.observed_threads = self.observed_threads.max(tid.as_u32() + 1);
+        Ok(Event::new(tid, kind))
+    }
+}
+
+impl<R: Read> EventSource for BinaryEventReader<R> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            let tag = self.read_byte()?;
+            match tag {
+                TAG_END => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                TAG_DEF_LOCK => {
+                    let name = self.read_name()?;
+                    if self.locks.contains(&name) {
+                        return Err(self
+                            .fail(format!("duplicate definition of lock {name:?}"))
+                            .into());
+                    }
+                    self.locks.push(name);
+                }
+                TAG_DEF_VAR => {
+                    let name = self.read_name()?;
+                    if self.vars.contains(&name) {
+                        return Err(self
+                            .fail(format!("duplicate definition of var {name:?}"))
+                            .into());
+                    }
+                    self.vars.push(name);
+                }
+                TAG_THREADS => {
+                    let n = self.read_varint()?;
+                    if n > u32::MAX as u64 {
+                        return Err(self.fail(format!("thread count {n} overflows u32")).into());
+                    }
+                    self.declared_threads = self.declared_threads.max(n as u32);
+                }
+                tag if tag >= TAG_DEF_LOCK => {
+                    return Err(self.fail(format!("unknown record tag {tag:#04x}")).into());
+                }
+                tag => return Ok(Some(self.decode_event(tag)?)),
+            }
+        }
+    }
+
+    fn declared_threads(&self) -> u32 {
+        self.declared_threads
+    }
+
+    fn observed_threads(&self) -> u32 {
+        self.observed_threads
+    }
+
+    fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn lock_name(&self, index: usize) -> &str {
+        self.locks.name(index)
+    }
+
+    fn var_name(&self, index: usize) -> &str {
+        self.vars.name(index)
+    }
+}
+
+/// Parses a complete binary trace from a byte slice — the batch
+/// convenience over [`BinaryEventReader`], mirroring
+/// [`read_trace`](crate::read_trace).
+///
+/// # Errors
+///
+/// Returns the first malformed record (as a [`SourceError::Binary`]).
+pub fn read_trace_binary(bytes: &[u8]) -> Result<Trace, SourceError> {
+    let mut reader = BinaryEventReader::new(bytes)?;
+    Trace::from_source(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_trace, write_trace, TraceBuilder};
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("silent-var");
+        let l = b.lock("l");
+        b.acquire(0, l).write(0, x).release(0, l);
+        b.read(1, x);
+        b.fork(1, 2);
+        b.write(2, x);
+        b.join(1, 2);
+        b.declare_threads(7);
+        let _ = y;
+        b.build()
+    }
+
+    fn assert_traces_equal(a: &Trace, b: &Trace) {
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.thread_count(), b.thread_count());
+        assert_eq!(a.lock_count(), b.lock_count());
+        assert_eq!(a.var_count(), b.var_count());
+        for l in 0..a.lock_count() {
+            assert_eq!(a.lock_name(l), b.lock_name(l));
+        }
+        for v in 0..a.var_count() {
+            assert_eq!(a.var_name(v), b.var_name(v));
+        }
+    }
+
+    #[test]
+    fn read_write_is_the_identity() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary(&trace, &mut bytes).unwrap();
+        let back = read_trace_binary(&bytes).unwrap();
+        assert_traces_equal(&trace, &back);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = TraceBuilder::new().build();
+        let mut bytes = Vec::new();
+        write_trace_binary(&trace, &mut bytes).unwrap();
+        assert_eq!(bytes.len(), 9); // magic + end marker
+        let back = read_trace_binary(&bytes).unwrap();
+        assert_traces_equal(&trace, &back);
+    }
+
+    #[test]
+    fn magic_is_detected_and_enforced() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary(&trace, &mut bytes).unwrap();
+        assert!(is_binary_trace(&bytes));
+        assert!(!is_binary_trace(b"#! threads 2\n"));
+        assert!(!is_binary_trace(&bytes[..4]));
+        let err = BinaryEventReader::new(&b"not a binary trace"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_short_trace() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary(&trace, &mut bytes).unwrap();
+        // Drop the end marker and the last event.
+        bytes.truncate(bytes.len() - 3);
+        let mut reader = BinaryEventReader::new(&bytes[..]).unwrap();
+        let err = Trace::from_source(&mut reader).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected_not_truncated() {
+        // 9 continuation bytes then 0x02: at shift 63 only bit 0 fits,
+        // so this encoding would silently decode to 0 if accepted.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BINARY_MAGIC);
+        bytes.push(TAG_DEF_VAR);
+        bytes.push(1);
+        bytes.push(b'x');
+        bytes.push(0b0000_0000); // read of var 0, explicit tid follows
+        bytes.extend_from_slice(&[0x80; 9]);
+        bytes.push(0x02);
+        bytes.push(TAG_END);
+        let mut reader = BinaryEventReader::new(&bytes[..]).unwrap();
+        let err = reader.next_event().unwrap_err();
+        assert!(err.to_string().contains("varint"), "{err}");
+        // An 11-byte varint (continuation past the 10th byte) is also
+        // malformed, not an infinite accumulation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BINARY_MAGIC);
+        bytes.push(TAG_THREADS);
+        bytes.extend_from_slice(&[0x80; 10]);
+        bytes.push(0x01);
+        bytes.push(TAG_END);
+        let mut reader = BinaryEventReader::new(&bytes[..]).unwrap();
+        let err = reader.next_event().unwrap_err();
+        assert!(err.to_string().contains("varint"), "{err}");
+    }
+
+    #[test]
+    fn metacharacter_and_duplicate_names_are_rejected() {
+        // Names the text format cannot carry back would turn a binary
+        // trace into a *different* trace after `convert --to text`.
+        for bad in ["a)", "a(b", "a\nT9|w(b", " padded ", ""] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&BINARY_MAGIC);
+            bytes.push(TAG_DEF_VAR);
+            bytes.push(bad.len() as u8);
+            bytes.extend_from_slice(bad.as_bytes());
+            bytes.push(TAG_END);
+            let mut reader = BinaryEventReader::new(&bytes[..]).unwrap();
+            let err = reader.next_event().unwrap_err();
+            assert!(
+                err.to_string().contains("name"),
+                "{bad:?} should be rejected, got {err}"
+            );
+        }
+        // A duplicate definition would be merged by the text reader's
+        // interner on re-parse, silently fusing two distinct variables.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BINARY_MAGIC);
+        for _ in 0..2 {
+            bytes.push(TAG_DEF_LOCK);
+            bytes.push(1);
+            bytes.push(b'l');
+        }
+        bytes.push(TAG_END);
+        let mut reader = BinaryEventReader::new(&bytes[..]).unwrap();
+        let err = reader.next_event().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn undefined_operand_ids_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BINARY_MAGIC);
+        // A read of var 0 with no definition record.
+        bytes.push(0b0000_0000);
+        bytes.push(0); // tid varint
+        bytes.push(TAG_END);
+        let mut reader = BinaryEventReader::new(&bytes[..]).unwrap();
+        let err = reader.next_event().unwrap_err();
+        assert!(err.to_string().contains("not yet defined"), "{err}");
+    }
+
+    #[test]
+    fn lazy_writer_defines_names_before_first_use() {
+        // Stream a headerless text trace straight into the binary
+        // writer: definitions are interleaved, and decoding yields the
+        // same trace as batch text parsing.
+        let text = "T0|w(x)\nT0|acq(l)\nT0|rel(l)\nT1|r(y)\nT1|fork(3)\n";
+        let mut reader = crate::EventReader::new(text.as_bytes());
+        let mut bytes = Vec::new();
+        write_source_binary(&mut reader, &mut bytes).unwrap();
+        let back = read_trace_binary(&bytes).unwrap();
+        let batch = read_trace(text).unwrap();
+        assert_traces_equal(&batch, &back);
+    }
+
+    #[test]
+    fn binary_is_denser_than_text() {
+        let trace = sample();
+        let text = write_trace(&trace);
+        let mut bytes = Vec::new();
+        write_trace_binary(&trace, &mut bytes).unwrap();
+        assert!(
+            bytes.len() < text.len(),
+            "binary {} >= text {}",
+            bytes.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn varints_round_trip_large_ids() {
+        let mut b = TraceBuilder::new();
+        // Force operand ids past the inline window and a large tid.
+        let vars: Vec<_> = (0..40).map(|v| b.var(&format!("v{v}"))).collect();
+        b.write(300, vars[35]);
+        b.read(300, vars[39]);
+        b.write(2, vars[0]);
+        let trace = b.build();
+        let mut bytes = Vec::new();
+        write_trace_binary(&trace, &mut bytes).unwrap();
+        let back = read_trace_binary(&bytes).unwrap();
+        assert_traces_equal(&trace, &back);
+    }
+}

@@ -26,82 +26,163 @@
 //! survive the round trip, not just the event shapes. Headerless input
 //! (plain RAPID-style traces) still parses; ids are then assigned in
 //! first-use order.
+//!
+//! There is exactly **one grammar implementation**: [`Line`] (event
+//! lines) and [`Directive`] (`#!` lines) are parsed in one place, the
+//! streaming [`EventReader`](crate::EventReader) is built on them, and
+//! [`read_trace`] is `Trace::from_source` over that reader — the batch
+//! and streaming paths cannot diverge because they are the same path.
+//! The writer is symmetric: [`write_source`] serializes any
+//! [`EventSource`] incrementally (declarations are emitted as names are
+//! interned), and [`write_trace`] is that writer over a materialized
+//! trace's source.
 
-use std::fmt::Write as _;
+use std::io::Write;
 
-use crate::{EventKind, Trace, TraceBuilder};
+use crate::source::{EventSource, SourceError};
+use crate::{EventKind, Trace};
 
 /// Serializes a trace to the text format.
 ///
 /// The output parses back to an equivalent trace via [`read_trace`].
 pub fn write_trace(trace: &Trace) -> String {
-    let mut out = String::with_capacity(trace.len() * 12);
-    if trace.thread_count() > 0 {
-        let _ = writeln!(out, "#! threads {}", trace.thread_count());
+    let mut out = Vec::with_capacity(trace.len() * 12);
+    write_source(&mut trace.source(), &mut out)
+        .expect("writing a materialized trace to memory cannot fail");
+    String::from_utf8(out).expect("the text format is ASCII-framed UTF-8")
+}
+
+/// Streams any [`EventSource`] to the text format, in constant memory.
+///
+/// Declarations (`#! threads/lock/var`) are emitted as soon as the
+/// source interns the corresponding entity, so a materialized trace
+/// produces the same full-header normal form as [`write_trace`], while
+/// a lazy source interleaves declarations with event lines — both parse
+/// back to identical traces, because declaration order *is* id order.
+///
+/// # Errors
+///
+/// Propagates the first source error or I/O failure.
+pub fn write_source<S, W>(source: &mut S, out: &mut W) -> Result<(), WriteSourceError>
+where
+    S: EventSource + ?Sized,
+    W: Write,
+{
+    let mut emitted = EmittedMeta::default();
+    emitted.flush_text(source, out)?;
+    while let Some(event) = source.next_event()? {
+        // The event we just pulled may have interned new names; their
+        // declarations must precede the line that references them.
+        emitted.flush_text(source, out)?;
+        let tid = event.tid;
+        match event.kind {
+            EventKind::Read(v) => writeln!(out, "{tid}|r({})", source.var_name(v.index()))?,
+            EventKind::Write(v) => writeln!(out, "{tid}|w({})", source.var_name(v.index()))?,
+            EventKind::Acquire(l) => writeln!(out, "{tid}|acq({})", source.lock_name(l.index()))?,
+            EventKind::Release(l) => writeln!(out, "{tid}|rel({})", source.lock_name(l.index()))?,
+        }
     }
-    for l in 0..trace.lock_count() {
-        let _ = writeln!(out, "#! lock {}", trace.lock_name(l));
+    // Trailing declarations (silent entities, late `#! threads`), then
+    // the final effective thread count: fork/join desugaring erases the
+    // lines that named a silent child, so a lazy source's observed
+    // threads must be declared explicitly to survive the round trip.
+    emitted.flush_text(source, out)?;
+    let threads = source.threads();
+    if threads > emitted.threads {
+        writeln!(out, "#! threads {threads}")?;
     }
-    for v in 0..trace.var_count() {
-        let _ = writeln!(out, "#! var {}", trace.var_name(v));
+    Ok(())
+}
+
+/// Tracks which entity declarations have been written so far, for the
+/// incremental writers (text here, binary in [`crate::binary`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct EmittedMeta {
+    pub(crate) threads: u32,
+    pub(crate) locks: usize,
+    pub(crate) vars: usize,
+}
+
+impl EmittedMeta {
+    /// Emits `#!` declarations for everything the source has interned
+    /// beyond what was already written.
+    fn flush_text<S, W>(&mut self, source: &S, out: &mut W) -> Result<(), WriteSourceError>
+    where
+        S: EventSource + ?Sized,
+        W: Write,
+    {
+        let declared = source.declared_threads();
+        if declared > self.threads {
+            self.threads = declared;
+            writeln!(out, "#! threads {declared}")?;
+        }
+        for l in self.locks..source.lock_count() {
+            writeln!(out, "#! lock {}", source.lock_name(l))?;
+        }
+        self.locks = source.lock_count();
+        for v in self.vars..source.var_count() {
+            writeln!(out, "#! var {}", source.var_name(v))?;
+        }
+        self.vars = source.var_count();
+        Ok(())
     }
-    for event in trace.events() {
-        let _ = match event.kind {
-            EventKind::Read(v) => writeln!(out, "{}|r({})", event.tid, trace.var_name(v.index())),
-            EventKind::Write(v) => writeln!(out, "{}|w({})", event.tid, trace.var_name(v.index())),
-            EventKind::Acquire(l) => {
-                writeln!(out, "{}|acq({})", event.tid, trace.lock_name(l.index()))
-            }
-            EventKind::Release(l) => {
-                writeln!(out, "{}|rel({})", event.tid, trace.lock_name(l.index()))
-            }
-        };
+}
+
+/// An error from the streaming writers ([`write_source`],
+/// [`crate::write_source_binary`]): either the source failed mid-stream
+/// or the output sink did.
+#[derive(Debug)]
+pub enum WriteSourceError {
+    /// The output sink failed.
+    Io(std::io::Error),
+    /// The source reported an error while being drained.
+    Source(SourceError),
+}
+
+impl std::fmt::Display for WriteSourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteSourceError::Io(e) => write!(f, "write failed: {e}"),
+            WriteSourceError::Source(e) => write!(f, "{e}"),
+        }
     }
-    out
+}
+
+impl std::error::Error for WriteSourceError {}
+
+impl From<std::io::Error> for WriteSourceError {
+    fn from(e: std::io::Error) -> Self {
+        WriteSourceError::Io(e)
+    }
+}
+
+impl From<SourceError> for WriteSourceError {
+    fn from(e: SourceError) -> Self {
+        WriteSourceError::Source(e)
+    }
 }
 
 /// Parses a trace from the text format.
+///
+/// This is [`Trace::from_source`] over the streaming
+/// [`EventReader`](crate::EventReader) — one grammar, one parser for
+/// both the batch and streaming paths.
 ///
 /// # Errors
 ///
 /// Returns [`ParseTraceError`] identifying the first malformed line.
 pub fn read_trace(text: &str) -> Result<Trace, ParseTraceError> {
-    let mut builder = TraceBuilder::new();
-    for (line_no, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if let Some(directive) = line.strip_prefix("#!") {
-            let directive = Directive::parse(directive).map_err(|reason| ParseTraceError {
-                line: line_no + 1,
-                reason,
-            })?;
-            match directive {
-                Directive::Threads(n) => {
-                    builder.declare_threads(n);
-                }
-                Directive::Lock(name) => {
-                    builder.lock(name);
-                }
-                Directive::Var(name) => {
-                    builder.var(name);
-                }
-            }
-            continue;
-        }
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        parse_line(&mut builder, line).map_err(|reason| ParseTraceError {
-            line: line_no + 1,
-            reason,
-        })?;
-    }
-    Ok(builder.build())
+    let mut reader = crate::EventReader::new(text.as_bytes());
+    Trace::from_source(&mut reader).map_err(|e| match e {
+        SourceError::Parse(e) => e,
+        other => unreachable!("the text reader only yields parse errors, got {other:?}"),
+    })
 }
 
-/// One parsed `#!` declaration. The single grammar shared by the batch
-/// reader ([`read_trace`]) and the streaming reader
-/// ([`EventReader`](crate::EventReader)), so the two can never diverge
-/// on the same input.
+/// One parsed `#!` declaration. Together with [`Line`] this is the
+/// single grammar shared by [`read_trace`] and the streaming
+/// [`EventReader`](crate::EventReader), so the two can never diverge on
+/// the same input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum Directive<'a> {
     /// `#! threads <n>` — declares the thread count.
@@ -137,59 +218,79 @@ impl<'a> Directive<'a> {
     }
 }
 
-fn parse_line(builder: &mut TraceBuilder, line: &str) -> Result<(), String> {
-    let (thread, op) = line
-        .split_once('|')
-        .ok_or_else(|| "missing `|` separator".to_owned())?;
-    let tid: u32 = thread
-        .trim()
-        .strip_prefix('T')
-        .ok_or_else(|| "thread must look like `T0`".to_owned())?
-        .parse()
-        .map_err(|e| format!("bad thread index: {e}"))?;
-    let op = op.trim();
-    let open = op
-        .find('(')
-        .ok_or_else(|| "missing `(` in operation".to_owned())?;
-    if !op.ends_with(')') {
-        return Err("missing `)` in operation".to_owned());
-    }
-    let (name, operand) = (&op[..open], op[open + 1..op.len() - 1].trim());
-    if operand.is_empty() {
-        return Err("empty operand".to_owned());
-    }
-    match name {
-        "r" => {
-            let v = builder.var(operand);
-            builder.read(tid, v);
+/// One parsed event line: the shared `T<idx>|op(operand)` grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Line<'a> {
+    /// The acting thread's dense index.
+    pub(crate) tid: u32,
+    /// The operation and its raw operand.
+    pub(crate) op: Op<'a>,
+}
+
+/// The operation of a [`Line`], with its operand still un-interned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op<'a> {
+    /// `r(<var>)`
+    Read(&'a str),
+    /// `w(<var>)`
+    Write(&'a str),
+    /// `acq(<lock>)`
+    Acquire(&'a str),
+    /// `rel(<lock>)`
+    Release(&'a str),
+    /// `fork(<child tid>)`
+    Fork(u32),
+    /// `join(<child tid>)`
+    Join(u32),
+}
+
+impl<'a> Line<'a> {
+    /// Parses one non-comment, non-declaration line.
+    pub(crate) fn parse(line: &'a str) -> Result<Self, String> {
+        let (thread, op) = line
+            .split_once('|')
+            .ok_or_else(|| "missing `|` separator".to_owned())?;
+        let tid: u32 = thread
+            .trim()
+            .strip_prefix('T')
+            .ok_or_else(|| "thread must look like `T0`".to_owned())?
+            .parse()
+            .map_err(|e| format!("bad thread index: {e}"))?;
+        // Thread *counts* (`tid + 1`) must fit a u32 too.
+        if tid == u32::MAX {
+            return Err(format!("thread index {tid} too large"));
         }
-        "w" => {
-            let v = builder.var(operand);
-            builder.write(tid, v);
+        let op = op.trim();
+        let open = op
+            .find('(')
+            .ok_or_else(|| "missing `(` in operation".to_owned())?;
+        if !op.ends_with(')') {
+            return Err("missing `)` in operation".to_owned());
         }
-        "acq" => {
-            let l = builder.lock(operand);
-            builder.acquire(tid, l);
+        let (name, operand) = (&op[..open], op[open + 1..op.len() - 1].trim());
+        if operand.is_empty() {
+            return Err("empty operand".to_owned());
         }
-        "rel" => {
-            let l = builder.lock(operand);
-            builder.release(tid, l);
-        }
-        "fork" => {
+        let child = |what: &str| -> Result<u32, String> {
             let child: u32 = operand
                 .parse()
-                .map_err(|e| format!("bad fork operand: {e}"))?;
-            builder.fork(tid, child);
-        }
-        "join" => {
-            let child: u32 = operand
-                .parse()
-                .map_err(|e| format!("bad join operand: {e}"))?;
-            builder.join(tid, child);
-        }
-        other => return Err(format!("unknown operation `{other}`")),
+                .map_err(|e| format!("bad {what} operand: {e}"))?;
+            if child == u32::MAX {
+                return Err(format!("{what} child {child} too large"));
+            }
+            Ok(child)
+        };
+        let op = match name {
+            "r" => Op::Read(operand),
+            "w" => Op::Write(operand),
+            "acq" => Op::Acquire(operand),
+            "rel" => Op::Release(operand),
+            "fork" => Op::Fork(child("fork")?),
+            "join" => Op::Join(child("join")?),
+            other => return Err(format!("unknown operation `{other}`")),
+        };
+        Ok(Line { tid, op })
     }
-    Ok(())
 }
 
 /// An error from [`read_trace`], pointing at the offending line.
@@ -211,6 +312,7 @@ impl std::error::Error for ParseTraceError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EventKind;
 
     #[test]
     fn round_trips_simple_trace() {
@@ -263,6 +365,13 @@ mod tests {
     }
 
     #[test]
+    fn forked_but_silent_child_still_counts_as_a_thread() {
+        // TraceBuilder::fork observes the child; the reader must agree.
+        let trace = read_trace("T0|w(x)\nT0|fork(3)\n").unwrap();
+        assert_eq!(trace.thread_count(), 4);
+    }
+
+    #[test]
     fn reports_line_numbers_on_errors() {
         let err = read_trace("T0|w(x)\nbogus\n").unwrap_err();
         assert_eq!(err.line, 2);
@@ -275,5 +384,34 @@ mod tests {
         assert!(read_trace("0|w(x)").is_err());
         assert!(read_trace("T0|w()").is_err());
         assert!(read_trace("T0|w(x").is_err());
+    }
+
+    #[test]
+    fn streaming_writer_interleaves_declarations_for_lazy_sources() {
+        // A headerless input streamed straight through the writer: names
+        // are declared at first use, and the output parses back to the
+        // same trace.
+        let text = "T0|w(x)\nT0|acq(l)\nT0|rel(l)\nT1|r(y)\n";
+        let mut reader = crate::EventReader::new(text.as_bytes());
+        let mut out = Vec::new();
+        write_source(&mut reader, &mut out).unwrap();
+        let rewritten = String::from_utf8(out).unwrap();
+        assert_eq!(
+            rewritten,
+            "#! var x\nT0|w(x)\n#! lock l\nT0|acq(l)\nT0|rel(l)\n#! var y\nT1|r(y)\n#! threads 2\n"
+        );
+        let a = read_trace(text).unwrap();
+        let b = read_trace(&rewritten).unwrap();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.thread_count(), b.thread_count());
+    }
+
+    #[test]
+    fn line_grammar_accepts_whitespace_and_rejects_garbage() {
+        let line = Line::parse(" T3 | acq( l0 ) ".trim()).unwrap();
+        assert_eq!(line.tid, 3);
+        assert_eq!(line.op, Op::Acquire("l0"));
+        assert!(Line::parse("T1|fork(x)").is_err());
+        assert_eq!(Line::parse("T1|join(2)").unwrap().op, Op::Join(2));
     }
 }

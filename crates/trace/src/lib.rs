@@ -10,6 +10,15 @@
 //! analysis frameworks such as RAPID encode them; the detectors in
 //! `freshtrack-core` therefore only ever see the four core operations.
 //!
+//! Trace I/O is built around the streaming [`EventSource`] seam: the
+//! text format ([`EventReader`], [`read_trace`]/[`write_trace`]) and
+//! the binary `.ftb` format ([`BinaryEventReader`],
+//! [`read_trace_binary`]/[`write_trace_binary`]) both stream in
+//! constant memory and both satisfy `read ∘ write = identity` —
+//! entity tables, id assignment and silent threads survive the round
+//! trip. [`Validated`] adds an `O(L)` on-the-fly locking-discipline
+//! check to any source, and [`Trace::from_source`] materializes one.
+//!
 //! # Example
 //!
 //! ```
@@ -30,16 +39,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binary;
 mod builder;
 mod event;
 mod io;
+mod source;
 mod stats;
 mod stream;
 mod trace;
 
+pub use binary::{
+    is_binary_trace, read_trace_binary, write_source_binary, write_trace_binary, BinaryEventReader,
+    BinaryTraceError, BINARY_MAGIC,
+};
 pub use builder::TraceBuilder;
 pub use event::{Event, EventId, EventKind, LockId, VarId};
-pub use io::{read_trace, write_trace, ParseTraceError};
+pub use io::{read_trace, write_source, write_trace, ParseTraceError, WriteSourceError};
+pub use source::{EventSource, SourceError, TraceSource, Validated};
 pub use stats::TraceStats;
 pub use stream::EventReader;
 pub use trace::{Trace, ValidateTraceError};

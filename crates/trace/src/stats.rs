@@ -40,6 +40,37 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Computes statistics by draining an
+    /// [`EventSource`](crate::EventSource), in constant memory:
+    /// event-kind counts accumulate per event, and the entity
+    /// counts come from the source's metadata once the stream ends.
+    ///
+    /// For a materialized trace's source this agrees exactly with
+    /// [`TraceStats::of`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports.
+    pub fn from_source<S>(source: &mut S) -> Result<Self, crate::SourceError>
+    where
+        S: crate::EventSource + ?Sized,
+    {
+        let mut stats = TraceStats::default();
+        while let Some(event) = source.next_event()? {
+            stats.events += 1;
+            match event.kind {
+                EventKind::Read(_) => stats.reads += 1,
+                EventKind::Write(_) => stats.writes += 1,
+                EventKind::Acquire(_) => stats.acquires += 1,
+                EventKind::Release(_) => stats.releases += 1,
+            }
+        }
+        stats.threads = source.threads() as usize;
+        stats.locks = source.lock_count();
+        stats.vars = source.var_count();
+        Ok(stats)
+    }
+
     /// Computes the statistics of a trace.
     pub fn of(trace: &Trace) -> Self {
         let mut stats = TraceStats {
@@ -128,5 +159,19 @@ mod tests {
     fn empty_trace_has_zero_ratio() {
         let stats = TraceBuilder::new().build().stats();
         assert_eq!(stats.sync_ratio(), 0.0);
+    }
+
+    #[test]
+    fn streaming_stats_agree_with_batch_stats() {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let l = b.lock("l");
+        b.acquire(0, l).read(0, x).release(0, l);
+        b.write(2, x);
+        b.declare_threads(6);
+        let trace = b.build();
+        let streamed = super::TraceStats::from_source(&mut trace.source()).unwrap();
+        assert_eq!(streamed, trace.stats());
+        assert_eq!(streamed.threads, 6);
     }
 }

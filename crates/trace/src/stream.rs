@@ -2,24 +2,29 @@
 //! materializing a [`Trace`](crate::Trace) in memory.
 //!
 //! [`EventReader`] parses the text format line by line, interning names
-//! and checking the locking discipline on the fly — exactly the shape a
-//! streaming detector wants. Fork/join lines are desugared to token-lock
-//! operations just like [`TraceBuilder`](crate::TraceBuilder) does.
+//! and desugaring fork/join lines to token-lock operations exactly like
+//! [`TraceBuilder`](crate::TraceBuilder) does. It implements
+//! [`EventSource`], which is how detectors and the CLI consume it; the
+//! batch [`read_trace`](crate::read_trace) is the same reader drained
+//! through [`Trace::from_source`](crate::Trace::from_source), so the two
+//! paths share one grammar ([`crate::io::Line`]) and one interner.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::io::BufRead;
 
 use freshtrack_clock::ThreadId;
 
+use crate::io::{Directive, Line, Op};
+use crate::source::{EventSource, Interner, SourceError};
 use crate::{Event, EventKind, LockId, ParseTraceError, VarId};
 
 /// A streaming reader over the text trace format.
 ///
 /// Yields `Result<Event, ParseTraceError>` items; parsing stops at the
 /// first malformed line. The reader does **not** check the locking
-/// discipline (a streaming consumer may want prefixes); run
-/// [`Trace::validate`](crate::Trace::validate) on materialized traces
-/// when that matters.
+/// discipline (a streaming consumer may want prefixes); wrap it in
+/// [`crate::Validated`] — or run [`Trace::validate`](crate::Trace::validate)
+/// on materialized traces — when that matters.
 ///
 /// # Example
 ///
@@ -35,14 +40,16 @@ use crate::{Event, EventKind, LockId, ParseTraceError, VarId};
 pub struct EventReader<R> {
     lines: std::io::Lines<std::io::BufReader<R>>,
     line_no: usize,
-    locks: HashMap<String, LockId>,
-    vars: HashMap<String, VarId>,
+    locks: Interner,
+    vars: Interner,
     /// Pending desugared events (from fork/join lines).
-    pending: std::collections::VecDeque<Event>,
+    pending: VecDeque<Event>,
     /// Fork tokens each thread must take before its next event.
-    pending_acquire: HashMap<ThreadId, Vec<LockId>>,
+    pending_acquire: std::collections::HashMap<ThreadId, Vec<LockId>>,
     /// Thread count from `#! threads` declarations.
     declared_threads: u32,
+    /// One past the highest thread id seen (events and fork children).
+    observed_threads: u32,
     failed: bool,
 }
 
@@ -52,11 +59,12 @@ impl<R: std::io::Read> EventReader<R> {
         EventReader {
             lines: std::io::BufReader::new(source).lines(),
             line_no: 0,
-            locks: HashMap::new(),
-            vars: HashMap::new(),
-            pending: std::collections::VecDeque::new(),
-            pending_acquire: HashMap::new(),
+            locks: Interner::default(),
+            vars: Interner::default(),
+            pending: VecDeque::new(),
+            pending_acquire: std::collections::HashMap::new(),
             declared_threads: 0,
+            observed_threads: 0,
             failed: false,
         }
     }
@@ -78,13 +86,15 @@ impl<R: std::io::Read> EventReader<R> {
     }
 
     fn lock(&mut self, name: &str) -> LockId {
-        let next = LockId::new(self.locks.len() as u32);
-        *self.locks.entry(name.to_owned()).or_insert(next)
+        LockId::new(self.locks.intern(name))
     }
 
     fn var(&mut self, name: &str) -> VarId {
-        let next = VarId::new(self.vars.len() as u32);
-        *self.vars.entry(name.to_owned()).or_insert(next)
+        VarId::new(self.vars.intern(name))
+    }
+
+    fn observe_thread(&mut self, tid: u32) {
+        self.observed_threads = self.observed_threads.max(tid + 1);
     }
 
     fn err(&mut self, reason: String) -> ParseTraceError {
@@ -97,6 +107,7 @@ impl<R: std::io::Read> EventReader<R> {
 
     /// Queues `tid`'s pending fork-token acquisitions, then `event`.
     fn enqueue_with_tokens(&mut self, tid: ThreadId, event: Event) {
+        self.observe_thread(tid.as_u32());
         if let Some(tokens) = self.pending_acquire.remove(&tid) {
             for token in tokens {
                 self.pending
@@ -110,17 +121,17 @@ impl<R: std::io::Read> EventReader<R> {
 
     /// Applies one `#!` declaration, interning names in declared order
     /// so streaming and batch parsing assign identical ids. The grammar
-    /// itself lives in [`crate::io::Directive`], shared with
+    /// itself lives in [`Directive`], shared with
     /// [`read_trace`](crate::read_trace).
     fn apply_directive(&mut self, directive: &str) -> Result<(), ParseTraceError> {
-        match crate::io::Directive::parse(directive) {
-            Ok(crate::io::Directive::Threads(n)) => {
+        match Directive::parse(directive) {
+            Ok(Directive::Threads(n)) => {
                 self.declared_threads = self.declared_threads.max(n);
             }
-            Ok(crate::io::Directive::Lock(name)) => {
+            Ok(Directive::Lock(name)) => {
                 self.lock(name);
             }
-            Ok(crate::io::Directive::Var(name)) => {
+            Ok(Directive::Var(name)) => {
                 self.var(name);
             }
             Err(reason) => return Err(self.err(reason)),
@@ -128,49 +139,29 @@ impl<R: std::io::Read> EventReader<R> {
         Ok(())
     }
 
-    fn parse_line(&mut self, line: &str) -> Result<(), ParseTraceError> {
-        let (thread, op) = line
-            .split_once('|')
-            .ok_or_else(|| self.err("missing `|` separator".into()))?;
-        let tid: u32 = thread
-            .trim()
-            .strip_prefix('T')
-            .ok_or_else(|| self.err("thread must look like `T0`".into()))?
-            .parse()
-            .map_err(|e| self.err(format!("bad thread index: {e}")))?;
-        let tid = ThreadId::new(tid);
-        let op = op.trim();
-        let open = op
-            .find('(')
-            .ok_or_else(|| self.err("missing `(` in operation".into()))?;
-        if !op.ends_with(')') {
-            return Err(self.err("missing `)` in operation".into()));
-        }
-        let (name, operand) = (&op[..open], op[open + 1..op.len() - 1].trim());
-        if operand.is_empty() {
-            return Err(self.err("empty operand".into()));
-        }
-        match name {
-            "r" => {
-                let v = self.var(operand);
+    /// Applies one parsed event line ([`Line`], the grammar shared with
+    /// the batch reader), enqueueing the event and any desugared
+    /// fork/join token operations.
+    fn apply_line(&mut self, line: Line<'_>) {
+        let tid = ThreadId::new(line.tid);
+        match line.op {
+            Op::Read(var) => {
+                let v = self.var(var);
                 self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Read(v)));
             }
-            "w" => {
-                let v = self.var(operand);
+            Op::Write(var) => {
+                let v = self.var(var);
                 self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Write(v)));
             }
-            "acq" => {
-                let l = self.lock(operand);
+            Op::Acquire(lock) => {
+                let l = self.lock(lock);
                 self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Acquire(l)));
             }
-            "rel" => {
-                let l = self.lock(operand);
+            Op::Release(lock) => {
+                let l = self.lock(lock);
                 self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Release(l)));
             }
-            "fork" => {
-                let child: u32 = operand
-                    .parse()
-                    .map_err(|e| self.err(format!("bad fork operand: {e}")))?;
+            Op::Fork(child) => {
                 let token = self.lock(&format!("$fork:{child}"));
                 self.enqueue_with_tokens(tid, Event::new(tid, EventKind::Acquire(token)));
                 self.pending
@@ -179,11 +170,11 @@ impl<R: std::io::Read> EventReader<R> {
                     .entry(ThreadId::new(child))
                     .or_default()
                     .push(token);
+                // A forked-but-silent child still counts as a thread,
+                // matching TraceBuilder::fork.
+                self.observe_thread(child);
             }
-            "join" => {
-                let child: u32 = operand
-                    .parse()
-                    .map_err(|e| self.err(format!("bad join operand: {e}")))?;
+            Op::Join(child) => {
                 let token = self.lock(&format!("$join:{child}"));
                 let child = ThreadId::new(child);
                 self.enqueue_with_tokens(child, Event::new(child, EventKind::Acquire(token)));
@@ -193,9 +184,7 @@ impl<R: std::io::Read> EventReader<R> {
                 self.pending
                     .push_back(Event::new(tid, EventKind::Release(token)));
             }
-            other => return Err(self.err(format!("unknown operation `{other}`"))),
         }
-        Ok(())
     }
 }
 
@@ -228,17 +217,52 @@ impl<R: std::io::Read> Iterator for EventReader<R> {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if let Err(e) = self.parse_line(line) {
-                return Some(Err(e));
+            match Line::parse(line) {
+                Ok(parsed) => self.apply_line(parsed),
+                Err(reason) => return Some(Err(self.err(reason))),
             }
         }
+    }
+}
+
+impl<R: std::io::Read> EventSource for EventReader<R> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        match self.next() {
+            None => Ok(None),
+            Some(Ok(event)) => Ok(Some(event)),
+            Some(Err(e)) => Err(e.into()),
+        }
+    }
+
+    fn declared_threads(&self) -> u32 {
+        self.declared_threads
+    }
+
+    fn observed_threads(&self) -> u32 {
+        self.observed_threads
+    }
+
+    fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn lock_name(&self, index: usize) -> &str {
+        self.locks.name(index)
+    }
+
+    fn var_name(&self, index: usize) -> &str {
+        self.vars.name(index)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{read_trace, write_trace};
+    use crate::{read_trace, write_trace, Trace};
 
     #[test]
     fn streams_the_same_events_as_batch_parsing() {
@@ -278,5 +302,34 @@ mod tests {
         let text = "# hello\n\n  \nT0|w(x)\n";
         let events: Result<Vec<_>, _> = EventReader::new(text.as_bytes()).collect();
         assert_eq!(events.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn event_source_metadata_grows_with_the_stream() {
+        let text = "#! threads 4\nT0|w(x)\nT2|acq(l)\nT2|rel(l)\n";
+        let mut reader = EventReader::new(text.as_bytes());
+        assert_eq!(EventSource::declared_threads(&reader), 0);
+        let first = reader.next_event().unwrap().unwrap();
+        assert!(matches!(first.kind, EventKind::Write(_)));
+        assert_eq!(EventSource::declared_threads(&reader), 4);
+        assert_eq!(EventSource::var_count(&reader), 1);
+        assert_eq!(reader.var_name(0), "x");
+        while reader.next_event().unwrap().is_some() {}
+        assert_eq!(reader.observed_threads(), 3);
+        assert_eq!(reader.threads(), 4);
+        assert_eq!(reader.lock_name(0), "l");
+    }
+
+    #[test]
+    fn from_source_over_the_reader_equals_read_trace() {
+        let text = "#! threads 6\n#! var quiet\nT0|w(x)\nT0|fork(2)\nT2|r(x)\n";
+        let batch = read_trace(text).unwrap();
+        let mut reader = EventReader::new(text.as_bytes());
+        let streamed = Trace::from_source(&mut reader).unwrap();
+        assert_eq!(batch.events(), streamed.events());
+        assert_eq!(batch.thread_count(), streamed.thread_count());
+        assert_eq!(batch.var_count(), streamed.var_count());
+        assert_eq!(batch.var_name(0), streamed.var_name(0));
+        assert_eq!(batch.lock_name(0), streamed.lock_name(0));
     }
 }

@@ -89,42 +89,59 @@ impl Trace {
     /// most one thread at a time, releases are performed by the holder,
     /// and acquires of a held lock do not occur.
     ///
+    /// The streaming equivalent is [`crate::Validated`], which applies
+    /// the same per-event check to any [`crate::EventSource`].
+    ///
     /// # Errors
     ///
     /// Returns the first violation found, identifying the offending event.
     pub fn validate(&self) -> Result<(), ValidateTraceError> {
-        // holder[l] = Some(t) iff lock l is currently held by thread t.
-        let mut holder: Vec<Option<ThreadId>> = vec![None; self.lock_count()];
-        for (idx, event) in self.events.iter().enumerate() {
-            match event.kind {
-                EventKind::Acquire(l) => match holder[l.index()] {
-                    Some(_) => {
-                        return Err(ValidateTraceError {
-                            event: EventId::new(idx as u64),
-                            reason: ValidateReason::AcquireHeldLock,
-                        })
-                    }
-                    None => holder[l.index()] = Some(event.tid),
-                },
-                EventKind::Release(l) => match holder[l.index()] {
-                    Some(t) if t == event.tid => holder[l.index()] = None,
-                    Some(_) => {
-                        return Err(ValidateTraceError {
-                            event: EventId::new(idx as u64),
-                            reason: ValidateReason::ReleaseByNonHolder,
-                        })
-                    }
-                    None => {
-                        return Err(ValidateTraceError {
-                            event: EventId::new(idx as u64),
-                            reason: ValidateReason::ReleaseUnheldLock,
-                        })
-                    }
-                },
-                _ => {}
-            }
+        let mut checker = DisciplineChecker::new();
+        for (idx, &event) in self.events.iter().enumerate() {
+            checker.check(EventId::new(idx as u64), event)?;
         }
         Ok(())
+    }
+}
+
+/// The incremental locking-discipline check shared by [`Trace::validate`]
+/// and the streaming [`crate::Validated`] wrapper: `O(L)` holder state,
+/// one step per event.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DisciplineChecker {
+    /// holder\[l\] = Some(t) iff lock l is currently held by thread t.
+    holder: Vec<Option<ThreadId>>,
+}
+
+impl DisciplineChecker {
+    pub(crate) fn new() -> Self {
+        DisciplineChecker::default()
+    }
+
+    /// Applies one event; fails on the first discipline violation.
+    pub(crate) fn check(&mut self, id: EventId, event: Event) -> Result<(), ValidateTraceError> {
+        let Some(l) = event.kind.lock() else {
+            return Ok(());
+        };
+        if l.index() >= self.holder.len() {
+            self.holder.resize(l.index() + 1, None);
+        }
+        let slot = &mut self.holder[l.index()];
+        let reason = match (event.kind, &slot) {
+            (EventKind::Acquire(_), None) => {
+                *slot = Some(event.tid);
+                return Ok(());
+            }
+            (EventKind::Acquire(_), Some(_)) => ValidateReason::AcquireHeldLock,
+            (EventKind::Release(_), Some(t)) if *t == event.tid => {
+                *slot = None;
+                return Ok(());
+            }
+            (EventKind::Release(_), Some(_)) => ValidateReason::ReleaseByNonHolder,
+            (EventKind::Release(_), None) => ValidateReason::ReleaseUnheldLock,
+            _ => unreachable!("kind.lock() filtered to sync events"),
+        };
+        Err(ValidateTraceError { event: id, reason })
     }
 }
 

@@ -1,10 +1,26 @@
-//! Round-trip tests for the text trace format over *generated
-//! workloads*: `write_trace` → `read_trace` is the identity on every
+//! Cross-format round-trip tests: the text format and the binary
+//! (`.ftb`) format are both *identities* under `read ∘ write`, on every
 //! pattern the workload generator produces (fork/join desugaring, token
-//! locks, many threads), not just on fuzzed builder traces.
+//! locks, many threads) **and** on arbitrary fuzzed builder traces —
+//! and converting between the formats never changes the trace.
+//!
+//! The matrix each trace goes through:
+//!
+//! * text:   `read_trace(write_trace(t)) == t` (plus normal-form
+//!   idempotence of the writer),
+//! * binary: `read_trace_binary(write_trace_binary(t)) == t`,
+//! * cross:  text → binary → text and binary → text → binary are both
+//!   identities (streamed through the lazy converters, not
+//!   re-materialized),
+//! * stream: decoding the binary event by event yields exactly the
+//!   batch decoding.
 
-use freshtrack_trace::{read_trace, write_trace, Trace};
+use freshtrack_trace::{
+    read_trace, read_trace_binary, write_source, write_source_binary, write_trace,
+    write_trace_binary, BinaryEventReader, Event, EventReader, EventSource, Trace, TraceBuilder,
+};
 use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
+use proptest::prelude::*;
 
 const PATTERNS: [Pattern; 6] = [
     Pattern::Mixed,
@@ -15,35 +31,69 @@ const PATTERNS: [Pattern; 6] = [
     Pattern::LockLadder,
 ];
 
+fn assert_traces_equal(label: &str, a: &Trace, b: &Trace) {
+    assert_eq!(a.len(), b.len(), "[{label}] length");
+    assert_eq!(a.events(), b.events(), "[{label}] events");
+    assert_eq!(a.thread_count(), b.thread_count(), "[{label}] threads");
+    assert_eq!(a.lock_count(), b.lock_count(), "[{label}] locks");
+    assert_eq!(a.var_count(), b.var_count(), "[{label}] vars");
+    for v in 0..a.var_count() {
+        assert_eq!(a.var_name(v), b.var_name(v), "[{label}] var {v}");
+    }
+    for l in 0..a.lock_count() {
+        assert_eq!(a.lock_name(l), b.lock_name(l), "[{label}] lock {l}");
+    }
+    assert_eq!(a.stats(), b.stats(), "[{label}] stats");
+}
+
 fn assert_identity_roundtrip(label: &str, trace: &Trace) {
+    // Text: read ∘ write = id, and the writer is a normal form.
     let text = write_trace(trace);
     let parsed = read_trace(&text).unwrap_or_else(|e| panic!("[{label}] reparse failed: {e:?}"));
-
-    // Event streams are identical, position by position.
-    assert_eq!(trace.len(), parsed.len(), "[{label}] length");
-    assert_eq!(trace.events(), parsed.events(), "[{label}] events");
-
-    // Entity tables survive: counts and names.
-    assert_eq!(trace.thread_count(), parsed.thread_count(), "[{label}]");
-    assert_eq!(trace.lock_count(), parsed.lock_count(), "[{label}]");
-    assert_eq!(trace.var_count(), parsed.var_count(), "[{label}]");
-    for v in 0..trace.var_count() {
-        assert_eq!(trace.var_name(v), parsed.var_name(v), "[{label}] var {v}");
-    }
-    for l in 0..trace.lock_count() {
-        assert_eq!(
-            trace.lock_name(l),
-            parsed.lock_name(l),
-            "[{label}] lock {l}"
-        );
-    }
-
-    // The writer is a normal form, and validity survives the trip.
+    assert_traces_equal(&format!("{label}/text"), trace, &parsed);
     assert_eq!(text, write_trace(&parsed), "[{label}] normal form");
     assert!(parsed.validate().is_ok(), "[{label}] validity");
 
-    // Derived statistics are a function of the events alone.
-    assert_eq!(trace.stats(), parsed.stats(), "[{label}] stats");
+    // Binary: read ∘ write = id, same entity-table guarantees.
+    let mut bytes = Vec::new();
+    write_trace_binary(trace, &mut bytes).expect("in-memory write");
+    let decoded = read_trace_binary(&bytes)
+        .unwrap_or_else(|e| panic!("[{label}] binary decode failed: {e:?}"));
+    assert_traces_equal(&format!("{label}/binary"), trace, &decoded);
+
+    // Cross-format, streamed through the converters (never
+    // re-materialized): text → binary → text reproduces the normal
+    // form byte for byte, binary → text → binary likewise.
+    let mut bin_from_text = Vec::new();
+    write_source_binary(&mut EventReader::new(text.as_bytes()), &mut bin_from_text)
+        .unwrap_or_else(|e| panic!("[{label}] text→binary failed: {e}"));
+    let mut text_again = Vec::new();
+    write_source(
+        &mut BinaryEventReader::new(&bin_from_text[..]).expect("magic"),
+        &mut text_again,
+    )
+    .unwrap_or_else(|e| panic!("[{label}] binary→text failed: {e}"));
+    assert_eq!(
+        text,
+        String::from_utf8(text_again).expect("utf8"),
+        "[{label}] text→binary→text"
+    );
+    assert_traces_equal(
+        &format!("{label}/cross"),
+        trace,
+        &read_trace_binary(&bin_from_text).expect("cross decode"),
+    );
+
+    // Streaming the binary event by event matches batch decoding.
+    let mut reader = BinaryEventReader::new(&bytes[..]).expect("magic");
+    let mut streamed: Vec<Event> = Vec::new();
+    while let Some(event) = reader.next_event().expect("stream decode") {
+        streamed.push(event);
+    }
+    assert_eq!(trace.events(), &streamed[..], "[{label}] streamed events");
+    assert_eq!(reader.threads(), trace.thread_count() as u32, "[{label}]");
+    assert_eq!(reader.lock_count(), trace.lock_count(), "[{label}]");
+    assert_eq!(reader.var_count(), trace.var_count(), "[{label}]");
 }
 
 #[test]
@@ -82,4 +132,140 @@ fn corpus_and_benchbase_shaped_configs_roundtrip() {
 fn empty_trace_roundtrips() {
     let trace = generate(&WorkloadConfig::named("empty").events(0));
     assert_identity_roundtrip("empty", &trace);
+}
+
+#[test]
+fn wide_operand_spaces_roundtrip() {
+    // Operand ids beyond the binary format's inline window (0..=28) and
+    // a sparse, large thread space.
+    let mut b = TraceBuilder::new();
+    let vars: Vec<_> = (0..100).map(|v| b.var(&format!("wide-var-{v}"))).collect();
+    let locks: Vec<_> = (0..40).map(|l| b.lock(&format!("wide-lock-{l}"))).collect();
+    for i in 0..200u32 {
+        let t = (i * 37) % 300;
+        b.acquire(t, locks[(i as usize * 7) % locks.len()]);
+        b.write(t, vars[(i as usize * 13) % vars.len()]);
+        b.release(t, locks[(i as usize * 7) % locks.len()]);
+    }
+    let trace = b.build();
+    assert_identity_roundtrip("wide-operands", &trace);
+}
+
+/// Raw fuel interpreted into a valid trace (same scheme as the core
+/// crate's equivalence tests): arbitrary builder traces with fork/join,
+/// silent declared threads, and odd-but-legal name usage.
+fn build_fuel_trace(fuel: &[(u8, u8, u8)], threads: u8, locks: u8, vars: u8) -> Trace {
+    let mut b = TraceBuilder::new();
+    let var_ids: Vec<_> = (0..vars).map(|v| b.var(&format!("v{v}"))).collect();
+    let lock_ids: Vec<_> = (0..locks).map(|l| b.lock(&format!("m{l}"))).collect();
+    let mut holder: Vec<Option<u8>> = vec![None; locks as usize];
+    let mut forked: Vec<bool> = vec![false; threads as usize];
+
+    for &(t, action, operand) in fuel {
+        let t = t % threads;
+        match action % 6 {
+            0 => {
+                let l = (operand % locks) as usize;
+                if holder[l].is_none() {
+                    holder[l] = Some(t);
+                    b.acquire(t as u32, lock_ids[l]);
+                } else {
+                    b.read(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            1 => {
+                if let Some(l) = holder.iter().position(|&h| h == Some(t)) {
+                    holder[l] = None;
+                    b.release(t as u32, lock_ids[l]);
+                } else {
+                    b.write(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            2 => {
+                b.read(t as u32, var_ids[(operand % vars) as usize]);
+            }
+            3 => {
+                b.write(t as u32, var_ids[(operand % vars) as usize]);
+            }
+            4 => {
+                let child = operand % threads;
+                if child != t && !forked[child as usize] {
+                    forked[child as usize] = true;
+                    b.fork(t as u32, child as u32);
+                } else {
+                    b.read(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+            _ => {
+                let child = operand % threads;
+                if child != t && forked[child as usize] {
+                    forked[child as usize] = false;
+                    b.join(t as u32, child as u32);
+                } else {
+                    b.write(t as u32, var_ids[(operand % vars) as usize]);
+                }
+            }
+        }
+    }
+    if fuel.first().map(|&(t, _, _)| t % 2 == 0).unwrap_or(false) {
+        // Half the cases carry a silent declared-thread surplus, so the
+        // round trips must preserve thread counts events alone cannot.
+        b.declare_threads(threads as u32 + 3);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The full conformance matrix (text, binary, cross-format,
+    /// streamed decode) over arbitrary fuzzed builder traces.
+    #[test]
+    fn arbitrary_traces_roundtrip_across_formats(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..200),
+    ) {
+        let trace = build_fuel_trace(&fuel, 5, 4, 3);
+        assert_identity_roundtrip("fuzz", &trace);
+    }
+
+    /// Streaming a binary file event-by-event through `next_event`
+    /// yields exactly the batch decoding — metadata included — even
+    /// when the binary was produced by the *lazy* writer (interleaved
+    /// definition records) rather than the full-header writer.
+    #[test]
+    fn lazy_and_batch_binary_encodings_decode_identically(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..150),
+    ) {
+        let trace = build_fuel_trace(&fuel, 4, 3, 3);
+        // Batch encoding: full header first.
+        let mut batch_bytes = Vec::new();
+        write_trace_binary(&trace, &mut batch_bytes).expect("in-memory write");
+        // Lazy encoding: headerless text streamed through the binary
+        // writer, so definitions interleave with events.
+        let headerless: String = write_trace(&trace)
+            .lines()
+            .filter(|l| !l.starts_with("#!"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let mut lazy_bytes = Vec::new();
+        write_source_binary(&mut EventReader::new(headerless.as_bytes()), &mut lazy_bytes)
+            .expect("lazy encode");
+        let batch = read_trace_binary(&batch_bytes).expect("batch decode");
+        let lazy = read_trace_binary(&lazy_bytes).expect("lazy decode");
+        prop_assert_eq!(trace.events(), batch.events());
+        // The headerless re-encoding interns ids in first-use order, so
+        // ids may be renamed — but the *name-resolved* event streams
+        // must be identical.
+        prop_assert_eq!(batch.len(), lazy.len());
+        for (a, b) in batch.events().iter().zip(lazy.events()) {
+            prop_assert_eq!(a.tid, b.tid);
+            let resolve = |t: &Trace, e: &freshtrack_trace::Event| match e.kind {
+                freshtrack_trace::EventKind::Read(v) => format!("r:{}", t.var_name(v.index())),
+                freshtrack_trace::EventKind::Write(v) => format!("w:{}", t.var_name(v.index())),
+                freshtrack_trace::EventKind::Acquire(l) => format!("a:{}", t.lock_name(l.index())),
+                freshtrack_trace::EventKind::Release(l) => format!("q:{}", t.lock_name(l.index())),
+            };
+            prop_assert_eq!(resolve(&batch, a), resolve(&lazy, b));
+        }
+    }
 }

@@ -35,10 +35,23 @@ impl CorpusBenchmark {
     ///
     /// `scale` multiplies the event count (1.0 = the corpus default).
     pub fn trace(&self, scale: f64, seed: u64) -> Trace {
+        generate(&self.scaled(scale, seed))
+    }
+
+    /// Streams the benchmark as a lazy
+    /// [`EventSource`](freshtrack_trace::EventSource) — event-identical
+    /// to [`trace`](CorpusBenchmark::trace), but mixed-pattern
+    /// benchmarks never materialize the event vector, so scale is
+    /// bounded by runtime rather than memory.
+    pub fn stream(&self, scale: f64, seed: u64) -> crate::WorkloadSource {
+        crate::stream(&self.scaled(scale, seed))
+    }
+
+    fn scaled(&self, scale: f64, seed: u64) -> WorkloadConfig {
         let mut config = self.config.clone();
         config.n_events = ((config.n_events as f64) * scale).max(100.0) as usize;
         config.rng_seed = seed;
-        generate(&config)
+        config
     }
 }
 

@@ -1,9 +1,7 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use freshtrack_trace::{LockId, Trace, TraceBuilder, VarId};
+use freshtrack_trace::Trace;
 
 use crate::patterns;
+use crate::stream::MixedSource;
 
 /// The structural pattern a generated workload follows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -153,122 +151,18 @@ impl WorkloadConfig {
 ///
 /// The output always satisfies the locking discipline
 /// ([`Trace::validate`] succeeds) and is a deterministic function of the
-/// config.
+/// config. For the mixed pattern this materializes the lazy
+/// [`MixedSource`] event stream — [`crate::stream`] exposes the same
+/// events without ever building the vector.
 pub fn generate(config: &WorkloadConfig) -> Trace {
     match config.pattern {
-        Pattern::Mixed => generate_mixed(config),
+        Pattern::Mixed => Trace::from_source(&mut MixedSource::new(config))
+            .expect("workload generation is infallible"),
         Pattern::ProducerConsumer => patterns::producer_consumer(config),
         Pattern::Pipeline => patterns::pipeline(config),
         Pattern::ForkJoin => patterns::fork_join(config),
         Pattern::BarrierPhases => patterns::barrier_phases(config),
         Pattern::LockLadder => patterns::lock_ladder(config),
-    }
-}
-
-/// Per-thread state of the mixed-pattern scheduler.
-struct ThreadSim {
-    /// Locks currently held (indices into the lock table), newest last.
-    held: Vec<usize>,
-    /// Remaining accesses inside the current critical section.
-    section_left: u32,
-    /// The lock this thread used most recently (locality target).
-    last_lock: usize,
-}
-
-fn generate_mixed(config: &WorkloadConfig) -> Trace {
-    let mut rng = StdRng::seed_from_u64(config.rng_seed);
-    let mut b = TraceBuilder::new();
-    let vars: Vec<VarId> = (0..config.n_vars)
-        .map(|v| b.var(&format!("x{v}")))
-        .collect();
-    let locks: Vec<LockId> = (0..config.n_locks)
-        .map(|l| b.lock(&format!("l{l}")))
-        .collect();
-    let hot = (config.n_vars as usize / 16).max(1);
-
-    let mut holder: Vec<Option<u32>> = vec![None; locks.len()];
-    let mut threads: Vec<ThreadSim> = (0..config.n_threads)
-        .map(|t| ThreadSim {
-            held: Vec::new(),
-            section_left: 0,
-            last_lock: (t as usize) % locks.len(),
-        })
-        .collect();
-
-    while b.len() < config.n_events {
-        let t = rng.gen_range(0..config.n_threads);
-        let sim = &mut threads[t as usize];
-
-        if sim.section_left > 0 && !sim.held.is_empty() {
-            // Inside a critical section: access protected data.
-            sim.section_left -= 1;
-            let var = pick_var(&mut rng, config, hot, &vars);
-            if rng.gen_bool(config.write_fraction) {
-                b.write(t, var);
-            } else {
-                b.read(t, var);
-            }
-            if sim.section_left == 0 {
-                let l = sim.held.pop().expect("section implies a held lock");
-                holder[l] = None;
-                b.release(t, locks[l]);
-            }
-            continue;
-        }
-
-        if rng.gen_bool(config.unprotected_fraction) {
-            // An unprotected access (the race-prone portion).
-            let var = pick_var(&mut rng, config, hot, &vars);
-            if rng.gen_bool(config.write_fraction) {
-                b.write(t, var);
-            } else {
-                b.read(t, var);
-            }
-            continue;
-        }
-
-        // Try to start a critical section. Lock choice honours locality.
-        let l = if rng.gen_bool(config.lock_locality) {
-            sim.last_lock
-        } else {
-            rng.gen_range(0..locks.len())
-        };
-        if holder[l].is_none() {
-            holder[l] = Some(t);
-            sim.held.push(l);
-            sim.last_lock = l;
-            // Section length derived from the target sync ratio: a
-            // section of k accesses contributes 2 sync events, so
-            // k ≈ 2·(1−r)/r accesses per acquire/release pair.
-            let r = config.sync_ratio.max(0.01);
-            let mean = (2.0 * (1.0 - r) / r).max(0.5);
-            let len = rng.gen_range(1..=(2.0 * mean).ceil() as u32 + 1);
-            sim.section_left = len;
-            b.acquire(t, locks[l]);
-        } else {
-            // Lock busy: do an unprotected-but-benign read of a private
-            // location instead (models spinning/other work).
-            let var = vars[(t as usize * 31 + l) % vars.len()];
-            b.read(t, var);
-        }
-    }
-
-    // Close any open critical sections so the trace also works as a
-    // complete execution (validate() accepts prefixes anyway).
-    for (t, sim) in threads.iter_mut().enumerate() {
-        while let Some(l) = sim.held.pop() {
-            holder[l] = None;
-            b.release(t as u32, locks[l]);
-        }
-    }
-    b.build()
-}
-
-fn pick_var(rng: &mut StdRng, config: &WorkloadConfig, hot: usize, vars: &[VarId]) -> VarId {
-    if rng.gen_bool(config.hot_fraction) {
-        vars[rng.gen_range(0..hot)]
-    } else {
-        vars[rng.gen_range(0..vars.len())]
     }
 }
 

@@ -9,6 +9,10 @@
 //!   generator covering the axes that drive the paper's results: thread
 //!   count, lock count and reuse, sync/access ratio, write fraction, hot
 //!   locations, and the fraction of unprotected (race-prone) accesses.
+//!   [`stream`] exposes the same events as a lazy
+//!   [`EventSource`](freshtrack_trace::EventSource), so corpus-scale
+//!   traces can be generated, analyzed and serialized without ever
+//!   materializing the event vector.
 //! * [`patterns`] — structured generators (producer/consumer, pipeline,
 //!   barrier phases, fork/join, and the paper's Fig. 1 lock ladder).
 //! * [`corpus`] — 26 named configurations shaped after the RAPID
@@ -37,7 +41,9 @@ pub mod benchbase;
 pub mod corpus;
 mod gen;
 pub mod patterns;
+mod stream;
 
 pub use benchbase::DbWorkload;
 pub use corpus::CorpusBenchmark;
 pub use gen::{generate, Pattern, WorkloadConfig};
+pub use stream::{stream, MixedSource, WorkloadSource};

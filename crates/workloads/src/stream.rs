@@ -1,0 +1,409 @@
+//! Lazy workload generation: an [`EventSource`] that *generates* events
+//! on demand instead of materializing them.
+//!
+//! [`MixedSource`] is the mixed-pattern scheduler of
+//! [`generate`](crate::generate) restructured as a pull-based state
+//! machine: the same RNG, the same decision sequence, the same events —
+//! `Trace::from_source(MixedSource::new(c))` *is*
+//! [`generate(c)`](crate::generate) for the mixed pattern (and is how
+//! `generate` is implemented). Because nothing is buffered beyond one
+//! pending event, a corpus-scale trace can be generated, analyzed, and
+//! serialized in constant memory — generation, detection
+//! ([`Detector::run_source`](freshtrack_core), via the seam in
+//! `freshtrack-trace`) and the binary writer compose without ever
+//! holding the event vector.
+//!
+//! The structured patterns (producer/consumer, pipeline, fork/join,
+//! barrier phases, lock ladder) are builder-driven and bounded by
+//! construction; [`stream`] materializes those internally and wraps
+//! them in an owning trace source, so every pattern exposes the same
+//! [`WorkloadSource`] interface while the unbounded "server" shape —
+//! the one the corpus stand-ins scale — streams truly lazily.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use freshtrack_trace::{
+    Event, EventKind, EventSource, LockId, SourceError, ThreadId, Trace, TraceSource, VarId,
+};
+
+use crate::{generate, Pattern, WorkloadConfig};
+
+/// Per-thread state of the mixed-pattern scheduler.
+#[derive(Clone, Debug)]
+struct ThreadSim {
+    /// Locks currently held (indices into the lock table), newest last.
+    held: Vec<usize>,
+    /// Remaining accesses inside the current critical section.
+    section_left: u32,
+    /// The lock this thread used most recently (locality target).
+    last_lock: usize,
+}
+
+/// The mixed-pattern workload generator as a lazy [`EventSource`].
+///
+/// Deterministic in the config (seed included) and event-for-event
+/// identical to [`generate`](crate::generate) with
+/// [`Pattern::Mixed`] — enforced by the `stream_matches_generate`
+/// tests and used as `generate`'s implementation.
+#[derive(Clone, Debug)]
+pub struct MixedSource {
+    rng: StdRng,
+    n_threads: u32,
+    n_locks: usize,
+    n_vars: usize,
+    n_events: usize,
+    sync_ratio: f64,
+    write_fraction: f64,
+    lock_locality: f64,
+    hot_fraction: f64,
+    unprotected_fraction: f64,
+    hot: usize,
+    lock_names: Vec<String>,
+    var_names: Vec<String>,
+    holder: Vec<Option<u32>>,
+    threads: Vec<ThreadSim>,
+    /// Events created so far (the builder's `len()` in the batch shape).
+    produced: usize,
+    /// Second event of a two-event step (access + closing release).
+    pending: Option<Event>,
+    /// Next thread to drain during the close-out phase.
+    close_cursor: usize,
+    observed_threads: u32,
+}
+
+impl MixedSource {
+    /// Creates a lazy generator for the mixed pattern of `config`.
+    ///
+    /// The `pattern` field of the config is ignored — this *is* the
+    /// mixed pattern; use [`stream`] to dispatch on it.
+    pub fn new(config: &WorkloadConfig) -> Self {
+        let n_vars = config.n_vars as usize;
+        let n_locks = config.n_locks as usize;
+        MixedSource {
+            rng: StdRng::seed_from_u64(config.rng_seed),
+            n_threads: config.n_threads,
+            n_locks,
+            n_vars,
+            n_events: config.n_events,
+            sync_ratio: config.sync_ratio,
+            write_fraction: config.write_fraction,
+            lock_locality: config.lock_locality,
+            hot_fraction: config.hot_fraction,
+            unprotected_fraction: config.unprotected_fraction,
+            hot: (n_vars / 16).max(1),
+            lock_names: (0..n_locks).map(|l| format!("l{l}")).collect(),
+            var_names: (0..n_vars).map(|v| format!("x{v}")).collect(),
+            holder: vec![None; n_locks],
+            threads: (0..config.n_threads)
+                .map(|t| ThreadSim {
+                    held: Vec::new(),
+                    section_left: 0,
+                    last_lock: (t as usize) % n_locks,
+                })
+                .collect(),
+            produced: 0,
+            pending: None,
+            close_cursor: 0,
+            observed_threads: 0,
+        }
+    }
+
+    fn emit(&mut self, tid: u32, kind: EventKind) -> Event {
+        self.produced += 1;
+        self.observed_threads = self.observed_threads.max(tid + 1);
+        Event::new(ThreadId::new(tid), kind)
+    }
+
+    /// One variable choice, honouring the hot-set fraction. RNG call
+    /// order matches the batch generator exactly.
+    fn pick_var(&mut self) -> VarId {
+        let idx = if self.rng.gen_bool(self.hot_fraction) {
+            self.rng.gen_range(0..self.hot)
+        } else {
+            self.rng.gen_range(0..self.n_vars)
+        };
+        VarId::new(idx as u32)
+    }
+
+    fn pick_access(&mut self, var: VarId) -> EventKind {
+        if self.rng.gen_bool(self.write_fraction) {
+            EventKind::Write(var)
+        } else {
+            EventKind::Read(var)
+        }
+    }
+
+    /// One scheduler step: picks a thread and produces its next one or
+    /// two events (an access that ends a critical section also emits
+    /// the release). Returns the first; a second waits in `pending`.
+    fn step(&mut self) -> Event {
+        let t = self.rng.gen_range(0..self.n_threads);
+        let ti = t as usize;
+
+        if self.threads[ti].section_left > 0 && !self.threads[ti].held.is_empty() {
+            // Inside a critical section: access protected data.
+            self.threads[ti].section_left -= 1;
+            let var = self.pick_var();
+            let kind = self.pick_access(var);
+            let first = self.emit(t, kind);
+            if self.threads[ti].section_left == 0 {
+                let l = self.threads[ti]
+                    .held
+                    .pop()
+                    .expect("section implies a held lock");
+                self.holder[l] = None;
+                self.pending = Some(self.emit(t, EventKind::Release(LockId::new(l as u32))));
+            }
+            return first;
+        }
+
+        if self.rng.gen_bool(self.unprotected_fraction) {
+            // An unprotected access (the race-prone portion).
+            let var = self.pick_var();
+            let kind = self.pick_access(var);
+            return self.emit(t, kind);
+        }
+
+        // Try to start a critical section. Lock choice honours locality.
+        let l = if self.rng.gen_bool(self.lock_locality) {
+            self.threads[ti].last_lock
+        } else {
+            self.rng.gen_range(0..self.n_locks)
+        };
+        if self.holder[l].is_none() {
+            self.holder[l] = Some(t);
+            self.threads[ti].held.push(l);
+            self.threads[ti].last_lock = l;
+            // Section length derived from the target sync ratio: a
+            // section of k accesses contributes 2 sync events, so
+            // k ≈ 2·(1−r)/r accesses per acquire/release pair.
+            let r = self.sync_ratio.max(0.01);
+            let mean = (2.0 * (1.0 - r) / r).max(0.5);
+            let len = self.rng.gen_range(1..=(2.0 * mean).ceil() as u32 + 1);
+            self.threads[ti].section_left = len;
+            self.emit(t, EventKind::Acquire(LockId::new(l as u32)))
+        } else {
+            // Lock busy: do an unprotected-but-benign read of a private
+            // location instead (models spinning/other work).
+            let var = VarId::new(((ti * 31 + l) % self.n_vars) as u32);
+            self.emit(t, EventKind::Read(var))
+        }
+    }
+
+    /// Closes any open critical sections so the stream also works as a
+    /// complete execution, one release per pull.
+    fn close_out(&mut self) -> Option<Event> {
+        while self.close_cursor < self.threads.len() {
+            if let Some(l) = self.threads[self.close_cursor].held.pop() {
+                self.holder[l] = None;
+                let t = self.close_cursor as u32;
+                return Some(self.emit(t, EventKind::Release(LockId::new(l as u32))));
+            }
+            self.close_cursor += 1;
+        }
+        None
+    }
+}
+
+impl EventSource for MixedSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        if let Some(event) = self.pending.take() {
+            return Ok(Some(event));
+        }
+        if self.produced >= self.n_events {
+            return Ok(self.close_out());
+        }
+        Ok(Some(self.step()))
+    }
+
+    fn declared_threads(&self) -> u32 {
+        // Threads are observed from events, matching TraceBuilder: a
+        // config thread that never gets scheduled is not in the trace.
+        0
+    }
+
+    fn observed_threads(&self) -> u32 {
+        self.observed_threads
+    }
+
+    fn lock_count(&self) -> usize {
+        self.lock_names.len()
+    }
+
+    fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    fn lock_name(&self, index: usize) -> &str {
+        &self.lock_names[index]
+    }
+
+    fn var_name(&self, index: usize) -> &str {
+        &self.var_names[index]
+    }
+}
+
+/// A workload as an [`EventSource`]: lazily generated where the pattern
+/// supports it, materialized-and-wrapped where it does not.
+#[derive(Debug)]
+pub enum WorkloadSource {
+    /// The mixed pattern, generated event by event in constant memory.
+    Mixed(MixedSource),
+    /// A structured pattern, generated eagerly and streamed from the
+    /// materialized trace.
+    Materialized(TraceSource<Trace>),
+}
+
+/// Streams a workload configuration as an [`EventSource`].
+///
+/// [`Pattern::Mixed`] — the unbounded "server" shape the corpus
+/// stand-ins scale — is generated lazily; the structured patterns are
+/// builder-driven and bounded, so they are generated eagerly and
+/// wrapped. Either way the stream is event-identical to
+/// [`generate`](crate::generate) with the same config.
+pub fn stream(config: &WorkloadConfig) -> WorkloadSource {
+    match config.pattern {
+        Pattern::Mixed => WorkloadSource::Mixed(MixedSource::new(config)),
+        _ => WorkloadSource::Materialized(generate(config).into_source()),
+    }
+}
+
+impl EventSource for WorkloadSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        match self {
+            WorkloadSource::Mixed(s) => s.next_event(),
+            WorkloadSource::Materialized(s) => s.next_event(),
+        }
+    }
+
+    fn declared_threads(&self) -> u32 {
+        match self {
+            WorkloadSource::Mixed(s) => s.declared_threads(),
+            WorkloadSource::Materialized(s) => s.declared_threads(),
+        }
+    }
+
+    fn observed_threads(&self) -> u32 {
+        match self {
+            WorkloadSource::Mixed(s) => s.observed_threads(),
+            WorkloadSource::Materialized(s) => s.observed_threads(),
+        }
+    }
+
+    fn lock_count(&self) -> usize {
+        match self {
+            WorkloadSource::Mixed(s) => s.lock_count(),
+            WorkloadSource::Materialized(s) => s.lock_count(),
+        }
+    }
+
+    fn var_count(&self) -> usize {
+        match self {
+            WorkloadSource::Mixed(s) => s.var_count(),
+            WorkloadSource::Materialized(s) => s.var_count(),
+        }
+    }
+
+    fn lock_name(&self, index: usize) -> &str {
+        match self {
+            WorkloadSource::Mixed(s) => s.lock_name(index),
+            WorkloadSource::Materialized(s) => s.lock_name(index),
+        }
+    }
+
+    fn var_name(&self, index: usize) -> &str {
+        match self {
+            WorkloadSource::Mixed(s) => s.var_name(index),
+            WorkloadSource::Materialized(s) => s.var_name(index),
+        }
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        match self {
+            WorkloadSource::Mixed(_) => None,
+            WorkloadSource::Materialized(s) => s.remaining_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_stream_matches_generate(config: &WorkloadConfig) {
+        let batch = generate(config);
+        let streamed = Trace::from_source(&mut stream(config)).expect("generation is infallible");
+        assert_eq!(batch.events(), streamed.events(), "{}", config.name);
+        assert_eq!(batch.thread_count(), streamed.thread_count());
+        assert_eq!(batch.lock_count(), streamed.lock_count());
+        assert_eq!(batch.var_count(), streamed.var_count());
+        for v in 0..batch.var_count() {
+            assert_eq!(batch.var_name(v), streamed.var_name(v));
+        }
+        for l in 0..batch.lock_count() {
+            assert_eq!(batch.lock_name(l), streamed.lock_name(l));
+        }
+    }
+
+    #[test]
+    fn mixed_stream_is_event_identical_to_generate() {
+        for seed in [0u64, 7, 123_456] {
+            assert_stream_matches_generate(
+                &WorkloadConfig::named("lazy")
+                    .events(4_000)
+                    .threads(6)
+                    .unprotected(0.05)
+                    .seed(seed),
+            );
+        }
+        // Config extremes: sync-heavy, hot-set, tiny.
+        assert_stream_matches_generate(&WorkloadConfig::named("sync").sync_ratio(0.8).seed(3));
+        assert_stream_matches_generate(
+            &WorkloadConfig::named("hot")
+                .vars(4)
+                .hot_fraction(0.9)
+                .seed(5),
+        );
+        assert_stream_matches_generate(&WorkloadConfig::named("tiny").events(7).seed(1));
+    }
+
+    #[test]
+    fn every_pattern_streams_identically() {
+        for pattern in [
+            Pattern::Mixed,
+            Pattern::ProducerConsumer,
+            Pattern::Pipeline,
+            Pattern::ForkJoin,
+            Pattern::BarrierPhases,
+            Pattern::LockLadder,
+        ] {
+            assert_stream_matches_generate(
+                &WorkloadConfig::named("p")
+                    .events(1_500)
+                    .threads(4)
+                    .pattern(pattern)
+                    .seed(11),
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_stream_closes_critical_sections() {
+        let config = WorkloadConfig::named("close").events(999).seed(2);
+        let trace = Trace::from_source(&mut stream(&config)).unwrap();
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        assert_eq!(stats.acquires, stats.releases, "all sections closed");
+    }
+
+    #[test]
+    fn mixed_metadata_is_complete_upfront() {
+        let config = WorkloadConfig::named("meta").vars(10).locks(3);
+        let source = MixedSource::new(&config);
+        assert_eq!(source.var_count(), 10);
+        assert_eq!(source.lock_count(), 3);
+        assert_eq!(source.var_name(9), "x9");
+        assert_eq!(source.lock_name(0), "l0");
+    }
+}
