@@ -52,6 +52,16 @@
 //! ```text
 //! record_baseline --trace-io --out BENCH_trace_io.json
 //! ```
+//!
+//! A fifth mode, `--segments`, measures the **segmented `.ftb` v2
+//! store**: v2 vs v1 encode throughput and size overhead, the
+//! footer-seek open latency, and checkpointed parallel replay
+//! (`analyze_segments`, jobs ∈ {1, 2}) against the sequential pass over
+//! the same bytes — with report parity asserted every round:
+//!
+//! ```text
+//! record_baseline --segments --out BENCH_segments.json
+//! ```
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -830,6 +840,167 @@ fn run_trace_io(out_path: Option<String>) {
     }
 }
 
+/// The `--segments` mode: cost and payoff of the segmented `.ftb` v2
+/// store against flat v1 — encode throughput and size overhead, the
+/// footer-seek open latency, and checkpointed parallel replay
+/// ([`freshtrack_core::analyze_segments`]) at jobs ∈ {1, 2} against the sequential
+/// streaming pass over the *same* v2 bytes. All points interleave
+/// rounds (fastest kept) in one invocation, and the replay points
+/// cross-check report parity every round — a benchmark that would
+/// happily time a wrong answer is worthless.
+/// `FT_TRACE_BENCH`/`FT_TRACE_SCALE`/`FT_ROUNDS` as in `--trace-io`.
+fn run_segments(out_path: Option<String>) {
+    use freshtrack_core::analyze_segments;
+    use freshtrack_trace::{write_trace_binary_v2, SegmentOptions, SegmentedTraceFile, Validated};
+
+    let bench_name = std::env::var("FT_TRACE_BENCH").unwrap_or_else(|_| "derby".to_owned());
+    let scale = std::env::var("FT_TRACE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0f64);
+    let rounds = env_or("FT_ROUNDS", 5u32).max(1);
+    let bench = corpus::by_name(&bench_name)
+        .unwrap_or_else(|| panic!("unknown corpus benchmark `{bench_name}`"));
+    let trace = bench.trace(scale, 0);
+    let events = trace.len() as f64;
+    let sampler = BernoulliSampler::new(0.03, 7);
+
+    let mut v1 = Vec::new();
+    write_trace_binary(&trace, &mut v1).expect("in-memory write");
+    let options = SegmentOptions::default();
+    let mut v2 = Vec::new();
+    write_trace_binary_v2(&trace, &mut v2, &options).expect("in-memory write");
+    let segment_count = SegmentedTraceFile::open(std::io::Cursor::new(&v2[..]))
+        .expect("fresh v2 bytes")
+        .segment_count();
+
+    let expected = OrderedListDetector::new(sampler)
+        .run_source(&mut Validated::new(
+            BinaryEventReader::new(&v2[..]).expect("magic"),
+        ))
+        .expect("well-formed trace");
+
+    type Op<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
+    let mut ops: Vec<Op> = vec![
+        (
+            "v1_encode",
+            Box::new(|| {
+                let mut out = Vec::with_capacity(v1.len());
+                write_trace_binary(&trace, &mut out).expect("in-memory write");
+                black_box(out).len()
+            }),
+        ),
+        (
+            "v2_encode",
+            Box::new(|| {
+                let mut out = Vec::with_capacity(v2.len());
+                write_trace_binary_v2(&trace, &mut out, &options).expect("in-memory write");
+                black_box(out).len()
+            }),
+        ),
+        (
+            "sequential_replay",
+            Box::new(|| {
+                let mut d = OrderedListDetector::new(sampler);
+                let reports = d
+                    .run_source(&mut Validated::new(
+                        BinaryEventReader::new(&v2[..]).expect("magic"),
+                    ))
+                    .expect("well-formed trace");
+                assert_eq!(reports, expected, "sequential replay must agree");
+                reports.len()
+            }),
+        ),
+        (
+            "parallel_replay_jobs1",
+            Box::new(|| {
+                let mut file =
+                    SegmentedTraceFile::open(std::io::Cursor::new(&v2[..])).expect("fresh bytes");
+                let analysis =
+                    analyze_segments(&mut file, &OrderedListDetector::new(sampler), &sampler, 1)
+                        .expect("well-formed trace");
+                assert_eq!(analysis.reports, expected, "jobs=1 replay must agree");
+                analysis.reports.len()
+            }),
+        ),
+        (
+            "parallel_replay_jobs2",
+            Box::new(|| {
+                let mut file =
+                    SegmentedTraceFile::open(std::io::Cursor::new(&v2[..])).expect("fresh bytes");
+                let analysis =
+                    analyze_segments(&mut file, &OrderedListDetector::new(sampler), &sampler, 2)
+                        .expect("well-formed trace");
+                assert_eq!(analysis.reports, expected, "jobs=2 replay must agree");
+                analysis.reports.len()
+            }),
+        ),
+    ];
+
+    let mut best = vec![Duration::MAX; ops.len()];
+    // Footer-seek open latency, measured separately (ns per open, many
+    // opens per round — an open touches only the trailer + footer).
+    let mut open_ns = f64::INFINITY;
+    for round in 0..rounds {
+        eprintln!("segments round {}/{rounds}…", round + 1);
+        for (i, (_, op)) in ops.iter_mut().enumerate() {
+            let start = Instant::now();
+            black_box(op());
+            let elapsed = start.elapsed();
+            if elapsed < best[i] {
+                best[i] = elapsed;
+            }
+        }
+        const OPENS: u32 = 2_000;
+        let start = Instant::now();
+        for _ in 0..OPENS {
+            black_box(
+                SegmentedTraceFile::open(std::io::Cursor::new(&v2[..])).expect("fresh bytes"),
+            );
+        }
+        let ns = start.elapsed().as_nanos() as f64 / OPENS as f64;
+        if ns < open_ns {
+            open_ns = ns;
+        }
+    }
+
+    let mut lines = Vec::new();
+    for (i, (name, _)) in ops.iter().enumerate() {
+        let ev_per_s = events / best[i].as_secs_f64();
+        eprintln!("{name:<24} {:>8.2} Mev/s", ev_per_s / 1e6);
+        let comma = if i + 1 == ops.len() { "" } else { "," };
+        lines.push(format!("    \"{name}\": {ev_per_s:.0}{comma}"));
+    }
+    eprintln!("footer_open             {open_ns:>8.1} ns/open");
+
+    let json = format!(
+        "{{\n  \"schema\": \"freshtrack/segments/v1\",\n  \"benchmark\": \"segments\",\n  \
+         \"trace\": {{\"corpus\": \"{}\", \"scale\": {scale}, \"seed\": 0, \"events\": {}}},\n  \
+         \"segment\": {{\"events_per_segment\": {}, \"segments\": {segment_count}}},\n  \
+         \"sizes\": {{\"v1_bytes\": {}, \"v2_bytes\": {}, \"v2_overhead_pct\": {:.2}}},\n  \
+         \"footer_open_ns\": {open_ns:.1},\n  \"rounds\": {rounds},\n  \
+         \"note\": \"events/s, fastest of FT_ROUNDS interleaved rounds in one sitting; \
+         replay points are the SO-3% engine over identical v2 bytes and assert \
+         report parity with the sequential pass every round; footer_open_ns is the \
+         cost of reading the trailer + footer index without touching segment data\",\n  \
+         \"events_per_s\": {{\n{}\n  }}\n}}\n",
+        json_escape(&bench_name),
+        trace.len(),
+        options.events_per_segment,
+        v1.len(),
+        v2.len(),
+        (v2.len() as f64 / v1.len() as f64 - 1.0) * 100.0,
+        lines.join("\n")
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path: Option<String> = None;
@@ -838,6 +1009,7 @@ fn main() {
     let mut dbsim = false;
     let mut sync_cost = false;
     let mut trace_io = false;
+    let mut segments = false;
     let mut mix = String::from("ycsb");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -848,6 +1020,7 @@ fn main() {
             "--dbsim" => dbsim = true,
             "--sync-cost" => sync_cost = true,
             "--trace-io" => trace_io = true,
+            "--segments" => segments = true,
             "--mix" => mix = args.next().expect("--mix needs a value"),
             "--samples" => {
                 samples = args
@@ -861,7 +1034,8 @@ fn main() {
                     "record_baseline [--label NAME] [--out FILE] [--baseline FILE] [--samples N]\n\
                      record_baseline --dbsim [--mix NAME] [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_ROUNDS/FT_SEED)\n\
                      record_baseline --sync-cost [--out FILE]            (env: FT_ROUNDS/FT_CLOCK_WIDTH)\n\
-                     record_baseline --trace-io [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)"
+                     record_baseline --trace-io [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)\n\
+                     record_baseline --segments [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)"
                 );
                 return;
             }
@@ -869,6 +1043,10 @@ fn main() {
         }
     }
 
+    if segments {
+        run_segments(out_path);
+        return;
+    }
     if trace_io {
         run_trace_io(out_path);
         return;

@@ -1,15 +1,17 @@
 use std::io::{Read, Write};
 
 use freshtrack_core::{
-    Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
-    NaiveSamplingDetector, OrderedListDetector, RaceReport, SplitDetector, SyncMode,
+    analyze_segments, CheckpointState, Counters, Detector, DjitDetector, FastTrackDetector,
+    FreshnessDetector, HbOracle, NaiveSamplingDetector, OrderedListDetector, RaceReport,
+    SplitDetector, SyncMode,
 };
 use freshtrack_dbsim::{run_detector, run_sharded, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
-use freshtrack_sampling::BernoulliSampler;
+use freshtrack_sampling::{BernoulliSampler, Sampler};
 use freshtrack_trace::{
-    is_binary_trace, write_source, write_source_binary, write_trace, BinaryEventReader,
-    EventReader, EventSource, Trace, TraceStats, Validated,
+    is_binary_trace, write_source, write_source_binary, write_source_binary_v2, write_trace,
+    BinaryEventReader, EventReader, EventSource, SegmentOptions, SegmentedTraceFile, Trace,
+    TraceStats, Validated,
 };
 use freshtrack_workloads::{benchbase, corpus, generate, Pattern, WorkloadConfig};
 
@@ -38,6 +40,7 @@ fn dispatch<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), ArgErr
         "oracle" => oracle(rest, out),
         "stats" => stats(rest, out),
         "convert" => convert(rest, out),
+        "segments" => segments_cmd(rest, out),
         "generate" => generate_cmd(rest, out),
         "corpus" => corpus_cmd(rest, out),
         "dbsim" => dbsim_cmd(rest, out),
@@ -96,25 +99,20 @@ fn open_validated(args: &Args) -> Result<(ValidatedInput, &str), ArgError> {
     Ok((Validated::new(open_input(path)?), path))
 }
 
-/// Materializes the positional trace argument (for the `O(N²)` oracle,
-/// which genuinely needs random access).
-fn load_trace(args: &Args) -> Result<Trace, ArgError> {
-    let path = input_path(args)?;
-    let mut input = open_input(path)?;
-    let trace = Trace::from_source(&mut input).map_err(|e| ArgError(format!("{path}: {e}")))?;
-    trace
-        .validate()
-        .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
-    Ok(trace)
-}
-
 fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
     let args = Args::parse(rest.iter().cloned(), &["counters"])?;
     let engine: String = args.get_or("engine", "so".to_owned())?;
     let rate: f64 = args.get_or("rate", 0.03)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let jobs: usize = args.get_or("jobs", 1)?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(ArgError(format!("--rate must be in [0,1], got {rate}")));
+    }
+    if jobs == 0 {
+        return Err(ArgError("--jobs must be at least 1".into()));
+    }
+    if jobs >= 2 {
+        return analyze_parallel(&args, &engine, rate, seed, jobs, out);
     }
     let (mut source, path) = open_validated(&args)?;
     let sampler = BernoulliSampler::new(rate, seed);
@@ -152,16 +150,120 @@ fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErr
         counters.sampled_accesses,
         reports.len()
     );
-    print_reports(&source, &reports, out);
+    print_reports(|v| source.var_name(v), &reports, out);
     if args.flag("counters") {
         let _ = writeln!(out, "{counters}");
     }
     Ok(())
 }
 
-fn print_reports<S, W>(source: &S, reports: &[RaceReport], out: &mut W)
+/// Runs `analyze --jobs N` (N ≥ 2): checkpointed parallel replay of a
+/// segmented `.ftb` v2 file, printing output byte-identical to the
+/// sequential path (the CI smoke step diffs the two).
+fn analyze_parallel<W: std::io::Write>(
+    args: &Args,
+    engine: &str,
+    rate: f64,
+    seed: u64,
+    jobs: usize,
+    out: &mut W,
+) -> Result<(), ArgError> {
+    let path = input_path(args)?;
+    if path == "-" {
+        return Err(ArgError(
+            "--jobs needs a seekable segmented file, not stdin (pipe through \
+             `convert --to binary-v2` first)"
+                .into(),
+        ));
+    }
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut seg = SegmentedTraceFile::open(file).map_err(|e| ArgError(format!("{path}: {e}")))?;
+
+    fn drive<D, S, R, W>(
+        detector: D,
+        sampler: S,
+        seg: &mut SegmentedTraceFile<R>,
+        path: &str,
+        jobs: usize,
+        counters_flag: bool,
+        out: &mut W,
+    ) -> Result<(), ArgError>
+    where
+        D: SplitDetector,
+        D::Sync: CheckpointState,
+        S: Sampler + Clone + Send,
+        R: Read + std::io::Seek,
+        W: std::io::Write,
+    {
+        let analysis = analyze_segments(seg, &detector, &sampler, jobs)
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "{} over {} events ({} sampled): {} race report(s)",
+            detector.name(),
+            analysis.counters.events,
+            analysis.counters.sampled_accesses,
+            analysis.reports.len()
+        );
+        print_reports(|v| analysis.var_names[v].as_str(), &analysis.reports, out);
+        if counters_flag {
+            let _ = writeln!(out, "{}", analysis.counters);
+        }
+        Ok(())
+    }
+
+    let counters_flag = args.flag("counters");
+    let sampler = BernoulliSampler::new(rate, seed);
+    match engine {
+        "ft" => {
+            let full = BernoulliSampler::new(1.0, seed);
+            drive(
+                FastTrackDetector::new(full),
+                full,
+                &mut seg,
+                path,
+                jobs,
+                counters_flag,
+                out,
+            )
+        }
+        "st" => drive(
+            DjitDetector::new(sampler),
+            sampler,
+            &mut seg,
+            path,
+            jobs,
+            counters_flag,
+            out,
+        ),
+        "su" => drive(
+            FreshnessDetector::new(sampler),
+            sampler,
+            &mut seg,
+            path,
+            jobs,
+            counters_flag,
+            out,
+        ),
+        "so" => drive(
+            OrderedListDetector::new(sampler),
+            sampler,
+            &mut seg,
+            path,
+            jobs,
+            counters_flag,
+            out,
+        ),
+        "sam" => Err(ArgError(
+            "engine `sam` has no sync/access split and cannot run with --jobs >= 2".into(),
+        )),
+        other => Err(ArgError(format!("unknown engine `{other}`"))),
+    }
+}
+
+fn print_reports<'a, W>(var_name: impl Fn(usize) -> &'a str, reports: &[RaceReport], out: &mut W)
 where
-    S: EventSource + ?Sized,
     W: std::io::Write,
 {
     for report in reports {
@@ -171,7 +273,7 @@ where
             report.tid,
             report.event,
             report.access,
-            source.var_name(report.var.index()),
+            var_name(report.var.index()),
             match (report.with_write, report.with_read) {
                 (true, true) => "write and read",
                 (true, false) => "write",
@@ -195,10 +297,21 @@ fn convert<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErr
     let mut sink = std::io::BufWriter::new(out);
     let result = match to.as_str() {
         "binary" => write_source_binary(&mut source, &mut sink),
+        "binary-v2" => {
+            let events_per_segment: usize = args.get_or("segment-events", 4096)?;
+            if events_per_segment == 0 {
+                return Err(ArgError("--segment-events must be at least 1".into()));
+            }
+            write_source_binary_v2(
+                &mut source,
+                &mut sink,
+                &SegmentOptions { events_per_segment },
+            )
+        }
         "text" => write_source(&mut source, &mut sink),
         other => {
             return Err(ArgError(format!(
-                "--to must be `text` or `binary`, got `{other}`"
+                "--to must be `text` or `binary` or `binary-v2`, got `{other}`"
             )))
         }
     };
@@ -207,17 +320,75 @@ fn convert<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErr
         .map_err(|e| ArgError(format!("{path}: write failed: {e}")))
 }
 
+/// `segments <file>`: the v2 footer index as a table, after a full
+/// checksum-and-decode verification pass.
+fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
+    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let path = input_path(&args)?;
+    if path == "-" {
+        return Err(ArgError("segments needs a seekable file, not stdin".into()));
+    }
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut seg = SegmentedTraceFile::open(file).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    seg.verify().map_err(|e| ArgError(format!("{path}: {e}")))?;
+
+    let mut table = Table::new(&[
+        "segment",
+        "offset",
+        "bytes",
+        "events",
+        "first id",
+        "ckpt bytes",
+        "locks",
+        "vars",
+    ]);
+    for (k, meta) in seg.metas().iter().enumerate() {
+        table.row_owned(vec![
+            k.to_string(),
+            meta.offset.to_string(),
+            meta.byte_len.to_string(),
+            meta.event_count.to_string(),
+            meta.first_event_id.to_string(),
+            meta.checkpoint_len.to_string(),
+            meta.locks_before.to_string(),
+            meta.vars_before.to_string(),
+        ]);
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} segment(s), {} events, footer at byte {}; all checksums verified",
+        path,
+        seg.segment_count(),
+        seg.event_count(),
+        seg.footer_offset()
+    );
+    let _ = write!(out, "{}", table.render());
+    Ok(())
+}
+
+/// The oracle's event cap: `HbOracle` is `O(N²)` memory, so the guard
+/// must trip while *streaming* — materializing an oversized trace just
+/// to count it would buffer the very input the cap exists to reject.
+const ORACLE_EVENT_CAP: usize = 200_000;
+
 fn oracle<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
     let args = Args::parse(rest.iter().cloned(), &[])?;
-    let trace = load_trace(&args)?;
     let rate: f64 = args.get_or("rate", 1.0)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    if trace.len() > 200_000 {
-        return Err(ArgError(format!(
-            "trace has {} events; the oracle is O(N²) memory and limited to 200k",
-            trace.len()
-        )));
-    }
+    let path = input_path(&args)?;
+    let mut input = open_input(path)?;
+    let trace = Trace::from_source_limited(&mut input, ORACLE_EVENT_CAP)
+        .map_err(|e| ArgError(format!("{path}: {e}")))?
+        .ok_or_else(|| {
+            ArgError(format!(
+                "trace exceeds {ORACLE_EVENT_CAP} events; the oracle is O(N²) memory \
+                 and limited to 200k"
+            ))
+        })?;
+    trace
+        .validate()
+        .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
     let oracle = HbOracle::new(&trace);
     let mask = HbOracle::sample_mask(&trace, BernoulliSampler::new(rate, seed));
     let racy = oracle.racy_events(&mask);
@@ -618,6 +789,202 @@ mod tests {
         assert!(out.contains("error"));
         let (code, _) = run_cli(&["analyze", "/nonexistent", "--rate", "7"]);
         assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn oracle_cap_trips_while_streaming() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-oracle-cap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.trace");
+        // One event over the cap. The old guard materialized the whole
+        // trace before counting; the streaming guard gives up on the
+        // 200_001st event without buffering past the limit.
+        let mut text = String::with_capacity((ORACLE_EVENT_CAP + 1) * 8);
+        for _ in 0..=ORACLE_EVENT_CAP {
+            text.push_str("T0|w(x)\n");
+        }
+        std::fs::write(&path, &text).unwrap();
+        let (code, out) = run_cli(&["oracle", path.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("limited to 200k"), "{out}");
+        assert!(out.contains("exceeds 200000 events"), "{out}");
+
+        // At the cap the oracle still runs (single-thread: no races).
+        let at_cap = &text[..text.len() - "T0|w(x)\n".len()];
+        std::fs::write(&path, at_cap).unwrap();
+        let (code, out) = run_cli(&["oracle", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 racy event(s)"), "{out}");
+    }
+
+    /// Writes a racy generated workload as text, v1 binary, and v2
+    /// segmented files; returns their paths.
+    fn trace_fixture(dir_name: &str, events: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(dir_name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("t.trace");
+        let v2_path = dir.join("t.ftb2");
+        let (code, text) = run_cli(&[
+            "generate",
+            "--events",
+            events,
+            "--unprotected",
+            "0.1",
+            "--seed",
+            "7",
+        ]);
+        assert_eq!(code, 0);
+        std::fs::write(&text_path, &text).unwrap();
+        let (code, v2) = run_cli_bytes(&[
+            "convert",
+            text_path.to_str().unwrap(),
+            "--to",
+            "binary-v2",
+            "--segment-events",
+            "256",
+        ]);
+        assert_eq!(code, 0);
+        std::fs::write(&v2_path, &v2).unwrap();
+        (text_path, v2_path)
+    }
+
+    #[test]
+    fn analyze_jobs_output_is_byte_identical_to_sequential() {
+        let (text_path, v2_path) = trace_fixture("freshtrack-cli-jobs", "3000");
+        for engine in ["st", "ft", "su", "so"] {
+            let tail = ["--engine", engine, "--rate", "1.0", "--counters"];
+            let (code, sequential) =
+                run_cli(&[&["analyze", text_path.to_str().unwrap()], &tail[..]].concat());
+            assert_eq!(code, 0, "{sequential}");
+            for jobs in ["1", "2", "3"] {
+                let (code, parallel) = run_cli(
+                    &[
+                        &["analyze", v2_path.to_str().unwrap()],
+                        &tail[..],
+                        &["--jobs", jobs][..],
+                    ]
+                    .concat(),
+                );
+                assert_eq!(code, 0, "{parallel}");
+                assert_eq!(
+                    parallel, sequential,
+                    "engine {engine} jobs {jobs} must match the sequential output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_jobs_rejects_stdin_sam_and_unsegmented_input() {
+        let (text_path, v2_path) = trace_fixture("freshtrack-cli-jobs-err", "500");
+
+        let (code, out) = run_cli(&["analyze", "-", "--jobs", "2"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("stdin"), "{out}");
+
+        let (code, out) = run_cli(&[
+            "analyze",
+            v2_path.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--engine",
+            "sam",
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("sam"), "{out}");
+
+        // Text (and v1) inputs are turned away with conversion
+        // guidance rather than decoded as garbage.
+        let (code, out) = run_cli(&["analyze", text_path.to_str().unwrap(), "--jobs", "2"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("magic"), "{out}");
+
+        let (code, out) = run_cli(&["analyze", v2_path.to_str().unwrap(), "--jobs", "0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--jobs"), "{out}");
+    }
+
+    #[test]
+    fn convert_v1_to_v2_to_v1_is_byte_identical() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-v2-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("t.trace");
+        let v1_path = dir.join("t.ftb");
+        let v2_path = dir.join("t.ftb2");
+
+        let (code, text) = run_cli(&["generate", "--events", "2000", "--seed", "11"]);
+        assert_eq!(code, 0);
+        std::fs::write(&text_path, &text).unwrap();
+        let (code, v1) = run_cli_bytes(&["convert", text_path.to_str().unwrap(), "--to", "binary"]);
+        assert_eq!(code, 0);
+        std::fs::write(&v1_path, &v1).unwrap();
+
+        let (code, v2) = run_cli_bytes(&[
+            "convert",
+            v1_path.to_str().unwrap(),
+            "--to",
+            "binary-v2",
+            "--segment-events",
+            "128",
+        ]);
+        assert_eq!(code, 0);
+        assert!(freshtrack_trace::is_binary_trace(&v2));
+        std::fs::write(&v2_path, &v2).unwrap();
+
+        let (code, v1_again) =
+            run_cli_bytes(&["convert", v2_path.to_str().unwrap(), "--to", "binary"]);
+        assert_eq!(code, 0);
+        assert_eq!(v1_again, v1, "v1 -> v2 -> v1 must reproduce every byte");
+
+        let (code, out) = run_cli(&["convert", v2_path.to_str().unwrap(), "--to", "xml"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("`text` or `binary`"), "{out}");
+        let (code, out) = run_cli(&[
+            "convert",
+            v1_path.to_str().unwrap(),
+            "--to",
+            "binary-v2",
+            "--segment-events",
+            "0",
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--segment-events"), "{out}");
+    }
+
+    #[test]
+    fn segments_verifies_and_prints_the_footer_index() {
+        let (text_path, v2_path) = trace_fixture("freshtrack-cli-segments", "1000");
+
+        let (code, out) = run_cli(&["segments", v2_path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("all checksums verified"), "{out}");
+        // The generator may pad past the requested 1000 events with
+        // fork/join bookkeeping; parse the count rather than pin it.
+        let summary = out.lines().next().unwrap();
+        let events: usize = summary
+            .split(" events")
+            .next()
+            .and_then(|s| s.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("no event count in {summary:?}"));
+        assert!((1000..1256).contains(&events), "{summary}");
+        // Up to ~1255 events at 256 per segment = 4 segments.
+        assert!(out.contains("4 segment(s)"), "{out}");
+        assert!(out.contains("first id"), "{out}");
+
+        // Corruption is reported, not tabulated.
+        let mut bytes = std::fs::read(&v2_path).unwrap();
+        bytes[40] ^= 0x5a;
+        let bad = v2_path.with_extension("bad");
+        std::fs::write(&bad, &bytes).unwrap();
+        let (code, _) = run_cli(&["segments", bad.to_str().unwrap()]);
+        assert_eq!(code, 1);
+
+        let (code, _) = run_cli(&["segments", "-"]);
+        assert_eq!(code, 1);
+        let (code, out) = run_cli(&["segments", text_path.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("magic"), "{out}");
     }
 
     #[test]

@@ -3,10 +3,14 @@
 //! Subcommands:
 //!
 //! * `analyze <trace>` — run a detector engine over a trace, streamed
-//!   in constant memory.
-//! * `oracle <trace>` — ground-truth racy events (small traces only).
+//!   in constant memory; `--jobs N` replays a segmented `.ftb` v2 file
+//!   in parallel with byte-identical output.
+//! * `oracle <trace>` — ground-truth racy events (small traces only;
+//!   the 200k-event cap trips while streaming, before buffering).
 //! * `stats <trace>` — trace statistics, streamed in constant memory.
-//! * `convert <trace>` — re-encode between the text and binary formats.
+//! * `convert <trace>` — re-encode between the text, binary (`.ftb`)
+//!   and segmented (`.ftb` v2, `--to binary-v2`) formats.
+//! * `segments <file>` — verify a v2 file and print its footer index.
 //! * `generate` — generate a synthetic workload trace.
 //! * `corpus` — list or emit the offline benchmark corpus.
 //! * `dbsim` — run the online database benchmark with a detector.
@@ -42,13 +46,21 @@ COMMANDS:
                       --engine ft|st|sam|su|so (default so)
                       --rate <0..1> (default 0.03)  --seed <n>
                       --counters    print work counters
-    oracle <trace>    ground-truth racy events (O(N^2) memory!)
+                      --jobs <n>    parallel checkpointed replay of a
+                      segmented `.ftb` v2 file (default 1; N>=2 needs
+                      a real file path, byte-identical output)
+    oracle <trace>    ground-truth racy events (O(N^2) memory!
+                      capped at 200k events, enforced while streaming)
                       --rate <0..1> (default 1.0)   --seed <n>
     stats <trace>     print trace statistics (streaming, constant
                       memory; `-` = stdin, format auto-detected)
     convert <trace>   re-encode a trace to stdout (`-` = stdin,
                       input format auto-detected)
-                      --to text|binary   target format (required)
+                      --to text|binary|binary-v2   target (required)
+                      --segment-events <n>  v2 segment size
+                      (default 4096)
+    segments <file>   verify a segmented `.ftb` v2 file and print its
+                      footer index
     generate          generate a workload trace to stdout
                       --pattern mixed|pc|pipeline|forkjoin|barrier|ladder
                       --events <n> --threads <n> --locks <n> --vars <n>

@@ -66,6 +66,7 @@ mod shared;
 mod thread_id;
 mod tree_clock;
 mod vector_clock;
+pub mod wire;
 
 pub use cow_vector::{SharedVectorClock, VectorClockSnapshot};
 pub use epoch::Epoch;

@@ -1,4 +1,4 @@
-use freshtrack_clock::{ThreadId, Time, VectorClock};
+use freshtrack_clock::{wire, ThreadId, Time, VectorClock};
 use freshtrack_trace::VarId;
 
 /// The per-variable access histories `Cw_x` / `Cr_x` shared by all
@@ -91,6 +91,39 @@ impl AccessHistories {
     /// The read clock of a variable, if any read was recorded.
     pub fn read_clock(&self, var: VarId) -> Option<&VectorClock> {
         self.read.get(var.index()).filter(|c| !c.is_bottom())
+    }
+}
+
+impl AccessHistories {
+    /// Serializes both history tables (shared by the checkpoint impls of
+    /// the engines that embed this type). `write` and `read` always have
+    /// the same length, so one count prefixes both.
+    pub(crate) fn export_wire(&self, out: &mut Vec<u8>) {
+        debug_assert_eq!(self.write.len(), self.read.len());
+        wire::put_varint(out, self.write.len() as u64);
+        for clock in &self.write {
+            wire::put_clock(out, clock);
+        }
+        for clock in &self.read {
+            wire::put_clock(out, clock);
+        }
+    }
+
+    /// Decodes histories written by [`Self::export_wire`].
+    pub(crate) fn import_wire(r: &mut wire::WireReader<'_>) -> Result<Self, wire::WireError> {
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(wire::WireError::Truncated);
+        }
+        let mut write = Vec::with_capacity(n);
+        for _ in 0..n {
+            write.push(r.get_clock()?);
+        }
+        let mut read = Vec::with_capacity(n);
+        for _ in 0..n {
+            read.push(r.get_clock()?);
+        }
+        Ok(AccessHistories { write, read })
     }
 }
 

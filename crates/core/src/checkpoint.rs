@@ -1,0 +1,269 @@
+//! Engine-state checkpointing on the sync/access plane seam.
+//!
+//! A checkpoint is a *serialized* copy of an engine's state —
+//! deliberately never a `Clone`. The lazy-copy clock types
+//! ([`SharedClock`](freshtrack_clock::SharedClock),
+//! [`SharedVectorClock`](freshtrack_clock::SharedVectorClock)) share
+//! their backing storage on clone, so a cloned engine would see
+//! spurious deep-copy events the moment either copy mutates — breaking
+//! the work-counter parity the differential suites pin. Round-tripping
+//! through bytes severs every alias: the imported engine owns all of
+//! its storage, carries identical clock *values* (widths and
+//! ordered-list recency chains included, see
+//! [`freshtrack_clock::wire`]), and therefore reproduces the original's
+//! race verdicts exactly. Its *sharing-dependent* counters
+//! (`deep_copies`, and nothing else) may subsequently diverge, which is
+//! why the checkpoint-resume suite asserts report equality, not counter
+//! equality.
+//!
+//! Two layers implement the trait:
+//!
+//! * **Sync engines** ([`VectorSyncEngine`](crate::VectorSyncEngine),
+//!   [`FreshnessSyncEngine`](crate::FreshnessSyncEngine),
+//!   [`OrderedSyncEngine`](crate::OrderedSyncEngine)) — what the
+//!   segmented parallel analyzer ([`crate::analyze_segments`]) exports
+//!   at every segment boundary to seed worker replicas.
+//! * **Whole detectors** (Djit+/FT/SU/SO) — sync plane + access plane +
+//!   `RelAfter_S` bits + counters, so an interrupted sequential
+//!   analysis can resume at a segment boundary and continue
+//!   byte-identically.
+//!
+//! Configuration (sampler seed, SO's local-epoch option) is *not* part
+//! of a checkpoint: import targets a fresh engine built from the same
+//! configuration (e.g. via
+//! [`SplitDetector::split_sync`](crate::SplitDetector::split_sync)),
+//! mirroring how the trace-file checkpoints of `.ftb` v2 carry only
+//! sampler-independent canonical state.
+
+use std::fmt;
+
+use freshtrack_clock::wire::{self, WireError, WireReader};
+
+use crate::Counters;
+
+/// A checkpoint that failed to import (truncated or malformed bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointError(WireError);
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        CheckpointError(e)
+    }
+}
+
+/// State that can be exported to bytes and imported into a fresh
+/// instance of the same configuration.
+///
+/// The contract: for any reachable state `s`,
+/// `fresh.import_state(&export(s))` yields an engine that is
+/// *verdict-equivalent* to `s` — every subsequent event sequence
+/// produces the same race reports (and, for sync engines, publishes
+/// value-identical clock views). Export is deterministic, so
+/// export → import → export is byte-idempotent; the checkpoint suite
+/// pins both properties.
+pub trait CheckpointState {
+    /// Serializes the current state onto `out`.
+    fn export_state(&self, out: &mut Vec<u8>);
+
+    /// Replaces this instance's state with the decoded checkpoint.
+    /// `self` should be freshly constructed with the same configuration
+    /// the exporter had; configuration itself is not transferred.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on truncated or malformed bytes; `self` may
+    /// be partially overwritten and should be discarded on error.
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError>;
+}
+
+// ---------------------------------------------------------------------
+// Shared wire helpers for the impls in the engine modules.
+// ---------------------------------------------------------------------
+
+/// Decodes an element count, guarded against the bytes actually
+/// available (each element costs at least one byte) so corrupt input
+/// cannot size a huge allocation.
+pub(crate) fn get_count(r: &mut WireReader<'_>) -> Result<usize, WireError> {
+    let n = r.get_usize()?;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    Ok(n)
+}
+
+/// Appends a length-prefixed nested section (an inner checkpoint).
+pub(crate) fn put_section(out: &mut Vec<u8>, bytes: &[u8]) {
+    wire::put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed nested section written by [`put_section`].
+pub(crate) fn get_section<'a>(r: &mut WireReader<'a>) -> Result<&'a [u8], WireError> {
+    let len = r.get_usize()?;
+    r.get_bytes(len)
+}
+
+/// Appends a `RelAfter_S` bit vector.
+pub(crate) fn put_bools(out: &mut Vec<u8>, bits: &[bool]) {
+    wire::put_varint(out, bits.len() as u64);
+    for &bit in bits {
+        wire::put_bool(out, bit);
+    }
+}
+
+/// Reads a bit vector written by [`put_bools`].
+pub(crate) fn get_bools(r: &mut WireReader<'_>) -> Result<Vec<bool>, WireError> {
+    let n = get_count(r)?;
+    (0..n).map(|_| r.get_bool()).collect()
+}
+
+/// Appends every [`Counters`] field, in declaration order.
+pub(crate) fn put_counters(out: &mut Vec<u8>, c: &Counters) {
+    for value in counters_fields(c) {
+        wire::put_varint(out, value);
+    }
+}
+
+/// Reads counters written by [`put_counters`].
+pub(crate) fn get_counters(r: &mut WireReader<'_>) -> Result<Counters, WireError> {
+    let mut c = Counters::new();
+    for slot in counters_fields_mut(&mut c) {
+        *slot = r.get_varint()?;
+    }
+    Ok(c)
+}
+
+fn counters_fields(c: &Counters) -> [u64; 18] {
+    [
+        c.events,
+        c.reads,
+        c.writes,
+        c.sampled_accesses,
+        c.acquires,
+        c.releases,
+        c.acquires_skipped,
+        c.acquires_processed,
+        c.releases_skipped,
+        c.releases_processed,
+        c.shallow_copies,
+        c.deep_copies,
+        c.local_increments,
+        c.entries_traversed,
+        c.entries_saved,
+        c.vc_ops,
+        c.race_checks,
+        c.races,
+    ]
+}
+
+fn counters_fields_mut(c: &mut Counters) -> [&mut u64; 18] {
+    [
+        &mut c.events,
+        &mut c.reads,
+        &mut c.writes,
+        &mut c.sampled_accesses,
+        &mut c.acquires,
+        &mut c.releases,
+        &mut c.acquires_skipped,
+        &mut c.acquires_processed,
+        &mut c.releases_skipped,
+        &mut c.releases_processed,
+        &mut c.shallow_copies,
+        &mut c.deep_copies,
+        &mut c.local_increments,
+        &mut c.entries_traversed,
+        &mut c.entries_saved,
+        &mut c.vc_ops,
+        &mut c.race_checks,
+        &mut c.races,
+    ]
+}
+
+/// Exports a whole split detector: sync section, access section,
+/// `RelAfter_S` bits, counters. Shared by the four detector impls.
+pub(crate) fn put_detector<Sy, Ac>(
+    out: &mut Vec<u8>,
+    sync: &Sy,
+    access: &Ac,
+    sampled: &[bool],
+    counters: &Counters,
+) where
+    Sy: CheckpointState,
+    Ac: CheckpointState,
+{
+    let mut section = Vec::new();
+    sync.export_state(&mut section);
+    put_section(out, &section);
+    section.clear();
+    access.export_state(&mut section);
+    put_section(out, &section);
+    put_bools(out, sampled);
+    put_counters(out, counters);
+}
+
+/// Imports a whole split detector written by [`put_detector`].
+pub(crate) fn get_detector<Sy, Ac>(
+    bytes: &[u8],
+    sync: &mut Sy,
+    access: &mut Ac,
+) -> Result<(Vec<bool>, Counters), CheckpointError>
+where
+    Sy: CheckpointState,
+    Ac: CheckpointState,
+{
+    let mut r = WireReader::new(bytes);
+    let sync_bytes = get_section(&mut r)?;
+    let access_bytes = get_section(&mut r)?;
+    let sampled = get_bools(&mut r)?;
+    let counters = get_counters(&mut r)?;
+    r.finish()?;
+    sync.import_state(sync_bytes)?;
+    access.import_state(access_bytes)?;
+    Ok((sampled, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_round_trip_every_field() {
+        let mut c = Counters::new();
+        for (i, slot) in counters_fields_mut(&mut c).into_iter().enumerate() {
+            *slot = (i as u64 + 1) * 1000 + i as u64;
+        }
+        let mut buf = Vec::new();
+        put_counters(&mut buf, &c);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(get_counters(&mut r).unwrap(), c);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn bools_and_sections_round_trip() {
+        let mut buf = Vec::new();
+        put_bools(&mut buf, &[true, false, true]);
+        put_section(&mut buf, b"inner");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(get_bools(&mut r).unwrap(), vec![true, false, true]);
+        assert_eq!(get_section(&mut r).unwrap(), b"inner");
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncated_input_is_a_clean_error() {
+        let mut buf = Vec::new();
+        put_bools(&mut buf, &[true; 8]);
+        for cut in 0..buf.len() {
+            assert!(get_bools(&mut WireReader::new(&buf[..cut])).is_err());
+        }
+    }
+}

@@ -61,8 +61,27 @@ pub trait Detector {
     /// up to that point are dropped with it — a partial analysis of a
     /// malformed input is not a verdict).
     fn run_source(&mut self, source: &mut dyn EventSource) -> Result<Vec<RaceReport>, SourceError> {
+        self.run_source_from(source, 0)
+    }
+
+    /// Like [`run_source`](Detector::run_source), but numbers the
+    /// source's first event `first_id` instead of `0` — the resume entry
+    /// point for checkpointed analysis: restore detector state with
+    /// [`CheckpointState::import_state`](crate::CheckpointState::import_state),
+    /// then continue from a segment's event range as if the stream had
+    /// never been interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports, exactly as
+    /// [`run_source`](Detector::run_source) does.
+    fn run_source_from(
+        &mut self,
+        source: &mut dyn EventSource,
+        first_id: u64,
+    ) -> Result<Vec<RaceReport>, SourceError> {
         let mut reports: Vec<RaceReport> = Vec::new();
-        let mut next_id: u64 = 0;
+        let mut next_id: u64 = first_id;
         while let Some(event) = source.next_event()? {
             let id = EventId::new(next_id);
             next_id += 1;

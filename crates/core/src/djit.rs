@@ -1,7 +1,11 @@
-use freshtrack_clock::{SharedVectorClock, ThreadId, VectorClock, VectorClockSnapshot};
+use freshtrack_clock::{
+    wire::{self, WireReader},
+    SharedVectorClock, ThreadId, VectorClock, VectorClockSnapshot,
+};
 use freshtrack_sampling::Sampler;
-use freshtrack_trace::{Event, EventId, EventKind, LockId};
+use freshtrack_trace::{Event, EventId, EventKind, LockId, SyncCheckpoint};
 
+use crate::checkpoint::{self, CheckpointError, CheckpointState};
 use crate::plane::{BorrowedView, HistoryAccessEngine, SplitDetector, SyncEngine};
 use crate::{Counters, Detector, RaceReport};
 
@@ -63,6 +67,51 @@ impl VectorSyncEngine {
         counters.local_increments += 1;
         counters.vc_ops += 1;
         counters.entries_traversed += self.threads.len() as u64;
+    }
+
+    /// Reconstructs the engine from a `.ftb` v2 file checkpoint — the
+    /// format's engine-agnostic canonical state *is* Djit+ state, so for
+    /// this engine the conversion is a direct reload.
+    pub fn from_sync_checkpoint(ckpt: &SyncCheckpoint) -> Self {
+        VectorSyncEngine {
+            threads: ckpt
+                .threads
+                .iter()
+                .map(|clock| SharedVectorClock::from_clock(clock.clone()))
+                .collect(),
+            locks: ckpt.locks.clone(),
+        }
+    }
+}
+
+impl CheckpointState for VectorSyncEngine {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.threads.len() as u64);
+        for thread in &self.threads {
+            wire::put_clock(out, thread.clock());
+        }
+        wire::put_varint(out, self.locks.len() as u64);
+        for lock in &self.locks {
+            wire::put_clock(out, lock);
+        }
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = WireReader::new(bytes);
+        let n = checkpoint::get_count(&mut r)?;
+        let mut threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            threads.push(SharedVectorClock::from_clock(r.get_clock()?));
+        }
+        let n = checkpoint::get_count(&mut r)?;
+        let mut locks = Vec::with_capacity(n);
+        for _ in 0..n {
+            locks.push(r.get_clock()?);
+        }
+        r.finish()?;
+        self.threads = threads;
+        self.locks = locks;
+        Ok(())
     }
 }
 
@@ -242,6 +291,22 @@ impl<S: Sampler + Clone + Send> SplitDetector for DjitDetector<S> {
 
     fn split_access(&self) -> Self::Access {
         self.access.clone()
+    }
+}
+
+impl<S> CheckpointState for DjitDetector<S> {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        checkpoint::put_detector(out, &self.sync, &self.access, &[], &self.counters);
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let (sampled, counters) =
+            checkpoint::get_detector(bytes, &mut self.sync, &mut self.access)?;
+        if !sampled.is_empty() {
+            return Err(wire::WireError::Invalid("RelAfter_S bits on a non-epoch engine").into());
+        }
+        self.counters = counters;
+        Ok(())
     }
 }
 

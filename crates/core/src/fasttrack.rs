@@ -1,7 +1,11 @@
-use freshtrack_clock::{Epoch, ThreadId, VectorClock, VectorClockSnapshot};
+use freshtrack_clock::{
+    wire::{self, WireReader},
+    Epoch, ThreadId, VectorClock, VectorClockSnapshot,
+};
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, VarId};
 
+use crate::checkpoint::{self, CheckpointError, CheckpointState};
 use crate::djit::VectorSyncEngine;
 use crate::plane::{
     history_leq_view, AccessEngine, AccessOutcome, BorrowedView, ClockView, SplitDetector,
@@ -213,6 +217,43 @@ impl<S: Sampler> EpochAccessEngine<S> {
     }
 }
 
+impl<S> CheckpointState for EpochAccessEngine<S> {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.vars.len() as u64);
+        for state in &self.vars {
+            wire::put_epoch(out, state.write);
+            match &state.read {
+                ReadState::Epoch(r) => {
+                    wire::put_varint(out, 0);
+                    wire::put_epoch(out, *r);
+                }
+                ReadState::Vector(v) => {
+                    wire::put_varint(out, 1);
+                    wire::put_clock(out, v);
+                }
+            }
+        }
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = WireReader::new(bytes);
+        let n = checkpoint::get_count(&mut r)?;
+        let mut vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            let write = r.get_epoch()?;
+            let read = match r.get_varint()? {
+                0 => ReadState::Epoch(r.get_epoch()?),
+                1 => ReadState::Vector(r.get_clock()?),
+                _ => return Err(wire::WireError::Invalid("unknown read-history tag").into()),
+            };
+            vars.push(VarState { write, read });
+        }
+        r.finish()?;
+        self.vars = vars;
+        Ok(())
+    }
+}
+
 impl<S: Sampler + Send> AccessEngine for EpochAccessEngine<S> {
     type View = VectorClockSnapshot;
 
@@ -278,6 +319,22 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
 
     fn name(&self) -> &'static str {
         "FastTrack"
+    }
+}
+
+impl<S> CheckpointState for FastTrackDetector<S> {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        checkpoint::put_detector(out, &self.sync, &self.access, &[], &self.counters);
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let (sampled, counters) =
+            checkpoint::get_detector(bytes, &mut self.sync, &mut self.access)?;
+        if !sampled.is_empty() {
+            return Err(wire::WireError::Invalid("RelAfter_S bits on a non-epoch engine").into());
+        }
+        self.counters = counters;
+        Ok(())
     }
 }
 

@@ -1,9 +1,11 @@
 use freshtrack_clock::{
+    wire::{self, WireReader},
     FreshnessClock, SharedVectorClock, ThreadId, Time, VectorClock, VectorClockSnapshot,
 };
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
 
+use crate::checkpoint::{self, CheckpointError, CheckpointState};
 use crate::plane::{BorrowedView, EpochView, HistoryAccessEngine, SplitDetector, SyncEngine};
 use crate::{Counters, Detector, RaceReport};
 
@@ -176,6 +178,58 @@ impl FreshnessSyncEngine {
         counters.releases_processed += 1;
         counters.vc_ops += 2;
         counters.entries_traversed += self.threads.len() as u64;
+    }
+}
+
+impl CheckpointState for FreshnessSyncEngine {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.threads.len() as u64);
+        for thread in &self.threads {
+            wire::put_clock(out, thread.clock.clock());
+            wire::put_fresh(out, &thread.fresh);
+            wire::put_varint(out, thread.epoch);
+        }
+        wire::put_varint(out, self.locks.len() as u64);
+        for lock in &self.locks {
+            wire::put_clock(out, &lock.clock);
+            wire::put_fresh(out, &lock.fresh);
+            wire::put_bool(out, lock.last_releaser.is_some());
+            if let Some(lr) = lock.last_releaser {
+                wire::put_varint(out, u64::from(lr.as_u32()));
+            }
+            wire::put_bool(out, lock.mixed);
+        }
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = WireReader::new(bytes);
+        let n = checkpoint::get_count(&mut r)?;
+        let mut threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            threads.push(ThreadState {
+                clock: SharedVectorClock::from_clock(r.get_clock()?),
+                fresh: r.get_fresh()?,
+                epoch: r.get_varint()?,
+            });
+        }
+        let n = checkpoint::get_count(&mut r)?;
+        let mut locks = Vec::with_capacity(n);
+        for _ in 0..n {
+            locks.push(LockState {
+                clock: r.get_clock()?,
+                fresh: r.get_fresh()?,
+                last_releaser: if r.get_bool()? {
+                    Some(ThreadId::new(r.get_u32()?))
+                } else {
+                    None
+                },
+                mixed: r.get_bool()?,
+            });
+        }
+        r.finish()?;
+        self.threads = threads;
+        self.locks = locks;
+        Ok(())
     }
 }
 
@@ -363,6 +417,20 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
 
     fn name(&self) -> &'static str {
         "SU"
+    }
+}
+
+impl<S> CheckpointState for FreshnessDetector<S> {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        checkpoint::put_detector(out, &self.sync, &self.access, &self.sampled, &self.counters);
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let (sampled, counters) =
+            checkpoint::get_detector(bytes, &mut self.sync, &mut self.access)?;
+        self.sampled = sampled;
+        self.counters = counters;
+        Ok(())
     }
 }
 

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod access_history;
+mod checkpoint;
 mod counters;
 mod detector;
 mod djit;
@@ -66,12 +67,14 @@ mod hb_oracle;
 mod naive_sampling;
 mod online;
 mod ordered;
+mod parallel;
 mod plane;
 mod report;
 mod shard;
 mod sync_ops;
 
 pub use access_history::AccessHistories;
+pub use checkpoint::{CheckpointError, CheckpointState};
 pub use counters::Counters;
 pub use detector::Detector;
 pub use djit::{DjitDetector, VectorSyncEngine};
@@ -81,6 +84,7 @@ pub use hb_oracle::HbOracle;
 pub use naive_sampling::NaiveSamplingDetector;
 pub use online::{EmptyAccessEngine, EmptyDetector, EmptySyncEngine, OnlineDetector};
 pub use ordered::{OrderedListDetector, OrderedSyncEngine};
+pub use parallel::{analyze_segments, SegmentedAnalysis};
 pub use plane::{
     AccessEngine, AccessOutcome, ClockView, EpochView, HistoryAccessEngine, SplitDetector,
     SyncEngine,

@@ -1,7 +1,11 @@
-use freshtrack_clock::{ClockSnapshot, FreshnessClock, SharedClock, ThreadId, Time};
+use freshtrack_clock::{
+    wire::{self, WireReader},
+    ClockSnapshot, FreshnessClock, SharedClock, ThreadId, Time,
+};
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
 
+use crate::checkpoint::{self, CheckpointError, CheckpointState};
 use crate::plane::{BorrowedView, EpochView, HistoryAccessEngine, SplitDetector, SyncEngine};
 use crate::{Counters, Detector, RaceReport};
 
@@ -222,6 +226,84 @@ impl OrderedSyncEngine {
         lock_state.fresh = 0;
         counters.vc_ops += 1;
         counters.entries_traversed += traversed;
+    }
+}
+
+impl CheckpointState for OrderedSyncEngine {
+    // `local_epoch_opt` is configuration, not state: import targets an
+    // engine already constructed with the exporter's option (the
+    // `split_sync` contract), so it is deliberately not serialized.
+    //
+    // Export writes each shared/snapshot list by value, so import severs
+    // every thread↔lock alias; clock *values* and recency chains are
+    // preserved exactly, which is all the race verdicts depend on.
+    fn export_state(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.threads.len() as u64);
+        for thread in &self.threads {
+            wire::put_list(out, thread.list.list());
+            wire::put_fresh(out, &thread.fresh);
+            wire::put_varint(out, thread.epoch);
+            wire::put_varint(out, thread.flushed);
+        }
+        wire::put_varint(out, self.locks.len() as u64);
+        for lock in &self.locks {
+            wire::put_bool(out, lock.list.is_some());
+            if let Some(snapshot) = &lock.list {
+                wire::put_list(out, snapshot.list());
+            }
+            wire::put_bool(out, lock.last_releaser.is_some());
+            if let Some(lr) = lock.last_releaser {
+                wire::put_varint(out, u64::from(lr.as_u32()));
+            }
+            wire::put_varint(out, lock.fresh);
+            wire::put_varint(out, lock.releaser_flushed);
+            wire::put_bool(out, lock.joined.is_some());
+            if let Some(joined) = &lock.joined {
+                wire::put_list(out, joined);
+            }
+        }
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = WireReader::new(bytes);
+        let n = checkpoint::get_count(&mut r)?;
+        let mut threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            threads.push(ThreadState {
+                list: SharedClock::from_list(r.get_list()?),
+                fresh: r.get_fresh()?,
+                epoch: r.get_varint()?,
+                flushed: r.get_varint()?,
+            });
+        }
+        let n = checkpoint::get_count(&mut r)?;
+        let mut locks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let list = if r.get_bool()? {
+                Some(SharedClock::from_list(r.get_list()?).snapshot())
+            } else {
+                None
+            };
+            locks.push(LockState {
+                list,
+                last_releaser: if r.get_bool()? {
+                    Some(ThreadId::new(r.get_u32()?))
+                } else {
+                    None
+                },
+                fresh: r.get_varint()?,
+                releaser_flushed: r.get_varint()?,
+                joined: if r.get_bool()? {
+                    Some(r.get_list()?)
+                } else {
+                    None
+                },
+            });
+        }
+        r.finish()?;
+        self.threads = threads;
+        self.locks = locks;
+        Ok(())
     }
 }
 
@@ -458,6 +540,20 @@ impl<S: Sampler> Detector for OrderedListDetector<S> {
 
     fn name(&self) -> &'static str {
         "SO"
+    }
+}
+
+impl<S> CheckpointState for OrderedListDetector<S> {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        checkpoint::put_detector(out, &self.sync, &self.access, &self.sampled, &self.counters);
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let (sampled, counters) =
+            checkpoint::get_detector(bytes, &mut self.sync, &mut self.access)?;
+        self.sampled = sampled;
+        self.counters = counters;
+        Ok(())
     }
 }
 

@@ -1,0 +1,370 @@
+//! Checkpointed parallel analysis of segmented `.ftb` v2 trace files.
+//!
+//! [`analyze_segments`] replays a [`SegmentedTraceFile`] with one
+//! sequential *coordinator* and `jobs` *worker* replicas, producing
+//! reports and counters **byte-identical** to a sequential
+//! [`Detector::run_source`](crate::Detector::run_source) pass over the
+//! same stream (the differential suite in `tests/parallel.rs` pins
+//! this). The design follows the two-plane seam of [`crate::plane`]:
+//!
+//! * The **coordinator** walks segments in order, driving the one
+//!   authoritative sync engine (`D::Sync`) over every acquire/release —
+//!   exactly the operation sequence the monolithic detector performs,
+//!   so the sync-side counters match to the last `deep_copy`. Before
+//!   each segment it exports the engine via
+//!   [`CheckpointState::export_state`] as the segment's *seed*. It also
+//!   runs the cross-segment duplicate-name check and the locking
+//!   discipline check the sequential path gets from
+//!   [`Validated`](freshtrack_trace::Validated).
+//! * Each **worker** owns the variables with `var.index() % jobs ==
+//!   worker_index` plus one access-plane shard
+//!   ([`SplitDetector::split_access`]). Per segment it builds a fresh
+//!   sync replica, imports the seed, and replays *all* of the segment's
+//!   events — sync events mutate the replica (work counted into
+//!   discarded scratch counters), owned accesses are analyzed against
+//!   the replica's published view, unowned accesses only feed the
+//!   sampler so the per-thread `RelAfter_S` bits stay exact. Imports
+//!   sever all clock sharing, but sharing never changes clock *values*,
+//!   so verdicts are unaffected; replica-side sharing counters are
+//!   scratch precisely because they are the one thing import skews.
+//! * Segments are processed in *waves* of `jobs`: bytes are read
+//!   sequentially (one file handle), decoded in parallel
+//!   ([`decode_segment`] is pure), walked by the coordinator, then
+//!   replayed by all workers concurrently under
+//!   [`std::thread::scope`].
+//!
+//! Every event is sampler-evaluated once per party that needs its bit,
+//! which is sound because sampling is a pure function of `(seed,
+//! EventId)` — invariant 4 in `ARCHITECTURE.md`. Final counters are
+//! `coordinator + Σ workers`: the coordinator contributes `events` and
+//! all sync-plane work, workers contribute all access-plane work, and
+//! the two partitions are exactly the monolith's split of the same
+//! fields.
+
+use std::io::{Read, Seek};
+
+use freshtrack_sampling::Sampler;
+use freshtrack_trace::{
+    decode_segment, BinaryTraceError, DisciplineChecker, EventId, EventKind, SegmentData,
+    SegmentMeta, SegmentedTraceFile, SourceError,
+};
+
+use crate::checkpoint::CheckpointState;
+use crate::plane::{AccessEngine, SplitDetector, SyncEngine};
+use crate::{Counters, RaceReport};
+
+/// The merged result of a parallel segmented analysis.
+#[derive(Clone, Debug)]
+pub struct SegmentedAnalysis {
+    /// All race reports, strictly sorted by racing
+    /// [`EventId`](freshtrack_trace::EventId) — the same order the
+    /// sequential pass produces.
+    pub reports: Vec<RaceReport>,
+    /// Coordinator plus worker counters, field-identical to a
+    /// sequential run's.
+    pub counters: Counters,
+    /// Threads in the trace (declared or observed, whichever is
+    /// larger).
+    pub threads: u32,
+    /// The merged lock name table.
+    pub lock_names: Vec<String>,
+    /// The merged variable name table.
+    pub var_names: Vec<String>,
+}
+
+/// A segment's seed: the authoritative engine state and pending
+/// `RelAfter_S` bits as of the segment's first event.
+struct Seed {
+    sync: Vec<u8>,
+    pending: Vec<bool>,
+}
+
+struct WaveItem {
+    first_event_id: u64,
+    data: SegmentData,
+    seed: Seed,
+}
+
+struct Worker<D: SplitDetector, S> {
+    detector: D,
+    access: D::Access,
+    sampler: S,
+    access_counters: Counters,
+    reports: Vec<RaceReport>,
+}
+
+/// Replays a segmented trace file in parallel; see the module docs for
+/// the architecture and the equivalence argument.
+///
+/// `detector` must be in its initial state (it supplies configuration —
+/// engine options and sampler seed — via [`SplitDetector`], never
+/// accumulated state), and `sampler` must make the same decisions as
+/// the detector's own sampler (same seed); the CLI constructs both from
+/// one `--seed`. `jobs` is clamped to at least 1; `jobs == 1` degrades
+/// to a single worker without losing the byte-identity guarantee.
+///
+/// # Errors
+///
+/// Any [`SourceError`] a sequential pass over the same file would hit:
+/// corrupt segment bytes or checksums ([`SourceError::Binary`]),
+/// cross-segment duplicate name definitions (`Binary`, anchored at the
+/// offending segment's offset), or locking-discipline violations
+/// ([`SourceError::Discipline`]). Reports gathered before the error are
+/// dropped with it, exactly like
+/// [`Detector::run_source`](crate::Detector::run_source).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in an engine, never an input
+/// property), or if a coordinator-exported seed fails to import (the
+/// export/import pair is exercised by the checkpoint suite).
+pub fn analyze_segments<D, S, R>(
+    file: &mut SegmentedTraceFile<R>,
+    detector: &D,
+    sampler: &S,
+    jobs: usize,
+) -> Result<SegmentedAnalysis, SourceError>
+where
+    D: SplitDetector,
+    D::Sync: CheckpointState,
+    S: Sampler + Clone + Send,
+    R: Read + Seek,
+{
+    let jobs = jobs.max(1);
+    let mut workers: Vec<Worker<D, S>> = (0..jobs)
+        .map(|_| Worker {
+            detector: detector.clone(),
+            access: detector.split_access(),
+            sampler: sampler.clone(),
+            access_counters: Counters::new(),
+            reports: Vec::new(),
+        })
+        .collect();
+
+    // Coordinator state, persistent across all segments.
+    let mut sync = detector.split_sync();
+    let mut coordinator_sampler = sampler.clone();
+    let mut counters = Counters::new();
+    let mut pending: Vec<bool> = Vec::new();
+    let mut checker = DisciplineChecker::new();
+    let mut lock_names: Vec<String> = Vec::new();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut threads: u32 = 0;
+
+    let segment_count = file.segment_count();
+    let mut next = 0;
+    while next < segment_count {
+        let wave_end = (next + jobs).min(segment_count);
+
+        // (a) Sequential byte reads, parallel decode.
+        let mut metas: Vec<SegmentMeta> = Vec::with_capacity(wave_end - next);
+        let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(wave_end - next);
+        for k in next..wave_end {
+            metas.push(file.meta(k).clone());
+            blobs.push(file.read_segment_bytes(k)?);
+        }
+        let datas: Vec<SegmentData> = if blobs.len() == 1 {
+            vec![decode_segment(&blobs[0], &metas[0])?]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = blobs
+                    .iter()
+                    .zip(&metas)
+                    .map(|(bytes, meta)| scope.spawn(move || decode_segment(bytes, meta)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("segment decode panicked"))
+                    .collect::<Result<Vec<_>, BinaryTraceError>>()
+            })?
+        };
+        drop(blobs);
+
+        // (b) Coordinator walk: seeds, name merge, discipline, sync plane.
+        let mut wave: Vec<WaveItem> = Vec::with_capacity(datas.len());
+        for (meta, data) in metas.iter().zip(datas) {
+            if lock_names.len() != meta.locks_before || var_names.len() != meta.vars_before {
+                return Err(BinaryTraceError::new(
+                    meta.offset,
+                    "segment name-table watermark disagrees with the preceding segments",
+                )
+                .into());
+            }
+            merge_names(&mut lock_names, &data.new_locks, "lock", meta.offset)?;
+            merge_names(&mut var_names, &data.new_vars, "var", meta.offset)?;
+            threads = threads
+                .max(data.declared_threads)
+                .max(data.observed_threads);
+
+            let mut seed_sync = Vec::new();
+            sync.export_state(&mut seed_sync);
+            let seed = Seed {
+                sync: seed_sync,
+                pending: pending.clone(),
+            };
+
+            for (i, &event) in data.events.iter().enumerate() {
+                let id = EventId::new(meta.first_event_id + i as u64);
+                checker.check(id, event)?;
+                counters.events += 1;
+                let tid = event.tid;
+                sync.ensure_thread(tid);
+                if pending.len() <= tid.index() {
+                    pending.resize(tid.index() + 1, false);
+                }
+                match event.kind {
+                    EventKind::Acquire(lock) => sync.acquire(tid, lock, &mut counters),
+                    EventKind::Release(lock) => {
+                        let sampled = std::mem::take(&mut pending[tid.index()]);
+                        sync.release(tid, lock, sampled, &mut counters);
+                    }
+                    EventKind::Read(_) | EventKind::Write(_) => {
+                        if coordinator_sampler.sample(id, event) {
+                            pending[tid.index()] = true;
+                        }
+                    }
+                }
+            }
+
+            wave.push(WaveItem {
+                first_event_id: meta.first_event_id,
+                data,
+                seed,
+            });
+        }
+
+        // (c) Parallel worker replay.
+        if jobs == 1 {
+            replay_wave(&mut workers[0], &wave, 0, jobs);
+        } else {
+            std::thread::scope(|scope| {
+                let wave = &wave;
+                let handles: Vec<_> = workers
+                    .drain(..)
+                    .enumerate()
+                    .map(|(idx, mut worker)| {
+                        scope.spawn(move || {
+                            replay_wave(&mut worker, wave, idx, jobs);
+                            worker
+                        })
+                    })
+                    .collect();
+                workers.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker replay panicked")),
+                );
+            });
+        }
+
+        next = wave_end;
+    }
+
+    // (d) Merge. Report sets are disjoint (each worker owns its
+    // variables) with at most one report per event, so sorting by
+    // EventId reproduces the sequential order exactly.
+    let mut reports: Vec<RaceReport> = Vec::new();
+    for worker in &mut workers {
+        counters += std::mem::take(&mut worker.access_counters);
+        reports.append(&mut worker.reports);
+    }
+    reports.sort_by_key(|r| r.event);
+    debug_assert!(
+        reports.windows(2).all(|w| w[0].event < w[1].event),
+        "owned-variable partitioning must keep reports unique per event"
+    );
+
+    Ok(SegmentedAnalysis {
+        reports,
+        counters,
+        threads,
+        lock_names,
+        var_names,
+    })
+}
+
+/// Appends a segment's name delta, rejecting names already defined by
+/// an earlier segment — the cross-segment half of the v1 reader's
+/// duplicate check (the in-segment half lives in
+/// [`decode_segment`](freshtrack_trace::decode_segment)).
+fn merge_names(
+    table: &mut Vec<String>,
+    fresh: &[String],
+    what: &str,
+    offset: u64,
+) -> Result<(), SourceError> {
+    for name in fresh {
+        if table.iter().any(|existing| existing == name) {
+            return Err(BinaryTraceError::new(
+                offset,
+                format!("duplicate definition of {what} {name:?}"),
+            )
+            .into());
+        }
+        table.push(name.clone());
+    }
+    Ok(())
+}
+
+/// One worker's replay of one wave: for each segment that contains an
+/// owned access, rebuild a replica from the seed and replay the whole
+/// segment (sync events into the replica, owned accesses through the
+/// access shard, unowned accesses into the sampler for the pending
+/// bits).
+fn replay_wave<D, S>(worker: &mut Worker<D, S>, wave: &[WaveItem], worker_idx: usize, jobs: usize)
+where
+    D: SplitDetector,
+    D::Sync: CheckpointState,
+    S: Sampler,
+{
+    let owned = |var: freshtrack_trace::VarId| var.index() % jobs == worker_idx;
+    for item in wave {
+        let has_owned_access = item.data.events.iter().any(|event| match event.kind {
+            EventKind::Read(var) | EventKind::Write(var) => owned(var),
+            _ => false,
+        });
+        if !has_owned_access {
+            continue;
+        }
+
+        let mut replica = worker.detector.split_sync();
+        replica
+            .import_state(&item.seed.sync)
+            .expect("coordinator-exported seed must import");
+        let mut pending = item.seed.pending.clone();
+        let mut scratch = Counters::new();
+
+        for (i, &event) in item.data.events.iter().enumerate() {
+            let id = EventId::new(item.first_event_id + i as u64);
+            let tid = event.tid;
+            replica.ensure_thread(tid);
+            if pending.len() <= tid.index() {
+                pending.resize(tid.index() + 1, false);
+            }
+            match event.kind {
+                EventKind::Acquire(lock) => replica.acquire(tid, lock, &mut scratch),
+                EventKind::Release(lock) => {
+                    let sampled = std::mem::take(&mut pending[tid.index()]);
+                    replica.release(tid, lock, sampled, &mut scratch);
+                }
+                EventKind::Read(var) | EventKind::Write(var) => {
+                    if owned(var) {
+                        let view = replica.publish(tid);
+                        let outcome =
+                            worker
+                                .access
+                                .access(id, event, &view, &mut worker.access_counters);
+                        if outcome.sampled {
+                            pending[tid.index()] = true;
+                        }
+                        if let Some(report) = outcome.report {
+                            worker.reports.push(report);
+                        }
+                    } else if worker.sampler.sample(id, event) {
+                        pending[tid.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -394,6 +394,23 @@ impl<S: Sampler + Send, V: ClockView + Clone + Send + 'static> AccessEngine
     }
 }
 
+impl<S, V> crate::checkpoint::CheckpointState for HistoryAccessEngine<S, V> {
+    fn export_state(&self, out: &mut Vec<u8>) {
+        freshtrack_clock::wire::put_varint(out, self.width as u64);
+        self.history.export_wire(out);
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), crate::checkpoint::CheckpointError> {
+        let mut r = freshtrack_clock::wire::WireReader::new(bytes);
+        let width = r.get_usize()?;
+        let history = crate::AccessHistories::import_wire(&mut r)?;
+        r.finish()?;
+        self.width = width;
+        self.history = history;
+        Ok(())
+    }
+}
+
 impl<S: Clone, V> Clone for HistoryAccessEngine<S, V> {
     fn clone(&self) -> Self {
         HistoryAccessEngine {

@@ -1,0 +1,362 @@
+//! Differential suite for the checkpointed parallel analyzer.
+//!
+//! `analyze_segments` must be **byte-identical** to a sequential
+//! `Detector::run` over the same trace — reports *and* every `Counters`
+//! field — for every engine, sampler, segment size, and job count. This
+//! is the tentpole invariant of the segmented `.ftb` v2 store: the
+//! parallel path is an optimization, never a different analysis.
+
+use std::io::Cursor;
+
+use freshtrack_core::{
+    analyze_segments, CheckpointState, Detector, DjitDetector, FastTrackDetector,
+    FreshnessDetector, OrderedListDetector, SplitDetector,
+};
+use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler, Sampler};
+use freshtrack_testutil::{trace_from_fuel, workload_matrix};
+use freshtrack_trace::{
+    write_source_binary_v2, write_trace_binary_v2, EventSource, SegmentOptions, SegmentedTraceFile,
+    SourceError, Trace, TraceBuilder, Validated,
+};
+
+fn v2_bytes(trace: &Trace, events_per_segment: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_trace_binary_v2(trace, &mut bytes, &SegmentOptions { events_per_segment })
+        .expect("in-memory v2 encode cannot fail");
+    bytes
+}
+
+/// Asserts the full equivalence contract for one (trace, engine,
+/// sampler) cell across segment sizes and job counts.
+fn assert_parallel_matches_sequential<D, S>(label: &str, trace: &Trace, detector: &D, sampler: &S)
+where
+    D: SplitDetector,
+    D::Sync: CheckpointState,
+    S: Sampler + Clone + Send,
+{
+    let mut seq = detector.clone();
+    let expected_reports = seq.run(trace);
+    let expected_counters = *seq.counters();
+
+    for events_per_segment in [1, 7, 64, trace.len().max(1)] {
+        let bytes = v2_bytes(trace, events_per_segment);
+        for jobs in [1, 2, 3] {
+            let mut file = SegmentedTraceFile::open(Cursor::new(bytes.as_slice()))
+                .expect("freshly written v2 file must open");
+            let analysis = analyze_segments(&mut file, detector, sampler, jobs)
+                .expect("well-formed traces must analyze");
+            assert_eq!(
+                analysis.reports, expected_reports,
+                "[{label}] seg={events_per_segment} jobs={jobs}: reports diverged"
+            );
+            assert_eq!(
+                analysis.counters, expected_counters,
+                "[{label}] seg={events_per_segment} jobs={jobs}: counters diverged"
+            );
+            assert_eq!(
+                analysis.threads as usize,
+                trace.thread_count(),
+                "[{label}] seg={events_per_segment} jobs={jobs}: thread count diverged"
+            );
+            assert_eq!(analysis.lock_names.len(), trace.lock_count());
+            assert_eq!(analysis.var_names.len(), trace.var_count());
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_across_engines_and_samplers() {
+    for (name, trace) in workload_matrix(300, &[1]) {
+        let rate = BernoulliSampler::new(0.3, 11);
+        assert_parallel_matches_sequential(
+            &format!("{name}/djit/always"),
+            &trace,
+            &DjitDetector::new(AlwaysSampler::new()),
+            &AlwaysSampler::new(),
+        );
+        assert_parallel_matches_sequential(
+            &format!("{name}/ft/bernoulli1.0"),
+            &trace,
+            &FastTrackDetector::new(BernoulliSampler::new(1.0, 42)),
+            &BernoulliSampler::new(1.0, 42),
+        );
+        assert_parallel_matches_sequential(
+            &format!("{name}/su/bernoulli0.3"),
+            &trace,
+            &FreshnessDetector::new(rate),
+            &rate,
+        );
+        assert_parallel_matches_sequential(
+            &format!("{name}/so/bernoulli0.3"),
+            &trace,
+            &OrderedListDetector::new(rate),
+            &rate,
+        );
+        assert_parallel_matches_sequential(
+            &format!("{name}/so-noopt/bernoulli0.3"),
+            &trace,
+            &OrderedListDetector::with_options(rate, false),
+            &rate,
+        );
+    }
+}
+
+#[test]
+fn never_sampler_still_matches_exactly() {
+    for (name, trace) in workload_matrix(200, &[3]) {
+        assert_parallel_matches_sequential(
+            &format!("{name}/su/never"),
+            &trace,
+            &FreshnessDetector::new(NeverSampler::new()),
+            &NeverSampler::new(),
+        );
+        assert_parallel_matches_sequential(
+            &format!("{name}/so/never"),
+            &trace,
+            &OrderedListDetector::new(NeverSampler::new()),
+            &NeverSampler::new(),
+        );
+    }
+}
+
+#[test]
+fn edge_shapes_match_empty_single_event_and_fewer_vars_than_jobs() {
+    // Empty trace: no segments beyond the mandatory first, no reports.
+    let empty = TraceBuilder::new().build();
+    assert_parallel_matches_sequential(
+        "empty/djit",
+        &empty,
+        &DjitDetector::new(AlwaysSampler::new()),
+        &AlwaysSampler::new(),
+    );
+
+    // Single event; single var — jobs 2 and 3 leave workers idle.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    b.write(0, x);
+    let single = b.build();
+    assert_parallel_matches_sequential(
+        "single/so",
+        &single,
+        &OrderedListDetector::new(AlwaysSampler::new()),
+        &AlwaysSampler::new(),
+    );
+
+    // One shared var, racing writes: every report comes from one worker.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let l = b.lock("l");
+    b.acquire(0, l).write(0, x).release(0, l);
+    b.write(1, x);
+    b.write(2, x);
+    let racy = b.build();
+    assert_parallel_matches_sequential(
+        "one-var-racy/su",
+        &racy,
+        &FreshnessDetector::new(AlwaysSampler::new()),
+        &AlwaysSampler::new(),
+    );
+}
+
+#[test]
+fn fuel_traces_match_including_forks_and_joins() {
+    let fuels: [&[(u8, u8, u8)]; 3] = [
+        &[(0, 0, 0), (1, 0, 1), (2, 1, 0), (0, 1, 1), (3, 0, 2)],
+        &[
+            (1, 1, 1),
+            (1, 1, 1),
+            (0, 0, 0),
+            (2, 0, 3),
+            (4, 2, 1),
+            (0, 3, 0),
+        ],
+        &[
+            (5, 0, 0),
+            (0, 1, 4),
+            (3, 2, 2),
+            (1, 0, 5),
+            (2, 1, 3),
+            (4, 3, 1),
+            (0, 2, 0),
+        ],
+    ];
+    for (i, fuel) in fuels.iter().enumerate() {
+        let trace = trace_from_fuel(fuel, 6, 4, 6);
+        assert_parallel_matches_sequential(
+            &format!("fuel{i}/djit"),
+            &trace,
+            &DjitDetector::new(BernoulliSampler::new(0.5, 9)),
+            &BernoulliSampler::new(0.5, 9),
+        );
+        assert_parallel_matches_sequential(
+            &format!("fuel{i}/so"),
+            &trace,
+            &OrderedListDetector::new(BernoulliSampler::new(0.5, 9)),
+            &BernoulliSampler::new(0.5, 9),
+        );
+    }
+}
+
+#[test]
+fn discipline_violations_error_identically_to_the_sequential_path() {
+    // A release without a matching acquire: the sequential path rejects
+    // it through `Validated`; the parallel coordinator must produce the
+    // same error even though the events live in different segments.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let l = b.lock("l");
+    b.acquire(0, l).write(0, x).release(0, l);
+    b.release(1, l);
+    b.write(1, x);
+    let trace = b.build();
+
+    let sequential_err = DjitDetector::new(AlwaysSampler::new())
+        .run_source(&mut Validated::new(trace.source()))
+        .expect_err("double release must be rejected");
+
+    for events_per_segment in [1, 2, 16] {
+        let bytes = v2_bytes(&trace, events_per_segment);
+        for jobs in [1, 2] {
+            let mut file = SegmentedTraceFile::open(Cursor::new(bytes.as_slice())).unwrap();
+            let err = analyze_segments(
+                &mut file,
+                &DjitDetector::new(AlwaysSampler::new()),
+                &AlwaysSampler::new(),
+                jobs,
+            )
+            .expect_err("parallel path must reject the same trace");
+            assert!(matches!(err, SourceError::Discipline(_)), "{err}");
+            assert_eq!(
+                err.to_string(),
+                sequential_err.to_string(),
+                "seg={events_per_segment} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupt_segment_bytes_are_a_clean_error() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    for t in 0..3 {
+        b.write(t, x);
+    }
+    let trace = b.build();
+    let bytes = v2_bytes(&trace, 1);
+
+    // Flip one byte inside the second segment's payload; the checksum
+    // catches it no matter what the flip decodes to.
+    let file = SegmentedTraceFile::open(Cursor::new(bytes.as_slice())).unwrap();
+    let meta = file.meta(1).clone();
+    drop(file);
+    let mut corrupt = bytes.clone();
+    corrupt[meta.offset as usize + meta.byte_len as usize / 2] ^= 0x41;
+
+    let mut file = SegmentedTraceFile::open(Cursor::new(corrupt.as_slice()))
+        .expect("the footer is intact, so the file still opens");
+    let err = analyze_segments(
+        &mut file,
+        &DjitDetector::new(AlwaysSampler::new()),
+        &AlwaysSampler::new(),
+        2,
+    )
+    .expect_err("corrupt segment must fail analysis");
+    assert!(matches!(err, SourceError::Binary(_)), "{err}");
+    assert!(err.to_string().contains("checksum"), "{err}");
+}
+
+/// A pathological source whose name table aliases every variable to the
+/// same display name — each new variable re-defines `"x"`, so the
+/// second segment's delta collides with the first's.
+struct AliasedVarNames {
+    events: Vec<freshtrack_trace::Event>,
+    pos: usize,
+    vars: usize,
+}
+
+impl EventSource for AliasedVarNames {
+    fn next_event(&mut self) -> Result<Option<freshtrack_trace::Event>, SourceError> {
+        let event = self.events.get(self.pos).copied();
+        if let Some(event) = event {
+            self.pos += 1;
+            if let freshtrack_trace::EventKind::Read(v) | freshtrack_trace::EventKind::Write(v) =
+                event.kind
+            {
+                self.vars = self.vars.max(v.index() + 1);
+            }
+        }
+        Ok(event)
+    }
+
+    fn declared_threads(&self) -> u32 {
+        0
+    }
+
+    fn observed_threads(&self) -> u32 {
+        self.events
+            .iter()
+            .take(self.pos)
+            .map(|e| e.tid.index() as u32 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn lock_count(&self) -> usize {
+        0
+    }
+
+    fn var_count(&self) -> usize {
+        self.vars
+    }
+
+    fn lock_name(&self, _index: usize) -> &str {
+        unreachable!("the aliased source defines no locks")
+    }
+
+    fn var_name(&self, _index: usize) -> &str {
+        "x"
+    }
+}
+
+#[test]
+fn duplicate_names_across_segments_are_rejected() {
+    use freshtrack_trace::{Event, EventKind, ThreadId, VarId};
+    let mut source = AliasedVarNames {
+        events: vec![
+            Event {
+                tid: ThreadId::new(0),
+                kind: EventKind::Write(VarId::new(0)),
+            },
+            Event {
+                tid: ThreadId::new(0),
+                kind: EventKind::Write(VarId::new(1)),
+            },
+        ],
+        pos: 0,
+        vars: 0,
+    };
+    let mut bytes = Vec::new();
+    write_source_binary_v2(
+        &mut source,
+        &mut bytes,
+        &SegmentOptions {
+            events_per_segment: 1,
+        },
+    )
+    .expect("the writer serializes whatever names the source reports");
+
+    let mut file = SegmentedTraceFile::open(Cursor::new(bytes.as_slice())).unwrap();
+    let err = analyze_segments(
+        &mut file,
+        &DjitDetector::new(AlwaysSampler::new()),
+        &AlwaysSampler::new(),
+        2,
+    )
+    .expect_err("cross-segment duplicate definition must be rejected");
+    assert!(
+        err.to_string()
+            .contains("duplicate definition of var \"x\""),
+        "{err}"
+    );
+}

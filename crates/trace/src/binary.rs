@@ -43,6 +43,18 @@
 //! Small operand ids and runs of same-thread events — both the common
 //! case in real traces — therefore cost a single byte per event.
 //! Varints are LEB128, low 7 bits first.
+//!
+//! # Version 2 (segmented)
+//!
+//! A `.ftb` **v2** file (magic `FTB2…`) carries the same record grammar
+//! partitioned into segments, each preceded by a sync-plane checkpoint
+//! and closed by a footer index that makes the file randomly
+//! addressable — see the [`segmented`](crate::segmented) module for the
+//! layout, writer and seeking reader. [`BinaryEventReader`] streams
+//! both versions: in a v2 stream it transparently skips the segment,
+//! checkpoint and footer records (resetting the same-thread delta at
+//! each segment boundary, which is what makes segments independently
+//! decodable), so every sequential consumer reads v1 and v2 alike.
 
 use std::io::{Read, Write};
 
@@ -52,27 +64,58 @@ use crate::io::{EmittedMeta, WriteSourceError};
 use crate::source::{EventSource, Interner, SourceError};
 use crate::{Event, EventKind, LockId, Trace, VarId};
 
-/// The 8-byte magic prefix of a binary trace (version byte is the `1`).
+/// The 8-byte magic prefix of a version-1 binary trace (version byte is
+/// the `1`).
 ///
 /// The `\r\n\x1a\n` tail guards against line-ending translation, PNG
 /// style: a binary trace mangled by text-mode transfer no longer
 /// matches the magic and is rejected up front.
 pub const BINARY_MAGIC: [u8; 8] = *b"FTB1\r\n\x1a\n";
 
-/// Returns `true` if `prefix` starts with the binary-trace magic.
+/// The 8-byte magic prefix of a version-2 (segmented) binary trace.
+pub const BINARY_MAGIC_V2: [u8; 8] = *b"FTB2\r\n\x1a\n";
+
+/// Decodes the version digit of a binary-trace magic: `FTB<digit>` plus
+/// the translation-guard tail. `None` means "not a binary trace at all",
+/// which callers must keep distinct from "a binary trace of a version
+/// this build cannot read".
+pub(crate) fn magic_version(magic: &[u8; 8]) -> Option<u32> {
+    if &magic[..3] == b"FTB" && magic[3].is_ascii_digit() && &magic[4..] == b"\r\n\x1a\n" {
+        Some((magic[3] - b'0') as u32)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` if `prefix` starts with a binary-trace magic (any
+/// `FTB<digit>` version, readable or not — version negotiation is the
+/// reader's job, and routing an unsupported version to the reader is
+/// what produces the "unsupported version" error instead of a text
+/// parser's garbage diagnostics).
 ///
 /// Callers sniffing a file should pass its first 8 bytes; shorter
 /// prefixes (tiny text traces) are never binary.
 pub fn is_binary_trace(prefix: &[u8]) -> bool {
-    prefix.len() >= BINARY_MAGIC.len() && prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC
+    prefix
+        .get(..BINARY_MAGIC.len())
+        .and_then(|head| magic_version(head.try_into().expect("sliced to 8 bytes")))
+        .is_some()
 }
 
-const TAG_DEF_LOCK: u8 = 0xF0;
-const TAG_DEF_VAR: u8 = 0xF1;
-const TAG_THREADS: u8 = 0xF2;
-const TAG_END: u8 = 0xF7;
+pub(crate) const TAG_DEF_LOCK: u8 = 0xF0;
+pub(crate) const TAG_DEF_VAR: u8 = 0xF1;
+pub(crate) const TAG_THREADS: u8 = 0xF2;
+/// v2 only: `0xF3 <varint index>` opens a segment (and resets the
+/// same-thread delta, so segments decode independently).
+pub(crate) const TAG_SEGMENT: u8 = 0xF3;
+/// v2 only: `0xF4 <varint len> <bytes>` carries the sync-plane
+/// checkpoint taken just before the following segment record.
+pub(crate) const TAG_CHECKPOINT: u8 = 0xF4;
+/// v2 only: `0xF5 <varint len> <bytes>` carries the footer index.
+pub(crate) const TAG_FOOTER: u8 = 0xF5;
+pub(crate) const TAG_END: u8 = 0xF7;
 /// Operand ids `0..=28` ride inline in the tag; 29 escapes to a varint.
-const OPERAND_ESCAPE: u8 = 29;
+pub(crate) const OPERAND_ESCAPE: u8 = 29;
 
 /// Serializes a materialized trace to the binary format: full
 /// declaration header (threads, locks, vars — the normal form), then
@@ -112,26 +155,7 @@ where
     let mut prev_tid: Option<ThreadId> = None;
     while let Some(event) = source.next_event()? {
         flush_binary_meta(&mut emitted, source, out)?;
-        let (kind_bits, operand) = match event.kind {
-            EventKind::Read(v) => (0u8, v.index() as u64),
-            EventKind::Write(v) => (1, v.index() as u64),
-            EventKind::Acquire(l) => (2, l.index() as u64),
-            EventKind::Release(l) => (3, l.index() as u64),
-        };
-        let same_tid = prev_tid == Some(event.tid);
-        let inline = if operand < OPERAND_ESCAPE as u64 {
-            operand as u8
-        } else {
-            OPERAND_ESCAPE
-        };
-        out.write_all(&[kind_bits | (u8::from(same_tid) << 2) | (inline << 3)])?;
-        if !same_tid {
-            write_varint(out, event.tid.as_u32() as u64)?;
-        }
-        if inline == OPERAND_ESCAPE {
-            write_varint(out, operand)?;
-        }
-        prev_tid = Some(event.tid);
+        write_event_record(out, event, &mut prev_tid)?;
     }
     // Trailing declarations (silent entities, late thread counts), then
     // the final effective thread count: fork/join desugaring erases the
@@ -147,9 +171,41 @@ where
     Ok(())
 }
 
+/// Encodes one event record (tag byte, optional tid varint, optional
+/// operand varint), threading the same-thread delta through `prev_tid`.
+/// Shared verbatim by the v1 and v2 writers, which is what makes a
+/// v1→v2→v1 conversion byte-identical.
+pub(crate) fn write_event_record<W: Write>(
+    out: &mut W,
+    event: Event,
+    prev_tid: &mut Option<ThreadId>,
+) -> std::io::Result<()> {
+    let (kind_bits, operand) = match event.kind {
+        EventKind::Read(v) => (0u8, v.index() as u64),
+        EventKind::Write(v) => (1, v.index() as u64),
+        EventKind::Acquire(l) => (2, l.index() as u64),
+        EventKind::Release(l) => (3, l.index() as u64),
+    };
+    let same_tid = *prev_tid == Some(event.tid);
+    let inline = if operand < OPERAND_ESCAPE as u64 {
+        operand as u8
+    } else {
+        OPERAND_ESCAPE
+    };
+    out.write_all(&[kind_bits | (u8::from(same_tid) << 2) | (inline << 3)])?;
+    if !same_tid {
+        write_varint(out, event.tid.as_u32() as u64)?;
+    }
+    if inline == OPERAND_ESCAPE {
+        write_varint(out, operand)?;
+    }
+    *prev_tid = Some(event.tid);
+    Ok(())
+}
+
 /// Emits declaration records for everything the source has interned
 /// beyond what was already written.
-fn flush_binary_meta<S, W>(
+pub(crate) fn flush_binary_meta<S, W>(
     emitted: &mut EmittedMeta,
     source: &S,
     out: &mut W,
@@ -207,7 +263,7 @@ fn write_name<W: Write>(out: &mut W, tag: u8, name: &str) -> std::io::Result<()>
     out.write_all(name.as_bytes())
 }
 
-fn write_varint<W: Write>(out: &mut W, mut v: u64) -> std::io::Result<()> {
+pub(crate) fn write_varint<W: Write>(out: &mut W, mut v: u64) -> std::io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -226,6 +282,19 @@ pub struct BinaryTraceError {
     /// failed to decode.
     pub offset: u64,
     pub(crate) reason: String,
+}
+
+impl BinaryTraceError {
+    /// Builds an error at `offset`. Public so the seeking/parallel
+    /// layers above the streaming decoder (footer validation, parallel
+    /// merge of per-segment name deltas) can report malformed input
+    /// with the same shape the decoder uses.
+    pub fn new(offset: u64, reason: impl Into<String>) -> Self {
+        BinaryTraceError {
+            offset,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for BinaryTraceError {
@@ -249,6 +318,12 @@ pub struct BinaryEventReader<R> {
     input: std::io::BufReader<R>,
     /// Byte offset of the next unread byte.
     offset: u64,
+    /// Format version (1 or 2) negotiated from the magic.
+    version: u32,
+    /// Segment-slice mode: the input is the record body of one segment,
+    /// so a clean EOF at a record boundary ends the stream (there is no
+    /// end marker inside a segment).
+    eof_ends_stream: bool,
     locks: Interner,
     vars: Interner,
     declared_threads: u32,
@@ -258,15 +333,21 @@ pub struct BinaryEventReader<R> {
 }
 
 impl<R: Read> BinaryEventReader<R> {
-    /// Creates a decoder, consuming and checking the magic prefix.
+    /// Creates a decoder, consuming and negotiating the magic prefix.
     ///
     /// # Errors
     ///
-    /// Fails if the input does not start with [`BINARY_MAGIC`].
+    /// Fails with "not a binary trace" if the input does not carry an
+    /// `FTB` magic at all, and with "unsupported binary trace version
+    /// `N`" if it carries a version this build cannot read — the two
+    /// must stay distinct so a newer file is diagnosed as such instead
+    /// of as garbage.
     pub fn new(input: R) -> Result<Self, BinaryTraceError> {
         let mut reader = BinaryEventReader {
             input: std::io::BufReader::new(input),
             offset: 0,
+            version: 1,
+            eof_ends_stream: false,
             locks: Interner::default(),
             vars: Interner::default(),
             declared_threads: 0,
@@ -280,10 +361,46 @@ impl<R: Read> BinaryEventReader<R> {
             .read_exact(&mut magic)
             .map_err(|e| reader.fail(format!("cannot read magic: {e}")))?;
         reader.offset = 8;
-        if magic != BINARY_MAGIC {
-            return Err(reader.fail("not a binary trace (bad magic)".to_owned()));
+        match magic_version(&magic) {
+            Some(v @ (1 | 2)) => reader.version = v,
+            Some(v) => {
+                return Err(reader.fail(format!(
+                    "unsupported binary trace version {v} (this build reads 1 and 2)"
+                )))
+            }
+            None => return Err(reader.fail("not a binary trace (bad magic)".to_owned())),
         }
         Ok(reader)
+    }
+
+    /// The negotiated format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Builds a decoder over the record body of one v2 segment (no
+    /// magic, no end marker): names decoded so far are pre-seeded so
+    /// operand ids resolve, `base_offset` keeps error offsets absolute,
+    /// and a clean EOF at a record boundary ends the stream.
+    pub(crate) fn for_segment(
+        input: R,
+        base_offset: u64,
+        locks: Interner,
+        vars: Interner,
+        declared_threads: u32,
+    ) -> Self {
+        BinaryEventReader {
+            input: std::io::BufReader::new(input),
+            offset: base_offset,
+            version: 2,
+            eof_ends_stream: true,
+            locks,
+            vars,
+            declared_threads,
+            observed_threads: 0,
+            prev_tid: None,
+            done: false,
+        }
     }
 
     fn fail(&mut self, reason: String) -> BinaryTraceError {
@@ -303,6 +420,40 @@ impl<R: Read> BinaryEventReader<R> {
             }
             Err(e) => Err(self.fail(format!("truncated input: {e}"))),
         }
+    }
+
+    /// Reads the next record's tag byte; `Ok(None)` at a clean EOF in
+    /// segment-slice mode, where the slice end plays the role of the
+    /// end marker.
+    fn read_tag(&mut self) -> Result<Option<u8>, BinaryTraceError> {
+        let mut byte = [0u8];
+        match self.input.read_exact(&mut byte) {
+            Ok(()) => {
+                self.offset += 1;
+                Ok(Some(byte[0]))
+            }
+            Err(e) if self.eof_ends_stream && e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Ok(None)
+            }
+            Err(e) => Err(self.fail(format!("truncated input: {e}"))),
+        }
+    }
+
+    /// Skips `len` payload bytes (checkpoint/footer records the
+    /// sequential pass does not interpret). Bounded buffer: `len` comes
+    /// from untrusted input and must not size an allocation.
+    fn skip_bytes(&mut self, len: u64) -> Result<(), BinaryTraceError> {
+        let mut buf = [0u8; 512];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(buf.len() as u64) as usize;
+            if let Err(e) = self.input.read_exact(&mut buf[..n]) {
+                return Err(self.fail(format!("truncated input: {e}")));
+            }
+            self.offset += n as u64;
+            remaining -= n as u64;
+        }
+        Ok(())
     }
 
     fn read_varint(&mut self) -> Result<u64, BinaryTraceError> {
@@ -400,7 +551,10 @@ impl<R: Read> EventSource for BinaryEventReader<R> {
             if self.done {
                 return Ok(None);
             }
-            let tag = self.read_byte()?;
+            let Some(tag) = self.read_tag()? else {
+                self.done = true;
+                return Ok(None);
+            };
             match tag {
                 TAG_END => {
                     self.done = true;
@@ -430,6 +584,21 @@ impl<R: Read> EventSource for BinaryEventReader<R> {
                         return Err(self.fail(format!("thread count {n} overflows u32")).into());
                     }
                     self.declared_threads = self.declared_threads.max(n as u32);
+                }
+                TAG_SEGMENT if self.version >= 2 => {
+                    // Sequential readers only need the boundary's one
+                    // semantic effect: the same-thread delta resets, so
+                    // each segment decodes without its predecessors.
+                    let _index = self.read_varint()?;
+                    self.prev_tid = None;
+                }
+                TAG_CHECKPOINT if self.version >= 2 => {
+                    let len = self.read_varint()?;
+                    self.skip_bytes(len)?;
+                }
+                TAG_FOOTER if self.version >= 2 => {
+                    let len = self.read_varint()?;
+                    self.skip_bytes(len)?;
                 }
                 tag if tag >= TAG_DEF_LOCK => {
                     return Err(self.fail(format!("unknown record tag {tag:#04x}")).into());

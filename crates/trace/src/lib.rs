@@ -43,6 +43,7 @@ mod binary;
 mod builder;
 mod event;
 mod io;
+mod segmented;
 mod source;
 mod stats;
 mod stream;
@@ -50,14 +51,18 @@ mod trace;
 
 pub use binary::{
     is_binary_trace, read_trace_binary, write_source_binary, write_trace_binary, BinaryEventReader,
-    BinaryTraceError, BINARY_MAGIC,
+    BinaryTraceError, BINARY_MAGIC, BINARY_MAGIC_V2,
 };
 pub use builder::TraceBuilder;
 pub use event::{Event, EventId, EventKind, LockId, VarId};
 pub use io::{read_trace, write_source, write_trace, ParseTraceError, WriteSourceError};
+pub use segmented::{
+    decode_segment, write_source_binary_v2, write_trace_binary_v2, SegmentData, SegmentMeta,
+    SegmentOptions, SegmentedTraceFile, SyncCheckpoint,
+};
 pub use source::{EventSource, SourceError, TraceSource, Validated};
 pub use stats::TraceStats;
 pub use stream::EventReader;
-pub use trace::{Trace, ValidateTraceError};
+pub use trace::{DisciplineChecker, Trace, ValidateTraceError};
 
 pub use freshtrack_clock::ThreadId;

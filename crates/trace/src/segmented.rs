@@ -1,0 +1,1101 @@
+//! The segmented `.ftb` **v2** store: the v1 record grammar partitioned
+//! into independently decodable segments, each preceded by a sync-plane
+//! checkpoint, closed by a footer index that makes a flat file randomly
+//! addressable.
+//!
+//! # Layout
+//!
+//! ```text
+//! magic      8 bytes        "FTB2\r\n\x1a\n"
+//! segment 0  0xF3 <varint 0> <records…>
+//! ckpt 1     0xF4 <varint len> <checkpoint bytes>
+//! segment 1  0xF3 <varint 1> <records…>
+//! …
+//! footer     0xF5 <varint len> <footer body>
+//! end        0xF7
+//! trailer    8-byte LE offset of the 0xF5 byte, then "FTBi"
+//! ```
+//!
+//! `<records…>` is exactly the v1 grammar (declarations interleaved with
+//! event records), with one added rule: the same-thread delta resets at
+//! each segment start, so a segment decodes without its predecessors'
+//! bytes. Converting v1→v2→v1 is therefore byte-identical — the record
+//! sequence is unchanged; only the markers come and go.
+//!
+//! The **checkpoint** before segment `k` is the canonical sync-plane
+//! state after segments `< k`: every thread clock and lock clock under
+//! Djit+ semantics (thread `t` starts at `⊥[t ↦ 1]`; acquire joins the
+//! lock clock into the thread clock; release copies the thread clock to
+//! the lock and bumps the local component). This state is a pure
+//! function of the acquire/release prefix — no sampler, no access plane
+//! — which is what makes it engine-agnostic: any detector's sync engine
+//! can be reconstructed from it (or, for sampling-dependent engines,
+//! re-derived deterministically by a sequential coordinator), and the
+//! access plane needs nothing else to replay a segment. That argument
+//! is spelled out in `ARCHITECTURE.md` § Segmented store & checkpoints.
+//!
+//! The **footer body** is, per segment: record-range offset and byte
+//! length, event count, first [`EventId`](crate::EventId), name-table
+//! and thread watermarks at segment start, checkpoint location, and a
+//! CRC-32 of the record range — then a CRC-32 of the footer body
+//! itself. The 12-byte trailer lets a reader find the footer by
+//! seeking to the end, CAR-index style.
+//!
+//! Sequential consumers never come here:
+//! [`BinaryEventReader`](crate::BinaryEventReader) streams v2 files by
+//! skipping the markers. This module adds the random-access path
+//! ([`SegmentedTraceFile`], [`decode_segment`]) and the segmented
+//! writer ([`write_source_binary_v2`]).
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use freshtrack_clock::wire::{self, WireError, WireReader};
+use freshtrack_clock::{ThreadId, VectorClock};
+
+use crate::binary::{
+    flush_binary_meta, magic_version, write_event_record, write_varint, BinaryEventReader,
+    BINARY_MAGIC_V2, TAG_CHECKPOINT, TAG_END, TAG_FOOTER, TAG_SEGMENT, TAG_THREADS,
+};
+use crate::io::{EmittedMeta, WriteSourceError};
+use crate::source::{EventSource, Interner, SourceError};
+use crate::{BinaryTraceError, Event, EventKind, LockId, Trace};
+
+/// The 4-byte magic closing a v2 file, preceded by the 8-byte LE footer
+/// offset — the seek target for [`SegmentedTraceFile::open`].
+pub(crate) const TRAILER_MAGIC: [u8; 4] = *b"FTBi";
+
+/// Trailer size: 8-byte LE footer offset + 4-byte magic.
+const TRAILER_LEN: u64 = 12;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the polynomial zlib/PNG use), table-driven and
+// dependency-free.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// CRC-32 of `bytes` (IEEE, init `!0`, final xor `!0`).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Canonical sync-plane checkpoint.
+// ---------------------------------------------------------------------
+
+/// The canonical sync-plane state stored before each segment: every
+/// thread clock and lock clock under Djit+ semantics (see the module
+/// docs for the exact update rules).
+///
+/// The state is a pure function of the acquire/release prefix — it does
+/// not depend on any sampler or on the access plane — so one checkpoint
+/// serves every detector configuration analyzing the file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncCheckpoint {
+    /// Thread clocks, dense by thread index; thread `t` is created as
+    /// `⊥[t ↦ 1]` when first observed.
+    pub threads: Vec<VectorClock>,
+    /// Lock clocks, dense by lock index; `⊥` until first released.
+    pub locks: Vec<VectorClock>,
+}
+
+impl SyncCheckpoint {
+    /// Serializes the checkpoint (clock-count-prefixed clock lists).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_varint(&mut out, self.threads.len() as u64);
+        for clock in &self.threads {
+            wire::put_clock(&mut out, clock);
+        }
+        wire::put_varint(&mut out, self.locks.len() as u64);
+        for clock in &self.locks {
+            wire::put_clock(&mut out, clock);
+        }
+        out
+    }
+
+    /// Decodes a checkpoint written by [`encode`](Self::encode),
+    /// consuming the whole slice.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] for truncated or malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let decode_clocks = |r: &mut WireReader<'_>| -> Result<Vec<VectorClock>, WireError> {
+            let n = r.get_varint()?;
+            if n > bytes.len() as u64 {
+                // Each clock costs at least one byte; a corrupt count
+                // must not size an allocation.
+                return Err(WireError::Truncated);
+            }
+            (0..n).map(|_| r.get_clock()).collect()
+        };
+        let threads = decode_clocks(&mut r)?;
+        let locks = decode_clocks(&mut r)?;
+        r.finish()?;
+        Ok(SyncCheckpoint { threads, locks })
+    }
+}
+
+/// The writer-side incremental form of [`SyncCheckpoint`]: applies each
+/// event's Djit+ sync semantics as it is serialized.
+#[derive(Debug, Default)]
+struct SyncTracker {
+    threads: Vec<VectorClock>,
+    locks: Vec<VectorClock>,
+    /// One past the highest thread index observed.
+    watermark: u32,
+}
+
+impl SyncTracker {
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        while self.threads.len() <= tid.index() {
+            let next = ThreadId::new(self.threads.len() as u32);
+            self.threads.push(VectorClock::bottom_with(next, 1));
+        }
+        self.watermark = self.watermark.max(tid.as_u32() + 1);
+    }
+
+    fn ensure_lock(&mut self, lock: LockId) {
+        if self.locks.len() <= lock.index() {
+            self.locks.resize_with(lock.index() + 1, VectorClock::new);
+        }
+    }
+
+    fn apply(&mut self, event: Event) {
+        self.ensure_thread(event.tid);
+        match event.kind {
+            EventKind::Read(_) | EventKind::Write(_) => {}
+            EventKind::Acquire(lock) => {
+                self.ensure_lock(lock);
+                self.threads[event.tid.index()].join(&self.locks[lock.index()]);
+            }
+            EventKind::Release(lock) => {
+                self.ensure_lock(lock);
+                let clock = &mut self.threads[event.tid.index()];
+                self.locks[lock.index()].assign_from(clock);
+                clock.increment(event.tid);
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> SyncCheckpoint {
+        SyncCheckpoint {
+            threads: self.threads.clone(),
+            locks: self.locks.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Footer metadata.
+// ---------------------------------------------------------------------
+
+/// One segment's footer entry: where its records live, what they
+/// contain, and where its checkpoint is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File offset of the first record byte (just past the `0xF3
+    /// <varint index>` marker).
+    pub offset: u64,
+    /// Byte length of the record range.
+    pub byte_len: u64,
+    /// Number of event records in the segment (declaration records are
+    /// not counted).
+    pub event_count: u64,
+    /// Stream position of the segment's first event — its
+    /// [`EventId`](crate::EventId) under the sequential numbering.
+    pub first_event_id: u64,
+    /// Lock names defined before this segment (operand ids below this
+    /// resolve to earlier segments' definitions).
+    pub locks_before: usize,
+    /// Variable names defined before this segment.
+    pub vars_before: usize,
+    /// Effective thread count (declared or observed, whichever is
+    /// larger) before this segment.
+    pub threads_before: u32,
+    /// File offset of the checkpoint bytes (0 for segment 0, which
+    /// starts from the empty initial state).
+    pub checkpoint_offset: u64,
+    /// Byte length of the checkpoint (0 for segment 0).
+    pub checkpoint_len: u64,
+    /// CRC-32 of the record range.
+    pub crc32: u32,
+}
+
+fn encode_footer(metas: &[SegmentMeta]) -> Vec<u8> {
+    let mut body = Vec::new();
+    wire::put_varint(&mut body, metas.len() as u64);
+    for meta in metas {
+        wire::put_varint(&mut body, meta.offset);
+        wire::put_varint(&mut body, meta.byte_len);
+        wire::put_varint(&mut body, meta.event_count);
+        wire::put_varint(&mut body, meta.first_event_id);
+        wire::put_varint(&mut body, meta.locks_before as u64);
+        wire::put_varint(&mut body, meta.vars_before as u64);
+        wire::put_varint(&mut body, u64::from(meta.threads_before));
+        wire::put_varint(&mut body, meta.checkpoint_offset);
+        wire::put_varint(&mut body, meta.checkpoint_len);
+        wire::put_varint(&mut body, u64::from(meta.crc32));
+    }
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+fn decode_footer(body: &[u8], at: u64) -> Result<Vec<SegmentMeta>, BinaryTraceError> {
+    let fail = |what: String| BinaryTraceError::new(at, what);
+    if body.len() < 4 {
+        return Err(fail("footer too short for its checksum".to_owned()));
+    }
+    let (payload, crc_bytes) = body.split_at(body.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("split at len - 4"));
+    if crc32(payload) != stored {
+        return Err(fail("footer checksum mismatch".to_owned()));
+    }
+    let mut r = WireReader::new(payload);
+    let wire_fail = |e: WireError| BinaryTraceError::new(at, format!("malformed footer: {e}"));
+    let count = r.get_varint().map_err(wire_fail)?;
+    if count == 0 {
+        return Err(fail("footer lists no segments".to_owned()));
+    }
+    if count > payload.len() as u64 {
+        // Each entry costs several bytes; a corrupt count must not
+        // size an allocation.
+        return Err(fail("footer segment count exceeds footer size".to_owned()));
+    }
+    let mut metas = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        metas.push(SegmentMeta {
+            offset: r.get_varint().map_err(wire_fail)?,
+            byte_len: r.get_varint().map_err(wire_fail)?,
+            event_count: r.get_varint().map_err(wire_fail)?,
+            first_event_id: r.get_varint().map_err(wire_fail)?,
+            locks_before: r.get_usize().map_err(wire_fail)?,
+            vars_before: r.get_usize().map_err(wire_fail)?,
+            threads_before: r.get_u32().map_err(wire_fail)?,
+            checkpoint_offset: r.get_varint().map_err(wire_fail)?,
+            checkpoint_len: r.get_varint().map_err(wire_fail)?,
+            crc32: r.get_u32().map_err(wire_fail)?,
+        });
+    }
+    r.finish().map_err(wire_fail)?;
+    Ok(metas)
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+/// Options for the segmented writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentOptions {
+    /// Events per segment (the last segment may be shorter; 0 is
+    /// treated as 1). Default: 4096.
+    pub events_per_segment: usize,
+}
+
+impl Default for SegmentOptions {
+    fn default() -> Self {
+        SegmentOptions {
+            events_per_segment: 4096,
+        }
+    }
+}
+
+/// A `Write` adapter tracking the absolute offset and a running CRC-32
+/// of everything written since the last [`reset_crc`](Self::reset_crc)
+/// — how the writer records segment ranges and checksums in one pass
+/// over a non-seekable sink.
+struct CountingWriter<'a, W> {
+    inner: &'a mut W,
+    offset: u64,
+    crc: u32,
+}
+
+impl<'a, W: Write> CountingWriter<'a, W> {
+    fn new(inner: &'a mut W) -> Self {
+        CountingWriter {
+            inner,
+            offset: 0,
+            crc: 0xFFFF_FFFF,
+        }
+    }
+
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn reset_crc(&mut self) {
+        self.crc = 0xFFFF_FFFF;
+    }
+
+    fn crc(&self) -> u32 {
+        self.crc ^ 0xFFFF_FFFF
+    }
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.offset += n as u64;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A segment being written: everything [`SegmentMeta`] needs that is
+/// only known once the segment closes stays implicit in the writer.
+struct OpenSegment {
+    start: u64,
+    first_event_id: u64,
+    events: u64,
+    locks_before: usize,
+    vars_before: usize,
+    threads_before: u32,
+    checkpoint_offset: u64,
+    checkpoint_len: u64,
+}
+
+fn begin_segment<W: Write>(
+    out: &mut CountingWriter<'_, W>,
+    tracker: &SyncTracker,
+    emitted: &EmittedMeta,
+    index: usize,
+    first_event_id: u64,
+) -> std::io::Result<OpenSegment> {
+    let (checkpoint_offset, checkpoint_len) = if index == 0 {
+        (0, 0)
+    } else {
+        let bytes = tracker.checkpoint().encode();
+        out.write_all(&[TAG_CHECKPOINT])?;
+        write_varint(out, bytes.len() as u64)?;
+        let offset = out.offset();
+        out.write_all(&bytes)?;
+        (offset, bytes.len() as u64)
+    };
+    out.write_all(&[TAG_SEGMENT])?;
+    write_varint(out, index as u64)?;
+    let start = out.offset();
+    out.reset_crc();
+    Ok(OpenSegment {
+        start,
+        first_event_id,
+        events: 0,
+        locks_before: emitted.locks,
+        vars_before: emitted.vars,
+        threads_before: emitted.threads.max(tracker.watermark),
+        checkpoint_offset,
+        checkpoint_len,
+    })
+}
+
+fn end_segment<W: Write>(out: &CountingWriter<'_, W>, seg: OpenSegment) -> SegmentMeta {
+    SegmentMeta {
+        offset: seg.start,
+        byte_len: out.offset() - seg.start,
+        event_count: seg.events,
+        first_event_id: seg.first_event_id,
+        locks_before: seg.locks_before,
+        vars_before: seg.vars_before,
+        threads_before: seg.threads_before,
+        checkpoint_offset: seg.checkpoint_offset,
+        checkpoint_len: seg.checkpoint_len,
+        crc32: out.crc(),
+    }
+}
+
+/// Streams any [`EventSource`] to the segmented v2 format, in memory
+/// bounded by the segment size (for the checkpoint clocks) — the sink
+/// need not be seekable; offsets are tracked, not sought.
+///
+/// Record order is identical to the v1 output of
+/// [`write_source_binary`](crate::write_source_binary) — segment,
+/// checkpoint and
+/// footer records are interposed, never reordered — so converting
+/// v1→v2→v1 reproduces the original file byte for byte.
+///
+/// # Errors
+///
+/// Propagates the first source error or I/O failure.
+pub fn write_source_binary_v2<S, W>(
+    source: &mut S,
+    out: &mut W,
+    options: &SegmentOptions,
+) -> Result<(), WriteSourceError>
+where
+    S: EventSource + ?Sized,
+    W: Write,
+{
+    let per_segment = options.events_per_segment.max(1) as u64;
+    let mut out = CountingWriter::new(out);
+    out.write_all(&BINARY_MAGIC_V2)?;
+    let mut emitted = EmittedMeta::default();
+    let mut tracker = SyncTracker::default();
+    let mut metas: Vec<SegmentMeta> = Vec::new();
+    let mut prev_tid: Option<ThreadId> = None;
+    let mut seg = begin_segment(&mut out, &tracker, &emitted, 0, 0)?;
+    flush_binary_meta(&mut emitted, source, &mut out)?;
+    while let Some(event) = source.next_event()? {
+        if seg.events == per_segment {
+            let next_first = seg.first_event_id + seg.events;
+            metas.push(end_segment(&out, seg));
+            seg = begin_segment(&mut out, &tracker, &emitted, metas.len(), next_first)?;
+            prev_tid = None;
+        }
+        flush_binary_meta(&mut emitted, source, &mut out)?;
+        write_event_record(&mut out, event, &mut prev_tid)?;
+        tracker.apply(event);
+        seg.events += 1;
+    }
+    // Trailing declarations and the final effective thread count land
+    // in the last segment, exactly where the v1 writer puts them.
+    flush_binary_meta(&mut emitted, source, &mut out)?;
+    let threads = source.threads();
+    if threads > emitted.threads {
+        out.write_all(&[TAG_THREADS])?;
+        write_varint(&mut out, u64::from(threads))?;
+    }
+    metas.push(end_segment(&out, seg));
+    let footer_offset = out.offset();
+    let body = encode_footer(&metas);
+    out.write_all(&[TAG_FOOTER])?;
+    write_varint(&mut out, body.len() as u64)?;
+    out.write_all(&body)?;
+    out.write_all(&[TAG_END])?;
+    out.write_all(&footer_offset.to_le_bytes())?;
+    out.write_all(&TRAILER_MAGIC)?;
+    Ok(())
+}
+
+/// Serializes a materialized trace to the segmented v2 format — the v2
+/// twin of [`write_trace_binary`](crate::write_trace_binary).
+///
+/// # Errors
+///
+/// Propagates I/O failures from `out`.
+pub fn write_trace_binary_v2<W: Write>(
+    trace: &Trace,
+    out: &mut W,
+    options: &SegmentOptions,
+) -> std::io::Result<()> {
+    write_source_binary_v2(&mut trace.source(), out, options).map_err(|e| match e {
+        WriteSourceError::Io(e) => e,
+        WriteSourceError::Source(e) => {
+            unreachable!("materialized traces never fail to stream: {e}")
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Seeking reader.
+// ---------------------------------------------------------------------
+
+/// A randomly addressable view of a v2 file: the footer index, plus
+/// seek-and-read access to each segment's record bytes and checkpoint.
+///
+/// I/O is deliberately split from decoding:
+/// [`read_segment_bytes`](Self::read_segment_bytes) does the
+/// (sequential) seek+read, and the
+/// free function [`decode_segment`] is a pure function of those bytes —
+/// so a parallel analyzer reads segments on one thread and decodes them
+/// on many.
+#[derive(Debug)]
+pub struct SegmentedTraceFile<R> {
+    input: R,
+    metas: Vec<SegmentMeta>,
+    footer_offset: u64,
+}
+
+impl<R: Read + Seek> SegmentedTraceFile<R> {
+    /// Opens a v2 file: checks the magic, seeks the trailer, reads and
+    /// validates the footer index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on v1 files (with a pointer to `convert --to binary-v2`),
+    /// non-binary input, a missing or corrupt trailer/footer, and any
+    /// footer entry whose ranges fall outside the file or whose event
+    /// numbering is not cumulative.
+    pub fn open(mut input: R) -> Result<Self, BinaryTraceError> {
+        let io_fail =
+            |at: u64, e: std::io::Error| BinaryTraceError::new(at, format!("cannot read: {e}"));
+        let len = input.seek(SeekFrom::End(0)).map_err(|e| io_fail(0, e))?;
+        if len < 8 + 1 + TRAILER_LEN {
+            return Err(BinaryTraceError::new(
+                len,
+                "too short to be a segmented binary trace",
+            ));
+        }
+        input.seek(SeekFrom::Start(0)).map_err(|e| io_fail(0, e))?;
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic).map_err(|e| io_fail(0, e))?;
+        match magic_version(&magic) {
+            Some(2) => {}
+            Some(v) => {
+                return Err(BinaryTraceError::new(
+                    0,
+                    format!(
+                        "segmented access needs a version-2 binary trace, found version {v} \
+                         (`convert --to binary-v2` upgrades it)"
+                    ),
+                ))
+            }
+            None => return Err(BinaryTraceError::new(0, "not a binary trace (bad magic)")),
+        }
+        let trailer_at = len - TRAILER_LEN;
+        input
+            .seek(SeekFrom::Start(trailer_at))
+            .map_err(|e| io_fail(trailer_at, e))?;
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        input
+            .read_exact(&mut trailer)
+            .map_err(|e| io_fail(trailer_at, e))?;
+        if trailer[8..] != TRAILER_MAGIC {
+            return Err(BinaryTraceError::new(
+                trailer_at,
+                "missing segment-index trailer (truncated file?)",
+            ));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        // The footer record needs at least tag + 1-byte length + body
+        // before the end marker and trailer.
+        if footer_offset < 8 || footer_offset + 2 > trailer_at {
+            return Err(BinaryTraceError::new(
+                trailer_at,
+                format!("footer offset {footer_offset} out of bounds"),
+            ));
+        }
+        input
+            .seek(SeekFrom::Start(footer_offset))
+            .map_err(|e| io_fail(footer_offset, e))?;
+        let mut at = footer_offset;
+        let tag = read_byte_at(&mut input, &mut at)?;
+        if tag != TAG_FOOTER {
+            return Err(BinaryTraceError::new(
+                footer_offset,
+                format!("trailer points at tag {tag:#04x}, not a footer record"),
+            ));
+        }
+        let body_len = read_varint_at(&mut input, &mut at)?;
+        if at + body_len + 1 != trailer_at {
+            return Err(BinaryTraceError::new(
+                at,
+                format!("footer body length {body_len} does not reach the end marker"),
+            ));
+        }
+        let mut body = vec![0u8; body_len as usize];
+        input.read_exact(&mut body).map_err(|e| io_fail(at, e))?;
+        let metas = decode_footer(&body, footer_offset)?;
+        let mut expected_first = 0u64;
+        let mut prev_end = 8u64;
+        for (k, meta) in metas.iter().enumerate() {
+            let bad = |what: String| BinaryTraceError::new(meta.offset, what);
+            if meta.offset < prev_end || meta.offset + meta.byte_len > footer_offset {
+                return Err(bad(format!("segment {k} range out of bounds")));
+            }
+            if meta.first_event_id != expected_first {
+                return Err(bad(format!(
+                    "segment {k} starts at event {} but {expected_first} events precede it",
+                    meta.first_event_id
+                )));
+            }
+            expected_first += meta.event_count;
+            let has_checkpoint = meta.checkpoint_len > 0 || meta.checkpoint_offset > 0;
+            if (k == 0) == has_checkpoint {
+                return Err(bad(format!(
+                    "segment {k} {} a checkpoint",
+                    if k == 0 {
+                        "must not carry"
+                    } else {
+                        "is missing"
+                    }
+                )));
+            }
+            if meta.checkpoint_offset + meta.checkpoint_len > footer_offset {
+                return Err(bad(format!("segment {k} checkpoint out of bounds")));
+            }
+            prev_end = meta.offset + meta.byte_len;
+        }
+        Ok(SegmentedTraceFile {
+            input,
+            metas,
+            footer_offset,
+        })
+    }
+
+    /// Number of segments in the file (always at least 1).
+    pub fn segment_count(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The footer entry for segment `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.segment_count()`.
+    pub fn meta(&self, k: usize) -> &SegmentMeta {
+        &self.metas[k]
+    }
+
+    /// All footer entries, in segment order.
+    pub fn metas(&self) -> &[SegmentMeta] {
+        &self.metas
+    }
+
+    /// File offset of the footer record.
+    pub fn footer_offset(&self) -> u64 {
+        self.footer_offset
+    }
+
+    /// Total number of events across all segments.
+    pub fn event_count(&self) -> u64 {
+        self.metas.iter().map(|m| m.event_count).sum()
+    }
+
+    /// Reads segment `k`'s raw record bytes (sequential I/O; decoding
+    /// is [`decode_segment`], callable elsewhere and in parallel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.segment_count()`.
+    pub fn read_segment_bytes(&mut self, k: usize) -> Result<Vec<u8>, BinaryTraceError> {
+        let meta = &self.metas[k];
+        // `open` validated the range against the file size, so the
+        // allocation is bounded by real bytes.
+        let mut bytes = vec![0u8; meta.byte_len as usize];
+        self.input
+            .seek(SeekFrom::Start(meta.offset))
+            .and_then(|_| self.input.read_exact(&mut bytes))
+            .map_err(|e| {
+                BinaryTraceError::new(meta.offset, format!("cannot read segment {k}: {e}"))
+            })?;
+        Ok(bytes)
+    }
+
+    /// Reads and decodes the checkpoint preceding segment `k` — the
+    /// canonical sync state after segments `< k`. Segment 0 yields the
+    /// empty initial state (the file stores no record for it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed checkpoint encodings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.segment_count()`.
+    pub fn read_checkpoint(&mut self, k: usize) -> Result<SyncCheckpoint, BinaryTraceError> {
+        let meta = &self.metas[k];
+        if k == 0 {
+            return Ok(SyncCheckpoint::default());
+        }
+        let mut bytes = vec![0u8; meta.checkpoint_len as usize];
+        self.input
+            .seek(SeekFrom::Start(meta.checkpoint_offset))
+            .and_then(|_| self.input.read_exact(&mut bytes))
+            .map_err(|e| {
+                BinaryTraceError::new(
+                    meta.checkpoint_offset,
+                    format!("cannot read checkpoint {k}: {e}"),
+                )
+            })?;
+        SyncCheckpoint::decode(&bytes).map_err(|e| {
+            BinaryTraceError::new(
+                meta.checkpoint_offset,
+                format!("malformed checkpoint for segment {k}: {e}"),
+            )
+        })
+    }
+
+    /// Fully verifies the file: every segment's checksum, record
+    /// decoding and event count, and every checkpoint's encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn verify(&mut self) -> Result<(), BinaryTraceError> {
+        for k in 0..self.segment_count() {
+            let bytes = self.read_segment_bytes(k)?;
+            let meta = self.metas[k].clone();
+            decode_segment(&bytes, &meta)?;
+            self.read_checkpoint(k)?;
+        }
+        Ok(())
+    }
+}
+
+/// One decoded segment: its events and the metadata *delta* it
+/// contributes beyond what earlier segments defined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentData {
+    /// The segment's events, in stream order; event `i` has
+    /// [`EventId`](crate::EventId) `meta.first_event_id + i`.
+    pub events: Vec<Event>,
+    /// Lock names this segment defines (ids `meta.locks_before..`).
+    pub new_locks: Vec<String>,
+    /// Variable names this segment defines (ids `meta.vars_before..`).
+    pub new_vars: Vec<String>,
+    /// The largest thread count declared *within* this segment (0 when
+    /// it declares none).
+    pub declared_threads: u32,
+    /// One past the highest thread id observed within this segment.
+    pub observed_threads: u32,
+}
+
+/// Decodes one segment's record bytes against its footer entry —
+/// checksum first, then the v1 record grammar with name tables
+/// pre-seeded to the segment's watermarks. A pure function of its
+/// inputs, safe to fan out across threads.
+///
+/// # Errors
+///
+/// Fails on a checksum mismatch, any malformed record (errors carry
+/// absolute file offsets), or an event count disagreeing with the
+/// footer.
+pub fn decode_segment(bytes: &[u8], meta: &SegmentMeta) -> Result<SegmentData, BinaryTraceError> {
+    if bytes.len() as u64 != meta.byte_len {
+        return Err(BinaryTraceError::new(
+            meta.offset,
+            format!(
+                "segment is {} bytes, footer claims {}",
+                bytes.len(),
+                meta.byte_len
+            ),
+        ));
+    }
+    if crc32(bytes) != meta.crc32 {
+        return Err(BinaryTraceError::new(
+            meta.offset,
+            "segment checksum mismatch (corrupt or truncated file)",
+        ));
+    }
+    let mut reader = BinaryEventReader::for_segment(
+        bytes,
+        meta.offset,
+        Interner::with_placeholders(meta.locks_before),
+        Interner::with_placeholders(meta.vars_before),
+        0,
+    );
+    // Each event record costs at least one byte, so this cannot
+    // over-allocate even if the (checksummed) footer were corrupt.
+    let mut events = Vec::with_capacity((meta.event_count as usize).min(bytes.len()));
+    loop {
+        match reader.next_event() {
+            Ok(Some(event)) => events.push(event),
+            Ok(None) => break,
+            Err(SourceError::Binary(e)) => return Err(e),
+            Err(other) => {
+                return Err(BinaryTraceError::new(meta.offset, format!("{other}")));
+            }
+        }
+    }
+    if events.len() as u64 != meta.event_count {
+        return Err(BinaryTraceError::new(
+            meta.offset,
+            format!(
+                "segment decodes {} events, footer claims {}",
+                events.len(),
+                meta.event_count
+            ),
+        ));
+    }
+    let new_locks = (meta.locks_before..reader.lock_count())
+        .map(|i| reader.lock_name(i).to_owned())
+        .collect();
+    let new_vars = (meta.vars_before..reader.var_count())
+        .map(|i| reader.var_name(i).to_owned())
+        .collect();
+    Ok(SegmentData {
+        events,
+        new_locks,
+        new_vars,
+        declared_threads: reader.declared_threads(),
+        observed_threads: reader.observed_threads(),
+    })
+}
+
+fn read_byte_at<R: Read>(input: &mut R, at: &mut u64) -> Result<u8, BinaryTraceError> {
+    let mut byte = [0u8];
+    input
+        .read_exact(&mut byte)
+        .map_err(|e| BinaryTraceError::new(*at, format!("truncated input: {e}")))?;
+    *at += 1;
+    Ok(byte[0])
+}
+
+fn read_varint_at<R: Read>(input: &mut R, at: &mut u64) -> Result<u64, BinaryTraceError> {
+    let mut value = 0u64;
+    for shift in (0..64).step_by(7) {
+        let byte = read_byte_at(input, at)?;
+        if shift == 63 && byte > 1 {
+            return Err(BinaryTraceError::new(*at, "varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(BinaryTraceError::new(*at, "varint overflows u64"))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+
+    use super::*;
+    use crate::{read_trace_binary, write_source_binary, write_trace_binary, TraceBuilder};
+
+    fn opts(n: usize) -> SegmentOptions {
+        SegmentOptions {
+            events_per_segment: n,
+        }
+    }
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        let y = b.var("late-y");
+        let l = b.lock("l");
+        let m = b.lock("m");
+        for t in 0..3 {
+            b.acquire(t, l).write(t, x).release(t, l);
+        }
+        b.read(1, x);
+        b.fork(1, 3);
+        b.acquire(3, m).write(3, y).release(3, m);
+        b.join(1, 3);
+        b.declare_threads(6);
+        b.build()
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn v2_streams_back_to_the_identical_trace() {
+        let trace = sample();
+        for per_segment in [1, 2, 3, 100] {
+            let mut bytes = Vec::new();
+            write_trace_binary_v2(&trace, &mut bytes, &opts(per_segment)).unwrap();
+            let back = read_trace_binary(&bytes).unwrap();
+            assert_eq!(trace.events(), back.events());
+            assert_eq!(trace.thread_count(), back.thread_count());
+            assert_eq!(trace.lock_names, back.lock_names);
+            assert_eq!(trace.var_names, back.var_names);
+        }
+    }
+
+    #[test]
+    fn v1_to_v2_to_v1_is_byte_identical() {
+        let trace = sample();
+        let mut v1 = Vec::new();
+        write_trace_binary(&trace, &mut v1).unwrap();
+        for per_segment in [1, 4, 1000] {
+            let mut v2 = Vec::new();
+            let mut reader = BinaryEventReader::new(&v1[..]).unwrap();
+            write_source_binary_v2(&mut reader, &mut v2, &opts(per_segment)).unwrap();
+            let mut v1_again = Vec::new();
+            let mut reader = BinaryEventReader::new(&v2[..]).unwrap();
+            write_source_binary(&mut reader, &mut v1_again).unwrap();
+            assert_eq!(v1, v1_again, "per_segment={per_segment}");
+        }
+    }
+
+    #[test]
+    fn footer_index_is_cumulative_and_decodes_every_segment() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &opts(4)).unwrap();
+        let mut file = SegmentedTraceFile::open(Cursor::new(&bytes)).unwrap();
+        assert_eq!(
+            file.segment_count(),
+            trace.len().div_ceil(4),
+            "count for {} events",
+            trace.len()
+        );
+        assert_eq!(file.event_count(), trace.len() as u64);
+        file.verify().unwrap();
+
+        let mut all_events = Vec::new();
+        let mut locks = Vec::new();
+        let mut vars = Vec::new();
+        for k in 0..file.segment_count() {
+            let meta = file.meta(k).clone();
+            assert_eq!(meta.first_event_id, all_events.len() as u64);
+            assert_eq!(meta.locks_before, locks.len());
+            assert_eq!(meta.vars_before, vars.len());
+            let data = decode_segment(&file.read_segment_bytes(k).unwrap(), &meta).unwrap();
+            all_events.extend(data.events);
+            locks.extend(data.new_locks);
+            vars.extend(data.new_vars);
+        }
+        assert_eq!(all_events, trace.events());
+        assert_eq!(locks, trace.lock_names);
+        assert_eq!(vars, trace.var_names);
+    }
+
+    #[test]
+    fn checkpoints_replay_the_sync_prefix() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &opts(3)).unwrap();
+        let mut file = SegmentedTraceFile::open(Cursor::new(&bytes)).unwrap();
+        assert!(file.segment_count() > 2);
+        for k in 0..file.segment_count() {
+            // Independently replay the canonical semantics over the
+            // prefix and compare to the stored checkpoint.
+            let mut tracker = SyncTracker::default();
+            for &event in &trace.events()[..file.meta(k).first_event_id as usize] {
+                tracker.apply(event);
+            }
+            let stored = file.read_checkpoint(k).unwrap();
+            assert_eq!(stored, tracker.checkpoint(), "segment {k}");
+            assert_eq!(stored, SyncCheckpoint::decode(&stored.encode()).unwrap());
+        }
+    }
+
+    #[test]
+    fn corrupt_segment_bytes_fail_the_checksum() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &opts(4)).unwrap();
+        let meta = SegmentedTraceFile::open(Cursor::new(&bytes))
+            .unwrap()
+            .meta(1)
+            .clone();
+        // Flip a bit inside segment 1's record range.
+        bytes[meta.offset as usize] ^= 0x40;
+        let mut file = SegmentedTraceFile::open(Cursor::new(&bytes)).unwrap();
+        let err = file.verify().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn open_rejects_other_formats_with_version_guidance() {
+        let trace = sample();
+        let mut v1 = Vec::new();
+        write_trace_binary(&trace, &mut v1).unwrap();
+        let err = SegmentedTraceFile::open(Cursor::new(&v1)).unwrap_err();
+        assert!(err.to_string().contains("version 1"), "{err}");
+        assert!(err.to_string().contains("binary-v2"), "{err}");
+        let err =
+            SegmentedTraceFile::open(Cursor::new(b"#! threads 2\nT0|w(x)\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        let err = SegmentedTraceFile::open(Cursor::new(b"FT".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("too short"), "{err}");
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_at_open() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &opts(4)).unwrap();
+        // Any truncation destroys the trailer (it no longer sits at the
+        // end), except cuts inside the trailer itself, which destroy
+        // the magic.
+        for cut in [bytes.len() - 1, bytes.len() - TRAILER_LEN as usize, 40] {
+            let err = SegmentedTraceFile::open(Cursor::new(&bytes[..cut])).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("trailer") || msg.contains("too short"),
+                "cut={cut}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_still_carries_one_segment() {
+        let trace = TraceBuilder::new().build();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &SegmentOptions::default()).unwrap();
+        let mut file = SegmentedTraceFile::open(Cursor::new(&bytes)).unwrap();
+        assert_eq!(file.segment_count(), 1);
+        assert_eq!(file.event_count(), 0);
+        file.verify().unwrap();
+        let back = read_trace_binary(&bytes).unwrap();
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn segment_errors_carry_absolute_offsets() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &opts(4)).unwrap();
+        let mut file = SegmentedTraceFile::open(Cursor::new(&bytes)).unwrap();
+        let meta = file.meta(1).clone();
+        let seg = file.read_segment_bytes(1).unwrap();
+        // Truncate the segment's bytes: the checksum catches it before
+        // any decoding happens.
+        let err = decode_segment(&seg[..seg.len() - 1], &meta).unwrap_err();
+        assert!(err.offset >= meta.offset);
+        // A same-length corruption is caught by the checksum too.
+        let mut corrupt = seg.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        let err = decode_segment(&corrupt, &meta).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn decoded_segments_resolve_cross_segment_operands() {
+        // Segment boundaries fall so that segment 1+ reference names
+        // defined in segment 0: placeholders must make the ids resolve
+        // and the real names must come only from the owning segment.
+        let mut b = TraceBuilder::new();
+        let x = b.var("x");
+        for t in 0..6 {
+            b.write(t, x);
+        }
+        let trace = b.build();
+        let mut bytes = Vec::new();
+        write_trace_binary_v2(&trace, &mut bytes, &opts(2)).unwrap();
+        let mut file = SegmentedTraceFile::open(Cursor::new(&bytes)).unwrap();
+        assert_eq!(file.segment_count(), 3);
+        let meta = file.meta(1).clone();
+        assert_eq!(meta.vars_before, 1);
+        let data = decode_segment(&file.read_segment_bytes(1).unwrap(), &meta).unwrap();
+        assert!(data.new_vars.is_empty());
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.events[0], trace.events()[2]);
+    }
+}

@@ -261,11 +261,39 @@ impl Trace {
     ///
     /// Propagates the first error the source reports.
     pub fn from_source<S: EventSource + ?Sized>(source: &mut S) -> Result<Trace, SourceError> {
-        let mut events = Vec::with_capacity(source.remaining_hint().unwrap_or(0));
+        match Trace::from_source_limited(source, usize::MAX)? {
+            Some(trace) => Ok(trace),
+            None => unreachable!("no trace exceeds usize::MAX events"),
+        }
+    }
+
+    /// Materializes a source like [`Trace::from_source`], but gives up
+    /// with `Ok(None)` as soon as the stream exceeds `limit` events —
+    /// **before** buffering more than `limit + 1` of them.
+    ///
+    /// This is the bounded-memory guard for consumers with superlinear
+    /// cost in the trace length (the CLI's O(N²)-memory `oracle`): a cap
+    /// checked after materialization would OOM on the oversized input it
+    /// exists to reject.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error the source reports (checked before
+    /// the limit: a malformed oversized input is malformed, not merely
+    /// oversized).
+    pub fn from_source_limited<S: EventSource + ?Sized>(
+        source: &mut S,
+        limit: usize,
+    ) -> Result<Option<Trace>, SourceError> {
+        let hint = source.remaining_hint().unwrap_or(0);
+        let mut events = Vec::with_capacity(hint.min(limit.saturating_add(1)));
         while let Some(event) = source.next_event()? {
+            if events.len() >= limit {
+                return Ok(None);
+            }
             events.push(event);
         }
-        Ok(Trace {
+        Ok(Some(Trace {
             events,
             n_threads: source.threads(),
             lock_names: (0..source.lock_count())
@@ -274,7 +302,7 @@ impl Trace {
             var_names: (0..source.var_count())
                 .map(|v| source.var_name(v).to_owned())
                 .collect(),
-        })
+        }))
     }
 }
 
@@ -404,6 +432,19 @@ impl Interner {
         self.names.push(name.to_owned());
         self.ids.insert(name.to_owned(), id);
         id
+    }
+
+    /// An interner pre-seeded with `n` placeholder names, for decoding
+    /// one v2 segment in isolation: operand ids below `n` resolve (their
+    /// real names live in earlier segments), and the placeholders carry
+    /// a NUL byte so no valid name ([`crate::binary`] rejects control
+    /// characters on both codec paths) can collide with them.
+    pub(crate) fn with_placeholders(n: usize) -> Interner {
+        let mut interner = Interner::default();
+        for k in 0..n {
+            interner.push(format!("\u{0}#{k}"));
+        }
+        interner
     }
 
     /// Appends a name with the next dense id without a lookup (binary

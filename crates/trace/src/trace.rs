@@ -107,19 +107,29 @@ impl Trace {
 /// The incremental locking-discipline check shared by [`Trace::validate`]
 /// and the streaming [`crate::Validated`] wrapper: `O(L)` holder state,
 /// one step per event.
+///
+/// Public so drivers that cannot route their events through a single
+/// [`crate::Validated`] source — the segmented parallel analyzer feeds
+/// decoded segments, not one stream — can still apply the identical
+/// check with persistent holder state across segment boundaries.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct DisciplineChecker {
+pub struct DisciplineChecker {
     /// holder\[l\] = Some(t) iff lock l is currently held by thread t.
     holder: Vec<Option<ThreadId>>,
 }
 
 impl DisciplineChecker {
-    pub(crate) fn new() -> Self {
+    /// A checker with no locks held.
+    pub fn new() -> Self {
         DisciplineChecker::default()
     }
 
     /// Applies one event; fails on the first discipline violation.
-    pub(crate) fn check(&mut self, id: EventId, event: Event) -> Result<(), ValidateTraceError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation, identifying the offending event as `id`.
+    pub fn check(&mut self, id: EventId, event: Event) -> Result<(), ValidateTraceError> {
         let Some(l) = event.kind.lock() else {
             return Ok(());
         };
