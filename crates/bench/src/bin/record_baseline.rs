@@ -62,6 +62,18 @@
 //! ```text
 //! record_baseline --segments --out BENCH_segments.json
 //! ```
+//!
+//! A sixth mode, `--oracle`, measures the **streaming ground-truth
+//! oracle** ([`freshtrack_core::StreamingOracle`]): events/s and
+//! end-of-stream state footprint across window sizes (plus a reservoir
+//! point), each point replaying identical `.ftb` v2 bytes and asserted
+//! every round to reproduce the dense [`freshtrack_core::HbOracle`]'s
+//! racy-event set verbatim — the O(N²)-bit oracle is also timed once
+//! as the reference point the windowed checker exists to displace:
+//!
+//! ```text
+//! record_baseline --oracle --out BENCH_oracle.json
+//! ```
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -1001,6 +1013,146 @@ fn run_segments(out_path: Option<String>) {
     }
 }
 
+/// The `--oracle` mode: streaming ground-truth verification cost. One
+/// dense [`HbOracle`](freshtrack_core::HbOracle) pass over the corpus
+/// trace pins the expected racy-event set (and times the O(N²)-bit
+/// reference); then every
+/// [`StreamingOracle`](freshtrack_core::StreamingOracle) point —
+/// window sizes 16/256/4096, unbounded,
+/// and a tiny-window + reservoir combination — replays identical
+/// `.ftb` v2 bytes in interleaved rounds (fastest kept, one sitting by
+/// construction) and must reproduce that set verbatim every round: the
+/// windowed racy-event exactness guarantee, measured rather than
+/// assumed. `FT_TRACE_BENCH`/`FT_TRACE_SCALE`/`FT_ROUNDS` as in
+/// `--trace-io`.
+fn run_oracle(out_path: Option<String>) {
+    use freshtrack_core::{HbOracle, OracleConfig, OracleStats, StreamingOracle};
+    use freshtrack_trace::{write_trace_binary_v2, SegmentOptions};
+
+    let bench_name = std::env::var("FT_TRACE_BENCH").unwrap_or_else(|_| "derby".to_owned());
+    let scale = std::env::var("FT_TRACE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0f64);
+    let rounds = env_or("FT_ROUNDS", 5u32).max(1);
+    let bench = corpus::by_name(&bench_name)
+        .unwrap_or_else(|| panic!("unknown corpus benchmark `{bench_name}`"));
+    let trace = bench.trace(scale, 0);
+    let events = trace.len() as f64;
+
+    let mut v2 = Vec::new();
+    write_trace_binary_v2(&trace, &mut v2, &SegmentOptions::default()).expect("in-memory write");
+
+    // Ground truth, once: the racy-event set every streaming point must
+    // reproduce, and the O(N²) reference cost. Dropped immediately —
+    // its ancestor bitsets are the memory wall this mode quantifies.
+    let hb_start = Instant::now();
+    let hb = HbOracle::new(&trace);
+    let mask = HbOracle::sample_mask(&trace, AlwaysSampler::new());
+    let expected = hb.racy_events(&mask);
+    let hb_elapsed = hb_start.elapsed();
+    drop(hb);
+    let hb_ev_per_s = events / hb_elapsed.as_secs_f64();
+    // Dense ancestor sets: one N-bit set per event.
+    let hb_anc_bytes = (trace.len() as u64 * trace.len() as u64) / 8;
+    eprintln!(
+        "hb_exact                 {:>8.2} Mev/s  (anc ~{} MiB, {} racy events)",
+        hb_ev_per_s / 1e6,
+        hb_anc_bytes >> 20,
+        expected.len()
+    );
+
+    type Point = (&'static str, usize, usize);
+    let points: [Point; 5] = [
+        ("window_16", 16, 0),
+        ("window_256", 256, 0),
+        ("window_4096", 4096, 0),
+        ("unbounded", usize::MAX, 0),
+        ("window_64_reservoir_256", 64, 256),
+    ];
+
+    let mut best = vec![Duration::MAX; points.len()];
+    let mut stats: Vec<Option<OracleStats>> = vec![None; points.len()];
+    for round in 0..rounds {
+        eprintln!("oracle round {}/{rounds}…", round + 1);
+        for (i, &(name, window, reservoir)) in points.iter().enumerate() {
+            let config = OracleConfig {
+                window,
+                reservoir,
+                seed: 7,
+            };
+            let oracle = StreamingOracle::new(AlwaysSampler::new(), config);
+            let mut reader = BinaryEventReader::new(&v2[..]).expect("magic");
+            let start = Instant::now();
+            let outcome = oracle
+                .run_source(&mut reader)
+                .expect("well-formed v2 stream");
+            let elapsed = start.elapsed();
+            assert_eq!(
+                outcome.racy_ids(),
+                expected,
+                "{name}: streamed racy events must match the exact oracle"
+            );
+            if elapsed < best[i] {
+                best[i] = elapsed;
+            }
+            stats[i] = Some(outcome.stats);
+        }
+    }
+
+    let mut lines = Vec::new();
+    for (i, &(name, _, _)) in points.iter().enumerate() {
+        let s = stats[i].as_ref().expect("at least one round");
+        let ev_per_s = events / best[i].as_secs_f64();
+        eprintln!(
+            "{name:<24} {:>8.2} Mev/s  (state {} KiB, peak window {})",
+            ev_per_s / 1e6,
+            s.state_bytes >> 10,
+            s.peak_window_len
+        );
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        lines.push(format!(
+            "    \"{name}\": {{\"events_per_s\": {ev_per_s:.0}, \"state_bytes\": {}, \
+             \"peak_window_len\": {}, \"evictions\": {}, \"window_checks\": {}, \
+             \"summarized_races\": {}, \"reservoir_checks\": {}}}{comma}",
+            s.state_bytes,
+            s.peak_window_len,
+            s.evictions,
+            s.window_checks,
+            s.summarized_races,
+            s.reservoir_checks
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"freshtrack/oracle/v1\",\n  \"benchmark\": \"stream_oracle\",\n  \
+         \"trace\": {{\"corpus\": \"{}\", \"scale\": {scale}, \"seed\": 0, \"events\": {}, \
+         \"threads\": {}, \"locks\": {}, \"vars\": {}}},\n  \
+         \"sampler\": \"always\",\n  \"racy_events\": {},\n  \"rounds\": {rounds},\n  \
+         \"hb_reference\": {{\"events_per_s\": {hb_ev_per_s:.0}, \"anc_bytes\": {hb_anc_bytes}}},\n  \
+         \"note\": \"events/s, fastest of FT_ROUNDS interleaved rounds in one sitting; every \
+         point streams identical .ftb v2 bytes through StreamingOracle and must reproduce the \
+         dense HbOracle's racy-event set verbatim (asserted every round); state_bytes is the \
+         end-of-stream retained footprint, hb_reference the single-pass O(N^2)-bit oracle \
+         this mode exists to displace\",\n  \
+         \"points\": {{\n{}\n  }}\n}}\n",
+        json_escape(&bench_name),
+        trace.len(),
+        trace.thread_count(),
+        trace.lock_count(),
+        trace.var_count(),
+        expected.len(),
+        lines.join("\n")
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path: Option<String> = None;
@@ -1010,6 +1162,7 @@ fn main() {
     let mut sync_cost = false;
     let mut trace_io = false;
     let mut segments = false;
+    let mut oracle = false;
     let mut mix = String::from("ycsb");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1021,6 +1174,7 @@ fn main() {
             "--sync-cost" => sync_cost = true,
             "--trace-io" => trace_io = true,
             "--segments" => segments = true,
+            "--oracle" => oracle = true,
             "--mix" => mix = args.next().expect("--mix needs a value"),
             "--samples" => {
                 samples = args
@@ -1035,7 +1189,8 @@ fn main() {
                      record_baseline --dbsim [--mix NAME] [--out FILE]   (env: FT_WORKERS/FT_TXNS/FT_ROUNDS/FT_SEED)\n\
                      record_baseline --sync-cost [--out FILE]            (env: FT_ROUNDS/FT_CLOCK_WIDTH)\n\
                      record_baseline --trace-io [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)\n\
-                     record_baseline --segments [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)"
+                     record_baseline --segments [--out FILE]             (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)\n\
+                     record_baseline --oracle [--out FILE]               (env: FT_ROUNDS/FT_TRACE_BENCH/FT_TRACE_SCALE)"
                 );
                 return;
             }
@@ -1043,6 +1198,10 @@ fn main() {
         }
     }
 
+    if oracle {
+        run_oracle(out_path);
+        return;
+    }
     if segments {
         run_segments(out_path);
         return;

@@ -2,8 +2,8 @@ use std::io::{Read, Write};
 
 use freshtrack_core::{
     analyze_segments, CheckpointState, Counters, Detector, DjitDetector, FastTrackDetector,
-    FreshnessDetector, HbOracle, NaiveSamplingDetector, OrderedListDetector, RaceReport,
-    SplitDetector, SyncMode,
+    FreshnessDetector, HbOracle, NaiveSamplingDetector, OracleConfig, OrderedListDetector,
+    RaceReport, SplitDetector, StreamingOracle, SyncMode,
 };
 use freshtrack_dbsim::{run_detector, run_sharded, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
@@ -373,24 +373,76 @@ fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), A
 const ORACLE_EVENT_CAP: usize = 200_000;
 
 fn oracle<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
-    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let args = Args::parse(rest.iter().cloned(), &["stream", "stats"])?;
     let rate: f64 = args.get_or("rate", 1.0)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let path = input_path(&args)?;
-    let mut input = open_input(path)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError(format!("--rate must be in [0,1], got {rate}")));
+    }
+    // `--window`/`--reservoir`/`--stream` select the bounded-memory
+    // streaming oracle; otherwise the exact materializing oracle runs
+    // under its event cap. Both paths share `open_validated`, so text,
+    // binary v1/v2 and stdin inputs behave identically (as `analyze`).
+    let streaming =
+        args.flag("stream") || args.get("window").is_some() || args.get("reservoir").is_some();
+    let (mut input, path) = open_validated(&args)?;
+    let sampler = BernoulliSampler::new(rate, seed);
+    if streaming {
+        let config = OracleConfig {
+            window: args.get_or("window", usize::MAX)?,
+            reservoir: args.get_or("reservoir", 0usize)?,
+            seed,
+        };
+        let outcome = StreamingOracle::new(sampler, config)
+            .run_source(&mut input)
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        // Same body as the materializing path (racy events are exact at
+        // every window size), so cross-mode output is byte-identical.
+        let _ = writeln!(
+            out,
+            "{} racy event(s) among the sampled set:",
+            outcome.racy_events.len()
+        );
+        for &(id, event) in &outcome.racy_events {
+            let _ = writeln!(out, "  {id} {event}");
+        }
+        if args.flag("stats") {
+            let s = outcome.stats;
+            let _ = writeln!(
+                out,
+                "racy pairs: {} windowed, {} via reservoir ({} distinct)",
+                outcome.window_pairs.len(),
+                outcome.reservoir_pairs.len(),
+                outcome.pairs().len()
+            );
+            let _ = writeln!(
+                out,
+                "events: {} ({} sampled, {} sync); window: {} evicted, \
+                 peak {}; checks: {} windowed, {} reservoir; \
+                 checkpoint-only races: {}; state: {} bytes",
+                s.events,
+                s.sampled_accesses,
+                s.sync_events,
+                s.evictions,
+                s.peak_window_len,
+                s.window_checks,
+                s.reservoir_checks,
+                s.summarized_races,
+                s.state_bytes
+            );
+        }
+        return Ok(());
+    }
     let trace = Trace::from_source_limited(&mut input, ORACLE_EVENT_CAP)
         .map_err(|e| ArgError(format!("{path}: {e}")))?
         .ok_or_else(|| {
             ArgError(format!(
-                "trace exceeds {ORACLE_EVENT_CAP} events; the oracle is O(N²) memory \
-                 and limited to 200k"
+                "trace exceeds {ORACLE_EVENT_CAP} events; the exact oracle is O(N²) \
+                 memory — pass --window/--reservoir to stream in bounded memory"
             ))
         })?;
-    trace
-        .validate()
-        .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
     let oracle = HbOracle::new(&trace);
-    let mask = HbOracle::sample_mask(&trace, BernoulliSampler::new(rate, seed));
+    let mask = HbOracle::sample_mask(&trace, sampler);
     let racy = oracle.racy_events(&mask);
     let _ = writeln!(out, "{} racy event(s) among the sampled set:", racy.len());
     for e in racy {
@@ -737,6 +789,53 @@ mod tests {
     }
 
     #[test]
+    fn oracle_agrees_across_formats_and_modes() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-oracle-formats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("t.trace");
+        let v1_path = dir.join("t.ftb");
+        let v2_path = dir.join("t.v2.ftb");
+
+        let (code, text) = run_cli(&[
+            "generate",
+            "--events",
+            "2000",
+            "--unprotected",
+            "0.1",
+            "--seed",
+            "5",
+        ]);
+        assert_eq!(code, 0);
+        std::fs::write(&text_path, &text).unwrap();
+        let (code, v1) = run_cli_bytes(&["convert", text_path.to_str().unwrap(), "--to", "binary"]);
+        assert_eq!(code, 0);
+        std::fs::write(&v1_path, &v1).unwrap();
+        let (code, v2) =
+            run_cli_bytes(&["convert", text_path.to_str().unwrap(), "--to", "binary-v2"]);
+        assert_eq!(code, 0);
+        std::fs::write(&v2_path, &v2).unwrap();
+
+        // Every input format × oracle mode prints byte-identical racy
+        // events: the exact materializing oracle, the unbounded stream,
+        // and a windowed stream (racy events are exact at any window).
+        let common = ["--rate", "0.8", "--seed", "9"];
+        let mut outputs = Vec::new();
+        for path in [&text_path, &v1_path, &v2_path] {
+            for mode in [&[][..], &["--stream"][..], &["--window", "64"][..]] {
+                let args = [&["oracle", path.to_str().unwrap()], &common[..], mode].concat();
+                let (code, out) = run_cli(&args);
+                assert_eq!(code, 0, "{args:?}: {out}");
+                assert!(out.contains("racy event(s)"), "{args:?}: {out}");
+                outputs.push((format!("{args:?}"), out));
+            }
+        }
+        let (ref_label, reference) = &outputs[0];
+        for (label, out) in &outputs[1..] {
+            assert_eq!(out, reference, "{label} diverged from {ref_label}");
+        }
+    }
+
+    #[test]
     fn convert_validates_its_arguments() {
         let (code, out) = run_cli(&["convert", "/nonexistent", "--to", "binary"]);
         assert_eq!(code, 1);
@@ -806,8 +905,13 @@ mod tests {
         std::fs::write(&path, &text).unwrap();
         let (code, out) = run_cli(&["oracle", path.to_str().unwrap()]);
         assert_eq!(code, 1);
-        assert!(out.contains("limited to 200k"), "{out}");
         assert!(out.contains("exceeds 200000 events"), "{out}");
+        // The refusal names the streaming escape hatch, which handles
+        // the same over-cap input in bounded memory.
+        assert!(out.contains("--window"), "{out}");
+        let (code, out) = run_cli(&["oracle", path.to_str().unwrap(), "--window", "16"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 racy event(s)"), "{out}");
 
         // At the cap the oracle still runs (single-thread: no races).
         let at_cap = &text[..text.len() - "T0|w(x)\n".len()];

@@ -5,8 +5,13 @@
 //! * `analyze <trace>` — run a detector engine over a trace, streamed
 //!   in constant memory; `--jobs N` replays a segmented `.ftb` v2 file
 //!   in parallel with byte-identical output.
-//! * `oracle <trace>` — ground-truth racy events (small traces only;
-//!   the 200k-event cap trips while streaming, before buffering).
+//! * `oracle <trace>` — ground-truth racy events. The default exact
+//!   mode materializes (200k-event cap, enforced while streaming);
+//!   `--window N` / `--reservoir K` / `--stream` switch to the
+//!   bounded-memory [`StreamingOracle`] — same racy-event output at
+//!   any window size, unbounded input length.
+//!
+//! [`StreamingOracle`]: freshtrack_core::StreamingOracle
 //! * `stats <trace>` — trace statistics, streamed in constant memory.
 //! * `convert <trace>` — re-encode between the text, binary (`.ftb`)
 //!   and segmented (`.ftb` v2, `--to binary-v2`) formats.
@@ -49,9 +54,18 @@ COMMANDS:
                       --jobs <n>    parallel checkpointed replay of a
                       segmented `.ftb` v2 file (default 1; N>=2 needs
                       a real file path, byte-identical output)
-    oracle <trace>    ground-truth racy events (O(N^2) memory!
-                      capped at 200k events, enforced while streaming)
+    oracle <trace>    ground-truth racy events (`-` = stdin; text or
+                      binary input auto-detected, exactly as analyze)
                       --rate <0..1> (default 1.0)   --seed <n>
+                      default: exact O(N^2) oracle, capped at 200k
+                      events (enforced while streaming)
+                      --stream          bounded-memory streaming oracle
+                      --window <n>      per-var access window (implies
+                      --stream; racy events stay exact, racy pairs
+                      are reported while windowed)
+                      --reservoir <k>   also check pairs against a
+                      uniform reservoir of k accesses (implies --stream)
+                      --stats           print run statistics
     stats <trace>     print trace statistics (streaming, constant
                       memory; `-` = stdin, format auto-detected)
     convert <trace>   re-encode a trace to stdout (`-` = stdin,

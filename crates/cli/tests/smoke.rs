@@ -127,6 +127,30 @@ fn oracle_lists_ground_truth_races() {
 }
 
 #[test]
+fn oracle_streaming_modes_match_exact_mode() {
+    let trace = tiny_trace("oracle-stream");
+    let (code, exact) = run_cli(&["oracle", trace.path(), "--rate", "1.0"]);
+    assert_eq!(code, 0, "{exact}");
+    // The streaming oracle's racy events are exact at every window
+    // size, so each mode reproduces the exact oracle's output verbatim.
+    for extra in [
+        &["--stream"][..],
+        &["--window", "64"][..],
+        &["--window", "1", "--reservoir", "8"][..],
+    ] {
+        let args = [&["oracle", trace.path(), "--rate", "1.0"], extra].concat();
+        let (code, streamed) = run_cli(&args);
+        assert_eq!(code, 0, "{streamed}");
+        assert_eq!(streamed, exact, "{extra:?} diverged from exact mode");
+    }
+    // `--stats` appends diagnostics after the identical body.
+    let (code, with_stats) = run_cli(&["oracle", trace.path(), "--window", "64", "--stats"]);
+    assert_eq!(code, 0, "{with_stats}");
+    assert!(with_stats.starts_with(&exact), "{with_stats}");
+    assert!(with_stats.contains("state:"), "{with_stats}");
+}
+
+#[test]
 fn corpus_lists_and_emits_benchmarks() {
     let (code, text) = run_cli(&["corpus", "--list"]);
     assert_eq!(code, 0, "{text}");

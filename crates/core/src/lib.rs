@@ -71,6 +71,7 @@ mod parallel;
 mod plane;
 mod report;
 mod shard;
+mod stream_oracle;
 mod sync_ops;
 
 pub use access_history::AccessHistories;
@@ -91,4 +92,5 @@ pub use plane::{
 };
 pub use report::{AccessKind, RaceReport};
 pub use shard::{ShardedOnlineDetector, SyncMode};
+pub use stream_oracle::{OracleConfig, OracleOutcome, OracleStats, StreamingOracle};
 pub use sync_ops::{SyncClock, SyncOps};

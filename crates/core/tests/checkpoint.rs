@@ -17,6 +17,7 @@ use freshtrack_core::{
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
 use freshtrack_testutil::{trace_from_fuel, workload_matrix};
 use freshtrack_trace::{EventId, Trace, TraceBuilder};
+use proptest::prelude::*;
 
 /// Every `Counters` field except the sharing-dependent `deep_copies`.
 fn stable_fields(c: &Counters) -> [u64; 17] {
@@ -214,6 +215,104 @@ fn non_epoch_engines_reject_relafter_bits() {
     let blob = blob_with_one_bit(&ft);
     let err = ft.import_state(&blob).unwrap_err();
     assert!(err.to_string().contains("RelAfter_S"), "{err}");
+}
+
+/// Feeds `bytes` (a possibly-corrupted checkpoint) into a fresh
+/// detector and asserts the clean-failure contract: either import
+/// rejects with an error, or — when the corruption happens to decode as
+/// a valid state — the accepted state is *canonical* (its re-export is
+/// byte-idempotent through another import) and the detector keeps
+/// processing a real trace without panicking. What is ruled out is the
+/// middle ground: an `Ok` import holding state that later misbehaves.
+fn assert_import_fails_cleanly<D>(label: &str, make: &dyn Fn() -> D, trace: &Trace, bytes: &[u8])
+where
+    D: Detector + CheckpointState,
+{
+    let mut det = make();
+    if det.import_state(bytes).is_err() {
+        return; // clean rejection — no state was replaced
+    }
+    let mut re = Vec::new();
+    det.export_state(&mut re);
+    let mut second = make();
+    second
+        .import_state(&re)
+        .unwrap_or_else(|e| panic!("[{label}] re-export of an accepted import failed: {e}"));
+    let mut re2 = Vec::new();
+    second.export_state(&mut re2);
+    assert_eq!(
+        re, re2,
+        "[{label}] accepted import produced a non-canonical state"
+    );
+    det.run(trace); // an accepted state must keep working (no panic)
+}
+
+/// Corrupts `blob` per `flips` (position, xor-mask pairs; masks are
+/// forced nonzero so every flip changes its byte) and checks the
+/// clean-failure contract; then checks every strict prefix in the same
+/// way via `trunc`.
+fn assert_corruption_handled<D>(
+    label: &str,
+    make: &dyn Fn() -> D,
+    trace: &Trace,
+    flips: &[(u16, u8)],
+    trunc: u16,
+) where
+    D: Detector + CheckpointState,
+{
+    let mut det = make();
+    det.run(trace);
+    let mut blob = Vec::new();
+    det.export_state(&mut blob);
+    assert!(!blob.is_empty(), "[{label}] export produced no bytes");
+
+    let mut corrupted = blob.clone();
+    for &(pos, mask) in flips {
+        let i = pos as usize % corrupted.len();
+        corrupted[i] ^= mask | 1;
+    }
+    assert_import_fails_cleanly(label, make, trace, &corrupted);
+
+    // Truncation can never be valid: every section is length-prefixed,
+    // so a strict prefix must be rejected outright.
+    let cut = trunc as usize % blob.len();
+    let mut fresh = make();
+    assert!(
+        fresh.import_state(&blob[..cut]).is_err(),
+        "[{label}] strict prefix of len {cut} (of {}) imported",
+        blob.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzzed corruption: flip and truncate arbitrary bytes of exported
+    /// checkpoint blobs for every engine — import fails cleanly (no
+    /// panic, no silent wrong state) in every case.
+    #[test]
+    fn corrupted_checkpoints_fail_cleanly_for_every_engine(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 20..80),
+        flips in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+        trunc in any::<u16>(),
+    ) {
+        let trace = trace_from_fuel(&fuel, 4, 3, 3);
+        assert_corruption_handled(
+            "djit", &|| DjitDetector::new(AlwaysSampler::new()), &trace, &flips, trunc);
+        assert_corruption_handled(
+            "ft", &|| FastTrackDetector::new(BernoulliSampler::new(1.0, 42)),
+            &trace, &flips, trunc);
+        assert_corruption_handled(
+            "su", &|| FreshnessDetector::new(BernoulliSampler::new(0.5, 17)),
+            &trace, &flips, trunc);
+        assert_corruption_handled(
+            "so", &|| OrderedListDetector::new(BernoulliSampler::new(0.5, 17)),
+            &trace, &flips, trunc);
+        assert_corruption_handled(
+            "so-noopt",
+            &|| OrderedListDetector::with_options(BernoulliSampler::new(0.5, 17), false),
+            &trace, &flips, trunc);
+    }
 }
 
 #[test]

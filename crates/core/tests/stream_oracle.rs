@@ -1,0 +1,319 @@
+//! Differential verification of the bounded-memory [`StreamingOracle`]
+//! against the materializing [`HbOracle`] ground truth.
+//!
+//! The contract under test (see `stream_oracle.rs` module docs):
+//!
+//! * racy **events** are exact for *every* window size, including `0`;
+//! * racy **pairs** are a sound subset, and exactly
+//!   [`HbOracle::racy_pairs`] (same order) when the window covers the
+//!   trace;
+//! * reservoir pairs are exact checks over a uniformly sampled pair
+//!   population, deterministic in the seed;
+//! * the detector engines' reports stay consistent with the streamed
+//!   ground truth, closing the loop `engines ↔ StreamingOracle ↔
+//!   HbOracle`.
+//!
+//! The structured matrix covers every workload pattern × seeds ×
+//! samplers × window sizes; the proptests fuzz raw fuel through the
+//! shared trace interpreter with randomized windows and reservoirs.
+
+use freshtrack_core::{Detector, DjitDetector, HbOracle, OracleConfig, StreamingOracle};
+use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler, PeriodicSampler};
+use freshtrack_testutil::{
+    assert_streaming_oracle_agreement, trace_from_fuel, workload_matrix, ALL_PATTERNS,
+};
+use freshtrack_trace::{Trace, TraceBuilder};
+use proptest::prelude::*;
+
+fn windowed(window: usize) -> OracleConfig {
+    OracleConfig {
+        window,
+        ..OracleConfig::default()
+    }
+}
+
+/// Window sizes spanning the interesting regimes: no window at all,
+/// pathologically tiny, partial, and covering.
+const WINDOWS: [usize; 5] = [0, 1, 4, 64, usize::MAX];
+
+/// The structured differential matrix: every pattern × seed × sampler ×
+/// window size, streamed vs materialized.
+#[test]
+fn matrix_agreement_across_patterns_samplers_and_windows() {
+    for (label, trace) in workload_matrix(240, &[1, 2]) {
+        for window in WINDOWS {
+            assert_streaming_oracle_agreement(
+                &format!("{label}/always"),
+                &trace,
+                AlwaysSampler::new(),
+                windowed(window),
+            );
+            assert_streaming_oracle_agreement(
+                &format!("{label}/bernoulli"),
+                &trace,
+                BernoulliSampler::new(0.5, 7),
+                windowed(window),
+            );
+            assert_streaming_oracle_agreement(
+                &format!("{label}/periodic"),
+                &trace,
+                PeriodicSampler::new(0.4, 16, 11),
+                windowed(window),
+            );
+        }
+    }
+}
+
+/// A sampler that admits nothing produces an empty outcome everywhere.
+#[test]
+fn never_sampler_sees_no_races() {
+    for (label, trace) in workload_matrix(240, &[1]) {
+        let outcome = assert_streaming_oracle_agreement(
+            &label,
+            &trace,
+            NeverSampler::new(),
+            windowed(usize::MAX),
+        );
+        assert!(outcome.racy_events.is_empty(), "[{label}] never-sampled");
+        assert_eq!(outcome.stats.sampled_accesses, 0);
+    }
+}
+
+/// Engines × streaming oracle: every race an engine reports is racy per
+/// the streamed ground truth, and the first report is the streamed
+/// oracle's first racy event — the same contract
+/// `assert_oracle_agreement` pins against [`HbOracle`], closing the
+/// triangle.
+#[test]
+fn engine_reports_agree_with_streamed_ground_truth() {
+    for (label, trace) in workload_matrix(240, &[1, 2]) {
+        let sampler = BernoulliSampler::new(0.6, 3);
+        let reports = DjitDetector::new(sampler).run(&trace);
+        let outcome =
+            assert_streaming_oracle_agreement(&label, &trace, sampler, windowed(usize::MAX));
+        let racy = outcome.racy_ids();
+        for report in &reports {
+            assert!(
+                racy.contains(&report.event),
+                "[{label}] engine reported non-racy event {}",
+                report.event
+            );
+        }
+        assert_eq!(
+            reports.first().map(|r| r.event),
+            racy.first().copied(),
+            "[{label}] first engine report vs streamed oracle"
+        );
+    }
+}
+
+/// Reservoir mode: pairs are a sound subset (checked by the shared
+/// assertion), selection is deterministic in the seed, and differing
+/// seeds are allowed to retain different populations.
+#[test]
+fn reservoir_is_sound_and_deterministic() {
+    let trace = freshtrack_testutil::conformance_workload(ALL_PATTERNS[0], 9, 400);
+    let config = OracleConfig {
+        window: 2,
+        reservoir: 16,
+        seed: 42,
+    };
+    let a = assert_streaming_oracle_agreement("reservoir/a", &trace, AlwaysSampler::new(), config);
+    let b = assert_streaming_oracle_agreement("reservoir/b", &trace, AlwaysSampler::new(), config);
+    assert_eq!(a, b, "same seed must reproduce the outcome exactly");
+    assert!(
+        a.stats.reservoir_checks > 0,
+        "a 400-event workload must exercise the reservoir"
+    );
+}
+
+/// A tiny window forces evictions, yet racy events stay exact and any
+/// checkpoint-detected races are visible in the stats.
+#[test]
+fn tiny_window_summarizes_without_losing_events() {
+    // Thread 0 writes x twice (only the first stays windowed), then
+    // thread 1 writes x unsynchronized: the race with the evicted
+    // write is found via the clock checkpoint.
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    b.write(0, x);
+    b.write(0, y);
+    b.write(0, x);
+    b.write(1, x);
+    let trace = b.build();
+    let outcome =
+        assert_streaming_oracle_agreement("tiny", &trace, AlwaysSampler::new(), windowed(1));
+    assert_eq!(outcome.racy_events.len(), 1, "the cross-thread write races");
+    assert!(outcome.stats.evictions > 0, "window 1 must evict");
+    // Both earlier writes race with the later one; only the windowed
+    // one can be reported as a pair.
+    assert_eq!(outcome.window_pairs.len(), 1);
+    assert_eq!(
+        outcome.stats.summarized_races, 0,
+        "windowed pair found it first"
+    );
+}
+
+/// Window 0 keeps no pairs at all: every race is checkpoint-detected,
+/// racy events still exact.
+#[test]
+fn window_zero_is_checkpoint_only() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    b.write(0, x);
+    b.write(1, x);
+    b.read(2, x);
+    let trace = b.build();
+    let outcome =
+        assert_streaming_oracle_agreement("w0", &trace, AlwaysSampler::new(), windowed(0));
+    assert_eq!(outcome.racy_events.len(), 2);
+    assert!(outcome.window_pairs.is_empty(), "nothing is ever windowed");
+    assert_eq!(outcome.stats.summarized_races, 2);
+}
+
+/// Synchronized accesses stay race-free through the streamed sync plane
+/// (acquire = join, release = publish + increment).
+#[test]
+fn lock_discipline_orders_accesses() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    let l = b.lock("l");
+    b.acquire(0, l).write(0, x).release(0, l);
+    b.acquire(1, l).write(1, x).release(1, l);
+    let trace = b.build();
+    for window in WINDOWS {
+        let outcome = assert_streaming_oracle_agreement(
+            "locked",
+            &trace,
+            AlwaysSampler::new(),
+            windowed(window),
+        );
+        assert!(outcome.racy_events.is_empty(), "w={window} lock-ordered");
+    }
+}
+
+/// Bounded memory in practice: with a fixed window, quadrupling the
+/// trace length leaves the retained state within noise (it depends on
+/// threads × vars × window, never on N).
+#[test]
+fn state_footprint_is_independent_of_trace_length() {
+    let run = |events: usize| {
+        let trace = freshtrack_testutil::conformance_workload(ALL_PATTERNS[0], 3, events);
+        StreamingOracle::new(AlwaysSampler::new(), windowed(8))
+            .run_source(&mut trace.source())
+            .expect("valid trace")
+            .stats
+    };
+    let small = run(500);
+    let large = run(2000);
+    assert!(
+        large.events > 3 * small.events,
+        "workload must actually grow"
+    );
+    assert!(
+        large.state_bytes <= small.state_bytes * 2,
+        "state must not scale with N: {} -> {}",
+        small.state_bytes,
+        large.state_bytes
+    );
+    assert!(large.peak_window_len <= 8, "window cap respected");
+}
+
+/// `feed_source` + `finish` across chunked sources equals one
+/// `run_source` over the whole trace: the oracle is resumable at any
+/// split point, the property segment-checkpointed analysis relies on.
+#[test]
+fn chunked_feeding_matches_single_pass() {
+    let trace = freshtrack_testutil::conformance_workload(ALL_PATTERNS[2], 5, 300);
+    let whole = StreamingOracle::new(AlwaysSampler::new(), windowed(16))
+        .run_source(&mut trace.source())
+        .expect("valid trace");
+    let mut chunked = StreamingOracle::new(AlwaysSampler::new(), windowed(16));
+    for (id, event) in trace.iter() {
+        chunked.on_event(id, event);
+    }
+    assert_eq!(whole, chunked.finish());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fuzzed agreement: random fuel, random window — racy events exact,
+    /// pairs sound, and exact whenever the window happens to cover.
+    #[test]
+    fn fuzzed_agreement_under_random_windows(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..200),
+        window_idx in 0usize..7,
+        rate_raw in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let window = [0usize, 1, 2, 3, 8, 32, usize::MAX][window_idx];
+        let trace = trace_from_fuel(&fuel, 4, 3, 3);
+        assert_streaming_oracle_agreement(
+            "fuzz",
+            &trace,
+            BernoulliSampler::new(f64::from(rate_raw) / 255.0, seed),
+            windowed(window),
+        );
+    }
+
+    /// Fuzzed reservoir mode on top of a tiny window: the shared
+    /// assertion checks soundness of every reported pair.
+    #[test]
+    fn fuzzed_reservoir_soundness(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..200),
+        reservoir in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let trace = trace_from_fuel(&fuel, 4, 3, 3);
+        assert_streaming_oracle_agreement(
+            "fuzz-reservoir",
+            &trace,
+            AlwaysSampler::new(),
+            OracleConfig { window: 1, reservoir, seed },
+        );
+    }
+
+    /// The windowed-pair subset relation holds monotonically: a larger
+    /// window never reports fewer pairs, and both stay subsets of the
+    /// ground truth (transitively checked by the shared assertion).
+    #[test]
+    fn window_growth_is_monotone(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..160),
+        small in 0usize..6,
+        extra in 1usize..32,
+    ) {
+        let trace = trace_from_fuel(&fuel, 4, 3, 3);
+        let narrow = assert_streaming_oracle_agreement(
+            "mono/narrow", &trace, AlwaysSampler::new(), windowed(small));
+        let wide = assert_streaming_oracle_agreement(
+            "mono/wide", &trace, AlwaysSampler::new(), windowed(small + extra));
+        let wide_set: std::collections::HashSet<_> =
+            wide.window_pairs.iter().copied().collect();
+        for pair in &narrow.window_pairs {
+            prop_assert!(
+                wide_set.contains(pair),
+                "pair {pair:?} lost when the window grew"
+            );
+        }
+        prop_assert_eq!(narrow.racy_ids(), wide.racy_ids());
+    }
+}
+
+/// The doc-level example contract, pinned: a racy two-write trace is
+/// reported identically by both oracles at every window size.
+#[test]
+fn minimal_example_matches_hb_oracle() {
+    let mut b = TraceBuilder::new();
+    let x = b.var("x");
+    b.write(0, x);
+    b.write(1, x);
+    let trace: Trace = b.build();
+    let oracle = HbOracle::new(&trace);
+    let mask = HbOracle::sample_mask(&trace, AlwaysSampler::new());
+    assert_eq!(oracle.racy_events(&mask).len(), 1);
+    for window in WINDOWS {
+        assert_streaming_oracle_agreement("min", &trace, AlwaysSampler::new(), windowed(window));
+    }
+}

@@ -20,6 +20,10 @@
 //!   first racy event.
 //! * [`assert_conformance`] — all of the above for one `(trace,
 //!   sampler)` pair.
+//! * [`assert_streaming_oracle_agreement`] — the bounded-memory
+//!   [`StreamingOracle`] vs [`HbOracle`]: racy events exact at every
+//!   window size, racy pairs a sound subset that becomes exact when the
+//!   window covers the trace.
 //! * [`workload_matrix`] / [`conformance_workload`] — seeded structured
 //!   workloads across every [`Pattern`], sized so the quadratic oracle
 //!   stays affordable.
@@ -37,8 +41,8 @@
 
 use freshtrack_core::{
     Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector, HbOracle,
-    NaiveSamplingDetector, OrderedListDetector, RaceReport, ShardedOnlineDetector, SplitDetector,
-    SyncMode,
+    NaiveSamplingDetector, OracleConfig, OracleOutcome, OrderedListDetector, RaceReport,
+    ShardedOnlineDetector, SplitDetector, StreamingOracle, SyncMode,
 };
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Trace, TraceBuilder, VarId};
@@ -203,6 +207,89 @@ pub fn assert_conformance<S: Sampler + Clone>(
     assert_fasttrack_first_race_agreement(label, trace, sampler.clone());
     assert_oracle_agreement(label, trace, sampler, &reports);
     reports
+}
+
+/// Runs a [`StreamingOracle`] with `config` over `trace` and asserts
+/// its full agreement contract against the materializing [`HbOracle`]:
+///
+/// * **Racy events are exact for every window size** — the streamed
+///   [`OracleOutcome::racy_events`] ids equal
+///   [`HbOracle::racy_events`], and each carries the trace's own event
+///   payload.
+/// * **Window pairs are a sound subset** of [`HbOracle::racy_pairs`],
+///   and **equal** (same order) whenever `config.window` covers the
+///   trace; reservoir pairs (if enabled) are likewise a subset, and the
+///   merged [`OracleOutcome::pairs`] stays exact under windows that
+///   cover.
+/// * The sampled-access count matches the oracle's sample mask, and
+///   races detected only via clock checkpoints can occur only once
+///   eviction has actually happened.
+///
+/// Returns the streamed outcome for further inspection.
+pub fn assert_streaming_oracle_agreement<S: Sampler + Clone>(
+    label: &str,
+    trace: &Trace,
+    sampler: S,
+    config: OracleConfig,
+) -> OracleOutcome {
+    let oracle = HbOracle::new(trace);
+    let mask = HbOracle::sample_mask(trace, sampler.clone());
+    let expected_events = oracle.racy_events(&mask);
+    let expected_pairs = oracle.racy_pairs(&mask);
+
+    let outcome = StreamingOracle::new(sampler, config)
+        .run_source(&mut trace.source())
+        .unwrap_or_else(|e| panic!("[{label}] valid trace failed to stream: {e}"));
+    let w = config.window;
+
+    assert_eq!(
+        outcome.racy_ids(),
+        expected_events,
+        "[{label}] w={w} streamed racy events vs HbOracle"
+    );
+    for &(id, event) in &outcome.racy_events {
+        assert_eq!(
+            event,
+            trace.event(id),
+            "[{label}] w={w} racy event {id} carries the wrong payload"
+        );
+    }
+
+    let truth: std::collections::HashSet<_> = expected_pairs.iter().copied().collect();
+    for pair in outcome.window_pairs.iter().chain(&outcome.reservoir_pairs) {
+        assert!(
+            truth.contains(pair),
+            "[{label}] w={w} reported non-racy pair {pair:?}"
+        );
+    }
+    if w >= trace.len() {
+        assert_eq!(
+            outcome.window_pairs, expected_pairs,
+            "[{label}] w={w} covers the trace, window pairs must be exact"
+        );
+        assert_eq!(
+            outcome.pairs(),
+            expected_pairs,
+            "[{label}] w={w} merged pairs must stay exact under a covering window"
+        );
+        assert_eq!(
+            outcome.stats.evictions, 0,
+            "[{label}] w={w} covering window must not evict"
+        );
+    }
+
+    let sampled = mask.iter().filter(|&&s| s).count() as u64;
+    assert_eq!(
+        outcome.stats.sampled_accesses, sampled,
+        "[{label}] w={w} sampled-access count vs oracle mask"
+    );
+    if outcome.stats.summarized_races > 0 {
+        assert!(
+            outcome.stats.evictions > 0,
+            "[{label}] w={w} checkpoint-only races require evictions"
+        );
+    }
+    outcome
 }
 
 /// Interprets raw fuzz fuel — `(thread, action, operand)` triples —

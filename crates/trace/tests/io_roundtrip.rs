@@ -16,8 +16,9 @@
 //!   batch decoding.
 
 use freshtrack_trace::{
-    read_trace, read_trace_binary, write_source, write_source_binary, write_trace,
-    write_trace_binary, BinaryEventReader, Event, EventReader, EventSource, Trace, TraceBuilder,
+    read_trace, read_trace_binary, write_source, write_source_binary, write_source_binary_v2,
+    write_trace, write_trace_binary, BinaryEventReader, Event, EventReader, EventSource,
+    SegmentOptions, Trace, TraceBuilder,
 };
 use freshtrack_workloads::{generate, Pattern, WorkloadConfig};
 use proptest::prelude::*;
@@ -226,6 +227,73 @@ proptest! {
     ) {
         let trace = build_fuel_trace(&fuel, 5, 4, 3);
         assert_identity_roundtrip("fuzz", &trace);
+    }
+
+    /// text → v2 → text byte-identity, in process: the segmented v2
+    /// encoding (checksummed segments + checkpoints + footer) streams
+    /// back out as exactly the text normal form it came from, at
+    /// several segment sizes including mid-trace and degenerate ones.
+    /// (Before this test only the CI `cmp` smoke covered the path.)
+    #[test]
+    fn text_to_v2_to_text_is_byte_identical(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..200),
+        seg_raw in any::<u16>(),
+    ) {
+        let trace = build_fuel_trace(&fuel, 5, 4, 3);
+        let text = write_trace(&trace);
+        let events_per_segment = (seg_raw as usize % 64).max(1);
+        let mut v2 = Vec::new();
+        write_source_binary_v2(
+            &mut EventReader::new(text.as_bytes()),
+            &mut v2,
+            &SegmentOptions { events_per_segment },
+        )
+        .expect("text→v2 encode");
+        let mut text_again = Vec::new();
+        write_source(
+            &mut BinaryEventReader::new(&v2[..]).expect("v2 magic"),
+            &mut text_again,
+        )
+        .expect("v2→text decode");
+        prop_assert_eq!(
+            text.as_bytes(),
+            &text_again[..],
+            "text→v2({})→text drifted", events_per_segment
+        );
+    }
+
+    /// v1 → v2 → v1 byte-identity, in process: re-encoding a v1 `.ftb`
+    /// stream through the segmented v2 format and back reproduces the
+    /// original v1 bytes exactly — the two binary containers carry the
+    /// same event stream and entity tables.
+    #[test]
+    fn v1_to_v2_to_v1_is_byte_identical(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..200),
+        seg_raw in any::<u16>(),
+    ) {
+        let trace = build_fuel_trace(&fuel, 5, 4, 3);
+        let mut v1 = Vec::new();
+        write_trace_binary(&trace, &mut v1).expect("v1 encode");
+        let events_per_segment = (seg_raw as usize % 64).max(1);
+        let mut v2 = Vec::new();
+        write_source_binary_v2(
+            &mut BinaryEventReader::new(&v1[..]).expect("v1 magic"),
+            &mut v2,
+            &SegmentOptions { events_per_segment },
+        )
+        .expect("v1→v2 encode");
+        prop_assert!(v1 != v2, "v2 container must differ from v1");
+        let mut v1_again = Vec::new();
+        write_source_binary(
+            &mut BinaryEventReader::new(&v2[..]).expect("v2 magic"),
+            &mut v1_again,
+        )
+        .expect("v2→v1 encode");
+        prop_assert_eq!(
+            &v1,
+            &v1_again,
+            "v1→v2({})→v1 drifted", events_per_segment
+        );
     }
 
     /// Streaming a binary file event-by-event through `next_event`
