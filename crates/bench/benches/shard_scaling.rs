@@ -1,7 +1,8 @@
 //! Multi-threaded ingestion throughput: the single-mutex
 //! [`OnlineDetector`] against [`ShardedOnlineDetector`] at shard counts
-//! {1, 2, 4, 8}, in both sync-skeleton constructions (two-plane
-//! `sharded` vs legacy `sharded_replicated`). The per-sync-event cost
+//! {1, 2, 4, 8}, across the sync-plane constructions (lock-free
+//! `sharded_seqlock` — unbatched and with 64-event access batches —
+//! mutex-slot `sharded`, legacy `sharded_replicated`). The per-sync-event cost
 //! in isolation is the `sync_cost` bench's job; this one measures the
 //! whole contended pipeline.
 //!
@@ -73,14 +74,16 @@ fn bench_shard_scaling(c: &mut Criterion) {
             std::hint::black_box(online.finish());
         })
     });
-    for (tag, mode) in [
-        ("sharded", SyncMode::Shared),
-        ("sharded_replicated", SyncMode::Replicated),
+    for (tag, mode, batch) in [
+        ("sharded_seqlock", SyncMode::Seqlock, 1usize),
+        ("sharded_seqlock_b64", SyncMode::Seqlock, 64),
+        ("sharded", SyncMode::Shared, 1),
+        ("sharded_replicated", SyncMode::Replicated, 1),
     ] {
         for shards in [1usize, 2, 4, 8] {
             g.bench_with_input(BenchmarkId::new(tag, shards), &shards, |b, &n| {
                 b.iter(|| {
-                    let online = ShardedOnlineDetector::with_mode(detector(), n, mode);
+                    let online = ShardedOnlineDetector::with_options(detector(), n, mode, batch);
                     drive(&online);
                     std::hint::black_box(online.finish());
                 })

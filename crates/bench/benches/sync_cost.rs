@@ -8,13 +8,15 @@
 //! work one sync event triggers* — no contention, no scheduler noise.
 //! Under the legacy replicated skeleton ([`SyncMode::Replicated`])
 //! that work grows `O(N)` with the shard count; under the two-plane
-//! construction ([`SyncMode::Shared`], one sync engine plus an `O(1)`
-//! view publication) it is flat in `N`. `shard_scaling` measures the
-//! complementary quantity: whole-pipeline throughput under real
+//! constructions it is flat in `N` — [`SyncMode::Shared`] pays one
+//! mutex-slot view publication per sync event, [`SyncMode::Seqlock`]
+//! (the default) a lock-free seqlock store. `shard_scaling` measures
+//! the complementary quantity: whole-pipeline throughput under real
 //! contention.
 //!
 //! [`SyncMode::Replicated`]: freshtrack_core::SyncMode::Replicated
 //! [`SyncMode::Shared`]: freshtrack_core::SyncMode::Shared
+//! [`SyncMode::Seqlock`]: freshtrack_core::SyncMode::Seqlock
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -48,6 +50,7 @@ fn bench_sync_cost(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * PAIRS as u64));
     g.bench_function("single_mutex", |b| b.iter(|| run_point(None)));
     for (tag, mode) in [
+        ("seqlock", SyncMode::Seqlock),
         ("shared", SyncMode::Shared),
         ("replicated", SyncMode::Replicated),
     ] {

@@ -499,10 +499,12 @@ const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 fn dbsim_point_json(run: &OnlineRun) -> String {
     format!(
-        "{{\"mean_us\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"races\": {}}}",
+        "{{\"mean_us\": {:.2}, \"trimmed_mean_us\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"races\": {}}}",
         run.mean_latency.as_nanos() as f64 / 1_000.0,
+        run.trimmed_mean_us,
         run.p50_us,
         run.p95_us,
+        run.p99_us,
         run.reports.len()
     )
 }
@@ -514,7 +516,9 @@ fn dbsim_point_json(run: &OnlineRun) -> String {
 /// All points (both configs, the single-mutex baseline and every shard
 /// count × sync mode) are measured in **interleaved rounds** —
 /// round-robin over the whole point set, `FT_ROUNDS` times — and each
-/// point keeps its fastest round. Sequential per-configuration blocks
+/// point keeps its best round by 1%-trimmed mean (the raw mean is
+/// hostage to lock-holder preemption on a time-shared host — see
+/// `LatencyStats::trimmed_mean_us`). Sequential per-configuration blocks
 /// would confound the comparison with machine drift on a time-shared
 /// host; an interleaved minimum is the drift-robust estimator of each
 /// point's unperturbed latency, and all points still come from one
@@ -532,6 +536,7 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
                 .iter()
                 .map(|&n| IngestMode::ShardedReplicated(n)),
         )
+        .chain(SHARD_SWEEP.iter().map(|&n| IngestMode::ShardedSeqlock(n)))
         .collect();
 
     // best[c][m] = fastest run so far for configs[c] under modes[m].
@@ -546,7 +551,7 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
                 let slot = &mut best[c][m];
                 if slot
                     .as_ref()
-                    .map_or(true, |b| run.mean_latency < b.mean_latency)
+                    .map_or(true, |b| run.trimmed_mean_us < b.trimmed_mean_us)
                 {
                     *slot = Some(run);
                 }
@@ -558,47 +563,51 @@ fn run_dbsim_scaling(mix: &str, out_path: Option<String>) {
     for (c, &config) in configs.iter().enumerate() {
         let label = config.label();
         let base = best[c][0].as_ref().expect("at least one round");
-        let base_us = base.mean_latency.as_nanos() as f64 / 1_000.0;
-        eprintln!("[{label}] single_mutex  mean {base_us:>9.1} us");
+        let base_us = base.trimmed_mean_us;
+        eprintln!("[{label}] single_mutex  trimmed mean {base_us:>9.1} us");
         let mut shared_lines = Vec::new();
         let mut replicated_lines = Vec::new();
+        let mut seqlock_lines = Vec::new();
         for (m, mode) in modes.iter().enumerate().skip(1) {
             let (n, tag, lines) = match mode {
                 IngestMode::Sharded(n) => (n, "shared", &mut shared_lines),
                 IngestMode::ShardedReplicated(n) => (n, "replicated", &mut replicated_lines),
+                IngestMode::ShardedSeqlock(n) => (n, "seqlock", &mut seqlock_lines),
                 IngestMode::SingleMutex => {
                     unreachable!("mode list starts with the single-mutex baseline")
                 }
             };
             let run = best[c][m].as_ref().expect("at least one round");
-            let us = run.mean_latency.as_nanos() as f64 / 1_000.0;
+            let us = run.trimmed_mean_us;
             let speedup = base_us / us.max(0.001);
             eprintln!(
-                "[{label}] sharded n={n:<2} ({tag:<10})  mean {us:>9.1} us  ({speedup:.2}x vs mutex)"
+                "[{label}] sharded n={n:<2} ({tag:<10})  trimmed mean {us:>9.1} us  ({speedup:.2}x vs mutex)"
             );
             lines.push(format!("          \"{}\": {}", n, dbsim_point_json(run)));
         }
         sections.push(format!(
-            "    \"{}\": {{\n      \"single_mutex\": {},\n      \"shard_scaling\": {{\n        \"shared\": {{\n{}\n        }},\n        \"replicated\": {{\n{}\n        }}\n      }}\n    }}",
+            "    \"{}\": {{\n      \"single_mutex\": {},\n      \"shard_scaling\": {{\n        \"shared\": {{\n{}\n        }},\n        \"replicated\": {{\n{}\n        }},\n        \"seqlock\": {{\n{}\n        }}\n      }}\n    }}",
             json_escape(&label),
             dbsim_point_json(base),
             shared_lines.join(",\n"),
-            replicated_lines.join(",\n")
+            replicated_lines.join(",\n"),
+            seqlock_lines.join(",\n")
         ));
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"freshtrack/dbsim-latency/v2\",\n  \
+        "{{\n  \"schema\": \"freshtrack/dbsim-latency/v3\",\n  \
          \"benchmark\": \"dbsim_shard_scaling\",\n  \
          \"workload\": \"{}\",\n  \"workers\": {},\n  \"txns_per_worker\": {},\n  \
-         \"seed\": {},\n  \"rounds\": {},\n  \
-         \"note\": \"mean/p50/p95 per-transaction latency in us; single_mutex is the paper-faithful OnlineDetector path, shard_scaling.shared.N is the two-plane ShardedOnlineDetector with N access shards, shard_scaling.replicated.N is the legacy replicated-skeleton construction; every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
+         \"seed\": {},\n  \"rounds\": {},\n  \"batch\": {},\n  \
+         \"note\": \"per-transaction latency in us; single_mutex is the paper-faithful OnlineDetector path, shard_scaling.shared.N is the two-plane ShardedOnlineDetector with mutex-slot views, shard_scaling.seqlock.N the lock-free seqlock publication (FT_BATCH accesses per shard-lock acquisition), shard_scaling.replicated.N the legacy replicated-skeleton construction; every point is the best of FT_ROUNDS interleaved rounds by trimmed_mean_us (mean over the fastest 99% of transactions) — the comparison statistic, because on this time-shared 1-core host the raw mean is dominated by workers descheduled mid-critical-section (the v2 file's non-monotonic shard sweep, e.g. shared N=2 slower than N=4, was exactly this preemption tail: p50/p95 were flat across N and hash-routing balance was verified to within 0.2%); p99_us shows where that tail begins\",\n  \
          \"configs\": {{\n{}\n  }}\n}}\n",
         json_escape(mix),
         options.workers,
         options.txns_per_worker,
         options.seed,
         rounds,
+        freshtrack_bench::batch_from_env(),
         sections.join(",\n")
     );
     match out_path {
@@ -652,6 +661,9 @@ fn run_sync_cost(out_path: Option<String>) {
     for &n in &SHARD_SWEEP {
         points.push(("shared", Some((SyncMode::Shared, n))));
     }
+    for &n in &SHARD_SWEEP {
+        points.push(("seqlock", Some((SyncMode::Seqlock, n))));
+    }
 
     let configs: [&str; 2] = ["FT", "SO-3%"];
     // best[config][point] = fastest ns/sync-event over the rounds.
@@ -697,20 +709,22 @@ fn run_sync_cost(out_path: Option<String>) {
         };
         let replicated = series("replicated");
         let shared = series("shared");
+        let seqlock = series("seqlock");
         sections.push(format!(
-            "    \"{}\": {{\n      \"single_mutex\": {:.1},\n      \"replicated\": {{\n{}\n      }},\n      \"shared\": {{\n{}\n      }}\n    }}",
+            "    \"{}\": {{\n      \"single_mutex\": {:.1},\n      \"replicated\": {{\n{}\n      }},\n      \"shared\": {{\n{}\n      }},\n      \"seqlock\": {{\n{}\n      }}\n    }}",
             json_escape(name),
             best[c][0],
             replicated,
-            shared
+            shared,
+            seqlock
         ));
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"freshtrack/sync-cost/v1\",\n  \"benchmark\": \"sync_cost\",\n  \
+        "{{\n  \"schema\": \"freshtrack/sync-cost/v2\",\n  \"benchmark\": \"sync_cost\",\n  \
          \"threads\": {},\n  \"locks\": {},\n  \"clock_width\": {width},\n  \
          \"sync_events_per_round\": {},\n  \"rounds\": {rounds},\n  \
-         \"note\": \"ns per sync event, single-threaded feed (isolation, no contention); replicated.N is the before (PR 3 sync fan-out, O(N)), shared.N the after (two-plane shared sync engine, flat in N); every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
+         \"note\": \"ns per sync event, single-threaded feed (isolation, no contention); replicated.N is the before (PR 3 sync fan-out, O(N)), shared.N the PR 4 two-plane shared sync engine with mutex-slot view publication (flat in N), seqlock.N the PR 8 lock-free seqlock publication (flat in N, no slot mutex); every point is the fastest of FT_ROUNDS interleaved rounds, all in one sitting\",\n  \
          \"configs\": {{\n{}\n  }}\n}}\n",
         sync_stream::THREADS,
         sync_stream::LOCKS,

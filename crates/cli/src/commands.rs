@@ -533,33 +533,40 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
     if shards == 0 {
         return Err(ArgError("--shards must be at least 1".into()));
     }
-    let mode = match args.get_or("sync", "shared".to_owned())?.as_str() {
+    let mode = match args.get_or("sync", "seqlock".to_owned())?.as_str() {
+        "seqlock" => SyncMode::Seqlock,
         "shared" => SyncMode::Shared,
         "replicated" => SyncMode::Replicated,
         other => {
             return Err(ArgError(format!(
-                "--sync must be `shared` or `replicated`, got `{other}`"
+                "--sync must be `seqlock`, `shared` or `replicated`, got `{other}`"
             )))
         }
     };
+    let batch: usize = args.get_or("batch", 1usize)?;
+    if batch == 0 {
+        return Err(ArgError("--batch must be at least 1".into()));
+    }
     let sampler = BernoulliSampler::new(rate, options.seed);
 
     // Monomorphized per engine; the run/report plumbing is shared.
     // `--shards 1` (the default) is the paper-faithful single analysis
     // mutex; `--shards N` routes ingestion through N access shards in
-    // the `--sync` mode (two-plane shared sync engine by default, the
-    // legacy replicated skeleton on request).
+    // the `--sync` mode (seqlock-published sync plane by default, the
+    // mutex-slot or replicated constructions on request), buffering
+    // `--batch B` accesses per shard-lock acquisition.
     fn go<D: SplitDetector + 'static, W: std::io::Write>(
         detector: D,
         workload: &freshtrack_workloads::DbWorkload,
         options: &RunOptions,
         shards: usize,
         mode: SyncMode,
+        batch: usize,
         out: &mut W,
     ) {
         let name = detector.name();
         let (stats, reports, counters) = if shards >= 2 {
-            run_sharded(workload, options, detector, shards, mode)
+            run_sharded(workload, options, detector, shards, mode, batch)
         } else {
             let (stats, detector, reports) = run_detector(workload, options, detector);
             let counters = *detector.counters();
@@ -567,10 +574,16 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
         };
         let suffix = if shards >= 2 {
             let tag = match mode {
-                SyncMode::Shared => "",
+                SyncMode::Seqlock => "",
+                SyncMode::Shared => ", shared",
                 SyncMode::Replicated => ", replicated",
             };
-            format!(" (shards={shards}{tag})")
+            let batch_tag = if batch > 1 {
+                format!(", batch={batch}")
+            } else {
+                String::new()
+            };
+            format!(" (shards={shards}{tag}{batch_tag})")
         } else {
             String::new()
         };
@@ -611,6 +624,7 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             &options,
             shards,
             mode,
+            batch,
             out,
         ),
         "st" => go(
@@ -619,6 +633,7 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             &options,
             shards,
             mode,
+            batch,
             out,
         ),
         "su" => go(
@@ -627,6 +642,7 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             &options,
             shards,
             mode,
+            batch,
             out,
         ),
         "so" => go(
@@ -635,6 +651,7 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
             &options,
             shards,
             mode,
+            batch,
             out,
         ),
         other => return Err(ArgError(format!("unknown engine `{other}`"))),
@@ -1155,5 +1172,33 @@ mod tests {
         let (code, out) = run_cli(&["dbsim", "--sync", "bogus"]);
         assert_eq!(code, 1);
         assert!(out.contains("--sync"), "{out}");
+        assert!(out.contains("seqlock"), "{out}");
+    }
+
+    #[test]
+    fn dbsim_batch_flag() {
+        let (code, out) = run_cli(&[
+            "dbsim",
+            "--mix",
+            "sibench",
+            "--workers",
+            "2",
+            "--txns",
+            "20",
+            "--engine",
+            "st",
+            "--shards",
+            "2",
+            "--sync",
+            "shared",
+            "--batch",
+            "16",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(shards=2, shared, batch=16)"), "{out}");
+
+        let (code, out) = run_cli(&["dbsim", "--batch", "0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--batch"), "{out}");
     }
 }

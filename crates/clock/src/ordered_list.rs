@@ -275,6 +275,14 @@ impl OrderedList {
         time
     }
 
+    /// The dense times in thread-id order (missing entries are
+    /// implicitly zero) — the linearized source for publication paths
+    /// that copy a whole clock, ignoring the recency links.
+    #[inline]
+    pub fn times(&self) -> impl ExactSizeIterator<Item = Time> + '_ {
+        self.store.as_slice().iter().map(|n| n.time)
+    }
+
     /// Iterates over `(thread, time)` pairs from most to least recently
     /// updated — the order Algorithm 4 traverses `Oℓ[0:d]`.
     pub fn iter_recent(&self) -> RecentEntries<'_> {

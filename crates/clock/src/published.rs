@@ -1,0 +1,441 @@
+//! Seqlock-published clock views.
+//!
+//! [`PublishedClock`] is the lock-free half of the two-plane ingestion
+//! split's *publication* problem: a sync engine (single writer per slot,
+//! serialized by the sync-plane mutex) must make a thread's spliced
+//! race-check clock visible to access shards (many readers) after every
+//! synchronization event, and the readers must never observe a torn
+//! view.  The PR-4 construction solved this with a per-slot `Mutex`
+//! holding an `Arc` snapshot — correct, but every publish paid a lock
+//! round trip plus reference-count traffic, a fixed ~85 ns constant on
+//! top of the single-mutex floor (`BENCH_sync_cost.json`).
+//!
+//! A seqlock removes both costs.  The writer bumps an even/odd *version
+//! word* around an in-place write of the clock entries; readers snapshot
+//! the entries between two version reads and retry if the version was
+//! odd (write in progress) or changed (write overlapped the read).  No
+//! reader ever blocks the writer, no lock or refcount is touched on
+//! either side, and — because every entry is an atomic — the protocol is
+//! expressible in safe Rust.
+//!
+//! # Memory-ordering protocol
+//!
+//! Writer (already serialized externally; concurrent writers are
+//! additionally excluded by an odd-claim CAS so misuse degrades to
+//! spinning, never to corruption):
+//!
+//! 1. `version.compare_exchange(v, v + 1)` for even `v` (Acquire) —
+//!    claim the write and flip to odd.
+//! 2. `fence(Release)` — orders the claim before the data stores.
+//! 3. store `len` and every entry with `Relaxed` stores.
+//! 4. `version.store(v + 2, Release)` — publish: the release store
+//!    orders every data store before the new even version.
+//!
+//! Reader:
+//!
+//! 1. `v1 = version.load(Acquire)`; spin while odd.
+//! 2. load `len` and the entries with `Relaxed` loads.
+//! 3. `fence(Acquire)`; `v2 = version.load(Relaxed)`.
+//! 4. if `v1 != v2`, a write overlapped the read — retry.
+//!
+//! If the reader's data loads observed *any* store from a concurrent
+//! write, the acquire fence in step 3 forces the subsequent version load
+//! to observe at least that write's odd claim, so the `v1 != v2` check
+//! fails and the snapshot is discarded.  Conversely a snapshot that
+//! passes the check is exactly the set of entries published by the
+//! writer that stored `v1` — an internally consistent clock.
+//!
+//! # Storage
+//!
+//! Entries live in grow-only chunks (`OnceLock<Box<[AtomicU64]>>`,
+//! doubling sizes) so the writer can widen the clock as threads appear
+//! without ever moving published entries — readers hold references into
+//! chunks across the unsynchronized fast path, so reallocation is not an
+//! option.  Chunk `c` holds `8 << c` entries; 28 chunks cover ~2³¹
+//! threads, far beyond [`ThreadId`]'s practical range.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::Time;
+
+/// Entries in chunk 0; chunk `c` holds `CHUNK0 << c` entries.
+const CHUNK0: usize = 8;
+/// Total chunks; capacity is `CHUNK0 * (2^NUM_CHUNKS - 1)` entries.
+const NUM_CHUNKS: usize = 28;
+
+/// Maps an entry index to `(chunk, offset_within_chunk)`.
+fn chunk_of(index: usize) -> (usize, usize) {
+    let c = (index / CHUNK0 + 1).ilog2() as usize;
+    let base = CHUNK0 * ((1usize << c) - 1);
+    (c, index - base)
+}
+
+/// A clock view published through a seqlock: one writer stores entries
+/// in place under an even/odd version word, any number of readers
+/// snapshot them without taking a lock.
+///
+/// The writer is expected to be externally serialized (in the sharded
+/// detector, by the sync-plane mutex); the type still guards against a
+/// second writer with a claim CAS, so the single-writer expectation is
+/// a performance contract, not a safety one.
+///
+/// # Example
+///
+/// ```
+/// use freshtrack_clock::PublishedClock;
+///
+/// let clock = PublishedClock::new();
+/// clock.store(3, |u| (u as u64 + 1) * 10);
+///
+/// let mut snap = Vec::new();
+/// clock.read_into(&mut snap);
+/// assert_eq!(snap, vec![10, 20, 30]);
+/// ```
+#[derive(Debug)]
+pub struct PublishedClock {
+    /// Even = stable, odd = write in progress.
+    version: AtomicU64,
+    /// Number of valid entries in the current publication.
+    len: AtomicUsize,
+    /// Grow-only doubling chunks; never reallocated once initialized.
+    chunks: [OnceLock<Box<[AtomicU64]>>; NUM_CHUNKS],
+}
+
+impl PublishedClock {
+    /// An empty published clock (zero entries, version 0).
+    pub fn new() -> Self {
+        PublishedClock {
+            version: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            chunks: [const { OnceLock::new() }; NUM_CHUNKS],
+        }
+    }
+
+    /// Claims the write side: flips an even version to odd and returns
+    /// the even value. Under the single-writer contract the CAS
+    /// succeeds first try.
+    fn claim(&self) -> u64 {
+        let mut v = self.version.load(Ordering::Relaxed);
+        loop {
+            if v & 1 == 1 {
+                std::hint::spin_loop();
+                v = self.version.load(Ordering::Relaxed);
+                continue;
+            }
+            match self
+                .version
+                .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            {
+                Ok(_) => return v,
+                Err(cur) => v = cur,
+            }
+        }
+    }
+
+    /// Publishes a new view of `len` entries, entry `u` taken from
+    /// `entry(u)`, replacing the previous publication in place.
+    ///
+    /// Intended for a single external writer; a concurrent `store` spins
+    /// until the in-flight one completes.
+    pub fn store<F: FnMut(usize) -> Time>(&self, len: usize, mut entry: F) {
+        let v = self.claim();
+        fence(Ordering::Release);
+        self.len.store(len, Ordering::Relaxed);
+        let mut i = 0;
+        while i < len {
+            let (c, off) = chunk_of(i);
+            let chunk = self.chunks[c].get_or_init(|| {
+                (0..CHUNK0 << c)
+                    .map(|_| AtomicU64::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            });
+            let take = (chunk.len() - off).min(len - i);
+            for j in 0..take {
+                chunk[off + j].store(entry(i + j), Ordering::Relaxed);
+            }
+            i += take;
+        }
+        // Publish: every data store above happens-before this release
+        // store of the new even version.
+        self.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Publishes `entries` wholesale — the dense fast path of
+    /// [`store`](Self::store), and a no-op when the publication would be
+    /// identical to the current one.
+    ///
+    /// The single-writer contract makes the change scan sound: between
+    /// the writer's own stores the published words are stable, so the
+    /// writer may read them with `Relaxed` loads and compare. When
+    /// nothing differs the current (still consistent) publication simply
+    /// stays valid and neither the version word nor any entry is
+    /// touched — sync events that did not move the clock (the skip
+    /// fast paths of Algorithms 3–4, or a release that only bumped an
+    /// unpublished local epoch) cost one compare sweep and nothing else.
+    pub fn store_slice(&self, entries: &[Time]) {
+        // Change scan (writer-private): find the first published word
+        // that differs. Publication length changes always count.
+        let mut first_change = None;
+        if self.len.load(Ordering::Relaxed) != entries.len() {
+            first_change = Some(0);
+        } else {
+            let mut i = 0;
+            'scan: while i < entries.len() {
+                let (c, off) = chunk_of(i);
+                let Some(chunk) = self.chunks[c].get() else {
+                    first_change = Some(i);
+                    break;
+                };
+                let take = (chunk.len() - off).min(entries.len() - i);
+                for j in 0..take {
+                    if chunk[off + j].load(Ordering::Relaxed) != entries[i + j] {
+                        first_change = Some(i + j);
+                        break 'scan;
+                    }
+                }
+                i += take;
+            }
+        }
+        let Some(first_change) = first_change else {
+            return;
+        };
+
+        let v = self.claim();
+        fence(Ordering::Release);
+        self.len.store(entries.len(), Ordering::Relaxed);
+        let mut i = first_change;
+        while i < entries.len() {
+            let (c, off) = chunk_of(i);
+            let chunk = self.chunks[c].get_or_init(|| {
+                (0..CHUNK0 << c)
+                    .map(|_| AtomicU64::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            });
+            let take = (chunk.len() - off).min(entries.len() - i);
+            for j in 0..take {
+                chunk[off + j].store(entries[i + j], Ordering::Relaxed);
+            }
+            i += take;
+        }
+        self.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Republishes `entries`, storing only the words in `first..=last`.
+    ///
+    /// The serialized-writer fast path: the caller asserts that the
+    /// current publication already has length `entries.len()` and
+    /// agrees with `entries` everywhere outside `first..=last` (the
+    /// sharded detector knows both because it keeps a writer-private
+    /// copy of the last image it published). Under that contract the
+    /// claim CAS of [`store`](Self::store) is unnecessary — the version
+    /// word has a single writer, so it is bumped odd and back even with
+    /// plain stores around the range stores. A concurrent call to any
+    /// store method here would corrupt the publication; callers must be
+    /// externally serialized (in the sharded detector, by the
+    /// sync-plane mutex).
+    pub fn store_changed(&self, entries: &[Time], first: usize, last: usize) {
+        debug_assert!(first <= last && last < entries.len());
+        debug_assert_eq!(
+            self.len.load(Ordering::Relaxed),
+            entries.len(),
+            "store_changed never resizes the publication"
+        );
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert_eq!(
+            v & 1,
+            0,
+            "serialized writers never observe an in-flight store"
+        );
+        self.version.store(v + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        let mut i = first;
+        while i <= last {
+            let (c, off) = chunk_of(i);
+            let chunk = self.chunks[c]
+                .get()
+                .expect("current publication covers the changed range");
+            let take = (chunk.len() - off).min(last + 1 - i);
+            for j in 0..take {
+                chunk[off + j].store(entries[i + j], Ordering::Relaxed);
+            }
+            i += take;
+        }
+        self.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Snapshots the current publication into `out` (cleared first),
+    /// retrying until an internally consistent view is obtained.
+    ///
+    /// Lock-free on the read side: never blocks the writer and touches
+    /// no shared mutable state beyond the atomic loads.
+    pub fn read_into(&self, out: &mut Vec<Time>) {
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let len = self.len.load(Ordering::Relaxed);
+            out.clear();
+            out.reserve(len);
+            let mut i = 0;
+            'copy: while i < len {
+                let (c, off) = chunk_of(i);
+                // A chunk can only be missing if `len` came from a write
+                // that is still in flight; the version check below will
+                // reject the snapshot, so any filler value works.
+                let Some(chunk) = self.chunks[c].get() else {
+                    out.resize(len, 0);
+                    break 'copy;
+                };
+                let take = (chunk.len() - off).min(len - i);
+                for j in 0..take {
+                    out.push(chunk[off + j].load(Ordering::Relaxed));
+                }
+                i += take;
+            }
+            // If the loads above saw any store from a newer write, this
+            // fence + load pair observes that write's odd claim and the
+            // snapshot is retried.
+            fence(Ordering::Acquire);
+            if self.version.load(Ordering::Relaxed) == v1 {
+                return;
+            }
+        }
+    }
+
+    /// The number of entries in the most recent publication (racy
+    /// convenience accessor; use [`read_into`](Self::read_into) for a
+    /// consistent snapshot).
+    pub fn published_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PublishedClock {
+    fn default() -> Self {
+        PublishedClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_clock_reads_empty() {
+        let clock = PublishedClock::new();
+        let mut out = vec![1, 2, 3];
+        clock.read_into(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(clock.published_len(), 0);
+    }
+
+    #[test]
+    fn store_then_read_round_trips() {
+        let clock = PublishedClock::new();
+        clock.store(5, |u| u as Time * 7);
+        let mut out = Vec::new();
+        clock.read_into(&mut out);
+        assert_eq!(out, vec![0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn republish_can_grow_and_shrink() {
+        let clock = PublishedClock::new();
+        let mut out = Vec::new();
+        // Grow across several chunk boundaries (8, 24, 56, ...).
+        for len in [1usize, 8, 9, 24, 25, 100, 3, 1000, 2] {
+            clock.store(len, |u| (u as Time) + len as Time);
+            clock.read_into(&mut out);
+            assert_eq!(out.len(), len);
+            for (u, &t) in out.iter().enumerate() {
+                assert_eq!(t, u as Time + len as Time);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_math_is_a_partition() {
+        // Every index maps into exactly one chunk slot, contiguously.
+        let mut expected = (0usize, 0usize);
+        for index in 0..10_000 {
+            let (c, off) = chunk_of(index);
+            assert_eq!((c, off), expected, "index {index}");
+            expected = if off + 1 == CHUNK0 << c {
+                (c + 1, 0)
+            } else {
+                (c, off + 1)
+            };
+        }
+    }
+
+    #[test]
+    fn version_advances_by_two_per_store() {
+        let clock = PublishedClock::new();
+        clock.store(4, |_| 1);
+        clock.store(4, |_| 2);
+        assert_eq!(clock.version.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn store_slice_round_trips_and_interoperates_with_store() {
+        let clock = PublishedClock::new();
+        let mut out = Vec::new();
+        for len in [1usize, 8, 9, 24, 25, 100, 3, 1000, 2] {
+            let entries: Vec<Time> = (0..len).map(|u| u as Time + len as Time).collect();
+            clock.store_slice(&entries);
+            clock.read_into(&mut out);
+            assert_eq!(out, entries);
+        }
+        clock.store(5, |u| u as Time * 3);
+        clock.read_into(&mut out);
+        assert_eq!(out, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn store_changed_patches_a_range_in_place() {
+        let clock = PublishedClock::new();
+        let mut entries: Vec<Time> = (0..100).map(|u| u as Time).collect();
+        clock.store_slice(&entries);
+        let v = clock.version.load(Ordering::Relaxed);
+        // Patch a range spanning a chunk boundary (index 24 starts
+        // chunk 2) plus a single-word patch.
+        for (first, last) in [(20usize, 30usize), (57, 57), (0, 99)] {
+            for e in &mut entries[first..=last] {
+                *e += 1000;
+            }
+            clock.store_changed(&entries, first, last);
+            let mut out = Vec::new();
+            clock.read_into(&mut out);
+            assert_eq!(out, entries, "range {first}..={last}");
+        }
+        assert_eq!(clock.version.load(Ordering::Relaxed), v + 6);
+    }
+
+    #[test]
+    fn identical_store_slice_skips_the_version_bump() {
+        let clock = PublishedClock::new();
+        clock.store_slice(&[7, 8, 9]);
+        let v = clock.version.load(Ordering::Relaxed);
+        clock.store_slice(&[7, 8, 9]);
+        assert_eq!(clock.version.load(Ordering::Relaxed), v, "no-op republish");
+        // A single changed word republishes (and only from that word on).
+        clock.store_slice(&[7, 8, 10]);
+        assert_eq!(clock.version.load(Ordering::Relaxed), v + 2);
+        let mut out = Vec::new();
+        clock.read_into(&mut out);
+        assert_eq!(out, vec![7, 8, 10]);
+        // Length changes always republish, even with a shared prefix.
+        clock.store_slice(&[7, 8]);
+        assert_eq!(clock.version.load(Ordering::Relaxed), v + 4);
+        clock.read_into(&mut out);
+        assert_eq!(out, vec![7, 8]);
+        clock.store_slice(&[7, 8, 10, 11]);
+        clock.read_into(&mut out);
+        assert_eq!(out, vec![7, 8, 10, 11]);
+    }
+}

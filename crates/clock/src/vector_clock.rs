@@ -165,6 +165,14 @@ impl VectorClock {
         self.entries.iter().all(|&e| e == 0)
     }
 
+    /// The dense entry slice, index = thread id (missing entries are
+    /// implicitly zero) — the no-copy source for publication paths that
+    /// memcpy a whole clock.
+    #[inline]
+    pub fn times(&self) -> &[Time] {
+        &self.entries
+    }
+
     /// Iterates over `(thread, time)` pairs of allocated entries.
     pub fn iter(&self) -> impl Iterator<Item = (ThreadId, Time)> + '_ {
         self.entries

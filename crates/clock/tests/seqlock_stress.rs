@@ -1,0 +1,140 @@
+//! Multi-threaded stress tests for the seqlock-published clock view.
+//!
+//! The writer publishes *monotone* clocks in a recognizable shape so a
+//! reader can check two properties about every snapshot it obtains:
+//!
+//! 1. **Internal consistency** — all entries of one snapshot belong to
+//!    the same publication (no torn mix of generation `g` and `g+1`).
+//! 2. **Monotonicity** — generations observed by one reader never
+//!    regress (seqlock publication is a release/acquire pair, so a
+//!    snapshot happens-after the publication it read).
+//!
+//! Run with `RUST_TEST_THREADS` unset so the reader threads interleave
+//! with the writer via preemption even on a single core; CI runs this
+//! file as a dedicated step for that reason.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use freshtrack_clock::{PublishedClock, Time};
+
+/// Writer publishes generation `g` as `entries[u] = g + u` with a width
+/// that cycles, so both value and length changes are exercised.
+fn shape(generation: Time, width: usize) -> impl Fn(usize) -> Time {
+    let _ = width;
+    move |u| generation + u as Time
+}
+
+fn width_of(generation: Time) -> usize {
+    // Cycle widths across chunk boundaries (chunk 0 holds 8 entries).
+    const WIDTHS: [usize; 6] = [1, 7, 8, 9, 33, 64];
+    WIDTHS[(generation as usize) % WIDTHS.len()]
+}
+
+/// Decodes a snapshot back to its generation, asserting consistency.
+fn decode(snapshot: &[Time]) -> Time {
+    assert!(!snapshot.is_empty(), "writer never publishes width 0 here");
+    let generation = snapshot[0];
+    for (u, &t) in snapshot.iter().enumerate() {
+        assert_eq!(
+            t,
+            generation + u as Time,
+            "torn snapshot: entry {u} of {snapshot:?} disagrees with generation {generation}"
+        );
+    }
+    assert_eq!(
+        snapshot.len(),
+        width_of(generation),
+        "torn snapshot: length {} does not match generation {generation}",
+        snapshot.len()
+    );
+    generation
+}
+
+#[test]
+fn concurrent_readers_see_consistent_monotone_snapshots() {
+    const GENERATIONS: Time = 20_000;
+    const READERS: usize = 4;
+
+    let clock = Arc::new(PublishedClock::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Generation 1 is published before readers start so every snapshot
+    // is non-empty.
+    clock.store(width_of(1), shape(1, width_of(1)));
+
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let clock = Arc::clone(&clock);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut snapshot = Vec::new();
+            let mut last = 0;
+            let mut observed = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                clock.read_into(&mut snapshot);
+                let generation = decode(&snapshot);
+                assert!(
+                    generation >= last,
+                    "snapshot regressed: saw generation {generation} after {last}"
+                );
+                last = generation;
+                observed += 1;
+            }
+            observed
+        }));
+    }
+
+    for generation in 2..=GENERATIONS {
+        let width = width_of(generation);
+        clock.store(width, shape(generation, width));
+        if generation % 64 == 0 {
+            // Give readers a scheduling chance on a single core.
+            std::thread::yield_now();
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+
+    for reader in readers {
+        let observed = reader.join().expect("reader panicked (torn or regressed)");
+        assert!(observed > 0, "reader never obtained a snapshot");
+    }
+
+    // Final state is the last publication, exactly.
+    let mut snapshot = Vec::new();
+    clock.read_into(&mut snapshot);
+    assert_eq!(decode(&snapshot), GENERATIONS);
+}
+
+#[test]
+fn contending_writers_never_corrupt_a_publication() {
+    // The single-writer expectation is a performance contract, not a
+    // safety one: two writers racing the claim CAS serialize, so every
+    // snapshot still decodes to exactly one writer's publication.
+    const PER_WRITER: Time = 5_000;
+    let clock = Arc::new(PublishedClock::new());
+    clock.store(width_of(1), shape(1, width_of(1)));
+
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                for generation in 2..=PER_WRITER {
+                    let width = width_of(generation);
+                    clock.store(width, shape(generation, width));
+                }
+            })
+        })
+        .collect();
+
+    let mut snapshot = Vec::new();
+    for _ in 0..20_000 {
+        clock.read_into(&mut snapshot);
+        decode(&snapshot); // panics on any torn read
+    }
+    for writer in writers {
+        writer.join().expect("writer panicked");
+    }
+    clock.read_into(&mut snapshot);
+    assert_eq!(decode(&snapshot), PER_WRITER);
+}

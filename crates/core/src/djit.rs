@@ -1,6 +1,6 @@
 use freshtrack_clock::{
     wire::{self, WireReader},
-    SharedVectorClock, ThreadId, VectorClock, VectorClockSnapshot,
+    SharedVectorClock, ThreadId, Time, VectorClock, VectorClockSnapshot,
 };
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId, SyncCheckpoint};
@@ -174,6 +174,29 @@ impl SyncEngine for VectorSyncEngine {
         self.threads[tid.index()].snapshot()
     }
 
+    fn publish_dense(&mut self, tid: ThreadId, width_cap: usize, out: &mut Vec<Time>) {
+        // `C_t[t] = e_t` already holds in a raw vector clock, so the
+        // dense race-check view is a straight memcpy — no snapshot, no
+        // refcount traffic, no per-entry walk.
+        let times = self.threads[tid.index()].clock().times();
+        let n = times.len().min(width_cap.max(tid.index() + 1));
+        out.clear();
+        out.extend_from_slice(&times[..n]);
+        if out.len() <= tid.index() {
+            out.resize(tid.index() + 1, 0);
+        }
+    }
+
+    fn publish_dense_ref(&self, tid: ThreadId, width_cap: usize) -> Option<&[Time]> {
+        // Zero-copy variant of the above: no splice is needed, so the
+        // clock's own storage *is* the dense image.
+        let times = self.threads[tid.index()].clock().times();
+        if times.len() <= tid.index() {
+            return None; // would need padding; take the scratch path
+        }
+        Some(&times[..times.len().min(width_cap.max(tid.index() + 1))])
+    }
+
     fn reserve_threads(&mut self, n: usize) {
         if n == 0 {
             return;
@@ -222,7 +245,7 @@ impl SyncEngine for VectorSyncEngine {
 #[derive(Clone, Debug)]
 pub struct DjitDetector<S> {
     sync: VectorSyncEngine,
-    access: HistoryAccessEngine<S, VectorClockSnapshot>,
+    access: HistoryAccessEngine<S>,
     counters: Counters,
 }
 
@@ -282,7 +305,7 @@ impl<S: Sampler> Detector for DjitDetector<S> {
 
 impl<S: Sampler + Clone + Send> SplitDetector for DjitDetector<S> {
     type Sync = VectorSyncEngine;
-    type Access = HistoryAccessEngine<S, VectorClockSnapshot>;
+    type Access = HistoryAccessEngine<S>;
     type View = VectorClockSnapshot;
 
     fn split_sync(&self) -> VectorSyncEngine {

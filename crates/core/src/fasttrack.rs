@@ -255,13 +255,11 @@ impl<S> CheckpointState for EpochAccessEngine<S> {
 }
 
 impl<S: Sampler + Send> AccessEngine for EpochAccessEngine<S> {
-    type View = VectorClockSnapshot;
-
-    fn access(
+    fn access<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
-        view: &VectorClockSnapshot,
+        view: &W,
         counters: &mut Counters,
     ) -> AccessOutcome {
         self.access_with(id, event, view, counters)

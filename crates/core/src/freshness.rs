@@ -52,7 +52,7 @@ use crate::{Counters, Detector, RaceReport};
 #[derive(Clone, Debug)]
 pub struct FreshnessDetector<S> {
     sync: FreshnessSyncEngine,
-    access: HistoryAccessEngine<S, EpochView<VectorClockSnapshot>>,
+    access: HistoryAccessEngine<S>,
     /// `RelAfter_S` bits, as in
     /// [`OrderedListDetector`](crate::OrderedListDetector).
     sampled: Vec<bool>,
@@ -330,6 +330,20 @@ impl SyncEngine for FreshnessSyncEngine {
         }
     }
 
+    fn publish_dense(&mut self, tid: ThreadId, width_cap: usize, out: &mut Vec<Time>) {
+        // Memcpy of the communicated clock with the (lazily kept) local
+        // epoch spliced in at the owner's entry — the dense `C_t[t ↦ e_t]`.
+        let state = &self.threads[tid.index()];
+        let times = state.clock.clock().times();
+        let n = times.len().min(width_cap.max(tid.index() + 1));
+        out.clear();
+        out.extend_from_slice(&times[..n]);
+        if out.len() <= tid.index() {
+            out.resize(tid.index() + 1, 0);
+        }
+        out[tid.index()] = state.epoch;
+    }
+
     fn reserve_threads(&mut self, n: usize) {
         if n == 0 {
             return;
@@ -436,7 +450,7 @@ impl<S> CheckpointState for FreshnessDetector<S> {
 
 impl<S: Sampler + Clone + Send> SplitDetector for FreshnessDetector<S> {
     type Sync = FreshnessSyncEngine;
-    type Access = HistoryAccessEngine<S, EpochView<VectorClockSnapshot>>;
+    type Access = HistoryAccessEngine<S>;
     type View = EpochView<VectorClockSnapshot>;
 
     fn split_sync(&self) -> FreshnessSyncEngine {

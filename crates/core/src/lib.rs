@@ -75,7 +75,7 @@ mod stream_oracle;
 mod sync_ops;
 
 pub use access_history::AccessHistories;
-pub use checkpoint::{CheckpointError, CheckpointState};
+pub use checkpoint::{apply_delta, encode_delta, CheckpointError, CheckpointState};
 pub use counters::Counters;
 pub use detector::Detector;
 pub use djit::{DjitDetector, VectorSyncEngine};
@@ -87,8 +87,8 @@ pub use online::{EmptyAccessEngine, EmptyDetector, EmptySyncEngine, OnlineDetect
 pub use ordered::{OrderedListDetector, OrderedSyncEngine};
 pub use parallel::{analyze_segments, SegmentedAnalysis};
 pub use plane::{
-    AccessEngine, AccessOutcome, ClockView, EpochView, HistoryAccessEngine, SplitDetector,
-    SyncEngine,
+    AccessEngine, AccessOutcome, ClockView, EpochView, HistoryAccessEngine, PublishedView,
+    SplitDetector, SyncEngine, ViewSource,
 };
 pub use report::{AccessKind, RaceReport};
 pub use shard::{ShardedOnlineDetector, SyncMode};

@@ -249,13 +249,11 @@ impl crate::plane::SyncEngine for EmptySyncEngine {
 pub struct EmptyAccessEngine;
 
 impl crate::plane::AccessEngine for EmptyAccessEngine {
-    type View = ();
-
-    fn access(
+    fn access<W: crate::plane::ClockView>(
         &mut self,
         _id: EventId,
         event: Event,
-        _view: &(),
+        _view: &W,
         counters: &mut Counters,
     ) -> crate::plane::AccessOutcome {
         match event.kind {

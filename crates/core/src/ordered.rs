@@ -60,7 +60,7 @@ use crate::{Counters, Detector, RaceReport};
 #[derive(Clone, Debug)]
 pub struct OrderedListDetector<S> {
     sync: OrderedSyncEngine,
-    access: HistoryAccessEngine<S, EpochView<ClockSnapshot>>,
+    access: HistoryAccessEngine<S>,
     /// `RelAfter_S` bits: has thread `t` sampled an access since its
     /// last release? (The access plane reports sampling; the sync plane
     /// consumes the bit at the next release.)
@@ -417,6 +417,21 @@ impl SyncEngine for OrderedSyncEngine {
         }
     }
 
+    fn publish_dense(&mut self, tid: ThreadId, width_cap: usize, out: &mut Vec<Time>) {
+        // Linearize the ordered list in thread-id order (the recency
+        // links are irrelevant to a race-check view) and splice in the
+        // lazily kept local epoch — the dense `C_t[t ↦ e_t]`.
+        let state = &self.threads[tid.index()];
+        let times = state.list.list().times();
+        let n = times.len().min(width_cap.max(tid.index() + 1));
+        out.clear();
+        out.extend(times.take(n));
+        if out.len() <= tid.index() {
+            out.resize(tid.index() + 1, 0);
+        }
+        out[tid.index()] = state.epoch;
+    }
+
     fn reserve_threads(&mut self, n: usize) {
         if n == 0 {
             return;
@@ -559,7 +574,7 @@ impl<S> CheckpointState for OrderedListDetector<S> {
 
 impl<S: Sampler + Clone + Send> SplitDetector for OrderedListDetector<S> {
     type Sync = OrderedSyncEngine;
-    type Access = HistoryAccessEngine<S, EpochView<ClockSnapshot>>;
+    type Access = HistoryAccessEngine<S>;
     type View = EpochView<ClockSnapshot>;
 
     fn split_sync(&self) -> OrderedSyncEngine {

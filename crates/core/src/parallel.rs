@@ -12,7 +12,12 @@
 //!   exactly the operation sequence the monolithic detector performs,
 //!   so the sync-side counters match to the last `deep_copy`. Before
 //!   each segment it exports the engine via
-//!   [`CheckpointState::export_state`] as the segment's *seed*. It also
+//!   [`CheckpointState::export_state`] as the segment's *seed* — the
+//!   first segment of each wave as the full byte image, the rest as
+//!   [`encode_delta`](crate::checkpoint::encode_delta) diffs against
+//!   the previous boundary's export (consecutive exports share most of
+//!   their bytes, so the chain is far smaller than `jobs` full
+//!   checkpoints). It also
 //!   runs the cross-segment duplicate-name check and the locking
 //!   discipline check the sequential path gets from
 //!   [`Validated`](freshtrack_trace::Validated).
@@ -75,8 +80,22 @@ pub struct SegmentedAnalysis {
 /// A segment's seed: the authoritative engine state and pending
 /// `RelAfter_S` bits as of the segment's first event.
 struct Seed {
-    sync: Vec<u8>,
+    sync: SeedSync,
     pending: Vec<bool>,
+}
+
+/// The sync half of a seed. Consecutive exports differ only where
+/// clocks moved during one segment, so only the first segment of a
+/// wave ships the full checkpoint; the rest carry
+/// [`encode_delta`](crate::checkpoint::encode_delta) diffs against the
+/// previous segment's export, and every worker replays the chain in
+/// order (cheap byte splicing) while importing only the segments it
+/// owns.
+enum SeedSync {
+    /// A full [`CheckpointState::export_state`] image (wave base).
+    Full(Vec<u8>),
+    /// A delta against the previous segment's export.
+    Delta(Vec<u8>),
 }
 
 struct WaveItem {
@@ -182,6 +201,7 @@ where
 
         // (b) Coordinator walk: seeds, name merge, discipline, sync plane.
         let mut wave: Vec<WaveItem> = Vec::with_capacity(datas.len());
+        let mut wave_prev_export: Option<Vec<u8>> = None;
         for (meta, data) in metas.iter().zip(datas) {
             if lock_names.len() != meta.locks_before || var_names.len() != meta.vars_before {
                 return Err(BinaryTraceError::new(
@@ -198,8 +218,13 @@ where
 
             let mut seed_sync = Vec::new();
             sync.export_state(&mut seed_sync);
+            let sync_seed = match &wave_prev_export {
+                None => SeedSync::Full(seed_sync.clone()),
+                Some(prev) => SeedSync::Delta(crate::checkpoint::encode_delta(prev, &seed_sync)),
+            };
+            wave_prev_export = Some(seed_sync);
             let seed = Seed {
-                sync: seed_sync,
+                sync: sync_seed,
                 pending: pending.clone(),
             };
 
@@ -318,7 +343,17 @@ where
     S: Sampler,
 {
     let owned = |var: freshtrack_trace::VarId| var.index() % jobs == worker_idx;
+    // The wave's seed chain: a full export for the first segment, then
+    // deltas. Every item advances the chain (byte splicing, no engine
+    // work) so skipped segments still keep `seed_bytes` aligned with
+    // the coordinator's export at each boundary.
+    let mut seed_bytes: Vec<u8> = Vec::new();
     for item in wave {
+        seed_bytes = match &item.seed.sync {
+            SeedSync::Full(bytes) => bytes.clone(),
+            SeedSync::Delta(delta) => crate::checkpoint::apply_delta(&seed_bytes, delta)
+                .expect("coordinator-encoded delta must apply to its own chain"),
+        };
         let has_owned_access = item.data.events.iter().any(|event| match event.kind {
             EventKind::Read(var) | EventKind::Write(var) => owned(var),
             _ => false,
@@ -329,7 +364,7 @@ where
 
         let mut replica = worker.detector.split_sync();
         replica
-            .import_state(&item.seed.sync)
+            .import_state(&seed_bytes)
             .expect("coordinator-exported seed must import");
         let mut pending = item.seed.pending.clone();
         let mut scratch = Counters::new();

@@ -48,8 +48,6 @@
 //! atomic flag per thread; monolithic detectors carry it as a plain
 //! per-thread bool.
 
-use std::marker::PhantomData;
-
 use freshtrack_clock::{ClockSnapshot, ThreadId, Time, VectorClock, VectorClockSnapshot};
 use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId};
@@ -140,27 +138,109 @@ pub trait SyncEngine: Send {
     /// the engine's own lock aliases would cause.
     fn publish(&mut self, tid: ThreadId) -> Self::View;
 
+    /// Writes thread `tid`'s spliced race-check clock (`C_t[t ↦ e_t]`)
+    /// densely into `out` (cleared first), entry `u` at index `u`, at
+    /// least `tid.index() + 1` entries wide.
+    ///
+    /// `width_cap` is a caller-supplied promise that every entry of the
+    /// spliced clock at index `>= width_cap` is zero (pass `usize::MAX`
+    /// when no such promise can be made), so the engine may stop
+    /// linearizing there instead of walking a wide reservation's idle
+    /// tail. The sharded detector derives the cap from the highest
+    /// thread id that has had a sync event: epochs only circulate
+    /// through releases, which are themselves sync events serialized by
+    /// the same lock, so no entry above that id can be non-zero.
+    ///
+    /// This is the seqlock publication fast path: the engines override
+    /// it with a straight memcpy from their contiguous clock storage,
+    /// which beats linearizing [`publish`](SyncEngine::publish)'s view
+    /// through a per-entry `time_of` walk by an order of magnitude at
+    /// realistic clock widths. The default does exactly that walk, so
+    /// the two paths are interchangeable (pinned by a differential test
+    /// in `sharding.rs`).
+    fn publish_dense(&mut self, tid: ThreadId, width_cap: usize, out: &mut Vec<Time>) {
+        let view = self.publish(tid);
+        let width = view.width().min(width_cap).max(tid.index() + 1);
+        out.clear();
+        out.extend((0..width).map(|u| view.time_of(ThreadId::new(u as u32))));
+    }
+
+    /// Borrows thread `tid`'s dense spliced clock directly from engine
+    /// storage, when the engine can expose it without materializing
+    /// anything — i.e. when `C_t[t] = e_t` already holds in memory, as
+    /// it does in a raw vector clock. Must equal what
+    /// [`publish_dense`](SyncEngine::publish_dense) would write for the
+    /// same `(tid, width_cap)` (same cap contract); engines whose
+    /// published view splices a lazily-kept epoch return `None` (the
+    /// default) and the caller falls back to the materializing path.
+    fn publish_dense_ref(&self, _tid: ThreadId, _width_cap: usize) -> Option<&[Time]> {
+        None
+    }
+
     /// Pre-sizes per-thread clock state for `n` threads.
     fn reserve_threads(&mut self, n: usize);
 }
 
+/// Source of per-thread clock views consumed during a batched flush:
+/// `view(tid)` yields the accessing thread's *current* published view.
+///
+/// The lifetime-carrying associated type lets a source hand out views
+/// borrowed from its own scratch buffer (the seqlock path decodes each
+/// snapshot into one reusable `Vec<Time>`), while sources that publish
+/// owned pointer-sized snapshots return them by value.
+pub trait ViewSource {
+    /// The view produced for one event (may borrow from `self`).
+    type View<'a>: ClockView
+    where
+        Self: 'a;
+
+    /// The current published view of thread `tid`'s clock.
+    fn view(&mut self, tid: ThreadId) -> Self::View<'_>;
+}
+
 /// The access-plane half of a split engine: the sampler plus access
 /// histories for the shard's slice of the variable space.
+///
+/// `access` is generic over the [`ClockView`] it consults — the race
+/// check only ever *reads* the view through `time_of`/`width`, so one
+/// access engine serves every sync engine's published representation
+/// (owned snapshot, epoch-spliced snapshot, or a borrowed slice decoded
+/// from a seqlock publication).
 pub trait AccessEngine: Send {
-    /// The view type consumed (matches the sync half's published view).
-    type View: ClockView;
-
     /// Analyzes one access event (`event.kind` is `Read` or `Write`)
     /// against this shard's histories, using the accessing thread's
     /// published clock view. Counts events/reads/writes/samples/races
     /// into `counters`.
-    fn access(
+    fn access<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
-        view: &Self::View,
+        view: &W,
         counters: &mut Counters,
     ) -> AccessOutcome;
+
+    /// Analyzes a batch of buffered access events in order under a
+    /// single shard-lock acquisition, resolving each event's view
+    /// through `views` at flush time and reporting each outcome through
+    /// `sink`.
+    ///
+    /// Resolving views at flush time is correct because a thread's view
+    /// changes only at its own sync events, and the sharded façade
+    /// flushes every batch *before* processing any sync event — so the
+    /// view observed here equals the view at ticket-draw time.
+    fn feed_batch<V: ViewSource>(
+        &mut self,
+        events: &[(EventId, Event)],
+        views: &mut V,
+        counters: &mut Counters,
+        mut sink: impl FnMut(Event, AccessOutcome),
+    ) {
+        for &(id, event) in events {
+            let view = views.view(event.tid);
+            let outcome = self.access(id, event, &view, counters);
+            sink(event, outcome);
+        }
+    }
 }
 
 /// An engine that can be split along the sync/access seam into one
@@ -174,8 +254,8 @@ pub trait AccessEngine: Send {
 pub trait SplitDetector: Detector + Clone + Send {
     /// The sync-plane half.
     type Sync: SyncEngine<View = Self::View>;
-    /// The access-plane half.
-    type Access: AccessEngine<View = Self::View>;
+    /// The access-plane half (view-agnostic; see [`AccessEngine`]).
+    type Access: AccessEngine;
     /// The published per-thread clock view.
     type View: ClockView + Clone + Send + 'static;
 
@@ -270,6 +350,40 @@ impl<F: Fn(ThreadId) -> Time> ClockView for BorrowedView<F> {
     }
 }
 
+/// A clock view decoded from a seqlock publication
+/// ([`PublishedClock`](freshtrack_clock::PublishedClock)): a borrowed
+/// slice of times, entry `u` at index `u`, missing entries `0`.
+///
+/// The writer publishes the already-spliced race-check view
+/// (`C_t[t ↦ e_t]`), so one flat representation serves every engine;
+/// readers decode a snapshot into a reusable scratch buffer and wrap it
+/// in this type for the duration of one race check. Trailing zero
+/// entries are harmless: `0 ⊑` anything, so verdicts and counters are
+/// unaffected by the width a publication happened to have.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishedView<'a> {
+    entries: &'a [Time],
+}
+
+impl<'a> PublishedView<'a> {
+    /// Wraps a decoded snapshot slice.
+    pub fn new(entries: &'a [Time]) -> Self {
+        PublishedView { entries }
+    }
+}
+
+impl ClockView for PublishedView<'_> {
+    #[inline]
+    fn time_of(&self, u: ThreadId) -> Time {
+        self.entries.get(u.index()).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn width(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// The trivial view of state-free engines
 /// ([`EmptyDetector`](crate::EmptyDetector)).
 impl ClockView for () {
@@ -311,21 +425,19 @@ pub(crate) fn history_leq_view<V: ClockView>(history: &VectorClock, view: &V) ->
 /// its own histories can contain, which is all that overwriting needs
 /// (larger widths only write more zeros, and a missing entry reads as
 /// zero).
-pub struct HistoryAccessEngine<S, V> {
+pub struct HistoryAccessEngine<S> {
     sampler: S,
     history: crate::AccessHistories,
     width: usize,
-    _view: PhantomData<fn(&V)>,
 }
 
-impl<S: Sampler, V> HistoryAccessEngine<S, V> {
+impl<S: Sampler> HistoryAccessEngine<S> {
     /// Creates an empty access engine around `sampler`.
     pub fn new(sampler: S) -> Self {
         HistoryAccessEngine {
             sampler,
             history: crate::AccessHistories::new(),
             width: 0,
-            _view: PhantomData,
         }
     }
 
@@ -378,23 +490,19 @@ impl<S: Sampler, V> HistoryAccessEngine<S, V> {
     }
 }
 
-impl<S: Sampler + Send, V: ClockView + Clone + Send + 'static> AccessEngine
-    for HistoryAccessEngine<S, V>
-{
-    type View = V;
-
-    fn access(
+impl<S: Sampler + Send> AccessEngine for HistoryAccessEngine<S> {
+    fn access<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
-        view: &V,
+        view: &W,
         counters: &mut Counters,
     ) -> AccessOutcome {
         self.access_with(id, event, view, counters)
     }
 }
 
-impl<S, V> crate::checkpoint::CheckpointState for HistoryAccessEngine<S, V> {
+impl<S> crate::checkpoint::CheckpointState for HistoryAccessEngine<S> {
     fn export_state(&self, out: &mut Vec<u8>) {
         freshtrack_clock::wire::put_varint(out, self.width as u64);
         self.history.export_wire(out);
@@ -411,18 +519,17 @@ impl<S, V> crate::checkpoint::CheckpointState for HistoryAccessEngine<S, V> {
     }
 }
 
-impl<S: Clone, V> Clone for HistoryAccessEngine<S, V> {
+impl<S: Clone> Clone for HistoryAccessEngine<S> {
     fn clone(&self) -> Self {
         HistoryAccessEngine {
             sampler: self.sampler.clone(),
             history: self.history.clone(),
             width: self.width,
-            _view: PhantomData,
         }
     }
 }
 
-impl<S: std::fmt::Debug, V> std::fmt::Debug for HistoryAccessEngine<S, V> {
+impl<S: std::fmt::Debug> std::fmt::Debug for HistoryAccessEngine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HistoryAccessEngine")
             .field("sampler", &self.sampler)

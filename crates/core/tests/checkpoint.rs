@@ -11,8 +11,8 @@
 
 use freshtrack_clock::wire;
 use freshtrack_core::{
-    CheckpointState, Counters, Detector, DjitDetector, FastTrackDetector, FreshnessDetector,
-    OrderedListDetector, SplitDetector,
+    apply_delta, encode_delta, CheckpointState, Counters, Detector, DjitDetector,
+    FastTrackDetector, FreshnessDetector, OrderedListDetector, OrderedSyncEngine, SplitDetector,
 };
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler};
 use freshtrack_testutil::{trace_from_fuel, workload_matrix};
@@ -51,6 +51,7 @@ where
     let expected_counters = *full.counters();
 
     let n = trace.len();
+    let mut chain_prev: Option<Vec<u8>> = None;
     for cut in [0, n / 3, n / 2, 2 * n / 3, n] {
         let mut first = make();
         let mut reports = Vec::new();
@@ -60,9 +61,27 @@ where
         let mut blob = Vec::new();
         first.export_state(&mut blob);
 
+        // Delta form: reconstruct this cut's checkpoint from the
+        // previous cut's bytes through the varint-delta codec (the
+        // encoding `analyze_segments` ships between wave segments),
+        // and resume from the *reconstruction* so the whole resume
+        // path below also certifies the delta round-trip.
+        let reconstructed = match &chain_prev {
+            None => blob.clone(),
+            Some(prev) => {
+                let delta = encode_delta(prev, &blob);
+                apply_delta(prev, &delta).expect("chain delta must apply to its own base")
+            }
+        };
+        assert_eq!(
+            reconstructed, blob,
+            "[{label}] cut={cut}: delta chain drifted from the direct export"
+        );
+        chain_prev = Some(blob.clone());
+
         let mut resumed = make();
         resumed
-            .import_state(&blob)
+            .import_state(&reconstructed)
             .expect("a just-exported checkpoint must import");
 
         // Export is deterministic: export → import → export is
@@ -313,6 +332,53 @@ proptest! {
             &|| OrderedListDetector::with_options(BernoulliSampler::new(0.5, 17), false),
             &trace, &flips, trunc);
     }
+}
+
+#[test]
+fn sync_plane_delta_chain_matches_direct_exports() {
+    // Exactly what `analyze_segments` ships between the segments of a
+    // wave: the first boundary as a full sync-plane export, every later
+    // boundary as a varint delta against the previous one. Walking the
+    // chain must reconstruct each boundary byte-identically, and an
+    // engine seeded from a reconstruction must re-export those same
+    // bytes (idempotence through the delta form).
+    let (_, trace) = workload_matrix(240, &[5]).remove(0);
+    let mut det = OrderedListDetector::new(BernoulliSampler::new(0.5, 17));
+    let mut chain: Option<Vec<u8>> = None;
+    let mut boundaries = 0usize;
+    for (i, (id, event)) in trace.iter().enumerate() {
+        det.process(id, event);
+        if (i + 1) % 24 != 0 {
+            continue;
+        }
+        boundaries += 1;
+        let mut direct = Vec::new();
+        det.split_sync().export_state(&mut direct);
+        let reconstructed = match &chain {
+            None => direct.clone(),
+            Some(prev) => {
+                let delta = encode_delta(prev, &direct);
+                apply_delta(prev, &delta).expect("chain delta must apply to its own base")
+            }
+        };
+        assert_eq!(
+            reconstructed, direct,
+            "boundary after event {i}: chain drifted"
+        );
+
+        let mut seeded = OrderedSyncEngine::new(true);
+        seeded
+            .import_state(&reconstructed)
+            .expect("a reconstructed sync export must import");
+        let mut re = Vec::new();
+        seeded.export_state(&mut re);
+        assert_eq!(
+            re, direct,
+            "boundary after event {i}: seeded re-export drifted"
+        );
+        chain = Some(direct);
+    }
+    assert!(boundaries >= 5, "workload too short to exercise the chain");
 }
 
 #[test]

@@ -1,20 +1,24 @@
 //! Sharded-ingestion differential suite: the executable form of the
-//! verdict-preservation invariant, for **both** sync-skeleton
-//! constructions.
+//! verdict-preservation invariant, for **every** sync-skeleton
+//! construction and batch capacity.
 //!
 //! [`ShardedOnlineDetector`] routes access events to `hash(var) % N`
 //! shards; the happens-before skeleton is either *replicated* into
 //! per-shard detector clones ([`SyncMode::Replicated`], PR 3) or held
-//! once by a shared sync engine behind a sync-only lock
-//! ([`SyncMode::Shared`], the two-plane default). Both claim the merged
-//! result is indistinguishable from the single-mutex
+//! once by a shared sync engine behind a sync-only lock, publishing
+//! views through per-thread mutex slots ([`SyncMode::Shared`], PR 4) or
+//! through lock-free seqlock slots ([`SyncMode::Seqlock`], the
+//! default). All claim the merged result is indistinguishable from the
+//! single-mutex
 //! [`OnlineDetector`]: identical (EventId-sorted) race reports and
 //! identical per-kind counters. This suite checks that claim for
 //!
 //! * **shard counts** `N ∈ {1, 2, 4, 7}` (including a prime, so routing
 //!   has no accidental alignment with the variable-id space),
-//! * **sync modes** — replicated and de-replicated two-plane, pinned
-//!   against one baseline (and therefore against each other),
+//! * **sync modes** — replicated, mutex-slot two-plane, and seqlock,
+//!   pinned against one baseline (and therefore against each other),
+//! * **batch capacities** `B ∈ {1, 7, 64}` — buffered ingestion
+//!   (`with_options`) vs unbatched, same reports and counters,
 //! * **engines** Djit+ (ST), FastTrack, and the ordered-list engine
 //!   (SO) — per-variable vector-clock, lossy-epoch, and lazy-copy
 //!   histories respectively,
@@ -44,7 +48,8 @@ use freshtrack_core::{
 };
 use freshtrack_sampling::{AlwaysSampler, BernoulliSampler, NeverSampler, PeriodicSampler};
 use freshtrack_testutil::{
-    assert_shard_equivalence, run_sharded_trace, trace_from_fuel, workload_matrix,
+    assert_shard_equivalence, run_sharded_trace, run_sharded_trace_batched, trace_from_fuel,
+    workload_matrix,
 };
 use freshtrack_trace::Trace;
 use proptest::prelude::*;
@@ -52,8 +57,13 @@ use proptest::prelude::*;
 /// Shard counts under test: identity, powers of two, and a prime.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
-/// Both sync-skeleton constructions.
-const BOTH_MODES: [SyncMode; 2] = [SyncMode::Replicated, SyncMode::Shared];
+/// Every sync-skeleton construction.
+const ALL_MODES: [SyncMode; 3] = [SyncMode::Replicated, SyncMode::Shared, SyncMode::Seqlock];
+
+/// Batch capacities for the batched-vs-unbatched differential: the
+/// unbatched reference, a capacity that forces mid-stream flushes, and
+/// one that usually defers everything to the next sync event / finish.
+const BATCH_SIZES: [usize; 3] = [1, 7, 64];
 
 /// Seeds for the structured workload matrix.
 const SEEDS: [u64; 3] = [11, 4242, 987_654_321];
@@ -62,7 +72,7 @@ const SEEDS: [u64; 3] = [11, 4242, 987_654_321];
 /// can be bigger than the conformance suite's.
 const EVENTS: usize = 600;
 
-/// Runs the shard-equivalence contract (both sync modes vs the
+/// Runs the shard-equivalence contract (every sync mode vs the
 /// single-mutex baseline) for all three engines over one
 /// `(trace, sampler)` cell.
 fn check_all_engines<S: freshtrack_sampling::Sampler + Copy + Send>(
@@ -160,9 +170,9 @@ fn structured_patterns_under_periodic_and_never_sampling() {
 }
 
 /// The dedicated old-vs-new pin: for every engine, shard count and a
-/// racy structured cell, the replicated and de-replicated runs produce
-/// *identical* verdicts (reports compared against each other directly,
-/// not just against the single-mutex baseline).
+/// racy structured cell, the replicated, mutex-slot, and seqlock runs
+/// produce *identical* verdicts (reports compared against each other
+/// directly, not just against the single-mutex baseline).
 #[test]
 fn replicated_and_two_plane_verdicts_are_identical() {
     let sampler = BernoulliSampler::new(0.4, 2024);
@@ -174,17 +184,22 @@ fn replicated_and_two_plane_verdicts_are_identical() {
                 shards,
                 SyncMode::Replicated,
             );
-            let (new_reports, new_counters) =
-                run_sharded_trace(&trace, DjitDetector::new(sampler), shards, SyncMode::Shared);
-            assert_eq!(old_reports, new_reports, "[{label}] djit N={shards}");
-            assert_eq!(
-                old_counters.races, new_counters.races,
-                "[{label}] N={shards}"
-            );
-            assert_eq!(
-                old_counters.sampled_accesses, new_counters.sampled_accesses,
-                "[{label}] N={shards}"
-            );
+            for mode in [SyncMode::Shared, SyncMode::Seqlock] {
+                let (new_reports, new_counters) =
+                    run_sharded_trace(&trace, DjitDetector::new(sampler), shards, mode);
+                assert_eq!(
+                    old_reports, new_reports,
+                    "[{label}] djit N={shards} {mode:?}"
+                );
+                assert_eq!(
+                    old_counters.races, new_counters.races,
+                    "[{label}] N={shards} {mode:?}"
+                );
+                assert_eq!(
+                    old_counters.sampled_accesses, new_counters.sampled_accesses,
+                    "[{label}] N={shards} {mode:?}"
+                );
+            }
 
             let (old_reports, _) = run_sharded_trace(
                 &trace,
@@ -192,13 +207,11 @@ fn replicated_and_two_plane_verdicts_are_identical() {
                 shards,
                 SyncMode::Replicated,
             );
-            let (new_reports, _) = run_sharded_trace(
-                &trace,
-                OrderedListDetector::new(sampler),
-                shards,
-                SyncMode::Shared,
-            );
-            assert_eq!(old_reports, new_reports, "[{label}] so N={shards}");
+            for mode in [SyncMode::Shared, SyncMode::Seqlock] {
+                let (new_reports, _) =
+                    run_sharded_trace(&trace, OrderedListDetector::new(sampler), shards, mode);
+                assert_eq!(old_reports, new_reports, "[{label}] so N={shards} {mode:?}");
+            }
         }
     }
 }
@@ -228,6 +241,51 @@ proptest! {
         let trace = trace_from_fuel(&fuel, 8, 4, 6);
         prop_assume!(trace.validate().is_ok());
         check_all_engines("fuzz-wide", &trace, AlwaysSampler::new());
+    }
+
+    /// Batched vs unbatched ingestion over fuzzed traces: for every
+    /// engine, every sync mode and B ∈ {1, 7, 64}, buffering access
+    /// events in per-shard batches changes neither the merged report
+    /// list nor any `Counters` field — the flush-before-any-sync rule
+    /// makes draw-time and flush-time views coincide, and ticket order
+    /// restricted to a shard is preserved through the FIFO.
+    #[test]
+    fn fuzzed_traces_batched_matches_unbatched(
+        fuel in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..150),
+        seed in any::<u64>(),
+        rate in 0.05f64..1.0,
+        shards_idx in 0usize..SHARD_COUNTS.len(),
+    ) {
+        let shards = SHARD_COUNTS[shards_idx];
+        let trace = trace_from_fuel(&fuel, 5, 3, 4);
+        prop_assume!(trace.validate().is_ok());
+        let samplers = (BernoulliSampler::new(rate, seed), AlwaysSampler::new());
+        for mode in ALL_MODES {
+            macro_rules! check_batched {
+                ($label:expr, $mk:expr) => {{
+                    let (base_reports, base_counters) =
+                        run_sharded_trace_batched(&trace, $mk, shards, mode, 1);
+                    for batch in &BATCH_SIZES[1..] {
+                        let (reports, counters) =
+                            run_sharded_trace_batched(&trace, $mk, shards, mode, *batch);
+                        prop_assert_eq!(
+                            &reports, &base_reports,
+                            "[{}] {:?} N={} B={}", $label, mode, shards, batch
+                        );
+                        prop_assert_eq!(
+                            counters, base_counters,
+                            "[{}] {:?} N={} B={}", $label, mode, shards, batch
+                        );
+                    }
+                }};
+            }
+            check_batched!("djit/bernoulli", DjitDetector::new(samplers.0));
+            check_batched!("fasttrack/bernoulli", FastTrackDetector::new(samplers.0));
+            check_batched!("so/bernoulli", OrderedListDetector::new(samplers.0));
+            check_batched!("djit/always", DjitDetector::new(samplers.1));
+            check_batched!("fasttrack/always", FastTrackDetector::new(samplers.1));
+            check_batched!("so/always", OrderedListDetector::new(samplers.1));
+        }
     }
 
     /// Report-order regression (the invariant the shard merge builds
@@ -271,7 +329,7 @@ proptest! {
 
         // finish_merged at N > 1: the merge itself must restore strict
         // EventId order from the per-shard partitions, in both modes.
-        for mode in BOTH_MODES {
+        for mode in ALL_MODES {
             for shards in [2usize, 4, 7] {
                 let (reports, merged) = run_sharded_trace(
                     &trace,
@@ -356,7 +414,7 @@ fn regression_sorted_merge_on_racy_cell() {
     assert!(reports.len() >= 2, "[{label}] want a multi-report cell");
     assert!(reports.windows(2).all(|w| w[0].event < w[1].event));
 
-    for mode in BOTH_MODES {
+    for mode in ALL_MODES {
         let sharded =
             ShardedOnlineDetector::with_mode(DjitDetector::new(AlwaysSampler::new()), 4, mode);
         for (_, event) in trace.iter() {
@@ -365,5 +423,131 @@ fn regression_sorted_merge_on_racy_cell() {
         let (merged_reports, counters) = sharded.finish_merged();
         assert_eq!(merged_reports, reports, "{mode:?}");
         assert_eq!(counters.races as usize, reports.len(), "{mode:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dense publication differential: engine overrides vs the trait default.
+// ---------------------------------------------------------------------
+
+/// Delegating wrapper that inherits the *default*
+/// [`SyncEngine::publish_dense`] / `publish_dense_ref` (the per-entry
+/// `time_of` linearization) while forwarding everything else, so the
+/// memcpy overrides can be pinned against the reference semantics.
+struct DefaultDense<E>(E);
+
+use freshtrack_clock::ThreadId;
+use freshtrack_core::{FreshnessSyncEngine, OrderedSyncEngine, SyncEngine, VectorSyncEngine};
+use freshtrack_trace::LockId;
+
+impl<E: SyncEngine> SyncEngine for DefaultDense<E> {
+    type View = E::View;
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        self.0.ensure_thread(tid);
+    }
+
+    fn acquire(&mut self, tid: ThreadId, lock: LockId, counters: &mut Counters) {
+        self.0.acquire(tid, lock, counters);
+    }
+
+    fn release(
+        &mut self,
+        tid: ThreadId,
+        lock: LockId,
+        sampled_since_release: bool,
+        counters: &mut Counters,
+    ) {
+        self.0.release(tid, lock, sampled_since_release, counters);
+    }
+
+    fn publish(&mut self, tid: ThreadId) -> Self::View {
+        self.0.publish(tid)
+    }
+
+    fn reserve_threads(&mut self, n: usize) {
+        self.0.reserve_threads(n);
+    }
+}
+
+/// Drives the same sync-event stream through an engine and its
+/// default-dense twin and asserts the dense publications agree at every
+/// step, for several width caps — including `usize::MAX` (no promise)
+/// and the tight active-width cap the sharded detector uses.
+fn assert_dense_matches_default<E: SyncEngine>(
+    label: &str,
+    mut engine: E,
+    mut twin: DefaultDense<E>,
+) {
+    const THREADS: u32 = 6;
+    const LOCKS: u32 = 3;
+    let mut counters_a = Counters::new();
+    let mut counters_b = Counters::new();
+    engine.reserve_threads(32); // wide reservation: idle tail present
+    twin.reserve_threads(32);
+
+    let mut active = 0usize;
+    let step =
+        |engine: &mut E, twin: &mut DefaultDense<E>, active: usize, label: &str, round: u32| {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for t in 0..THREADS {
+                let tid = ThreadId::new(t);
+                for cap in [usize::MAX, active.max(1), tid.index() + 1] {
+                    engine.publish_dense(tid, cap, &mut a);
+                    twin.publish_dense(tid, cap, &mut b);
+                    assert_eq!(
+                        a, b,
+                        "[{label}] round {round} tid {t} cap {cap}: override vs default"
+                    );
+                    if let Some(img) = engine.publish_dense_ref(tid, cap) {
+                        assert_eq!(
+                            img,
+                            &a[..],
+                            "[{label}] round {round} tid {t} cap {cap}: ref vs materialized"
+                        );
+                    }
+                }
+            }
+        };
+
+    for round in 0..40u32 {
+        let tid = ThreadId::new(round % THREADS);
+        let lock = LockId::new(round % LOCKS);
+        active = active.max(tid.index() + 1);
+        if round % 2 == 0 {
+            engine.acquire(tid, lock, &mut counters_a);
+            twin.acquire(tid, lock, &mut counters_b);
+        } else {
+            let sampled = round % 3 == 0;
+            engine.release(tid, lock, sampled, &mut counters_a);
+            twin.release(tid, lock, sampled, &mut counters_b);
+        }
+        step(&mut engine, &mut twin, active, label, round);
+    }
+}
+
+/// The doc contract on [`SyncEngine::publish_dense`]: the engines'
+/// memcpy overrides (and the zero-copy `publish_dense_ref` borrow) are
+/// interchangeable with the default per-entry linearization of
+/// `publish`'s view, for every engine and width cap.
+#[test]
+fn dense_publication_matches_default_linearization() {
+    assert_dense_matches_default(
+        "vector",
+        VectorSyncEngine::new(),
+        DefaultDense(VectorSyncEngine::new()),
+    );
+    assert_dense_matches_default(
+        "freshness",
+        FreshnessSyncEngine::new(),
+        DefaultDense(FreshnessSyncEngine::new()),
+    );
+    for opt in [false, true] {
+        assert_dense_matches_default(
+            &format!("ordered(local_epoch_opt={opt})"),
+            OrderedSyncEngine::new(opt),
+            DefaultDense(OrderedSyncEngine::new(opt)),
+        );
     }
 }

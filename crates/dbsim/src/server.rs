@@ -69,6 +69,27 @@ impl LatencyStats {
         let rank = ((p / 100.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
         self.latencies_us[rank.min(self.latencies_us.len() - 1)]
     }
+
+    /// Mean latency in microseconds with the slowest `trim` fraction of
+    /// transactions excluded (at least one sample is always kept).
+    ///
+    /// On a time-shared host a worker descheduled while holding a row
+    /// stripe or shard lock stalls whole convoys of transactions for
+    /// scheduler quanta — milliseconds against a microsecond-scale
+    /// metric. Those stalls land in the raw [`mean_us`](Self::mean_us)
+    /// essentially at random per run, which is what made shard-sweep
+    /// means non-monotonic while p50/p95 stayed flat. Trimming the top
+    /// ~1% removes exactly that preemption tail and leaves the
+    /// per-transaction analysis cost being measured.
+    pub fn trimmed_mean_us(&self, trim: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let drop = ((self.latencies_us.len() as f64 * trim).ceil() as usize)
+            .min(self.latencies_us.len() - 1);
+        let kept = &self.latencies_us[..self.latencies_us.len() - drop];
+        kept.iter().sum::<u64>() as f64 / kept.len() as f64
+    }
 }
 
 /// Runs a workload mix against a fresh database with the given
@@ -142,15 +163,18 @@ pub fn run_detector<D: Detector + Send + 'static>(
 ///
 /// # Panics
 ///
-/// Panics if `shards` is zero.
+/// Panics if `shards` or `batch` is zero.
 pub fn run_sharded<D: SplitDetector + 'static>(
     workload: &DbWorkload,
     options: &RunOptions,
     detector: D,
     shards: usize,
     mode: SyncMode,
+    batch: usize,
 ) -> (LatencyStats, Vec<RaceReport>, Counters) {
-    let inst = Arc::new(ShardedInstrument::with_mode(detector, shards, mode));
+    let inst = Arc::new(ShardedInstrument::with_options(
+        detector, shards, mode, batch,
+    ));
     inst.reserve_threads(options.workers as usize);
     let stats = run_benchmark(workload, options, inst.clone());
     let inst = Arc::try_unwrap(inst)
@@ -262,6 +286,31 @@ mod tests {
         assert_eq!(stats.transactions, 400);
         assert!(stats.mean_us() >= 0.0);
         assert!(stats.percentile_us(95.0) >= stats.percentile_us(50.0));
+        assert!(stats.trimmed_mean_us(0.01) <= stats.mean_us());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_the_preemption_tail() {
+        // 99 fast transactions plus one multi-millisecond stall: the raw
+        // mean is hostage to the stall, the 1%-trimmed mean is not.
+        let mut lat = vec![3u64; 99];
+        lat.push(5_000);
+        let stats = LatencyStats::from_latencies(lat);
+        assert!((stats.mean_us() - 52.97).abs() < 0.1);
+        assert!((stats.trimmed_mean_us(0.01) - 3.0).abs() < f64::EPSILON);
+        // p50/p95 never saw the stall either — the shape of the recorded
+        // anomaly this statistic exists to exclude.
+        assert_eq!(stats.percentile_us(50.0), 3);
+        assert_eq!(stats.percentile_us(95.0), 3);
+        assert_eq!(stats.percentile_us(100.0), 5_000);
+
+        // Trimming never trims away everything.
+        let one = LatencyStats::from_latencies(vec![7]);
+        assert!((one.trimmed_mean_us(1.0) - 7.0).abs() < f64::EPSILON);
+        assert_eq!(
+            LatencyStats::from_latencies(Vec::new()).trimmed_mean_us(0.01),
+            0.0
+        );
     }
 
     #[test]
@@ -309,13 +358,19 @@ mod tests {
     fn sharded_run_finds_seeded_races_with_sorted_merged_reports() {
         let mut w = benchbase::by_name("ycsb").unwrap();
         w.unprotected_fraction = 0.2; // make the seeded race frequent
-        for mode in [SyncMode::Replicated, SyncMode::Shared] {
+        for (mode, batch) in [
+            (SyncMode::Replicated, 1),
+            (SyncMode::Shared, 1),
+            (SyncMode::Seqlock, 1),
+            (SyncMode::Seqlock, 64),
+        ] {
             let (stats, reports, counters) = run_sharded(
                 &w,
                 &small_opts(),
                 FastTrackDetector::new(AlwaysSampler::new()),
                 4,
                 mode,
+                batch,
             );
             assert_eq!(stats.transactions, 400);
             assert!(!reports.is_empty(), "{mode:?}: seeded race not found");
@@ -332,15 +387,19 @@ mod tests {
     fn sharded_lock_protected_rows_do_not_race() {
         let mut w = benchbase::by_name("smallbank").unwrap();
         w.unprotected_fraction = 0.0;
-        for shards in [1usize, 8] {
+        for (shards, batch) in [(1usize, 1usize), (8, 1), (8, 16)] {
             let (_, reports, _) = run_sharded(
                 &w,
                 &small_opts(),
                 OrderedListDetector::new(AlwaysSampler::new()),
                 shards,
-                SyncMode::Shared,
+                SyncMode::Seqlock,
+                batch,
             );
-            assert!(reports.is_empty(), "{shards} shards: {reports:?}");
+            assert!(
+                reports.is_empty(),
+                "{shards} shards batch={batch}: {reports:?}"
+            );
         }
     }
 

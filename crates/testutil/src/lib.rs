@@ -27,10 +27,11 @@
 //! * [`workload_matrix`] / [`conformance_workload`] — seeded structured
 //!   workloads across every [`Pattern`], sized so the quadratic oracle
 //!   stays affordable.
-//! * [`run_sharded_trace`] / [`assert_shard_equivalence`] — sharded
-//!   ingestion ([`ShardedOnlineDetector`], in both [`SyncMode`]s) vs
-//!   the single-mutex path: identical reports, matching per-kind
-//!   counters, for any shard count. Used by
+//! * [`run_sharded_trace`] / [`run_sharded_trace_batched`] /
+//!   [`assert_shard_equivalence`] — sharded ingestion
+//!   ([`ShardedOnlineDetector`], in every [`SyncMode`], batched or
+//!   not) vs the single-mutex path: identical reports, matching
+//!   per-kind counters, for any shard count. Used by
 //!   `crates/core/tests/sharding.rs`.
 //! * [`trace_from_fuel`] — the shared fuzz-trace interpreter: raw
 //!   `(thread, action, operand)` fuel into a trace obeying the locking
@@ -354,7 +355,21 @@ pub fn run_sharded_trace<D: SplitDetector>(
     shards: usize,
     mode: SyncMode,
 ) -> (Vec<RaceReport>, Counters) {
-    let sharded = ShardedOnlineDetector::with_mode(detector, shards, mode);
+    run_sharded_trace_batched(trace, detector, shards, mode, 1)
+}
+
+/// [`run_sharded_trace`] with an explicit per-shard access-batch
+/// capacity (`1` = unbatched; larger capacities amortize shard-lock
+/// acquisitions without changing reports or counters, which the
+/// batched-vs-unbatched differential suites pin).
+pub fn run_sharded_trace_batched<D: SplitDetector>(
+    trace: &Trace,
+    detector: D,
+    shards: usize,
+    mode: SyncMode,
+    batch: usize,
+) -> (Vec<RaceReport>, Counters) {
+    let sharded = ShardedOnlineDetector::with_options(detector, shards, mode, batch);
     for (_, event) in trace.iter() {
         sharded.on_event(event.tid.as_u32(), event.kind);
     }
@@ -362,9 +377,9 @@ pub fn run_sharded_trace<D: SplitDetector>(
 }
 
 /// Asserts that sharded ingestion is verdict-preserving for one
-/// `(trace, detector)` pair, in **both** sync-skeleton constructions:
+/// `(trace, detector)` pair, in **every** sync-skeleton construction:
 /// for every shard count in `shard_counts` and every [`SyncMode`]
-/// (replicated and de-replicated two-plane), the sharded run reports
+/// (replicated, mutex-slot two-plane, and seqlock), the sharded run reports
 /// exactly the single-mutex path's races (same order — all are
 /// EventId-sorted) and its merged counters agree on every **per-kind**
 /// field (`events`, `reads`, `writes`, `sampled_accesses`, `acquires`,
@@ -385,7 +400,7 @@ pub fn assert_shard_equivalence<D: SplitDetector>(
     let baseline_reports = baseline.run(trace);
     let expected = *baseline.counters();
     for &shards in shard_counts {
-        for mode in [SyncMode::Replicated, SyncMode::Shared] {
+        for mode in [SyncMode::Replicated, SyncMode::Shared, SyncMode::Seqlock] {
             let (reports, merged) = run_sharded_trace(trace, detector.clone(), shards, mode);
             assert_eq!(
                 reports, baseline_reports,
