@@ -376,6 +376,8 @@ pub mod sync_stream {
 
     /// The ingestion surface both façades share.
     pub trait Ingest {
+        /// Feeds a read of `var` by `tid`.
+        fn read(&self, tid: u32, var: u32);
         /// Feeds a write of `var` by `tid`.
         fn write(&self, tid: u32, var: u32);
         /// Feeds an acquire of `lock` by `tid`.
@@ -385,6 +387,9 @@ pub mod sync_stream {
     }
 
     impl<D: Detector + Send> Ingest for OnlineDetector<D> {
+        fn read(&self, tid: u32, var: u32) {
+            OnlineDetector::read(self, tid, var);
+        }
         fn write(&self, tid: u32, var: u32) {
             OnlineDetector::write(self, tid, var);
         }
@@ -397,6 +402,9 @@ pub mod sync_stream {
     }
 
     impl<D: SplitDetector + 'static> Ingest for ShardedOnlineDetector<D> {
+        fn read(&self, tid: u32, var: u32) {
+            ShardedOnlineDetector::read(self, tid, var);
+        }
         fn write(&self, tid: u32, var: u32) {
             ShardedOnlineDetector::write(self, tid, var);
         }
@@ -424,16 +432,29 @@ pub mod sync_stream {
         /// Builds the façade for one sweep point: `None` is the
         /// single-mutex baseline, `Some((mode, n))` a sharded detector.
         pub fn new(detector: D, point: Option<(SyncMode, usize)>) -> Self {
+            Facade::new_batched(detector, point, 1)
+        }
+
+        /// Like [`Facade::new`], but sharded points buffer up to `batch`
+        /// accesses per shard-lock acquisition (the single-mutex
+        /// baseline has no batching; `batch` is ignored there).
+        pub fn new_batched(detector: D, point: Option<(SyncMode, usize)>, batch: usize) -> Self {
             match point {
                 None => Facade::Mutex(OnlineDetector::new(detector)),
-                Some((mode, n)) => {
-                    Facade::Sharded(ShardedOnlineDetector::with_mode(detector, n, mode))
-                }
+                Some((mode, n)) => Facade::Sharded(ShardedOnlineDetector::with_options(
+                    detector, n, mode, batch,
+                )),
             }
         }
     }
 
     impl<D: SplitDetector + 'static> Ingest for Facade<D> {
+        fn read(&self, tid: u32, var: u32) {
+            match self {
+                Facade::Mutex(f) => Ingest::read(f, tid, var),
+                Facade::Sharded(f) => Ingest::read(f, tid, var),
+            }
+        }
         fn write(&self, tid: u32, var: u32) {
             match self {
                 Facade::Mutex(f) => Ingest::write(f, tid, var),
@@ -473,6 +494,105 @@ pub mod sync_stream {
             online.acquire(i % THREADS, i % LOCKS);
             online.release(i % THREADS, i % LOCKS);
         }
+    }
+}
+
+/// The shared access-cost isolation driver: one single-threaded,
+/// access-heavy event mix used by `record_baseline --access-cost`, plus
+/// the [`InlineDecision`](access_stream::InlineDecision) wrapper that
+/// reconstructs the pre-hoist
+/// "before" side (sampling decided inline, under the shard lock) so the
+/// before/after pair always comes from one sitting.
+pub mod access_stream {
+    use freshtrack_core::{Counters, Detector, RaceReport, SplitDetector};
+    use freshtrack_trace::{Event, EventId};
+
+    use super::sync_stream::Ingest;
+
+    /// Virtual application threads issuing the stream.
+    pub const THREADS: u32 = 4;
+    /// Variables touched round-robin; enough to spread across shards.
+    pub const VARS: u32 = 64;
+    /// An acquire/release pair is interleaved every this many accesses,
+    /// so batched façades flush on the same cadence a real workload
+    /// would force and `RelAfter_S` maintenance stays on the measured
+    /// path. Small enough to matter, large enough (2/512 ≈ 0.4% of
+    /// events) not to dominate the per-access quotient.
+    pub const SYNC_EVERY: u32 = 512;
+
+    /// Disables a detector's hoisted decider while forwarding
+    /// everything else — the measurable "before" of the lock-free skip
+    /// path (ARCHITECTURE.md invariant 10). A façade over
+    /// `InlineDecision(d)` routes every access through slot admission,
+    /// shard routing, and the shard (or batch) lock, and the engine
+    /// decides membership inline — exactly the pre-hoist pipeline — so
+    /// the access-cost trajectory can measure both sides of the same
+    /// binary in one invocation.
+    #[derive(Clone)]
+    pub struct InlineDecision<D>(pub D);
+
+    impl<D: Detector> Detector for InlineDecision<D> {
+        fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+            self.0.process(id, event)
+        }
+        fn counters(&self) -> &Counters {
+            self.0.counters()
+        }
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+        fn reserve_threads(&mut self, n: usize) {
+            self.0.reserve_threads(n);
+        }
+        // `hoisted_decider` deliberately stays the `None` default: that
+        // is the whole point of the wrapper.
+    }
+
+    impl<D: SplitDetector> SplitDetector for InlineDecision<D> {
+        type Sync = D::Sync;
+        type Access = D::Access;
+        type View = D::View;
+        fn split_sync(&self) -> Self::Sync {
+            self.0.split_sync()
+        }
+        fn split_access(&self) -> Self::Access {
+            self.0.split_access()
+        }
+    }
+
+    /// Warm-up: one lock-protected read/write pair per thread, so
+    /// clocks are non-trivial, shard state is allocated, and the branch
+    /// predictor settles before measurement.
+    pub fn warm_up<I: Ingest>(online: &I) {
+        for t in 0..THREADS {
+            online.acquire(t, 0);
+            online.write(t, t % VARS);
+            online.read(t, (t + 1) % VARS);
+            online.release(t, 0);
+        }
+    }
+
+    /// The measured stream: `accesses` read/write events (alternating,
+    /// threads and variables round-robin) with an acquire/release pair
+    /// every [`SYNC_EVERY`] accesses. Returns the number of sync events
+    /// issued, so callers can separate the access quotient's
+    /// denominator from the event total.
+    pub fn drive_accesses<I: Ingest>(online: &I, accesses: u32) -> u32 {
+        let mut syncs = 0;
+        for i in 0..accesses {
+            let t = i % THREADS;
+            if i % 2 == 0 {
+                online.write(t, i % VARS);
+            } else {
+                online.read(t, i % VARS);
+            }
+            if i % SYNC_EVERY == SYNC_EVERY - 1 {
+                online.acquire(t, 0);
+                online.release(t, 0);
+                syncs += 2;
+            }
+        }
+        syncs
     }
 }
 

@@ -145,9 +145,11 @@ fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErr
 
     let _ = writeln!(
         out,
-        "{name} over {} events ({} sampled): {} race report(s)",
+        "{name} over {} events ({} sampled, {} skipped, skip {:.1}%): {} race report(s)",
         counters.events,
         counters.sampled_accesses,
+        counters.skipped_accesses(),
+        100.0 * counters.skip_ratio(),
         reports.len()
     );
     print_reports(|v| source.var_name(v), &reports, out);
@@ -200,10 +202,12 @@ fn analyze_parallel<W: std::io::Write>(
             .map_err(|e| ArgError(format!("{path}: {e}")))?;
         let _ = writeln!(
             out,
-            "{} over {} events ({} sampled): {} race report(s)",
+            "{} over {} events ({} sampled, {} skipped, skip {:.1}%): {} race report(s)",
             detector.name(),
             analysis.counters.events,
             analysis.counters.sampled_accesses,
+            analysis.counters.skipped_accesses(),
+            100.0 * analysis.counters.skip_ratio(),
             analysis.reports.len()
         );
         print_reports(|v| analysis.var_names[v].as_str(), &analysis.reports, out);
@@ -607,11 +611,17 @@ fn dbsim_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgE
         } else {
             counters.acquires_skipped as f64 / (counters.acquires * skip_shards) as f64
         };
+        // Accesses route to exactly one shard in every mode, so the
+        // sampled/skipped split needs no per-mode normalization: the
+        // skip-path hit rate is the headline number for the hoisted
+        // fast path (invariant 10).
         let _ = writeln!(
             out,
-            "events={} sampled={} races={} acquires skipped={}",
+            "events={} sampled={} skipped={} (skip {:.1}%) races={} acquires skipped={}",
             counters.events,
             counters.sampled_accesses,
+            counters.skipped_accesses(),
+            100.0 * counters.skip_ratio(),
             reports.len(),
             pct(skip_ratio)
         );

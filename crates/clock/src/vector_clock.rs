@@ -94,6 +94,12 @@ impl VectorClock {
         if other.entries.len() > self.entries.len() {
             self.entries.resize(other.entries.len(), 0);
         }
+        // Keep the conditional-store form: a branchless `max` variant
+        // (unconditional store + change count) measures ~2× slower here
+        // because baseline x86-64 has no packed u64 max, so it cannot
+        // vectorize and instead dirties every entry's cache line. The
+        // redundant join (`other ⊑ self`) takes one predicted-not-taken
+        // branch per entry and performs no stores at all.
         let mut changed = 0;
         for (mine, theirs) in self.entries.iter_mut().zip(other.entries.iter()) {
             if *theirs > *mine {

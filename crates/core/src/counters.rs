@@ -1,5 +1,6 @@
 use std::fmt;
 use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Deterministic work counters maintained by every detector.
 ///
@@ -63,6 +64,30 @@ impl Counters {
     /// Access events observed (reads + writes).
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Access events rejected by the sampler — the lock-free skip path's
+    /// traffic (accesses − sampled).
+    pub fn skipped_accesses(&self) -> u64 {
+        self.accesses().saturating_sub(self.sampled_accesses)
+    }
+
+    /// Fraction of accesses that took the skip path — the headline
+    /// number of the hoisted-decision fast path (invariant 10). Zero
+    /// when no accesses.
+    pub fn skip_ratio(&self) -> f64 {
+        ratio(self.skipped_accesses(), self.accesses())
+    }
+
+    /// Folds accesses short-circuited by a hoisted sampling decision
+    /// back into the observation tallies: each skipped access counts as
+    /// one event plus one read or write, exactly as the inline skip
+    /// path tallies it. Bit-exact with inline processing by
+    /// construction — a skipped access touches no other field.
+    pub fn fold_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.events += reads + writes;
+        self.reads += reads;
+        self.writes += writes;
     }
 
     /// Synchronization events observed (acquires + releases).
@@ -165,6 +190,67 @@ impl Counters {
     }
 }
 
+/// One cache line of skip tallies. Padding to 64 bytes keeps stripes on
+/// distinct lines, so concurrent bumps from different threads do not
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct SkipStripe {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// Striped atomic tallies for accesses rejected on the lock-free skip
+/// path — the *only* shared state a sampled-out access touches
+/// (invariant 10). Stripes are indexed by accessor thread id, so the
+/// common case is an uncontended `fetch_add` on a thread-private cache
+/// line; totals are folded into [`Counters`] once, at `finish()`, via
+/// [`Counters::fold_skipped_accesses`] — bit-exact with having tallied
+/// inline.
+#[derive(Debug)]
+pub(crate) struct SkipCells {
+    stripes: Box<[SkipStripe]>,
+}
+
+impl SkipCells {
+    /// Stripe count; power of two so the index is a mask.
+    const STRIPES: usize = 16;
+
+    pub(crate) fn new() -> Self {
+        SkipCells {
+            stripes: (0..Self::STRIPES).map(|_| SkipStripe::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, tid: u32) -> &SkipStripe {
+        &self.stripes[tid as usize & (Self::STRIPES - 1)]
+    }
+
+    /// Tallies one skipped read by `tid`.
+    #[inline]
+    pub(crate) fn bump_read(&self, tid: u32) {
+        self.stripe(tid).reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one skipped write by `tid`.
+    #[inline]
+    pub(crate) fn bump_write(&self, tid: u32) {
+        self.stripe(tid).writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains the `(reads, writes)` totals. Callers fold them exactly
+    /// once, after all feeding threads have quiesced.
+    pub(crate) fn totals(&self) -> (u64, u64) {
+        self.stripes.iter().fold((0, 0), |(r, w), s| {
+            (
+                r + s.reads.load(Ordering::Relaxed),
+                w + s.writes.load(Ordering::Relaxed),
+            )
+        })
+    }
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -200,9 +286,11 @@ impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "events={} sampled={} acq={} (skipped {:.1}%) rel={} (processed {:.1}%)",
+            "events={} sampled={} skipped={} (skip {:.1}%) acq={} (skipped {:.1}%) rel={} (processed {:.1}%)",
             self.events,
             self.sampled_accesses,
+            self.skipped_accesses(),
+            100.0 * self.skip_ratio(),
             self.acquires,
             100.0 * self.acquire_skip_ratio(),
             self.releases,

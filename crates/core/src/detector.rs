@@ -2,6 +2,11 @@ use freshtrack_trace::{Event, EventId, EventSource, SourceError, Trace};
 
 use crate::{Counters, RaceReport};
 
+/// A sampling decision extracted from a detector, callable from any
+/// thread without holding the detector's lock — see
+/// [`Detector::hoisted_decider`].
+pub type HoistedDecider = Box<dyn Fn(EventId, Event) -> bool + Send + Sync>;
+
 /// A streaming happens-before race detector.
 ///
 /// Detectors consume one event at a time in trace order, mirroring the
@@ -24,6 +29,25 @@ pub trait Detector {
     /// recorded access history.
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport>;
 
+    /// Like [`process`](Detector::process), but for an **access event
+    /// the caller has already admitted** through this detector's
+    /// [`hoisted_decider`](Detector::hoisted_decider) (with the same
+    /// `id`). The façades call this on the sampled side of the lock-free
+    /// skip path so the pure `(seed, EventId)` decision is computed
+    /// exactly once per access — outside the lock — instead of again
+    /// inside `process`.
+    ///
+    /// The default forwards to [`process`](Detector::process), which
+    /// re-decides: correct for every detector (the decision is pure, so
+    /// it re-derives the same verdict — invariant 4), just redundant.
+    /// Detectors that expose a decider override it with the post-decision
+    /// body of `process`. Sync events must go through
+    /// [`process`](Detector::process); behavior is unspecified for an
+    /// access the decider would have rejected.
+    fn process_admitted(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        self.process(id, event)
+    }
+
     /// The work counters accumulated so far.
     fn counters(&self) -> &Counters;
 
@@ -38,6 +62,42 @@ pub trait Detector {
     /// pay per synchronization event. Online experiments call this with
     /// the sanitizer's configured width; it never changes verdicts.
     fn reserve_threads(&mut self, _n: usize) {}
+
+    /// Extracts this detector's sampling decision as a standalone pure
+    /// function of `(id, event)`, if it has one.
+    ///
+    /// The online façades use the extracted decider to reject
+    /// sampled-out accesses *before* taking the analysis lock — the
+    /// lock-free skip path (ARCHITECTURE.md invariant 10). The decider
+    /// must agree with what [`process`](Detector::process) would decide
+    /// for the same access, and [`process`](Detector::process) must
+    /// treat a skipped access as a pure tally (no clock or history
+    /// mutation), so running either path yields identical state.
+    ///
+    /// Detectors returning `Some` must also implement
+    /// [`record_skipped_accesses`](Detector::record_skipped_accesses),
+    /// which folds the accesses the façade short-circuited back into
+    /// [`counters`](Detector::counters). The default (`None`) keeps the
+    /// façades on the locked path.
+    fn hoisted_decider(&self) -> Option<HoistedDecider> {
+        None
+    }
+
+    /// Folds accesses that a façade skipped without calling
+    /// [`process`](Detector::process) back into this detector's
+    /// [`counters`](Detector::counters): `reads`/`writes` sampled-out
+    /// accesses must bump the read/write/event tallies exactly as the
+    /// inline skip path would have.
+    ///
+    /// Only called when [`hoisted_decider`](Detector::hoisted_decider)
+    /// returned `Some`; the default panics to catch detectors that
+    /// expose a decider without the matching fold.
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        assert!(
+            reads == 0 && writes == 0,
+            "detector exposes hoisted_decider but not record_skipped_accesses"
+        );
+    }
 
     /// Runs the detector over a streaming [`EventSource`], returning all
     /// reports — the primary analysis loop; detectors never require a

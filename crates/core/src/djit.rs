@@ -6,8 +6,10 @@ use freshtrack_sampling::Sampler;
 use freshtrack_trace::{Event, EventId, EventKind, LockId, SyncCheckpoint};
 
 use crate::checkpoint::{self, CheckpointError, CheckpointState};
-use crate::plane::{BorrowedView, HistoryAccessEngine, SplitDetector, SyncEngine};
-use crate::{Counters, Detector, RaceReport};
+use crate::plane::{
+    self, AccessEngine, BorrowedView, HistoryAccessEngine, SplitDetector, SyncEngine,
+};
+use crate::{Counters, Detector, HoistedDecider, RaceReport};
 
 /// The sync-plane half shared by the engines whose synchronization
 /// handlers are the classical Djit+ ones: every thread clock and lock
@@ -262,11 +264,25 @@ impl<S: Sampler> DjitDetector<S> {
 
 impl<S: Sampler> Detector for DjitDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        // Hoisted-first: the sampling decision is pure in `(id, event)`,
+        // so a skipped access is a tally and nothing else — no thread
+        // admission, no clock reads (invariant 10).
+        if let EventKind::Read(_) | EventKind::Write(_) = event.kind {
+            if !self.access.decide(id, event) {
+                self.counters.events += 1;
+                plane::tally_access(&event, &mut self.counters);
+                return None;
+            }
+        }
+        self.process_admitted(id, event)
+    }
+
+    fn process_admitted(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.sync.ensure_thread(tid);
         match event.kind {
             EventKind::Read(_) | EventKind::Write(_) => {
+                self.sync.ensure_thread(tid);
                 let Self {
                     sync,
                     access,
@@ -277,13 +293,17 @@ impl<S: Sampler> Detector for DjitDetector<S> {
                     lookup: |u| clock.get(u),
                     width: sync.thread_count(),
                 };
-                access.access_with(id, event, &view, counters).report
+                access
+                    .access_sampled_with(id, event, &view, counters)
+                    .report
             }
             EventKind::Acquire(lock) => {
+                self.sync.ensure_thread(tid);
                 self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
+                self.sync.ensure_thread(tid);
                 self.sync.release(tid, lock, false, &mut self.counters);
                 None
             }
@@ -300,6 +320,15 @@ impl<S: Sampler> Detector for DjitDetector<S> {
 
     fn name(&self) -> &'static str {
         "Djit+"
+    }
+
+    fn hoisted_decider(&self) -> Option<HoistedDecider> {
+        let sampler = self.access.sampler().clone();
+        Some(Box::new(move |id, event| sampler.decide(id, event)))
+    }
+
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.counters.fold_skipped_accesses(reads, writes);
     }
 }
 

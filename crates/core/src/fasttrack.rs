@@ -185,7 +185,14 @@ impl<S: Sampler> EpochAccessEngine<S> {
         })
     }
 
-    pub(crate) fn access_with<W: ClockView>(
+    /// The configured sampler (cloned out for hoisted deciders).
+    pub(crate) fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    /// Analyzes one access event **already admitted into `S`** by the
+    /// hoisted sampling decision.
+    pub(crate) fn access_sampled_with<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
@@ -193,21 +200,14 @@ impl<S: Sampler> EpochAccessEngine<S> {
         counters: &mut Counters,
     ) -> AccessOutcome {
         let tid = event.tid;
+        counters.sampled_accesses += 1;
         match event.kind {
             EventKind::Read(var) => {
                 counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return AccessOutcome::skipped();
-                }
-                counters.sampled_accesses += 1;
                 AccessOutcome::sampled(self.handle_read(id, tid, var, view, counters))
             }
             EventKind::Write(var) => {
                 counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return AccessOutcome::skipped();
-                }
-                counters.sampled_accesses += 1;
                 AccessOutcome::sampled(self.handle_write(id, tid, var, view, counters))
             }
             EventKind::Acquire(_) | EventKind::Release(_) => {
@@ -255,14 +255,18 @@ impl<S> CheckpointState for EpochAccessEngine<S> {
 }
 
 impl<S: Sampler + Send> AccessEngine for EpochAccessEngine<S> {
-    fn access<W: ClockView>(
+    fn decide(&self, id: EventId, event: Event) -> bool {
+        self.sampler.decide(id, event)
+    }
+
+    fn access_sampled<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
         view: &W,
         counters: &mut Counters,
     ) -> AccessOutcome {
-        self.access_with(id, event, view, counters)
+        self.access_sampled_with(id, event, view, counters)
     }
 }
 
@@ -279,11 +283,24 @@ impl<S: Sampler> FastTrackDetector<S> {
 
 impl<S: Sampler> Detector for FastTrackDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        // Hoisted-first: a skipped access is a tally and nothing else
+        // (invariant 10).
+        if let EventKind::Read(_) | EventKind::Write(_) = event.kind {
+            if !self.access.decide(id, event) {
+                self.counters.events += 1;
+                crate::plane::tally_access(&event, &mut self.counters);
+                return None;
+            }
+        }
+        self.process_admitted(id, event)
+    }
+
+    fn process_admitted(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.sync.ensure_thread(tid);
         match event.kind {
             EventKind::Read(_) | EventKind::Write(_) => {
+                self.sync.ensure_thread(tid);
                 let Self {
                     sync,
                     access,
@@ -294,13 +311,17 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
                     lookup: |u| clock.get(u),
                     width: sync.thread_count(),
                 };
-                access.access_with(id, event, &view, counters).report
+                access
+                    .access_sampled_with(id, event, &view, counters)
+                    .report
             }
             EventKind::Acquire(lock) => {
+                self.sync.ensure_thread(tid);
                 self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
+                self.sync.ensure_thread(tid);
                 self.sync.release(tid, lock, false, &mut self.counters);
                 None
             }
@@ -317,6 +338,15 @@ impl<S: Sampler> Detector for FastTrackDetector<S> {
 
     fn name(&self) -> &'static str {
         "FastTrack"
+    }
+
+    fn hoisted_decider(&self) -> Option<crate::HoistedDecider> {
+        let sampler = self.access.sampler().clone();
+        Some(Box::new(move |id, event| sampler.decide(id, event)))
+    }
+
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.counters.fold_skipped_accesses(reads, writes);
     }
 }
 

@@ -383,11 +383,24 @@ impl<S: Sampler> FreshnessDetector<S> {
 
 impl<S: Sampler> Detector for FreshnessDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        // Hoisted-first: a skipped access is a tally and nothing else
+        // (invariant 10).
+        if let EventKind::Read(_) | EventKind::Write(_) = event.kind {
+            if !crate::plane::AccessEngine::decide(&self.access, id, event) {
+                self.counters.events += 1;
+                crate::plane::tally_access(&event, &mut self.counters);
+                return None;
+            }
+        }
+        self.process_admitted(id, event)
+    }
+
+    fn process_admitted(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.ensure_thread(tid);
         match event.kind {
             EventKind::Read(_) | EventKind::Write(_) => {
+                self.ensure_thread(tid);
                 let Self {
                     sync,
                     access,
@@ -399,17 +412,19 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
                     lookup: |u| if u == tid { epoch } else { clock.get(u) },
                     width: sync.thread_count(),
                 };
-                let outcome = access.access_with(id, event, &view, counters);
+                let outcome = access.access_sampled_with(id, event, &view, counters);
                 if outcome.sampled {
                     sampled[tid.index()] = true;
                 }
                 outcome.report
             }
             EventKind::Acquire(lock) => {
+                self.ensure_thread(tid);
                 self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
+                self.ensure_thread(tid);
                 let sampled = self.take_sampled(tid);
                 self.sync.release(tid, lock, sampled, &mut self.counters);
                 None
@@ -431,6 +446,15 @@ impl<S: Sampler> Detector for FreshnessDetector<S> {
 
     fn name(&self) -> &'static str {
         "SU"
+    }
+
+    fn hoisted_decider(&self) -> Option<crate::HoistedDecider> {
+        let sampler = self.access.sampler().clone();
+        Some(Box::new(move |id, event| sampler.decide(id, event)))
+    }
+
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.counters.fold_skipped_accesses(reads, writes);
     }
 }
 
@@ -563,9 +587,10 @@ mod tests {
         b.acquire(1, l4); // e18: join
         let trace = b.build();
 
+        #[derive(Clone)]
         struct MarkSampler;
         impl Sampler for MarkSampler {
-            fn sample(&mut self, id: EventId, _event: Event) -> bool {
+            fn decide(&self, id: EventId, _event: Event) -> bool {
                 matches!(id.index(), 4 | 14 | 15)
             }
             fn nominal_rate(&self) -> f64 {

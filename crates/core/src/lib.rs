@@ -77,7 +77,7 @@ mod sync_ops;
 pub use access_history::AccessHistories;
 pub use checkpoint::{apply_delta, encode_delta, CheckpointError, CheckpointState};
 pub use counters::Counters;
-pub use detector::Detector;
+pub use detector::{Detector, HoistedDecider};
 pub use djit::{DjitDetector, VectorSyncEngine};
 pub use fasttrack::{EpochAccessEngine, FastTrackDetector};
 pub use freshness::{FreshnessDetector, FreshnessSyncEngine};

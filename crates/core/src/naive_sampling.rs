@@ -96,15 +96,28 @@ impl<S: Sampler> NaiveSamplingDetector<S> {
 
 impl<S: Sampler> Detector for NaiveSamplingDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        // Hoisted-first: a skipped access is a tally and nothing else
+        // (invariant 10).
+        if let EventKind::Read(_) | EventKind::Write(_) = event.kind {
+            if !self.sampler.decide(id, event) {
+                self.counters.events += 1;
+                match event.kind {
+                    EventKind::Read(_) => self.counters.reads += 1,
+                    _ => self.counters.writes += 1,
+                }
+                return None;
+            }
+        }
+        self.process_admitted(id, event)
+    }
+
+    fn process_admitted(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.ensure_thread(tid);
         match event.kind {
             EventKind::Read(var) => {
                 self.counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
+                self.ensure_thread(tid);
                 self.counters.sampled_accesses += 1;
                 self.counters.race_checks += 1;
                 let state = &mut self.threads[tid.index()];
@@ -119,9 +132,7 @@ impl<S: Sampler> Detector for NaiveSamplingDetector<S> {
             }
             EventKind::Write(var) => {
                 self.counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return None;
-                }
+                self.ensure_thread(tid);
                 self.counters.sampled_accesses += 1;
                 self.counters.race_checks += 1;
                 let threads = self.threads.len();
@@ -136,6 +147,7 @@ impl<S: Sampler> Detector for NaiveSamplingDetector<S> {
                 })
             }
             EventKind::Acquire(lock) => {
+                self.ensure_thread(tid);
                 self.counters.acquires += 1;
                 self.counters.acquires_processed += 1;
                 self.ensure_lock(lock);
@@ -147,6 +159,7 @@ impl<S: Sampler> Detector for NaiveSamplingDetector<S> {
                 None
             }
             EventKind::Release(lock) => {
+                self.ensure_thread(tid);
                 self.counters.releases += 1;
                 self.counters.releases_processed += 1;
                 self.ensure_lock(lock);
@@ -184,6 +197,15 @@ impl<S: Sampler> Detector for NaiveSamplingDetector<S> {
 
     fn name(&self) -> &'static str {
         "ST(sam)"
+    }
+
+    fn hoisted_decider(&self) -> Option<crate::HoistedDecider> {
+        let sampler = self.sampler.clone();
+        Some(Box::new(move |id, event| sampler.decide(id, event)))
+    }
+
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.counters.fold_skipped_accesses(reads, writes);
     }
 }
 
@@ -262,9 +284,10 @@ mod tests {
         b.acquire(1, l4); // e18
         let trace = b.build();
 
+        #[derive(Clone)]
         struct MarkSampler;
         impl Sampler for MarkSampler {
-            fn sample(&mut self, id: EventId, _event: Event) -> bool {
+            fn decide(&self, id: EventId, _event: Event) -> bool {
                 matches!(id.index(), 4 | 14 | 15)
             }
             fn nominal_rate(&self) -> f64 {

@@ -1,9 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use freshtrack_clock::ThreadId;
 use freshtrack_trace::{Event, EventId, EventKind, LockId, VarId};
 
-use crate::{Counters, Detector, RaceReport};
+use crate::counters::SkipCells;
+use crate::{Counters, Detector, HoistedDecider, RaceReport};
 
 /// A thread-safe façade that lets concurrently running application
 /// threads feed events to a streaming [`Detector`] — the role
@@ -20,6 +22,23 @@ use crate::{Counters, Detector, RaceReport};
 /// [`acquire`](OnlineDetector::acquire), …) from any thread, then call
 /// [`finish`](OnlineDetector::finish) to retrieve the detector and
 /// reports.
+///
+/// # The lock-free skip path
+///
+/// When the wrapped detector exposes a
+/// [`hoisted_decider`](Detector::hoisted_decider), access events draw
+/// their ticket from a plain atomic `fetch_add` *outside* the mutex,
+/// the (pure) sampling decision is computed immediately, and
+/// sampled-out accesses return after a striped atomic counter bump —
+/// they never contend on the analysis mutex at all. This is sound
+/// because a skipped access mutates no detector state: processing it in
+/// any order relative to other events yields the same verdicts and, via
+/// [`Detector::record_skipped_accesses`] at
+/// [`finish`](OnlineDetector::finish), the same [`Counters`]. Events
+/// that *are* analyzed still serialize through the mutex; causally
+/// ordered events keep both ticket order and processing order, since a
+/// later instrumentation call draws its ticket after the earlier call
+/// returned (ARCHITECTURE.md invariant 10).
 ///
 /// # Example
 ///
@@ -41,27 +60,44 @@ use crate::{Counters, Detector, RaceReport};
 /// let (_, races) = Arc::try_unwrap(online).ok().unwrap().finish();
 /// assert_eq!(races.len(), 1); // the two writes race
 /// ```
-#[derive(Debug)]
 pub struct OnlineDetector<D> {
     inner: Mutex<Inner<D>>,
+    /// Ticket counter, drawn outside any lock (invariant 10).
+    next_id: AtomicU64,
+    /// The hoisted sampling decision, extracted once at construction.
+    decider: Option<HoistedDecider>,
+    /// Tallies for accesses the skip path rejected without locking.
+    skip: SkipCells,
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for OnlineDetector<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineDetector")
+            .field("inner", &self.inner)
+            .field("next_id", &self.next_id)
+            .field("hoisted", &self.decider.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug)]
 struct Inner<D> {
     detector: D,
-    next_id: u64,
     reports: Vec<RaceReport>,
 }
 
 impl<D: Detector> OnlineDetector<D> {
     /// Wraps a streaming detector for concurrent use.
     pub fn new(detector: D) -> Self {
+        let decider = detector.hoisted_decider();
         OnlineDetector {
             inner: Mutex::new(Inner {
                 detector,
-                next_id: 0,
                 reports: Vec::new(),
             }),
+            next_id: AtomicU64::new(0),
+            decider,
+            skip: SkipCells::new(),
         }
     }
 
@@ -78,12 +114,43 @@ impl<D: Detector> OnlineDetector<D> {
     }
 
     /// Feeds one event; returns `true` if it was reported as racing.
+    ///
+    /// Sampled-out accesses take the lock-free skip path when the
+    /// detector exposes a hoisted decider: ticket, decision, one
+    /// striped counter bump — no mutex.
     pub fn on_event(&self, tid: u32, kind: EventKind) -> bool {
-        let mut inner = self.inner.lock().expect("detector mutex poisoned");
-        let id = EventId::new(inner.next_id);
-        inner.next_id += 1;
+        let id = EventId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
         let event = Event::new(ThreadId::new(tid), kind);
-        if let Some(report) = inner.detector.process(id, event) {
+        // With a decider, accesses are decided here — once, outside the
+        // lock — and admitted ones go through `process_admitted` so the
+        // detector never re-derives the verdict under the mutex.
+        let mut admitted = false;
+        if let Some(decider) = &self.decider {
+            match kind {
+                EventKind::Read(_) => {
+                    if !decider(id, event) {
+                        self.skip.bump_read(tid);
+                        return false;
+                    }
+                    admitted = true;
+                }
+                EventKind::Write(_) => {
+                    if !decider(id, event) {
+                        self.skip.bump_write(tid);
+                        return false;
+                    }
+                    admitted = true;
+                }
+                _ => {}
+            }
+        }
+        let mut inner = self.inner.lock().expect("detector mutex poisoned");
+        let report = if admitted {
+            inner.detector.process_admitted(id, event)
+        } else {
+            inner.detector.process(id, event)
+        };
+        if let Some(report) = report {
             inner.reports.push(report);
             true
         } else {
@@ -143,9 +210,9 @@ impl<D: Detector> OnlineDetector<D> {
         Ok(fed)
     }
 
-    /// Number of events processed so far.
+    /// Number of events ticketed so far (skip-path accesses included).
     pub fn events_processed(&self) -> u64 {
-        self.inner.lock().expect("detector mutex poisoned").next_id
+        self.next_id.load(Ordering::Relaxed)
     }
 
     /// Races reported so far.
@@ -159,18 +226,26 @@ impl<D: Detector> OnlineDetector<D> {
 
     /// Consumes the façade, returning the detector and all reports.
     ///
-    /// Reports are **strictly sorted by racing [`EventId`]**: ticket
-    /// assignment and analysis happen atomically under the mutex, so
-    /// reports accumulate in ticket order. This is the same
+    /// Reports are **strictly sorted by racing [`EventId`]**. Tickets
+    /// are drawn outside the mutex, so two *concurrent* analyzed events
+    /// can reach the mutex out of ticket order (causally ordered ones
+    /// cannot — see invariant 10); the final sort restores the
     /// deterministic order
     /// [`ShardedOnlineDetector::finish`](crate::ShardedOnlineDetector::finish)
     /// produces by merging, which keeps the two ingestion paths
-    /// directly comparable.
+    /// directly comparable. Accesses the skip path rejected are folded
+    /// into the detector's [`Counters`] here, bit-exactly with inline
+    /// processing.
     pub fn finish(self) -> (D, Vec<RaceReport>) {
-        let inner = self.inner.into_inner().expect("detector mutex poisoned");
+        let mut inner = self.inner.into_inner().expect("detector mutex poisoned");
+        let (reads, writes) = self.skip.totals();
+        if reads != 0 || writes != 0 {
+            inner.detector.record_skipped_accesses(reads, writes);
+        }
+        inner.reports.sort_unstable_by_key(|r| r.event);
         debug_assert!(
             inner.reports.windows(2).all(|w| w[0].event < w[1].event),
-            "reports must stay sorted by EventId"
+            "reports must stay strictly sorted by EventId"
         );
         (inner.detector, inner.reports)
     }
@@ -212,6 +287,17 @@ impl Detector for EmptyDetector {
     fn name(&self) -> &'static str {
         "ET"
     }
+
+    fn hoisted_decider(&self) -> Option<HoistedDecider> {
+        // ET analyzes nothing, so every access is sampled-out: the
+        // instrumentation-only baseline rides the same lock-free skip
+        // path real samplers do.
+        Some(Box::new(|_, _| false))
+    }
+
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.counters.fold_skipped_accesses(reads, writes);
+    }
 }
 
 /// The (stateless) sync-plane half of [`EmptyDetector`]: counts
@@ -249,21 +335,18 @@ impl crate::plane::SyncEngine for EmptySyncEngine {
 pub struct EmptyAccessEngine;
 
 impl crate::plane::AccessEngine for EmptyAccessEngine {
-    fn access<W: crate::plane::ClockView>(
+    fn decide(&self, _id: EventId, _event: Event) -> bool {
+        false
+    }
+
+    fn access_sampled<W: crate::plane::ClockView>(
         &mut self,
         _id: EventId,
-        event: Event,
+        _event: Event,
         _view: &W,
-        counters: &mut Counters,
+        _counters: &mut Counters,
     ) -> crate::plane::AccessOutcome {
-        match event.kind {
-            EventKind::Read(_) => counters.reads += 1,
-            EventKind::Write(_) => counters.writes += 1,
-            EventKind::Acquire(_) | EventKind::Release(_) => {
-                unreachable!("sync events belong to the sync plane")
-            }
-        }
-        crate::plane::AccessOutcome::skipped()
+        unreachable!("EmptyAccessEngine never admits an access")
     }
 }
 

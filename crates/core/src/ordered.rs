@@ -507,11 +507,24 @@ impl<S: Sampler> crate::SyncOps for OrderedListDetector<S> {
 
 impl<S: Sampler> Detector for OrderedListDetector<S> {
     fn process(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
+        // Hoisted-first: a skipped access is a tally and nothing else
+        // (invariant 10).
+        if let EventKind::Read(_) | EventKind::Write(_) = event.kind {
+            if !crate::plane::AccessEngine::decide(&self.access, id, event) {
+                self.counters.events += 1;
+                crate::plane::tally_access(&event, &mut self.counters);
+                return None;
+            }
+        }
+        self.process_admitted(id, event)
+    }
+
+    fn process_admitted(&mut self, id: EventId, event: Event) -> Option<RaceReport> {
         self.counters.events += 1;
         let tid = event.tid;
-        self.ensure_thread(tid);
         match event.kind {
             EventKind::Read(_) | EventKind::Write(_) => {
+                self.ensure_thread(tid);
                 let Self {
                     sync,
                     access,
@@ -523,17 +536,19 @@ impl<S: Sampler> Detector for OrderedListDetector<S> {
                     lookup: |u| if u == tid { epoch } else { list.get(u) },
                     width: sync.thread_count(),
                 };
-                let outcome = access.access_with(id, event, &view, counters);
+                let outcome = access.access_sampled_with(id, event, &view, counters);
                 if outcome.sampled {
                     sampled[tid.index()] = true;
                 }
                 outcome.report
             }
             EventKind::Acquire(lock) => {
+                self.ensure_thread(tid);
                 self.sync.acquire(tid, lock, &mut self.counters);
                 None
             }
             EventKind::Release(lock) => {
+                self.ensure_thread(tid);
                 let sampled = self.take_sampled(tid);
                 self.sync.release(tid, lock, sampled, &mut self.counters);
                 None
@@ -555,6 +570,15 @@ impl<S: Sampler> Detector for OrderedListDetector<S> {
 
     fn name(&self) -> &'static str {
         "SO"
+    }
+
+    fn hoisted_decider(&self) -> Option<crate::HoistedDecider> {
+        let sampler = self.access.sampler().clone();
+        Some(Box::new(move |id, event| sampler.decide(id, event)))
+    }
+
+    fn record_skipped_accesses(&mut self, reads: u64, writes: u64) {
+        self.counters.fold_skipped_accesses(reads, writes);
     }
 }
 

@@ -233,18 +233,30 @@ where
                 checker.check(id, event)?;
                 counters.events += 1;
                 let tid = event.tid;
-                sync.ensure_thread(tid);
-                if pending.len() <= tid.index() {
-                    pending.resize(tid.index() + 1, false);
-                }
+                // Deferred admission, mirroring the monolithic engines:
+                // only sync events and *sampled* accesses widen the
+                // sync plane (invariant 10) — a skipped access must
+                // leave the thread table, and with it the traversal
+                // counters of later sync events, untouched.
                 match event.kind {
-                    EventKind::Acquire(lock) => sync.acquire(tid, lock, &mut counters),
+                    EventKind::Acquire(lock) => {
+                        sync.ensure_thread(tid);
+                        sync.acquire(tid, lock, &mut counters);
+                    }
                     EventKind::Release(lock) => {
+                        sync.ensure_thread(tid);
+                        if pending.len() <= tid.index() {
+                            pending.resize(tid.index() + 1, false);
+                        }
                         let sampled = std::mem::take(&mut pending[tid.index()]);
                         sync.release(tid, lock, sampled, &mut counters);
                     }
                     EventKind::Read(_) | EventKind::Write(_) => {
                         if coordinator_sampler.sample(id, event) {
+                            sync.ensure_thread(tid);
+                            if pending.len() <= tid.index() {
+                                pending.resize(tid.index() + 1, false);
+                            }
                             pending[tid.index()] = true;
                         }
                     }
@@ -372,31 +384,50 @@ where
         for (i, &event) in item.data.events.iter().enumerate() {
             let id = EventId::new(item.first_event_id + i as u64);
             let tid = event.tid;
-            replica.ensure_thread(tid);
-            if pending.len() <= tid.index() {
-                pending.resize(tid.index() + 1, false);
-            }
+            // Same deferred admission as the coordinator: the replica
+            // must track the authoritative engine's width exactly, or
+            // published view widths would drift from the monolith's.
             match event.kind {
-                EventKind::Acquire(lock) => replica.acquire(tid, lock, &mut scratch),
+                EventKind::Acquire(lock) => {
+                    replica.ensure_thread(tid);
+                    replica.acquire(tid, lock, &mut scratch);
+                }
                 EventKind::Release(lock) => {
+                    replica.ensure_thread(tid);
+                    if pending.len() <= tid.index() {
+                        pending.resize(tid.index() + 1, false);
+                    }
                     let sampled = std::mem::take(&mut pending[tid.index()]);
                     replica.release(tid, lock, sampled, &mut scratch);
                 }
                 EventKind::Read(var) | EventKind::Write(var) => {
+                    if !worker.sampler.sample(id, event) {
+                        // Sampled-out: for an owned access, tally the
+                        // observation the way the monolith's skip path
+                        // does; unowned skipped accesses belong to
+                        // another worker entirely.
+                        if owned(var) {
+                            crate::plane::tally_access(&event, &mut worker.access_counters);
+                        }
+                        continue;
+                    }
+                    replica.ensure_thread(tid);
+                    if pending.len() <= tid.index() {
+                        pending.resize(tid.index() + 1, false);
+                    }
+                    pending[tid.index()] = true;
                     if owned(var) {
                         let view = replica.publish(tid);
-                        let outcome =
-                            worker
-                                .access
-                                .access(id, event, &view, &mut worker.access_counters);
-                        if outcome.sampled {
-                            pending[tid.index()] = true;
-                        }
+                        let outcome = worker.access.access_sampled(
+                            id,
+                            event,
+                            &view,
+                            &mut worker.access_counters,
+                        );
+                        debug_assert!(outcome.sampled, "hoisted decision admitted this access");
                         if let Some(report) = outcome.report {
                             worker.reports.push(report);
                         }
-                    } else if worker.sampler.sample(id, event) {
-                        pending[tid.index()] = true;
                     }
                 }
             }

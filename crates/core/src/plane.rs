@@ -207,11 +207,20 @@ pub trait ViewSource {
 /// (owned snapshot, epoch-spliced snapshot, or a borrowed slice decoded
 /// from a seqlock publication).
 pub trait AccessEngine: Send {
+    /// The hoisted sampling decision: whether the access `event` at
+    /// position `id` belongs to the sample set. Pure in `(id, event)`
+    /// and callable without any lock — this is the method the lock-free
+    /// skip path consults before touching any shared state (invariant
+    /// 10 in `ARCHITECTURE.md`). Must agree with the decision
+    /// [`access`](AccessEngine::access) would make for the same inputs.
+    fn decide(&self, id: EventId, event: Event) -> bool;
+
     /// Analyzes one access event (`event.kind` is `Read` or `Write`)
-    /// against this shard's histories, using the accessing thread's
-    /// published clock view. Counts events/reads/writes/samples/races
-    /// into `counters`.
-    fn access<W: ClockView>(
+    /// **already admitted into the sample set** by
+    /// [`decide`](AccessEngine::decide), against this shard's
+    /// histories, using the accessing thread's published clock view.
+    /// Counts reads/writes/samples/races into `counters`.
+    fn access_sampled<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
@@ -219,10 +228,30 @@ pub trait AccessEngine: Send {
         counters: &mut Counters,
     ) -> AccessOutcome;
 
+    /// Analyzes one access event inline: decides membership, tallies
+    /// the skip, or runs the full sampled analysis. Equivalent to the
+    /// hoisted split (`decide` + skip tally / `access_sampled`), which
+    /// the online façades use instead so skipped accesses never reach
+    /// the engine at all.
+    fn access<W: ClockView>(
+        &mut self,
+        id: EventId,
+        event: Event,
+        view: &W,
+        counters: &mut Counters,
+    ) -> AccessOutcome {
+        if !self.decide(id, event) {
+            tally_access(&event, counters);
+            return AccessOutcome::skipped();
+        }
+        self.access_sampled(id, event, view, counters)
+    }
+
     /// Analyzes a batch of buffered access events in order under a
     /// single shard-lock acquisition, resolving each event's view
     /// through `views` at flush time and reporting each outcome through
-    /// `sink`.
+    /// `sink`. Batches contain only **sampled** events: the hoisted
+    /// decision rejects skipped accesses before they are ever buffered.
     ///
     /// Resolving views at flush time is correct because a thread's view
     /// changes only at its own sync events, and the sharded façade
@@ -237,8 +266,21 @@ pub trait AccessEngine: Send {
     ) {
         for &(id, event) in events {
             let view = views.view(event.tid);
-            let outcome = self.access(id, event, &view, counters);
+            let outcome = self.access_sampled(id, event, &view, counters);
             sink(event, outcome);
+        }
+    }
+}
+
+/// Tallies one access event's read/write counter — the only counter
+/// work a sampled-out access performs.
+#[inline]
+pub(crate) fn tally_access(event: &Event, counters: &mut Counters) {
+    match event.kind {
+        EventKind::Read(_) => counters.reads += 1,
+        EventKind::Write(_) => counters.writes += 1,
+        EventKind::Acquire(_) | EventKind::Release(_) => {
+            unreachable!("sync events belong to the sync plane")
         }
     }
 }
@@ -441,10 +483,22 @@ impl<S: Sampler> HistoryAccessEngine<S> {
         }
     }
 
-    /// Analyzes one access event against any clock view (the monolithic
-    /// detectors call this with a borrowed view of their own sync half;
-    /// the trait impl routes the published view type through it).
-    pub(crate) fn access_with<W: ClockView>(
+    /// The configured sampler (cloned out for hoisted deciders).
+    pub(crate) fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    /// Analyzes one access event **already admitted into `S`** against
+    /// any clock view (the monolithic detectors call this with a
+    /// borrowed view of their own sync half after their own hoisted
+    /// decision; the trait impl routes the published view type through
+    /// it).
+    ///
+    /// The width bookkeeping lives here — on the sampled path only — so
+    /// a skipped access mutates nothing at all: non-zero history
+    /// entries are only ever recorded by sampled accesses, whose ids
+    /// and views this running maximum does observe.
+    pub(crate) fn access_sampled_with<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
@@ -453,14 +507,11 @@ impl<S: Sampler> HistoryAccessEngine<S> {
     ) -> AccessOutcome {
         let tid = event.tid;
         self.width = self.width.max(tid.index() + 1).max(view.width());
+        counters.sampled_accesses += 1;
+        counters.race_checks += 1;
         match event.kind {
             EventKind::Read(var) => {
                 counters.reads += 1;
-                if !self.sampler.sample(id, event) {
-                    return AccessOutcome::skipped();
-                }
-                counters.sampled_accesses += 1;
-                counters.race_checks += 1;
                 let races = self.history.read_races(var, |u| view.time_of(u));
                 self.history.record_read(var, tid, view.time_of(tid));
                 AccessOutcome::sampled(races.then(|| {
@@ -470,11 +521,6 @@ impl<S: Sampler> HistoryAccessEngine<S> {
             }
             EventKind::Write(var) => {
                 counters.writes += 1;
-                if !self.sampler.sample(id, event) {
-                    return AccessOutcome::skipped();
-                }
-                counters.sampled_accesses += 1;
-                counters.race_checks += 1;
                 let (with_write, with_read) = self.history.write_races(var, |u| view.time_of(u));
                 self.history
                     .record_write(var, self.width, |u| view.time_of(u));
@@ -491,14 +537,18 @@ impl<S: Sampler> HistoryAccessEngine<S> {
 }
 
 impl<S: Sampler + Send> AccessEngine for HistoryAccessEngine<S> {
-    fn access<W: ClockView>(
+    fn decide(&self, id: EventId, event: Event) -> bool {
+        self.sampler.decide(id, event)
+    }
+
+    fn access_sampled<W: ClockView>(
         &mut self,
         id: EventId,
         event: Event,
         view: &W,
         counters: &mut Counters,
     ) -> AccessOutcome {
-        self.access_with(id, event, view, counters)
+        self.access_sampled_with(id, event, view, counters)
     }
 }
 

@@ -5,8 +5,9 @@ use std::sync::{Mutex, MutexGuard, OnceLock, RwLock};
 use freshtrack_clock::{PublishedClock, ThreadId, Time};
 use freshtrack_trace::{Event, EventId, EventKind, LockId, VarId};
 
+use crate::counters::SkipCells;
 use crate::plane::{AccessEngine, ClockView, PublishedView, SplitDetector, SyncEngine, ViewSource};
-use crate::{Counters, RaceReport};
+use crate::{Counters, HoistedDecider, RaceReport};
 
 /// How a [`ShardedOnlineDetector`] maintains the happens-before (sync)
 /// skeleton across its access shards.
@@ -50,11 +51,13 @@ pub enum SyncMode {
 ///
 /// # Routing rule
 ///
-/// * **Access events** (`Read`/`Write` of variable `v`) go to exactly
-///   one shard, `hash(v) mod N`, under that shard's lock only. With a
-///   batch capacity `B > 1` they are first buffered in a per-shard
-///   batch; one shard-lock acquisition then amortizes over up to `B`
-///   events at flush time.
+/// * **Access events** (`Read`/`Write` of variable `v`) draw their
+///   ticket and their sampling verdict *before any lock* (see the skip
+///   path below). A sampled-out access returns immediately; a sampled
+///   access goes to exactly one shard, `hash(v) mod N`, under that
+///   shard's lock only. With a batch capacity `B > 1` sampled accesses
+///   are first buffered in a per-shard batch; one shard-lock
+///   acquisition then amortizes over up to `B` events at flush time.
 /// * **Sync events** (`Acquire`/`Release`) first flush every pending
 ///   batch (a thread's buffered accesses must be analyzed against the
 ///   view preceding its sync event), then go to the sync plane: under
@@ -64,29 +67,72 @@ pub enum SyncMode {
 ///   [`SyncMode::Replicated`] they acquire every shard lock in
 ///   ascending order and update all `N` detector clones.
 ///
-/// # Why verdicts are preserved (two-plane)
+/// # The lock-free skip path
 ///
-/// Event ids come from one atomic ticket, drawn while holding the lock
-/// the event runs under (its shard lock or batch lock, or the sync
-/// lock). Restricted to one shard, ticket order equals processing order
-/// (the ticket is drawn inside the critical section, and a batch is a
-/// FIFO drained under the same lock it was filled under), so each
-/// shard's history is updated in ticket order; and a thread's events
-/// are issued in program order, so its accesses draw tickets after its
-/// past sync events and before its future ones. An access's verdict
-/// depends only on (a) the issuing thread's clock — which changes
-/// *only* at that thread's own sync events, all ticket-ordered around
-/// the access exactly as in a monolithic replay — and (b) its
-/// variable's history inside one shard. The view published at the
-/// thread's latest sync event is therefore precisely the clock a
-/// monolithic detector would consult at the access's ticket position,
-/// and the id-ordered merge of per-shard reports reproduces the
-/// monolithic report list. Samplers are deterministic in
-/// `(seed, EventId)` (invariant 4 in `ARCHITECTURE.md`), so the sample
-/// set is identical too. The one access→sync feedback, the `RelAfter_S`
-/// bit, travels through a per-thread atomic flag: set at the thread's
-/// sampled accesses, consumed at the same thread's next release —
-/// sequenced by that thread's own program order.
+/// When the wrapped detector exposes a
+/// [`hoisted_decider`](crate::Detector::hoisted_decider) — a pure
+/// function of `(EventId, Event)`, which every engine in this crate
+/// does (invariant 4 in `ARCHITECTURE.md`) — an access event touches
+/// **no lock at all** until it is known to be sampled:
+///
+/// 1. draw a ticket from the atomic event counter (`fetch_add`),
+/// 2. evaluate the decider on `(ticket, event)`,
+/// 3. if sampled out: bump a cache-line-striped thread-local skip cell
+///    and return — no shard routing, no shard or batch lock, no batch
+///    enqueue, no clock-view snapshot.
+///
+/// Only sampled accesses proceed to slot admission, the `RelAfter_S`
+/// flag, and the shard (or batch) lock. At a sampling rate `r` the
+/// expected locked work per access is `O(r)`; the skip path itself is
+/// two relaxed atomic RMWs. The skipped tallies are folded into the
+/// merged [`Counters`] bit-exactly at
+/// [`finish_merged`](ShardedOnlineDetector::finish_merged). Detectors
+/// that do not expose a decider fall back to the pre-hoist behavior:
+/// every access takes its shard lock and the engine decides inline.
+///
+/// # Why verdicts are preserved (invariant 10)
+///
+/// Event ids come from one atomic ticket, drawn at the top of
+/// [`on_event`](ShardedOnlineDetector::on_event) *outside every lock*.
+/// Three observations make this sound:
+///
+/// * **Sampled-out accesses mutate nothing.** Their processing is a
+///   counter bump; they commute with every other event, so their
+///   position in any processing order is irrelevant — only their
+///   ticket (which feeds the pure sampler) matters, and that is fixed
+///   at draw time.
+/// * **Causally ordered events keep ticket order.** An instrumentation
+///   call returns before the same thread issues its next event, and
+///   cross-thread ordering is only established through the
+///   application's own synchronization — which likewise orders the
+///   corresponding `on_event` calls in real time. `fetch_add` on a
+///   single atomic is coherent, so an event that *happens before*
+///   another always draws the smaller ticket. A thread's accesses
+///   therefore draw tickets after its past sync events and before its
+///   future ones, which is exactly what the view argument below needs.
+/// * **Concurrent analyzed events may invert ticket order** inside a
+///   shard (the ticket is no longer drawn under the shard lock). Such
+///   events are unordered by happens-before, so either analysis order
+///   is a valid linearization — the race verdict for a concurrent
+///   conflicting pair is reported whichever side is analyzed second.
+///   Per-shard report lists are consequently no longer guaranteed
+///   ticket-sorted; the merge sorts once at
+///   [`finish`](ShardedOnlineDetector::finish) and the published order
+///   is deterministic for any sequentially fed stream.
+///
+/// An access's verdict depends only on (a) the issuing thread's clock —
+/// which changes *only* at that thread's own sync events, all
+/// ticket-ordered around the access by the causal argument above — and
+/// (b) its variable's history inside one shard. The view published at
+/// the thread's latest sync event is therefore precisely the clock a
+/// monolithic detector would consult at the access's ticket position.
+/// Samplers are deterministic in `(seed, EventId)` (invariant 4), so
+/// the sample set is identical too — hoisting the decision changes
+/// *where* it is computed, never *what* it returns. The one access→sync
+/// feedback, the `RelAfter_S` bit, is maintained on the hoisted side:
+/// set by the issuing thread itself the moment its access is admitted,
+/// consumed at the same thread's next release — sequenced by that
+/// thread's own program order, with no lock in between.
 ///
 /// Batching preserves this argument because views are resolved at
 /// *flush* time and every sync event flushes all batches before it
@@ -106,8 +152,10 @@ pub enum SyncMode {
 ///
 /// # Cost model
 ///
-/// An access pays one `1/N`-contended shard lock (or `1/B` of one, with
-/// batching); access analysis for different shards runs in parallel. A
+/// A sampled-out access pays two relaxed atomic RMWs and nothing else
+/// (measured in `BENCH_access_cost.json`). A sampled access pays one
+/// `1/N`-contended shard lock (or `1/B` of one, with batching); access
+/// analysis for different shards runs in parallel. A
 /// sync event pays one sync-lock acquisition plus **one** copy of the
 /// engine's sync clock work and a publication — flat in `N` (measured
 /// in `BENCH_sync_cost.json`; the replicated mode's `N×` fan-out is
@@ -147,6 +195,17 @@ pub struct ShardedOnlineDetector<D: SplitDetector> {
     inner: Inner<D>,
     batch: BatchPlane,
     next_id: AtomicU64,
+    /// The hoisted sampling decision (see the skip-path docs); `None`
+    /// only for detectors that cannot expose one, which keeps the
+    /// pre-hoist locked inline path.
+    decider: Option<HoistedDecider>,
+    /// Striped skip tallies for the lock-free path, folded into the
+    /// merged counters at `finish_merged`.
+    skip: SkipCells,
+    /// Access-plane shard-lock acquisitions, for regression tests that
+    /// pin the skip path lock-free (debug builds only).
+    #[cfg(debug_assertions)]
+    shard_locks: AtomicU64,
 }
 
 // One `Inner` exists per detector and lives as long as it does, so the
@@ -553,6 +612,7 @@ impl<D: SplitDetector> std::fmt::Debug for ShardedOnlineDetector<D> {
             .field("sync_mode", &self.sync_mode())
             .field("shards", &self.shard_count())
             .field("events", &self.events_processed())
+            .field("hoisted", &self.decider.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -606,6 +666,7 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
     pub fn with_options(detector: D, shards: usize, mode: SyncMode, batch: usize) -> Self {
         assert!(shards > 0, "at least one shard is required");
         assert!(batch > 0, "at least a batch capacity of one is required");
+        let decider = detector.hoisted_decider();
         let inner = match mode {
             SyncMode::Replicated => Inner::Replicated(Replicated {
                 shards: (0..shards)
@@ -654,6 +715,10 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
                     .collect(),
             },
             next_id: AtomicU64::new(0),
+            decider,
+            skip: SkipCells::new(),
+            #[cfg(debug_assertions)]
+            shard_locks: AtomicU64::new(0),
         }
     }
 
@@ -748,14 +813,55 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
 
     /// Draws the event's globally unique, totally ordered ticket id.
     ///
-    /// Must only be called while holding the lock the event runs under
-    /// (its shard lock / its batch lock when buffering / the sync lock
-    /// / all shard locks in replicated mode) — that is what makes
-    /// per-shard processing order agree with ticket order (see the
-    /// type-level docs).
+    /// Called at the top of [`on_event`](ShardedOnlineDetector::on_event),
+    /// **outside every lock** — the skip path's sampling verdict is a
+    /// pure function of this ticket, so sampled-out accesses never
+    /// touch a lock at all. Soundness does not need a lock here:
+    /// causally ordered events draw tickets in causal order (each
+    /// `on_event` call returns before any call it happens-before
+    /// begins, and `fetch_add` on one atomic is coherent), while
+    /// concurrent events may be analyzed out of ticket order inside a
+    /// shard — harmless, because they are unordered by happens-before
+    /// (invariant 10 in `ARCHITECTURE.md`; see the type-level docs).
     #[inline]
     fn take_ticket(&self) -> EventId {
         EventId::new(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Counts one access-plane shard-lock acquisition (debug builds
+    /// only; see
+    /// [`debug_shard_lock_acquisitions`](ShardedOnlineDetector::debug_shard_lock_acquisitions)).
+    #[inline]
+    fn note_shard_lock(&self) {
+        #[cfg(debug_assertions)]
+        self.shard_locks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of shard-lock acquisitions performed so far (access
+    /// analysis, batch flushes, and replicated-mode sync fan-out).
+    ///
+    /// Exists so regression tests can pin the skip path lock-free — a
+    /// fully sampled-out stream must never take a shard lock. Debug
+    /// builds only.
+    #[cfg(debug_assertions)]
+    pub fn debug_shard_lock_acquisitions(&self) -> u64 {
+        self.shard_locks.load(Ordering::Relaxed)
+    }
+
+    /// Hoisted bookkeeping for an access already admitted into the
+    /// sample set: admit the thread's publication slot (first sight
+    /// only) and raise its `RelAfter_S` flag. Runs on the issuing
+    /// thread *before* any shard or batch lock, so the flag is
+    /// program-order sequenced before the thread's next release
+    /// consumes it.
+    fn note_sampled(&self, tid: ThreadId) {
+        match &self.inner {
+            // Replicated clones track `RelAfter_S` inside their own
+            // detector state when the access is processed.
+            Inner::Replicated(_) => {}
+            Inner::Shared(p) => self.slot(p, tid).sampled.store(true, Ordering::Relaxed),
+            Inner::Seqlock(p) => self.seq_slot(p, tid).sampled.store(true, Ordering::Relaxed),
+        }
     }
 
     /// Returns thread `tid`'s publication slot, admitting the thread to
@@ -809,49 +915,85 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
 
     /// Feeds one event; returns `true` if it was reported as racing.
     ///
-    /// Access events lock one shard (or, with batching, one batch lock
-    /// and only every `B`th event the shard lock too); sync events lock
-    /// the sync plane (two-plane modes) or all shards in ascending
-    /// order (replicated mode). A sync event never races, and a
-    /// *buffered* access reports only at flush time, so both return
-    /// `false`.
+    /// Every event first draws its ticket from the atomic counter, with
+    /// no lock held. An access is then decided by the hoisted sampler:
+    /// sampled-out accesses return after a striped counter bump (the
+    /// lock-free skip path); sampled ones lock one shard (or, with
+    /// batching, one batch lock and only every `B`th event the shard
+    /// lock too). Sync events lock the sync plane (two-plane modes) or
+    /// all shards in ascending order (replicated mode). A sync event
+    /// never races, and a *buffered* access reports only at flush time,
+    /// so both return `false`.
     pub fn on_event(&self, tid: u32, kind: EventKind) -> bool {
         let event = Event::new(ThreadId::new(tid), kind);
-        if self.batch.capacity > 1 {
-            match event.kind {
-                EventKind::Read(var) | EventKind::Write(var) => {
-                    return self.buffer_access(event, var);
+        match event.kind {
+            EventKind::Read(var) | EventKind::Write(var) => {
+                // Hoisted ticket + decision: no lock held (invariant 10).
+                let id = self.take_ticket();
+                if let Some(decider) = &self.decider {
+                    if !decider(id, event) {
+                        match event.kind {
+                            EventKind::Read(_) => self.skip.bump_read(tid),
+                            _ => self.skip.bump_write(tid),
+                        }
+                        return false;
+                    }
+                    if self.batch.capacity > 1 {
+                        // Admission + `RelAfter_S` at buffer time, still
+                        // on the issuing thread's side of any shard lock
+                        // (a flush may run on another thread). Unbatched
+                        // accesses raise the bit in their handler, on
+                        // the slot it already resolved — same thread, so
+                        // still sequenced before this thread's release.
+                        self.note_sampled(event.tid);
+                        return self.buffer_access(id, event, var);
+                    }
+                } else if self.batch.capacity > 1 {
+                    return self.buffer_access(id, event, var);
                 }
-                EventKind::Acquire(_) | EventKind::Release(_) => {
-                    // Flush-before-any-sync: buffered accesses must be
-                    // analyzed against the pre-sync views (see the
-                    // type-level batching argument).
-                    self.flush_pending();
+                match &self.inner {
+                    Inner::Replicated(r) => self.access_replicated(r, id, event, var),
+                    Inner::Shared(p) => self.access_two_plane(p, id, event, var),
+                    Inner::Seqlock(p) => self.access_seqlock(p, id, event, var),
                 }
             }
-        }
-        match &self.inner {
-            Inner::Replicated(r) => self.on_event_replicated(r, event),
-            Inner::Shared(p) => self.on_event_two_plane(p, event),
-            Inner::Seqlock(p) => self.on_event_seqlock(p, event),
+            EventKind::Acquire(_) | EventKind::Release(_) => {
+                // Flush-before-any-sync: buffered accesses must be
+                // analyzed against the pre-sync views (see the
+                // type-level batching argument).
+                if self.batch.capacity > 1 {
+                    self.flush_pending();
+                }
+                let id = self.take_ticket();
+                match &self.inner {
+                    Inner::Replicated(r) => self.replicate_sync(&r.shards, id, event),
+                    Inner::Shared(p) => self.sync_two_plane(p, event),
+                    Inner::Seqlock(p) => self.sync_seqlock(p, event),
+                }
+                false
+            }
         }
     }
 
     /// Buffers one ticketed access event in its shard's batch, flushing
-    /// inline when the batch reaches capacity.
-    fn buffer_access(&self, event: Event, var: VarId) -> bool {
-        // Admit the thread before buffering so flushes (possibly run by
-        // other threads' sync events) resolve slots on the fast path.
-        match &self.inner {
-            Inner::Replicated(_) => {}
-            Inner::Shared(p) => drop(self.slot(p, event.tid)),
-            Inner::Seqlock(p) => {
-                let _ = self.seq_slot(p, event.tid);
+    /// inline when the batch reaches capacity. With a hoisted decider
+    /// the caller has already admitted the event into the sample set —
+    /// batches then hold *only sampled* accesses.
+    fn buffer_access(&self, id: EventId, event: Event, var: VarId) -> bool {
+        // Without a decider the thread has not been admitted yet; do it
+        // before buffering so flushes (possibly run by other threads'
+        // sync events) resolve slots on the fast path.
+        if self.decider.is_none() {
+            match &self.inner {
+                Inner::Replicated(_) => {}
+                Inner::Shared(p) => drop(self.slot(p, event.tid)),
+                Inner::Seqlock(p) => {
+                    let _ = self.seq_slot(p, event.tid);
+                }
             }
         }
         let k = self.shard_of(var);
         let mut batch = lock(&self.batch.batches[k]);
-        let id = self.take_ticket();
         batch.events.push((id, event));
         self.batch.pending.fetch_add(1, Ordering::Relaxed);
         if batch.events.len() >= self.batch.capacity {
@@ -875,9 +1017,16 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
         }
     }
 
-    /// Analyzes shard `k`'s buffered events in ticket order under one
+    /// Analyzes shard `k`'s buffered events in buffer order under one
     /// shard-lock acquisition. Caller holds the batch lock (lock order:
     /// batch(k) → shard(k)).
+    ///
+    /// With a hoisted decider the batch holds only sampled accesses and
+    /// goes straight through [`AccessEngine::feed_batch`]; their
+    /// `RelAfter_S` flags were raised on the hoisted side at buffer
+    /// time, so the flush sink only collects reports. Without one, each
+    /// event is decided inline ([`AccessEngine::access`]) and the flag
+    /// is raised here, at flush — the pre-hoist behavior.
     fn flush_shard(&self, k: usize, batch: &mut AccessBatch) {
         if batch.events.is_empty() {
             return;
@@ -885,8 +1034,16 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
         match &self.inner {
             Inner::Replicated(r) => {
                 let mut shard = lock(&r.shards[k]);
+                self.note_shard_lock();
                 for &(id, event) in &batch.events {
-                    if let Some(report) = shard.detector.process(id, event) {
+                    // With a decider, buffered events are admitted
+                    // accesses — skip the clone's redundant re-decide.
+                    let report = if self.decider.is_some() {
+                        shard.detector.process_admitted(id, event)
+                    } else {
+                        shard.detector.process(id, event)
+                    };
+                    if let Some(report) = report {
                         shard.reports.push(report);
                     }
                 }
@@ -894,6 +1051,7 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
             Inner::Shared(p) => {
                 let slots = p.slots.read().expect("slot table lock poisoned");
                 let mut shard = lock(&p.shards[k]);
+                self.note_shard_lock();
                 let AccessShard {
                     engine,
                     counters,
@@ -902,19 +1060,30 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
                 } = &mut *shard;
                 counters.events += batch.events.len() as u64;
                 let mut views = SharedViews { slots: &slots };
-                engine.feed_batch(&batch.events, &mut views, counters, |event, outcome| {
-                    if outcome.sampled {
-                        slots[event.tid.index()]
-                            .sampled
-                            .store(true, Ordering::Relaxed);
+                if self.decider.is_some() {
+                    engine.feed_batch(&batch.events, &mut views, counters, |_, outcome| {
+                        if let Some(report) = outcome.report {
+                            reports.push(report);
+                        }
+                    });
+                } else {
+                    for &(id, event) in &batch.events {
+                        let view = views.view(event.tid);
+                        let outcome = engine.access(id, event, &view, counters);
+                        if outcome.sampled {
+                            slots[event.tid.index()]
+                                .sampled
+                                .store(true, Ordering::Relaxed);
+                        }
+                        if let Some(report) = outcome.report {
+                            reports.push(report);
+                        }
                     }
-                    if let Some(report) = outcome.report {
-                        reports.push(report);
-                    }
-                });
+                }
             }
             Inner::Seqlock(p) => {
                 let mut shard = lock(&p.shards[k]);
+                self.note_shard_lock();
                 let AccessShard {
                     engine,
                     counters,
@@ -926,18 +1095,28 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
                     slots: &p.slots,
                     scratch,
                 };
-                engine.feed_batch(&batch.events, &mut views, counters, |event, outcome| {
-                    if outcome.sampled {
-                        p.slots
-                            .get(event.tid.index())
-                            .expect("buffered accesses come from admitted threads")
-                            .sampled
-                            .store(true, Ordering::Relaxed);
+                if self.decider.is_some() {
+                    engine.feed_batch(&batch.events, &mut views, counters, |_, outcome| {
+                        if let Some(report) = outcome.report {
+                            reports.push(report);
+                        }
+                    });
+                } else {
+                    for &(id, event) in &batch.events {
+                        let view = views.view(event.tid);
+                        let outcome = engine.access(id, event, &view, counters);
+                        if outcome.sampled {
+                            p.slots
+                                .get(event.tid.index())
+                                .expect("buffered accesses come from admitted threads")
+                                .sampled
+                                .store(true, Ordering::Relaxed);
+                        }
+                        if let Some(report) = outcome.report {
+                            reports.push(report);
+                        }
                     }
-                    if let Some(report) = outcome.report {
-                        reports.push(report);
-                    }
-                });
+                }
             }
         }
         self.batch
@@ -946,171 +1125,191 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
         batch.events.clear();
     }
 
-    fn on_event_replicated(&self, r: &Replicated<D>, event: Event) -> bool {
-        match event.kind {
-            EventKind::Read(var) | EventKind::Write(var) => {
-                let mut shard = lock(&r.shards[self.shard_of(var)]);
-                let id = self.take_ticket();
-                if let Some(report) = shard.detector.process(id, event) {
-                    shard.reports.push(report);
-                    true
-                } else {
-                    false
-                }
-            }
-            EventKind::Acquire(_) | EventKind::Release(_) => {
-                // Ordered all-shards acquisition: ascending index, so
-                // concurrent sync events cannot deadlock against each
-                // other (accesses hold at most one shard lock and never
-                // wait for a second). The recursion keeps each guard in
-                // a stack frame — all locks are held at the recursion
-                // floor, where the ticket is drawn, with no per-event
-                // guard collection on the heap.
-                self.replicate_sync(&r.shards, event);
-                false
-            }
+    /// Analyzes one unbatched (and, with a decider, already sampled)
+    /// access in replicated mode. On the hoisted path the decision was
+    /// already computed outside the lock, so the clone takes
+    /// [`Detector::process_admitted`] and never re-derives it; the
+    /// decider-less fallback goes through `process`, which decides
+    /// inline.
+    fn access_replicated(&self, r: &Replicated<D>, id: EventId, event: Event, var: VarId) -> bool {
+        let mut shard = lock(&r.shards[self.shard_of(var)]);
+        self.note_shard_lock();
+        let report = if self.decider.is_some() {
+            shard.detector.process_admitted(id, event)
+        } else {
+            shard.detector.process(id, event)
+        };
+        if let Some(report) = report {
+            shard.reports.push(report);
+            true
+        } else {
+            false
         }
     }
 
     /// Locks `shards[0]`, recurses over the rest, and — on the way back
     /// up, with every lock still held — feeds the sync event to each
-    /// shard. The ticket is drawn at the recursion floor, i.e. after
-    /// the last lock is acquired.
-    fn replicate_sync(&self, shards: &[Mutex<ReplicatedShard<D>>], event: Event) -> EventId {
-        match shards.split_first() {
-            None => self.take_ticket(),
-            Some((first, rest)) => {
-                let mut guard = lock(first);
-                let id = self.replicate_sync(rest, event);
-                let report = guard.detector.process(id, event);
-                debug_assert!(report.is_none(), "sync events never race");
-                id
-            }
+    /// shard. Ordered all-shards acquisition: ascending index, so
+    /// concurrent sync events cannot deadlock against each other
+    /// (accesses hold at most one shard lock and never wait for a
+    /// second). The recursion keeps each guard in a stack frame with no
+    /// per-event guard collection on the heap; every clone observes the
+    /// sync event atomically (no access interleaves mid-replication).
+    fn replicate_sync(&self, shards: &[Mutex<ReplicatedShard<D>>], id: EventId, event: Event) {
+        if let Some((first, rest)) = shards.split_first() {
+            let mut guard = lock(first);
+            self.note_shard_lock();
+            self.replicate_sync(rest, id, event);
+            let report = guard.detector.process(id, event);
+            debug_assert!(report.is_none(), "sync events never race");
         }
     }
 
-    fn on_event_two_plane(&self, plane: &TwoPlane<D>, event: Event) -> bool {
+    /// Analyzes one unbatched sampled access in shared (two-plane)
+    /// mode. With a hoisted decider the engine's own decision is
+    /// skipped ([`AccessEngine::access_sampled`]); without one the
+    /// engine decides inline and maintains `RelAfter_S` here.
+    fn access_two_plane(&self, plane: &TwoPlane<D>, id: EventId, event: Event, var: VarId) -> bool {
+        let slot = self.slot(plane, event.tid);
+        let mut shard = lock(&plane.shards[self.shard_of(var)]);
+        self.note_shard_lock();
+        let view = lock(&slot.view)
+            .clone()
+            .expect("admitted threads always carry a published view");
+        let AccessShard {
+            engine,
+            counters,
+            reports,
+            ..
+        } = &mut *shard;
+        counters.events += 1;
+        let outcome = if self.decider.is_some() {
+            // Already admitted: raise `RelAfter_S` on the slot in hand
+            // and skip the engine's redundant re-decide.
+            slot.sampled.store(true, Ordering::Relaxed);
+            engine.access_sampled(id, event, &view, counters)
+        } else {
+            let outcome = engine.access(id, event, &view, counters);
+            if outcome.sampled {
+                slot.sampled.store(true, Ordering::Relaxed);
+            }
+            outcome
+        };
+        if let Some(report) = outcome.report {
+            reports.push(report);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Analyzes one unbatched sampled access in seqlock mode; see
+    /// [`access_two_plane`](ShardedOnlineDetector::access_two_plane)
+    /// for the decider split.
+    fn access_seqlock(&self, plane: &SeqPlane<D>, id: EventId, event: Event, var: VarId) -> bool {
+        let slot = self.seq_slot(plane, event.tid);
+        let mut shard = lock(&plane.shards[self.shard_of(var)]);
+        self.note_shard_lock();
+        let AccessShard {
+            engine,
+            counters,
+            reports,
+            scratch,
+        } = &mut *shard;
+        // Lock-free view: decode the thread's publication into the
+        // shard's scratch buffer (retrying on torn reads).
+        slot.clock.read_into(scratch);
+        let view = PublishedView::new(scratch);
+        counters.events += 1;
+        let outcome = if self.decider.is_some() {
+            // Already admitted: raise `RelAfter_S` on the slot in hand
+            // and skip the engine's redundant re-decide.
+            slot.sampled.store(true, Ordering::Relaxed);
+            engine.access_sampled(id, event, &view, counters)
+        } else {
+            let outcome = engine.access(id, event, &view, counters);
+            if outcome.sampled {
+                slot.sampled.store(true, Ordering::Relaxed);
+            }
+            outcome
+        };
+        if let Some(report) = outcome.report {
+            reports.push(report);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn sync_two_plane(&self, plane: &TwoPlane<D>, event: Event) {
         let tid = event.tid;
         let slot = self.slot(plane, tid);
+        let lock_id = match event.kind {
+            EventKind::Acquire(l) | EventKind::Release(l) => l,
+            _ => unreachable!("on_event routes only sync events here"),
+        };
+        let mut sync = lock(&plane.sync);
+        // Take-before-mutate: drop the published view so the
+        // engine's mutation stays in place instead of
+        // deep-copying. Holding the slot lock across the engine
+        // op is deadlock-free (it is a leaf lock) and blocks no
+        // one — only this thread's own accesses read its slot,
+        // and this thread is here.
+        let mut view_slot = lock(&slot.view);
+        *view_slot = None;
+        let SyncPlane {
+            engine, counters, ..
+        } = &mut *sync;
+        counters.events += 1;
         match event.kind {
-            EventKind::Read(var) | EventKind::Write(var) => {
-                let mut shard = lock(&plane.shards[self.shard_of(var)]);
-                let id = self.take_ticket();
-                let view = lock(&slot.view)
-                    .clone()
-                    .expect("admitted threads always carry a published view");
-                let AccessShard {
-                    engine,
-                    counters,
-                    reports,
-                    ..
-                } = &mut *shard;
-                counters.events += 1;
-                let outcome = engine.access(id, event, &view, counters);
-                if outcome.sampled {
-                    slot.sampled.store(true, Ordering::Relaxed);
-                }
-                if let Some(report) = outcome.report {
-                    reports.push(report);
-                    true
-                } else {
-                    false
-                }
+            EventKind::Acquire(_) => engine.acquire(tid, lock_id, counters),
+            EventKind::Release(_) => {
+                // Check before consuming: the bit is set by this
+                // thread's own sampled accesses (program-order
+                // sequenced with this release), so a false load
+                // is stable and the usual unsampled release
+                // skips the read-modify-write entirely.
+                let sampled = slot.sampled.load(Ordering::Relaxed)
+                    && slot.sampled.swap(false, Ordering::Relaxed);
+                engine.release(tid, lock_id, sampled, counters);
             }
-            EventKind::Acquire(lock_id) | EventKind::Release(lock_id) => {
-                let mut sync = lock(&plane.sync);
-                let _id = self.take_ticket();
-                // Take-before-mutate: drop the published view so the
-                // engine's mutation stays in place instead of
-                // deep-copying. Holding the slot lock across the engine
-                // op is deadlock-free (it is a leaf lock) and blocks no
-                // one — only this thread's own accesses read its slot,
-                // and this thread is here.
-                let mut view_slot = lock(&slot.view);
-                *view_slot = None;
-                let SyncPlane {
-                    engine, counters, ..
-                } = &mut *sync;
-                counters.events += 1;
-                match event.kind {
-                    EventKind::Acquire(_) => engine.acquire(tid, lock_id, counters),
-                    EventKind::Release(_) => {
-                        // Check before consuming: the bit is set by this
-                        // thread's own sampled accesses (program-order
-                        // sequenced with this release), so a false load
-                        // is stable and the usual unsampled release
-                        // skips the read-modify-write entirely.
-                        let sampled = slot.sampled.load(Ordering::Relaxed)
-                            && slot.sampled.swap(false, Ordering::Relaxed);
-                        engine.release(tid, lock_id, sampled, counters);
-                    }
-                    _ => unreachable!("outer match admits only sync events"),
-                }
-                *view_slot = Some(engine.publish(tid));
-                false
-            }
+            _ => unreachable!("on_event routes only sync events here"),
         }
+        *view_slot = Some(engine.publish(tid));
     }
 
-    fn on_event_seqlock(&self, plane: &SeqPlane<D>, event: Event) -> bool {
+    fn sync_seqlock(&self, plane: &SeqPlane<D>, event: Event) {
         let tid = event.tid;
         let slot = self.seq_slot(plane, tid);
+        let lock_id = match event.kind {
+            EventKind::Acquire(l) | EventKind::Release(l) => l,
+            _ => unreachable!("on_event routes only sync events here"),
+        };
+        let mut sync = lock(&plane.sync);
+        let SyncPlane {
+            engine,
+            counters,
+            publisher,
+        } = &mut *sync;
+        counters.events += 1;
         match event.kind {
-            EventKind::Read(var) | EventKind::Write(var) => {
-                let mut shard = lock(&plane.shards[self.shard_of(var)]);
-                let id = self.take_ticket();
-                let AccessShard {
-                    engine,
-                    counters,
-                    reports,
-                    scratch,
-                } = &mut *shard;
-                // Lock-free view: decode the thread's publication into
-                // the shard's scratch buffer (retrying on torn reads).
-                slot.clock.read_into(scratch);
-                let view = PublishedView::new(scratch);
-                counters.events += 1;
-                let outcome = engine.access(id, event, &view, counters);
-                if outcome.sampled {
-                    slot.sampled.store(true, Ordering::Relaxed);
-                }
-                if let Some(report) = outcome.report {
-                    reports.push(report);
-                    true
-                } else {
-                    false
-                }
+            EventKind::Acquire(_) => engine.acquire(tid, lock_id, counters),
+            EventKind::Release(_) => {
+                // Check before consuming: the bit is set by this
+                // thread's own sampled accesses (program-order
+                // sequenced with this release), so a false load
+                // is stable and the usual unsampled release
+                // skips the read-modify-write entirely.
+                let sampled = slot.sampled.load(Ordering::Relaxed)
+                    && slot.sampled.swap(false, Ordering::Relaxed);
+                engine.release(tid, lock_id, sampled, counters);
             }
-            EventKind::Acquire(lock_id) | EventKind::Release(lock_id) => {
-                let mut sync = lock(&plane.sync);
-                let _id = self.take_ticket();
-                let SyncPlane {
-                    engine,
-                    counters,
-                    publisher,
-                } = &mut *sync;
-                counters.events += 1;
-                match event.kind {
-                    EventKind::Acquire(_) => engine.acquire(tid, lock_id, counters),
-                    EventKind::Release(_) => {
-                        // Check before consuming: the bit is set by this
-                        // thread's own sampled accesses (program-order
-                        // sequenced with this release), so a false load
-                        // is stable and the usual unsampled release
-                        // skips the read-modify-write entirely.
-                        let sampled = slot.sampled.load(Ordering::Relaxed)
-                            && slot.sampled.swap(false, Ordering::Relaxed);
-                        engine.release(tid, lock_id, sampled, counters);
-                    }
-                    _ => unreachable!("outer match admits only sync events"),
-                }
-                // Republish in place through the seqlock: a version-word
-                // bump around `width` plain stores — or nothing at all,
-                // when the publication is unchanged.
-                publisher.publish_event(engine, tid, &slot.clock);
-                false
-            }
+            _ => unreachable!("on_event routes only sync events here"),
         }
+        // Republish in place through the seqlock: a version-word
+        // bump around `width` plain stores — or nothing at all,
+        // when the publication is unchanged.
+        publisher.publish_event(engine, tid, &slot.clock);
     }
 
     /// Records a read of variable `var` by thread `tid`.
@@ -1133,9 +1332,10 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
         self.on_event(tid, EventKind::Release(LockId::new(lock)));
     }
 
-    /// Number of event tickets drawn so far (events dispatched; an
-    /// event's analysis completes before its lock is released, so after
-    /// all workers quiesce this equals events analyzed).
+    /// Number of event tickets drawn so far. Every event — including a
+    /// sampled-out access, whose processing is just its skip tally —
+    /// draws exactly one ticket at the top of `on_event`, so after all
+    /// workers quiesce this equals events observed.
     pub fn events_processed(&self) -> u64 {
         self.next_id.load(Ordering::Relaxed)
     }
@@ -1174,15 +1374,18 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
         // Residual batches: accesses buffered since the last sync event
         // (or over the whole run, if there was none).
         self.flush_pending();
+        let (skipped_reads, skipped_writes) = self.skip.totals();
         let mut reports = Vec::new();
-        let counters = match self.inner {
+        // Per-shard report lists are *not* ticket-sorted in general —
+        // concurrent analyzed events may invert ticket order under the
+        // hoisted draw (invariant 10) — so ordering is established only
+        // by the merged sort below.
+        let mut counters = match self.inner {
             Inner::Replicated(r) => {
                 let mut shard_counters = Vec::with_capacity(r.shards.len());
                 for shard in r.shards {
                     let shard = shard.into_inner().expect("detector shard mutex poisoned");
                     shard_counters.push(*shard.detector.counters());
-                    // Within a shard, reports are already in ticket order.
-                    debug_assert!(shard.reports.windows(2).all(|w| w[0].event < w[1].event));
                     reports.extend(shard.reports);
                 }
                 Counters::merge(shard_counters)
@@ -1192,7 +1395,6 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
                 let mut counters = sync.counters;
                 for shard in p.shards {
                     let shard = shard.into_inner().expect("detector shard mutex poisoned");
-                    debug_assert!(shard.reports.windows(2).all(|w| w[0].event < w[1].event));
                     counters += shard.counters;
                     reports.extend(shard.reports);
                 }
@@ -1203,13 +1405,15 @@ impl<D: SplitDetector> ShardedOnlineDetector<D> {
                 let mut counters = sync.counters;
                 for shard in p.shards {
                     let shard = shard.into_inner().expect("detector shard mutex poisoned");
-                    debug_assert!(shard.reports.windows(2).all(|w| w[0].event < w[1].event));
                     counters += shard.counters;
                     reports.extend(shard.reports);
                 }
                 counters
             }
         };
+        // Skip-path tallies never entered a shard's counters: fold them
+        // in once, bit-exactly, after the plane merge.
+        counters.fold_skipped_accesses(skipped_reads, skipped_writes);
         reports.sort_unstable_by_key(|r| r.event);
         debug_assert!(
             reports.windows(2).all(|w| w[0].event < w[1].event),

@@ -1,6 +1,6 @@
 use freshtrack_trace::{Event, EventId};
 
-use crate::{mix64, to_unit, Sampler};
+use crate::{mix64, Sampler};
 
 /// LiteRace-style independent sampling: each access event is in `S` with
 /// a fixed probability.
@@ -27,6 +27,9 @@ use crate::{mix64, to_unit, Sampler};
 pub struct BernoulliSampler {
     rate: f64,
     seed: u64,
+    /// `⌈rate · 2⁵³⌉`, precomputed so `decide` is a pure integer
+    /// compare on the skip path (no u64→f64 conversion per event).
+    threshold: u64,
 }
 
 impl BernoulliSampler {
@@ -40,7 +43,21 @@ impl BernoulliSampler {
             rate.is_finite() && (0.0..=1.0).contains(&rate),
             "sampling rate must be in [0, 1], got {rate}"
         );
-        BernoulliSampler { rate, seed }
+        // Bit-exact with `to_unit(h) < rate`: the hash maps to the
+        // 53-bit mantissa `m = h >> 11`, and both `m as f64` and the
+        // division by 2⁵³ are exact, so `m / 2⁵³ < rate ⟺ m < rate·2⁵³
+        // ⟺ m < ⌈rate·2⁵³⌉` (the last step because `m` is an integer;
+        // when `rate·2⁵³` is itself an integer the ceiling is the
+        // identity and strict `<` agrees). `rate·2⁵³` is computed
+        // exactly too — scaling a finite f64 by a power of two only
+        // shifts its exponent. Pinned against the f64 formula by
+        // `integer_threshold_matches_f64_compare` below.
+        let threshold = (rate * (1u64 << 53) as f64).ceil() as u64;
+        BernoulliSampler {
+            rate,
+            seed,
+            threshold,
+        }
     }
 
     /// The configured sampling rate.
@@ -55,8 +72,8 @@ impl BernoulliSampler {
 }
 
 impl Sampler for BernoulliSampler {
-    fn sample(&mut self, id: EventId, _event: Event) -> bool {
-        to_unit(mix64(self.seed ^ mix64(id.as_u64()))) < self.rate
+    fn decide(&self, id: EventId, _event: Event) -> bool {
+        mix64(self.seed ^ mix64(id.as_u64())) >> 11 < self.threshold
     }
 
     fn nominal_rate(&self) -> f64 {
@@ -67,6 +84,7 @@ impl Sampler for BernoulliSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::to_unit;
     use freshtrack_trace::{EventKind, ThreadId, VarId};
 
     fn access(i: u32) -> Event {
@@ -121,5 +139,38 @@ mod tests {
     #[should_panic(expected = "sampling rate")]
     fn rejects_out_of_range_rate() {
         let _ = BernoulliSampler::new(1.5, 0);
+    }
+
+    #[test]
+    fn integer_threshold_matches_f64_compare() {
+        // The precomputed-threshold decide must agree with the original
+        // floating-point formulation on every event, including rates
+        // whose 2⁵³-scaling is not an integer and the 0/1 endpoints.
+        // Any divergence would silently change the sample set (and
+        // with it every differential suite), so this is pinned hard.
+        let rates = [
+            0.0,
+            1.0,
+            0.003,
+            0.03,
+            0.1,
+            0.5,
+            1.0 / 3.0,
+            f64::from_bits(0x3FEF_FFFF_FFFF_FFFF), // just below 1.0
+            1e-12,
+            5e-324, // smallest positive subnormal
+        ];
+        for (si, &rate) in rates.iter().enumerate() {
+            let s = BernoulliSampler::new(rate, si as u64 * 77 + 1);
+            for i in 0..50_000u64 {
+                let id = EventId::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let via_f64 = to_unit(mix64(s.seed() ^ mix64(id.as_u64()))) < rate;
+                assert_eq!(
+                    s.decide(id, access(i as u32)),
+                    via_f64,
+                    "rate {rate} id {id:?}"
+                );
+            }
+        }
     }
 }

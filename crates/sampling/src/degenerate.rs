@@ -20,7 +20,7 @@ impl AlwaysSampler {
 }
 
 impl Sampler for AlwaysSampler {
-    fn sample(&mut self, _id: EventId, _event: Event) -> bool {
+    fn decide(&self, _id: EventId, _event: Event) -> bool {
         true
     }
 
@@ -45,7 +45,7 @@ impl NeverSampler {
 }
 
 impl Sampler for NeverSampler {
-    fn sample(&mut self, _id: EventId, _event: Event) -> bool {
+    fn decide(&self, _id: EventId, _event: Event) -> bool {
         false
     }
 

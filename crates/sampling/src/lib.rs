@@ -56,23 +56,41 @@ use freshtrack_trace::{Event, EventId};
 /// An online decider for membership of access events in the sample set
 /// `S`.
 ///
-/// Detectors call [`Sampler::sample`] exactly once per read/write event,
-/// in trace order. Implementations must be deterministic given their
+/// Detectors consult the sampler exactly once per read/write event, in
+/// trace order. Implementations must be deterministic given their
 /// construction parameters so that runs are reproducible; implementations
 /// whose decision depends only on `(seed, id)` additionally guarantee
 /// identical sample sets across different engines.
-pub trait Sampler {
+///
+/// Decisions are **pure**: [`Sampler::decide`] takes `&self` and must
+/// return the same answer for the same `(id, event)` no matter when, how
+/// often, or from which thread it is asked. This is what lets the online
+/// detectors hoist the decision out of their analysis locks — a skipped
+/// access can be rejected before any shared state is touched, and a
+/// re-query on the locked path (or on a replicated shard) agrees with the
+/// hoisted answer. The `Clone + Send + Sync` supertraits exist for the
+/// same reason: hoisted deciders are cloned out of the detector and
+/// consulted concurrently.
+pub trait Sampler: Clone + Send + Sync + 'static {
     /// Decides whether the access event `event` at trace position `id`
-    /// belongs to the sample set.
-    fn sample(&mut self, id: EventId, event: Event) -> bool;
+    /// belongs to the sample set. Pure: same inputs, same answer.
+    fn decide(&self, id: EventId, event: Event) -> bool;
+
+    /// Decides membership through a mutable handle.
+    ///
+    /// Kept for call-site convenience (historical API); forwards to
+    /// [`Sampler::decide`], which is the method implementations provide.
+    fn sample(&mut self, id: EventId, event: Event) -> bool {
+        self.decide(id, event)
+    }
 
     /// The nominal sampling rate in `[0, 1]`, for reporting purposes.
     fn nominal_rate(&self) -> f64;
 }
 
-impl<T: Sampler + ?Sized> Sampler for Box<T> {
-    fn sample(&mut self, id: EventId, event: Event) -> bool {
-        (**self).sample(id, event)
+impl<T: Sampler> Sampler for Box<T> {
+    fn decide(&self, id: EventId, event: Event) -> bool {
+        (**self).decide(id, event)
     }
 
     fn nominal_rate(&self) -> f64 {

@@ -58,7 +58,7 @@ impl PeriodicSampler {
 }
 
 impl Sampler for PeriodicSampler {
-    fn sample(&mut self, id: EventId, _event: Event) -> bool {
+    fn decide(&self, id: EventId, _event: Event) -> bool {
         let window = id.as_u64() / self.period;
         to_unit(mix64(self.seed ^ mix64(window))) < self.rate
     }

@@ -50,7 +50,7 @@ impl TargetedSampler {
 }
 
 impl Sampler for TargetedSampler {
-    fn sample(&mut self, _id: EventId, event: Event) -> bool {
+    fn decide(&self, _id: EventId, event: Event) -> bool {
         event.kind.var().is_some_and(|v| self.targets.contains(&v))
     }
 

@@ -175,6 +175,12 @@ where
 /// operand varint), threading the same-thread delta through `prev_tid`.
 /// Shared verbatim by the v1 and v2 writers, which is what makes a
 /// v1→v2→v1 conversion byte-identical.
+///
+/// `inline(always)`: both encode loops are sensitive to inlining
+/// heuristics — letting this spill to a call measured as a discrete
+/// several-ns-per-event cliff in v2 encode when the surrounding loop
+/// grew by a few instructions.
+#[inline(always)]
 pub(crate) fn write_event_record<W: Write>(
     out: &mut W,
     event: Event,
@@ -192,19 +198,49 @@ pub(crate) fn write_event_record<W: Write>(
     } else {
         OPERAND_ESCAPE
     };
-    out.write_all(&[kind_bits | (u8::from(same_tid) << 2) | (inline << 3)])?;
+    // Assemble the whole record (tag + at most two 10-byte varints) on
+    // the stack and hand the sink one contiguous write: three separate
+    // `write_all` calls cost a capacity check each on a `Vec` sink,
+    // and event records are the hot path of both encoders.
+    let mut buf = [0u8; 21];
+    buf[0] = kind_bits | (u8::from(same_tid) << 2) | (inline << 3);
+    let mut len = 1;
     if !same_tid {
-        write_varint(out, event.tid.as_u32() as u64)?;
+        len += put_varint(&mut buf[len..], event.tid.as_u32() as u64);
     }
     if inline == OPERAND_ESCAPE {
-        write_varint(out, operand)?;
+        len += put_varint(&mut buf[len..], operand);
     }
+    out.write_all(&buf[..len])?;
     *prev_tid = Some(event.tid);
     Ok(())
 }
 
+/// Encodes `v` as a LEB128 varint into `buf` (identical byte output to
+/// [`write_varint`]) and returns the encoded length. `buf` must have
+/// room for 10 bytes.
+#[inline]
+fn put_varint(buf: &mut [u8], mut v: u64) -> usize {
+    let mut len = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[len] = byte;
+            return len + 1;
+        }
+        buf[len] = byte | 0x80;
+        len += 1;
+    }
+}
+
 /// Emits declaration records for everything the source has interned
 /// beyond what was already written.
+///
+/// `inline(always)` for the same reason as [`write_event_record`]: the
+/// per-event call is three monomorphized count compares on the fast
+/// path and must stay fused into the encode loops.
+#[inline(always)]
 pub(crate) fn flush_binary_meta<S, W>(
     emitted: &mut EmittedMeta,
     source: &S,

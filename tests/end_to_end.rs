@@ -70,9 +70,10 @@ fn trace_io_round_trip_preserves_analysis() {
 #[test]
 fn fig1_example_runs_through_all_engines() {
     let (trace, marks) = patterns::fig1_trace();
+    #[derive(Clone)]
     struct Marked(Vec<usize>);
     impl freshtrack::sampling::Sampler for Marked {
-        fn sample(&mut self, id: freshtrack::trace::EventId, _e: freshtrack::trace::Event) -> bool {
+        fn decide(&self, id: freshtrack::trace::EventId, _e: freshtrack::trace::Event) -> bool {
             self.0.contains(&id.index())
         }
         fn nominal_rate(&self) -> f64 {
