@@ -55,9 +55,14 @@
 //!
 //! A fifth mode, `--segments`, measures the **segmented `.ftb` v2
 //! store**: v2 vs v1 encode throughput and size overhead, the
-//! footer-seek open latency, and checkpointed parallel replay
-//! (`analyze_segments`, jobs ∈ {1, 2}) against the sequential pass over
-//! the same bytes — with report parity asserted every round:
+//! footer-seek open latency, checkpointed pipelined replay
+//! (`analyze_segments`, jobs ∈ {1, 2}) against both the sequential
+//! pass and the retired wave scheduler
+//! (`analyze_segments_waves`, jobs = 1) over the same bytes, and the
+//! `.ftc` incremental pair — a cold cached run vs a re-analysis that
+//! resumes a sidecar left by a ~95% prefix of the same corpus (the
+//! append case the cache exists for) — with report parity asserted
+//! every round:
 //!
 //! ```text
 //! record_baseline --segments --out BENCH_segments.json
@@ -887,16 +892,25 @@ fn run_trace_io(out_path: Option<String>) {
 
 /// The `--segments` mode: cost and payoff of the segmented `.ftb` v2
 /// store against flat v1 — encode throughput and size overhead, the
-/// footer-seek open latency, and checkpointed parallel replay
-/// ([`freshtrack_core::analyze_segments`]) at jobs ∈ {1, 2} against the sequential
-/// streaming pass over the *same* v2 bytes. All points interleave
-/// rounds (fastest kept) in one invocation, and the replay points
-/// cross-check report parity every round — a benchmark that would
-/// happily time a wrong answer is worthless.
+/// footer-seek open latency, checkpointed pipelined replay
+/// ([`freshtrack_core::analyze_segments`]) at jobs ∈ {1, 2} against
+/// both the sequential streaming pass and the retired wave scheduler
+/// over the *same* v2 bytes, and the `.ftc` incremental pair: a cold
+/// cached run vs a warm re-analysis resuming the sidecar a ~95%
+/// prefix of the corpus left behind (the append case
+/// [`freshtrack_core::analyze_segments_cached`] exists for). All
+/// points interleave rounds (fastest kept) in one invocation, and the
+/// replay points cross-check report parity every round — a benchmark
+/// that would happily time a wrong answer is worthless.
 /// `FT_TRACE_BENCH`/`FT_TRACE_SCALE`/`FT_ROUNDS` as in `--trace-io`.
 fn run_segments(out_path: Option<String>) {
-    use freshtrack_core::analyze_segments;
-    use freshtrack_trace::{write_trace_binary_v2, SegmentOptions, SegmentedTraceFile, Validated};
+    use freshtrack_core::{
+        analyze_segments, analyze_segments_cached, analyze_segments_waves, CACHE_STATE_VERSION,
+    };
+    use freshtrack_trace::{
+        write_trace_binary_v2, AnalysisCache, CacheConfig, SegmentOptions, SegmentedTraceFile,
+        Validated,
+    };
 
     let bench_name = std::env::var("FT_TRACE_BENCH").unwrap_or_else(|_| "derby".to_owned());
     let scale = std::env::var("FT_TRACE_SCALE")
@@ -924,6 +938,68 @@ fn run_segments(out_path: Option<String>) {
             BinaryEventReader::new(&v2[..]).expect("magic"),
         ))
         .expect("well-formed trace");
+
+    // The incremental pair's "before" file: the same corpus cut at the
+    // segment boundary nearest 95% of its events, so the warm run
+    // replays only a ~5% appended tail. The pair uses finer segments
+    // than the corpus default — the append case the cache exists for
+    // is a long-lived growing trace, where checkpoint granularity,
+    // not per-segment overhead, sets the replay floor. The cut goes
+    // through the text normal form — non-directive lines map 1:1 to
+    // events, so a line prefix is exactly the trace as it stood before
+    // the append, and re-encoding it segments the shared prefix
+    // byte-identically.
+    let incr_options = SegmentOptions {
+        events_per_segment: 1024,
+    };
+    let eps = incr_options.events_per_segment;
+    let keep = ((trace.len() * 95 / 100 + eps / 2) / eps * eps).min((trace.len() - 1) / eps * eps);
+    assert!(keep > 0, "corpus too small for an incremental pair");
+    let mut v2_incr = Vec::new();
+    write_trace_binary_v2(&trace, &mut v2_incr, &incr_options).expect("in-memory write");
+    let text = write_trace(&trace);
+    let mut events_seen = 0usize;
+    let mut cut = 0usize;
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        offset += line.len();
+        if !line.starts_with('#') && !line.trim().is_empty() {
+            events_seen += 1;
+            if events_seen == keep {
+                cut = offset;
+                break;
+            }
+        }
+    }
+    assert_eq!(events_seen, keep, "text normal form shorter than the trace");
+    let short_trace = read_trace(&text[..cut]).expect("a prefix of a valid trace is valid");
+    let mut v2_short = Vec::new();
+    write_trace_binary_v2(&short_trace, &mut v2_short, &incr_options).expect("in-memory write");
+    let cache_config = CacheConfig {
+        engine: "so".to_owned(),
+        sampler: "bernoulli:0.03:7".to_owned(),
+        options: format!("events_per_segment={eps}"),
+        state_version: CACHE_STATE_VERSION,
+        jobs: 1,
+    };
+    let mut short_file =
+        SegmentedTraceFile::open(std::io::Cursor::new(&v2_short[..])).expect("fresh v2 bytes");
+    let short_segments = short_file.segment_count();
+    let incr_segments = SegmentedTraceFile::open(std::io::Cursor::new(&v2_incr[..]))
+        .expect("fresh v2 bytes")
+        .segment_count();
+    let prior_bytes = analyze_segments_cached(
+        &mut short_file,
+        &OrderedListDetector::new(sampler),
+        &sampler,
+        1,
+        &cache_config,
+        None,
+    )
+    .expect("well-formed trace")
+    .cache
+    .encode();
+    let appended_events = trace.len() - keep;
 
     type Op<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
     let mut ops: Vec<Op> = vec![
@@ -980,6 +1056,66 @@ fn run_segments(out_path: Option<String>) {
                 analysis.reports.len()
             }),
         ),
+        (
+            "wave_replay_jobs1",
+            Box::new(|| {
+                let mut file =
+                    SegmentedTraceFile::open(std::io::Cursor::new(&v2[..])).expect("fresh bytes");
+                let analysis = analyze_segments_waves(
+                    &mut file,
+                    &OrderedListDetector::new(sampler),
+                    &sampler,
+                    1,
+                )
+                .expect("well-formed trace");
+                assert_eq!(analysis.reports, expected, "wave jobs=1 replay must agree");
+                analysis.reports.len()
+            }),
+        ),
+        (
+            "cached_cold_jobs1",
+            Box::new(|| {
+                let mut file = SegmentedTraceFile::open(std::io::Cursor::new(&v2_incr[..]))
+                    .expect("fresh bytes");
+                let cached = analyze_segments_cached(
+                    &mut file,
+                    &OrderedListDetector::new(sampler),
+                    &sampler,
+                    1,
+                    &cache_config,
+                    None,
+                )
+                .expect("well-formed trace");
+                assert_eq!(cached.analysis.reports, expected, "cached cold must agree");
+                assert_eq!(cached.reused_segments, 0, "a cold run reuses nothing");
+                black_box(cached.cache.encode()).len()
+            }),
+        ),
+        (
+            "cached_incremental_jobs1",
+            Box::new(|| {
+                // Includes what a real warm run pays: sidecar decode,
+                // prefix CRC validation, tail replay, sidecar encode.
+                let prior = AnalysisCache::decode(&prior_bytes).expect("own encoding");
+                let mut file = SegmentedTraceFile::open(std::io::Cursor::new(&v2_incr[..]))
+                    .expect("fresh bytes");
+                let cached = analyze_segments_cached(
+                    &mut file,
+                    &OrderedListDetector::new(sampler),
+                    &sampler,
+                    1,
+                    &cache_config,
+                    Some(&prior),
+                )
+                .expect("well-formed trace");
+                assert_eq!(cached.analysis.reports, expected, "incremental must agree");
+                assert_eq!(
+                    cached.reused_segments, short_segments,
+                    "the append must reuse every shared segment"
+                );
+                black_box(cached.cache.encode()).len()
+            }),
+        ),
     ];
 
     let mut best = vec![Duration::MAX; ops.len()];
@@ -1018,25 +1154,54 @@ fn run_segments(out_path: Option<String>) {
     }
     eprintln!("footer_open             {open_ns:>8.1} ns/open");
 
+    let secs = |name: &str| {
+        let i = ops.iter().position(|(n, _)| *n == name).expect("known op");
+        best[i].as_secs_f64()
+    };
+    let pipelined_vs_wave = secs("wave_replay_jobs1") / secs("parallel_replay_jobs1");
+    let incremental_vs_cold = secs("cached_cold_jobs1") / secs("cached_incremental_jobs1");
+    eprintln!("pipelined jobs1 is {pipelined_vs_wave:.2}x the wave scheduler");
+    eprintln!(
+        "incremental re-analysis ({appended_events} appended events, \
+         {short_segments}/{incr_segments} segments reused) is {incremental_vs_cold:.2}x cold"
+    );
+
     let json = format!(
-        "{{\n  \"schema\": \"freshtrack/segments/v1\",\n  \"benchmark\": \"segments\",\n  \
+        "{{\n  \"schema\": \"freshtrack/segments/v2\",\n  \"benchmark\": \"segments\",\n  \
          \"trace\": {{\"corpus\": \"{}\", \"scale\": {scale}, \"seed\": 0, \"events\": {}}},\n  \
          \"segment\": {{\"events_per_segment\": {}, \"segments\": {segment_count}}},\n  \
          \"sizes\": {{\"v1_bytes\": {}, \"v2_bytes\": {}, \"v2_overhead_pct\": {:.2}}},\n  \
          \"footer_open_ns\": {open_ns:.1},\n  \"rounds\": {rounds},\n  \
+         \"pipeline\": {{\"jobs1_speedup_vs_wave\": {pipelined_vs_wave:.2}}},\n  \
+         \"incremental\": {{\"events_per_segment\": {eps}, \
+         \"appended_events\": {appended_events}, \
+         \"appended_pct\": {:.2}, \"reused_segments\": {short_segments}, \
+         \"total_segments\": {incr_segments}, \
+         \"speedup_vs_cold\": {incremental_vs_cold:.2}}},\n  \
          \"note\": \"events/s, fastest of FT_ROUNDS interleaved rounds in one sitting; \
          replay points are the SO-3% engine over identical v2 bytes and assert \
          report parity with the sequential pass every round; footer_open_ns is the \
          cost of reading the trailer + footer index without touching segment data. \
-         v2_encode: per-segment batched CRC (slice-by-8 over the buffered body, \
-         replacing per-varint checksumming that never reached the 8-byte lanes), \
-         contiguous event-record writes, and the checkpoint tracker's locality \
-         shortcuts lifted v2 encode from ~0.54x to ~0.6x of v1_encode; the residual \
-         gap is the sync-queue feed, measured at ~7 ns/event on this host even when \
-         reduced to one masked store + add (same-binary A/B with the feed compiled \
-         out), so the no-tracker ceiling is ~0.85x v1 -- and v1 itself swings \
-         51-77 Mev/s with host load, so compare v2/v1 within one sitting, not \
-         absolute Mev/s across files\",\n  \
+         parallel_replay_jobsN is the bounded-channel pipeline (reader decodes \
+         ahead, coordinator walks the sync plane, workers replay behind); at \
+         jobs=1 it collapses to a single pass with no checkpoint round-trip, \
+         and wave_replay_jobs1 keeps the retired barriered scheduler as the \
+         comparison point. cached_cold_jobs1 runs the same pipeline while \
+         recording a .ftc sidecar; cached_incremental_jobs1 resumes the sidecar \
+         a ~95% prefix of the corpus left behind and replays only the appended \
+         tail (sidecar decode, prefix CRC validation, and sidecar re-encode all \
+         inside the timed region), asserting full reuse and report parity every \
+         round; the cached pair segments at incremental.events_per_segment -- \
+         a growing trace checkpoints at finer granularity than an archival \
+         corpus file, since checkpoint spacing bounds the replay tail. v2_encode: per-segment batched CRC (slice-by-8 over the buffered \
+         body, replacing per-varint checksumming that never reached the 8-byte \
+         lanes), contiguous event-record writes, and the checkpoint tracker's \
+         locality shortcuts lifted v2 encode from ~0.54x to ~0.6x of v1_encode; \
+         the residual gap is the sync-queue feed, measured at ~7 ns/event on \
+         this host even when reduced to one masked store + add (same-binary A/B \
+         with the feed compiled out), so the no-tracker ceiling is ~0.85x v1 -- \
+         and v1 itself swings 51-77 Mev/s with host load, so compare within one \
+         sitting, not absolute Mev/s across files\",\n  \
          \"events_per_s\": {{\n{}\n  }}\n}}\n",
         json_escape(&bench_name),
         trace.len(),
@@ -1044,6 +1209,7 @@ fn run_segments(out_path: Option<String>) {
         v1.len(),
         v2.len(),
         (v2.len() as f64 / v1.len() as f64 - 1.0) * 100.0,
+        appended_events as f64 / events * 100.0,
         lines.join("\n")
     );
     match out_path {

@@ -1,17 +1,18 @@
 use std::io::{Read, Write};
 
 use freshtrack_core::{
-    analyze_segments, CheckpointState, Counters, Detector, DjitDetector, FastTrackDetector,
-    FreshnessDetector, HbOracle, NaiveSamplingDetector, OracleConfig, OrderedListDetector,
-    RaceReport, SplitDetector, StreamingOracle, SyncMode,
+    analyze_segments, analyze_segments_cached, CheckpointState, Counters, Detector, DjitDetector,
+    FastTrackDetector, FreshnessDetector, HbOracle, NaiveSamplingDetector, OracleConfig,
+    OrderedListDetector, RaceReport, SegmentedAnalysis, SplitDetector, StreamingOracle, SyncMode,
+    CACHE_STATE_VERSION,
 };
 use freshtrack_dbsim::{run_detector, run_sharded, RunOptions};
 use freshtrack_rapid::report::{pct, Table};
 use freshtrack_sampling::{BernoulliSampler, Sampler};
 use freshtrack_trace::{
     is_binary_trace, write_source, write_source_binary, write_source_binary_v2, write_trace,
-    BinaryEventReader, EventReader, EventSource, SegmentOptions, SegmentedTraceFile, Trace,
-    TraceStats, Validated,
+    AnalysisCache, BinaryEventReader, CacheConfig, EventReader, EventSource, SegmentOptions,
+    SegmentedTraceFile, Trace, TraceStats, Validated,
 };
 use freshtrack_workloads::{benchbase, corpus, generate, Pattern, WorkloadConfig};
 
@@ -100,7 +101,7 @@ fn open_validated(args: &Args) -> Result<(ValidatedInput, &str), ArgError> {
 }
 
 fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
-    let args = Args::parse(rest.iter().cloned(), &["counters"])?;
+    let args = Args::parse(rest.iter().cloned(), &["counters", "cache", "no-cache"])?;
     let engine: String = args.get_or("engine", "so".to_owned())?;
     let rate: f64 = args.get_or("rate", 0.03)?;
     let seed: u64 = args.get_or("seed", 0)?;
@@ -110,6 +111,10 @@ fn analyze<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErr
     }
     if jobs == 0 {
         return Err(ArgError("--jobs must be at least 1".into()));
+    }
+    let want_cache = args.flag("cache") || args.get("cache").is_some();
+    if want_cache && !args.flag("no-cache") {
+        return analyze_cached(&args, &engine, rate, seed, jobs, out);
     }
     if jobs >= 2 {
         return analyze_parallel(&args, &engine, rate, seed, jobs, out);
@@ -194,26 +199,14 @@ fn analyze_parallel<W: std::io::Write>(
     where
         D: SplitDetector,
         D::Sync: CheckpointState,
+        D::Access: CheckpointState,
         S: Sampler + Clone + Send,
-        R: Read + std::io::Seek,
+        R: Read + std::io::Seek + Send,
         W: std::io::Write,
     {
         let analysis = analyze_segments(seg, &detector, &sampler, jobs)
             .map_err(|e| ArgError(format!("{path}: {e}")))?;
-        let _ = writeln!(
-            out,
-            "{} over {} events ({} sampled, {} skipped, skip {:.1}%): {} race report(s)",
-            detector.name(),
-            analysis.counters.events,
-            analysis.counters.sampled_accesses,
-            analysis.counters.skipped_accesses(),
-            100.0 * analysis.counters.skip_ratio(),
-            analysis.reports.len()
-        );
-        print_reports(|v| analysis.var_names[v].as_str(), &analysis.reports, out);
-        if counters_flag {
-            let _ = writeln!(out, "{}", analysis.counters);
-        }
+        print_analysis(detector.name(), &analysis, counters_flag, out);
         Ok(())
     }
 
@@ -261,6 +254,172 @@ fn analyze_parallel<W: std::io::Write>(
         ),
         "sam" => Err(ArgError(
             "engine `sam` has no sync/access split and cannot run with --jobs >= 2".into(),
+        )),
+        other => Err(ArgError(format!("unknown engine `{other}`"))),
+    }
+}
+
+/// The shared `analyze` output body for segmented runs; byte-identical
+/// to the sequential path's output for the same analysis (the cached
+/// and parallel modes are optimizations, never different results).
+fn print_analysis<W: std::io::Write>(
+    name: &str,
+    analysis: &SegmentedAnalysis,
+    counters_flag: bool,
+    out: &mut W,
+) {
+    let _ = writeln!(
+        out,
+        "{} over {} events ({} sampled, {} skipped, skip {:.1}%): {} race report(s)",
+        name,
+        analysis.counters.events,
+        analysis.counters.sampled_accesses,
+        analysis.counters.skipped_accesses(),
+        100.0 * analysis.counters.skip_ratio(),
+        analysis.reports.len()
+    );
+    print_reports(|v| analysis.var_names[v].as_str(), &analysis.reports, out);
+    if counters_flag {
+        let _ = writeln!(out, "{}", analysis.counters);
+    }
+}
+
+/// The sidecar path for a trace: an explicit `--cache=PATH`, else the
+/// trace path with `.ftb` swapped for `.ftc` (or `.ftc` appended).
+fn cache_path_for(args: &Args, trace_path: &str) -> String {
+    match args.get("cache") {
+        Some(explicit) => explicit.to_owned(),
+        None => match trace_path.strip_suffix(".ftb") {
+            Some(stem) => format!("{stem}.ftc"),
+            None => format!("{trace_path}.ftc"),
+        },
+    }
+}
+
+/// The sampler identity string for the cache fingerprint. Samplers are
+/// pure in (seed, event id), so rate + seed pin every decision; `ft`
+/// runs its sampler at rate 1.0 regardless of `--rate`.
+fn sampler_identity(engine: &str, rate: f64, seed: u64) -> String {
+    if engine == "ft" {
+        format!("bernoulli:1:{seed}")
+    } else {
+        format!("bernoulli:{rate}:{seed}")
+    }
+}
+
+/// Runs `analyze --cache[=PATH]`: incremental re-analysis of a
+/// segmented `.ftb` v2 file against its `.ftc` sidecar. Stdout is
+/// byte-identical to the uncached path (cache status goes to stderr);
+/// the rewritten sidecar covering the whole file is saved back.
+fn analyze_cached<W: std::io::Write>(
+    args: &Args,
+    engine: &str,
+    rate: f64,
+    seed: u64,
+    jobs: usize,
+    out: &mut W,
+) -> Result<(), ArgError> {
+    let path = input_path(args)?;
+    if path == "-" {
+        return Err(ArgError(
+            "--cache needs a seekable segmented file, not stdin (pipe through \
+             `convert --to binary-v2` first)"
+                .into(),
+        ));
+    }
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut seg = SegmentedTraceFile::open(file).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let cache_path = cache_path_for(args, path);
+    // The sidecar is advisory: unreadable or malformed means cold run.
+    let prior = std::fs::read(&cache_path)
+        .ok()
+        .and_then(|bytes| AnalysisCache::decode(&bytes).ok());
+
+    /// Everything `drive` needs besides the engine-specific halves.
+    struct Ctx<'a> {
+        config: &'a CacheConfig,
+        prior: Option<&'a AnalysisCache>,
+        path: &'a str,
+        cache_path: &'a str,
+        jobs: usize,
+        counters: bool,
+    }
+
+    fn drive<D, S, R, W>(
+        detector: D,
+        sampler: S,
+        seg: &mut SegmentedTraceFile<R>,
+        ctx: &Ctx<'_>,
+        out: &mut W,
+    ) -> Result<(), ArgError>
+    where
+        D: SplitDetector,
+        D::Sync: CheckpointState,
+        D::Access: CheckpointState,
+        S: Sampler + Clone + Send,
+        R: Read + std::io::Seek + Send,
+        W: std::io::Write,
+    {
+        let run =
+            analyze_segments_cached(seg, &detector, &sampler, ctx.jobs, ctx.config, ctx.prior)
+                .map_err(|e| ArgError(format!("{}: {e}", ctx.path)))?;
+        // Status on stderr so stdout stays byte-identical to the
+        // uncached path (the CI smoke step diffs the two).
+        eprintln!(
+            "cache: reused {}/{} segment(s) via {}",
+            run.reused_segments, run.total_segments, ctx.cache_path
+        );
+        if let Err(e) = std::fs::write(ctx.cache_path, run.cache.encode()) {
+            eprintln!(
+                "warning: cannot write analysis cache {}: {e}",
+                ctx.cache_path
+            );
+        }
+        print_analysis(detector.name(), &run.analysis, ctx.counters, out);
+        Ok(())
+    }
+
+    let sampler = BernoulliSampler::new(rate, seed);
+    let config = CacheConfig {
+        engine: engine.to_owned(),
+        sampler: sampler_identity(engine, rate, seed),
+        options: String::new(),
+        state_version: CACHE_STATE_VERSION,
+        jobs: jobs as u32,
+    };
+    let ctx = Ctx {
+        config: &config,
+        prior: prior.as_ref(),
+        path,
+        cache_path: &cache_path,
+        jobs,
+        counters: args.flag("counters"),
+    };
+    match engine {
+        "ft" => {
+            let full = BernoulliSampler::new(1.0, seed);
+            drive(FastTrackDetector::new(full), full, &mut seg, &ctx, out)
+        }
+        "st" => drive(DjitDetector::new(sampler), sampler, &mut seg, &ctx, out),
+        "su" => drive(
+            FreshnessDetector::new(sampler),
+            sampler,
+            &mut seg,
+            &ctx,
+            out,
+        ),
+        "so" => drive(
+            OrderedListDetector::new(sampler),
+            sampler,
+            &mut seg,
+            &ctx,
+            out,
+        ),
+        "sam" => Err(ArgError(
+            "engine `sam` has no sync/access split and cannot use the segmented \
+             analysis cache"
+                .into(),
         )),
         other => Err(ArgError(format!("unknown engine `{other}`"))),
     }
@@ -325,9 +484,11 @@ fn convert<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgErr
 }
 
 /// `segments <file>`: the v2 footer index as a table, after a full
-/// checksum-and-decode verification pass.
+/// checksum-and-decode verification pass. With `--cache[=PATH]` an
+/// extra column shows, per segment, whether the `.ftc` sidecar entry
+/// would be reused (`hit`), has gone stale, or does not exist (`-`).
 fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), ArgError> {
-    let args = Args::parse(rest.iter().cloned(), &[])?;
+    let args = Args::parse(rest.iter().cloned(), &["cache"])?;
     let path = input_path(&args)?;
     if path == "-" {
         return Err(ArgError("segments needs a seekable file, not stdin".into()));
@@ -337,7 +498,38 @@ fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), A
     let mut seg = SegmentedTraceFile::open(file).map_err(|e| ArgError(format!("{path}: {e}")))?;
     seg.verify().map_err(|e| ArgError(format!("{path}: {e}")))?;
 
-    let mut table = Table::new(&[
+    let want_cache = args.flag("cache") || args.get("cache").is_some();
+    let cache = if want_cache {
+        let cache_path = cache_path_for(&args, path);
+        let decoded = std::fs::read(&cache_path)
+            .ok()
+            .and_then(|bytes| AnalysisCache::decode(&bytes).ok());
+        Some((cache_path, decoded))
+    } else {
+        None
+    };
+    // The reusable prefix by the same byte-identity rule the analyzer
+    // applies (the config fingerprint is the analyzer's to check — it
+    // depends on engine/sampler arguments `segments` does not take).
+    let prefix = match &cache {
+        Some((_, Some(sidecar))) => {
+            let mut k = 0;
+            while k < sidecar.entries.len().min(seg.segment_count()) {
+                let meta = seg.meta(k).clone();
+                let crc = seg
+                    .segment_crc32(k)
+                    .map_err(|e| ArgError(format!("{path}: {e}")))?;
+                if !sidecar.entries[k].matches(&meta) || crc != meta.crc32 {
+                    break;
+                }
+                k += 1;
+            }
+            k
+        }
+        _ => 0,
+    };
+
+    let mut headers = vec![
         "segment",
         "offset",
         "bytes",
@@ -346,9 +538,13 @@ fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), A
         "ckpt bytes",
         "locks",
         "vars",
-    ]);
+    ];
+    if cache.is_some() {
+        headers.push("cache");
+    }
+    let mut table = Table::new(&headers);
     for (k, meta) in seg.metas().iter().enumerate() {
-        table.row_owned(vec![
+        let mut row = vec![
             k.to_string(),
             meta.offset.to_string(),
             meta.byte_len.to_string(),
@@ -357,7 +553,21 @@ fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), A
             meta.checkpoint_len.to_string(),
             meta.locks_before.to_string(),
             meta.vars_before.to_string(),
-        ]);
+        ];
+        if let Some((_, sidecar)) = &cache {
+            let entries = sidecar.as_ref().map_or(0, |c| c.entries.len());
+            row.push(
+                if k < prefix {
+                    "hit"
+                } else if k < entries {
+                    "stale"
+                } else {
+                    "-"
+                }
+                .to_string(),
+            );
+        }
+        table.row_owned(row);
     }
     let _ = writeln!(
         out,
@@ -367,6 +577,30 @@ fn segments_cmd<W: std::io::Write>(rest: &[String], out: &mut W) -> Result<(), A
         seg.event_count(),
         seg.footer_offset()
     );
+    match &cache {
+        Some((cache_path, Some(sidecar))) => {
+            let c = &sidecar.config;
+            let _ = writeln!(
+                out,
+                "cache {cache_path}: {} entr{} for engine={} sampler={} jobs={} \
+                 (state v{}); {prefix} reusable",
+                sidecar.entries.len(),
+                if sidecar.entries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                c.engine,
+                c.sampler,
+                c.jobs,
+                c.state_version,
+            );
+        }
+        Some((cache_path, None)) => {
+            let _ = writeln!(out, "cache {cache_path}: none (a cached run will write it)");
+        }
+        None => {}
+    }
     let _ = write!(out, "{}", table.render());
     Ok(())
 }
@@ -1210,5 +1444,256 @@ mod tests {
         let (code, out) = run_cli(&["dbsim", "--batch", "0"]);
         assert_eq!(code, 1);
         assert!(out.contains("--batch"), "{out}");
+    }
+
+    #[test]
+    fn analyze_cache_is_byte_identical_and_persists_a_sidecar() {
+        let (_text_path, v2_path) = trace_fixture("freshtrack-cli-cache", "3000");
+        let v2 = v2_path.to_str().unwrap();
+        let tail = [
+            "--engine",
+            "so",
+            "--rate",
+            "0.5",
+            "--seed",
+            "3",
+            "--counters",
+        ];
+        let (code, cold) = run_cli(&[&["analyze", v2], &tail[..]].concat());
+        assert_eq!(code, 0, "{cold}");
+
+        // Default sidecar path: the trace path plus `.ftc`.
+        let sidecar = std::path::PathBuf::from(format!("{v2}.ftc"));
+        let _ = std::fs::remove_file(&sidecar);
+        let (code, first_run) = run_cli(&[&["analyze", v2, "--cache"], &tail[..]].concat());
+        assert_eq!(code, 0, "{first_run}");
+        assert_eq!(
+            first_run, cold,
+            "a cold cached run must print the uncached output"
+        );
+        let written = std::fs::read(&sidecar).expect("the cached run writes a sidecar");
+        assert!(!written.is_empty());
+
+        // A fully-warm rerun: same stdout, and the rewritten sidecar is
+        // byte-identical (invariant 11 observed end to end).
+        let (code, warm) = run_cli(&[&["analyze", v2, "--cache"], &tail[..]].concat());
+        assert_eq!(code, 0, "{warm}");
+        assert_eq!(warm, cold);
+        assert_eq!(std::fs::read(&sidecar).unwrap(), written);
+
+        // --no-cache wins over --cache and leaves the sidecar alone.
+        std::fs::write(&sidecar, b"junk").unwrap();
+        let (code, plain) =
+            run_cli(&[&["analyze", v2, "--cache", "--no-cache"], &tail[..]].concat());
+        assert_eq!(code, 0, "{plain}");
+        assert_eq!(plain, cold);
+        assert_eq!(std::fs::read(&sidecar).unwrap(), b"junk");
+
+        // A corrupt sidecar is advisory: ignored, then rewritten.
+        let (code, recovered) = run_cli(&[&["analyze", v2, "--cache"], &tail[..]].concat());
+        assert_eq!(code, 0, "{recovered}");
+        assert_eq!(recovered, cold);
+        assert_eq!(std::fs::read(&sidecar).unwrap(), written);
+
+        // A different engine must not reuse the sidecar (fingerprint
+        // mismatch) yet still matches its own cold output.
+        let ft_tail = ["--engine", "ft", "--counters"];
+        let (code, ft_cold) = run_cli(&[&["analyze", v2], &ft_tail[..]].concat());
+        assert_eq!(code, 0, "{ft_cold}");
+        let (code, ft_cached) = run_cli(&[&["analyze", v2, "--cache"], &ft_tail[..]].concat());
+        assert_eq!(code, 0, "{ft_cached}");
+        assert_eq!(ft_cached, ft_cold);
+    }
+
+    #[test]
+    fn analyze_cache_append_reuses_the_prefix() {
+        let dir = std::env::temp_dir().join("freshtrack-cli-cache-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (code, text) = run_cli(&[
+            "generate",
+            "--events",
+            "3000",
+            "--unprotected",
+            "0.1",
+            "--seed",
+            "7",
+        ]);
+        assert_eq!(code, 0);
+        // Non-directive text lines map 1:1 to events, so a line prefix
+        // cut after the 2048th event is exactly the trace as it stood
+        // before its tail was appended — and 2048 is a multiple of the
+        // segment size, which keeps the shared segments byte-equal.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut events_seen = 0usize;
+        let mut cut = 0usize;
+        for (i, line) in lines.iter().enumerate() {
+            if !line.starts_with('#') && !line.trim().is_empty() {
+                events_seen += 1;
+                if events_seen == 2048 {
+                    cut = i + 1;
+                    break;
+                }
+            }
+        }
+        assert_eq!(events_seen, 2048, "generated trace too short");
+        let short_text: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+        let short_path = dir.join("short.trace");
+        let full_path = dir.join("full.trace");
+        std::fs::write(&short_path, &short_text).unwrap();
+        std::fs::write(&full_path, &text).unwrap();
+        let to_v2 = |name: &str, text_path: &std::path::Path| {
+            let (code, bytes) = run_cli_bytes(&[
+                "convert",
+                text_path.to_str().unwrap(),
+                "--to",
+                "binary-v2",
+                "--segment-events",
+                "256",
+            ]);
+            assert_eq!(code, 0);
+            let p = dir.join(name);
+            std::fs::write(&p, &bytes).unwrap();
+            p
+        };
+        let short_v2 = to_v2("short.ftb2", &short_path);
+        let full_v2 = to_v2("full.ftb2", &full_path);
+        let cache = dir.join("trace.ftc");
+        let _ = std::fs::remove_file(&cache);
+        let cache_arg = format!("--cache={}", cache.to_str().unwrap());
+
+        let tail = [
+            "--engine",
+            "su",
+            "--rate",
+            "0.4",
+            "--seed",
+            "13",
+            "--counters",
+        ];
+        let (code, cold_full) =
+            run_cli(&[&["analyze", full_v2.to_str().unwrap()], &tail[..]].concat());
+        assert_eq!(code, 0, "{cold_full}");
+
+        // Analyze the pre-append trace, seeding the sidecar.
+        let (code, short_out) = run_cli(
+            &[
+                &["analyze", short_v2.to_str().unwrap(), &cache_arg],
+                &tail[..],
+            ]
+            .concat(),
+        );
+        assert_eq!(code, 0, "{short_out}");
+        assert!(cache.exists());
+
+        // The appended file shares its first 8 segments (2048 events at
+        // 256 per segment) with the short one; `segments --cache` sees
+        // them as hits and the appended tail as uncached.
+        let (code, seg_out) = run_cli(&["segments", full_v2.to_str().unwrap(), &cache_arg]);
+        assert_eq!(code, 0, "{seg_out}");
+        assert_eq!(seg_out.matches(" hit").count(), 8, "{seg_out}");
+        assert!(!seg_out.contains("stale"), "{seg_out}");
+        assert!(seg_out.contains("8 reusable"), "{seg_out}");
+
+        // Incremental re-analysis after the append: byte-identical
+        // stdout, and the rewritten sidecar equals a cold cached run's.
+        let (code, warm_full) = run_cli(
+            &[
+                &["analyze", full_v2.to_str().unwrap(), &cache_arg],
+                &tail[..],
+            ]
+            .concat(),
+        );
+        assert_eq!(code, 0, "{warm_full}");
+        assert_eq!(warm_full, cold_full);
+        let incremental_sidecar = std::fs::read(&cache).unwrap();
+
+        std::fs::remove_file(&cache).unwrap();
+        let (code, cold_cached) = run_cli(
+            &[
+                &["analyze", full_v2.to_str().unwrap(), &cache_arg],
+                &tail[..],
+            ]
+            .concat(),
+        );
+        assert_eq!(code, 0, "{cold_cached}");
+        assert_eq!(cold_cached, cold_full);
+        assert_eq!(std::fs::read(&cache).unwrap(), incremental_sidecar);
+    }
+
+    #[test]
+    fn analyze_cache_rejects_stdin_and_sam() {
+        let (code, out) = run_cli(&["analyze", "-", "--cache"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("stdin"), "{out}");
+
+        let (_text_path, v2_path) = trace_fixture("freshtrack-cli-cache-err", "500");
+        let (code, out) = run_cli(&[
+            "analyze",
+            v2_path.to_str().unwrap(),
+            "--cache",
+            "--engine",
+            "sam",
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("sam"), "{out}");
+    }
+
+    #[test]
+    fn segments_cache_column_reports_hit_stale_and_missing() {
+        let (_text_path, v2_a) = trace_fixture("freshtrack-cli-segcache", "1000");
+        let a = v2_a.to_str().unwrap();
+        let sidecar = format!("{a}.ftc");
+        let _ = std::fs::remove_file(&sidecar);
+
+        // Before any cached run: the column renders, every cell `-`.
+        let (code, out) = run_cli(&["segments", a, "--cache"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("none (a cached run will write it)"), "{out}");
+        assert!(out.contains("cache"), "{out}");
+        assert!(!out.contains("hit"), "{out}");
+
+        let (code, out) = run_cli(&["analyze", a, "--cache", "--engine", "so", "--rate", "1.0"]);
+        assert_eq!(code, 0, "{out}");
+
+        // After: every segment is a hit against its own sidecar.
+        let (code, out) = run_cli(&["segments", a, "--cache"]);
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(out.matches(" hit").count(), 4, "{out}");
+        assert!(out.contains("4 reusable"), "{out}");
+        assert!(out.contains("engine=so"), "{out}");
+
+        // Same sidecar against a different trace: stale from segment 0.
+        let dir = std::env::temp_dir().join("freshtrack-cli-segcache-b");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (code, text) = run_cli(&[
+            "generate",
+            "--events",
+            "1000",
+            "--unprotected",
+            "0.1",
+            "--seed",
+            "8",
+        ]);
+        assert_eq!(code, 0);
+        let text_b = dir.join("b.trace");
+        std::fs::write(&text_b, &text).unwrap();
+        let (code, v2) = run_cli_bytes(&[
+            "convert",
+            text_b.to_str().unwrap(),
+            "--to",
+            "binary-v2",
+            "--segment-events",
+            "256",
+        ]);
+        assert_eq!(code, 0);
+        let v2_b = dir.join("b.ftb2");
+        std::fs::write(&v2_b, &v2).unwrap();
+
+        let cache_arg = format!("--cache={sidecar}");
+        let (code, out) = run_cli(&["segments", v2_b.to_str().unwrap(), &cache_arg]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("stale"), "{out}");
+        assert!(out.contains("0 reusable"), "{out}");
+        assert!(!out.contains(" hit"), "{out}");
     }
 }

@@ -4,7 +4,8 @@
 //!
 //! * `analyze <trace>` — run a detector engine over a trace, streamed
 //!   in constant memory; `--jobs N` replays a segmented `.ftb` v2 file
-//!   in parallel with byte-identical output.
+//!   in parallel with byte-identical output, and `--cache` keeps a
+//!   `.ftc` sidecar so re-analysis after an append costs O(appended).
 //! * `oracle <trace>` — ground-truth racy events. The default exact
 //!   mode materializes (200k-event cap, enforced while streaming);
 //!   `--window N` / `--reservoir K` / `--stream` switch to the
@@ -54,6 +55,11 @@ COMMANDS:
                       --jobs <n>    parallel checkpointed replay of a
                       segmented `.ftb` v2 file (default 1; N>=2 needs
                       a real file path, byte-identical output)
+                      --cache[=PATH]  reuse + rewrite a `.ftc` analysis
+                      sidecar (default PATH: trace path with `.ftc`);
+                      re-analysis after an append costs O(appended),
+                      output stays byte-identical to a cold run
+                      --no-cache    ignore any sidecar even if --cache
     oracle <trace>    ground-truth racy events (`-` = stdin; text or
                       binary input auto-detected, exactly as analyze)
                       --rate <0..1> (default 1.0)   --seed <n>
@@ -75,6 +81,9 @@ COMMANDS:
                       (default 4096)
     segments <file>   verify a segmented `.ftb` v2 file and print its
                       footer index
+                      --cache[=PATH]  also show, per segment, whether
+                      the `.ftc` sidecar entry is a hit, stale, or
+                      missing (`-`)
     generate          generate a workload trace to stdout
                       --pattern mixed|pc|pipeline|forkjoin|barrier|ladder
                       --events <n> --threads <n> --locks <n> --vars <n>

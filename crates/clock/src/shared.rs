@@ -211,6 +211,20 @@ impl SharedClock {
         }
     }
 
+    /// Returns `true` if `snap` aliases this clock's current allocation
+    /// — i.e. a mutation of this clock right now would pay the deep
+    /// copy that `snap` is keeping alive. Read-only: unlike
+    /// [`snapshot`](SharedClock::snapshot) it never moves an Owned
+    /// clock to the Shared state, so checkpoint export can record the
+    /// sharing topology without perturbing it.
+    #[inline]
+    pub fn aliases(&self, snap: &ClockSnapshot) -> bool {
+        match &self.state {
+            State::Owned(_) => false,
+            State::Shared(arc) => Arc::ptr_eq(arc, &snap.arc),
+        }
+    }
+
     /// Read access to the underlying list.
     #[inline]
     pub fn list(&self) -> &OrderedList {

@@ -7,14 +7,17 @@
 //! their backing storage on clone, so a cloned engine would see
 //! spurious deep-copy events the moment either copy mutates — breaking
 //! the work-counter parity the differential suites pin. Round-tripping
-//! through bytes severs every alias: the imported engine owns all of
-//! its storage, carries identical clock *values* (widths and
+//! through bytes gives the imported engine exclusive ownership of its
+//! storage while carrying identical clock *values* (widths and
 //! ordered-list recency chains included, see
-//! [`freshtrack_clock::wire`]), and therefore reproduces the original's
-//! race verdicts exactly. Its *sharing-dependent* counters
-//! (`deep_copies`, and nothing else) may subsequently diverge, which is
-//! why the checkpoint-resume suite asserts report equality, not counter
-//! equality.
+//! [`freshtrack_clock::wire`]), so it reproduces the original's race
+//! verdicts exactly. Sharing topology survives too: the one engine with
+//! cross-object aliasing
+//! ([`OrderedSyncEngine`](crate::OrderedSyncEngine)) records each live
+//! thread↔lock alias as a mark and rebuilds the alias on import, so
+//! even `deep_copies` — the only counter that depends on sharing —
+//! continues exactly after a resume. The checkpoint suite pins full
+//! counter equality (invariant 11 in `ARCHITECTURE.md`).
 //!
 //! Two layers implement the trait:
 //!

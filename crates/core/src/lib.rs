@@ -85,7 +85,12 @@ pub use hb_oracle::HbOracle;
 pub use naive_sampling::NaiveSamplingDetector;
 pub use online::{EmptyAccessEngine, EmptyDetector, EmptySyncEngine, OnlineDetector};
 pub use ordered::{OrderedListDetector, OrderedSyncEngine};
-pub use parallel::{analyze_segments, SegmentedAnalysis};
+#[doc(hidden)]
+pub use parallel::analyze_segments_waves;
+pub use parallel::{
+    analyze_segments, analyze_segments_cached, CachedAnalysis, SegmentedAnalysis,
+    CACHE_STATE_VERSION,
+};
 pub use plane::{
     AccessEngine, AccessOutcome, ClockView, EpochView, HistoryAccessEngine, PublishedView,
     SplitDetector, SyncEngine, ViewSource,

@@ -1,5 +1,5 @@
 use freshtrack_clock::{
-    wire::{self, WireReader},
+    wire::{self, WireError, WireReader},
     ClockSnapshot, FreshnessClock, SharedClock, ThreadId, Time,
 };
 use freshtrack_sampling::Sampler;
@@ -234,9 +234,18 @@ impl CheckpointState for OrderedSyncEngine {
     // engine already constructed with the exporter's option (the
     // `split_sync` contract), so it is deliberately not serialized.
     //
-    // Export writes each shared/snapshot list by value, so import severs
-    // every thread↔lock alias; clock *values* and recency chains are
-    // preserved exactly, which is all the race verdicts depend on.
+    // A lock slot whose snapshot still aliases its releaser's clock is
+    // written as an *alias mark* (one bool plus the releaser id already
+    // present), not by value: import rebuilds the snapshot from the
+    // imported thread's clock, so the thread↔lock sharing topology —
+    // and with it every future `deep_copies` increment — survives the
+    // round trip exactly. Only detached snapshots (the thread has
+    // mutated since the release) are written by value; they can never
+    // trigger a deep copy again, so orphan `Arc`s on import are
+    // behavior-identical. This is what makes a resumed run
+    // counter-identical to an uninterrupted one (invariant 11), and it
+    // shrinks checkpoints: an aliased lock costs two bytes instead of a
+    // full list image.
     fn export_state(&self, out: &mut Vec<u8>) {
         wire::put_varint(out, self.threads.len() as u64);
         for thread in &self.threads {
@@ -249,7 +258,14 @@ impl CheckpointState for OrderedSyncEngine {
         for lock in &self.locks {
             wire::put_bool(out, lock.list.is_some());
             if let Some(snapshot) = &lock.list {
-                wire::put_list(out, snapshot.list());
+                let aliased = lock
+                    .last_releaser
+                    .map(|lr| self.threads[lr.index()].list.aliases(snapshot))
+                    .unwrap_or(false);
+                wire::put_bool(out, aliased);
+                if !aliased {
+                    wire::put_list(out, snapshot.list());
+                }
             }
             wire::put_bool(out, lock.last_releaser.is_some());
             if let Some(lr) = lock.last_releaser {
@@ -279,18 +295,45 @@ impl CheckpointState for OrderedSyncEngine {
         let n = checkpoint::get_count(&mut r)?;
         let mut locks = Vec::with_capacity(n);
         for _ in 0..n {
-            let list = if r.get_bool()? {
-                Some(SharedClock::from_list(r.get_list()?).snapshot())
+            enum Slot {
+                None,
+                Aliased,
+                Owned(freshtrack_clock::OrderedList),
+            }
+            let slot = if r.get_bool()? {
+                if r.get_bool()? {
+                    Slot::Aliased
+                } else {
+                    Slot::Owned(r.get_list()?)
+                }
+            } else {
+                Slot::None
+            };
+            let last_releaser = if r.get_bool()? {
+                Some(ThreadId::new(r.get_u32()?))
             } else {
                 None
             };
+            let list = match slot {
+                Slot::None => None,
+                Slot::Owned(list) => Some(SharedClock::from_list(list).snapshot()),
+                Slot::Aliased => {
+                    let lr = last_releaser.ok_or_else(|| {
+                        CheckpointError::from(WireError::Invalid(
+                            "aliased lock snapshot without a releaser",
+                        ))
+                    })?;
+                    let thread = threads.get_mut(lr.index()).ok_or_else(|| {
+                        CheckpointError::from(WireError::Invalid(
+                            "aliased lock snapshot names an unknown thread",
+                        ))
+                    })?;
+                    Some(thread.list.snapshot())
+                }
+            };
             locks.push(LockState {
                 list,
-                last_releaser: if r.get_bool()? {
-                    Some(ThreadId::new(r.get_u32()?))
-                } else {
-                    None
-                },
+                last_releaser,
                 fresh: r.get_varint()?,
                 releaser_flushed: r.get_varint()?,
                 joined: if r.get_bool()? {

@@ -3,11 +3,12 @@
 //! report stream must be identical to an uninterrupted run, for every
 //! engine × sampler family and every cut point.
 //!
-//! Counters continue exactly too, except `deep_copies`: a checkpoint
-//! round-trip severs clock sharing (that is the point — see the module
-//! docs of `freshtrack_core::CheckpointState`), so post-resume
-//! mutations of formerly-shared clocks no longer pay the copy. Every
-//! other field is pinned.
+//! Counters continue exactly too, `deep_copies` included: the SO sync
+//! engine records live thread↔lock aliases as checkpoint marks and
+//! rebuilds them on import (see the module docs of
+//! `freshtrack_core::CheckpointState`), so even the sharing-dependent
+//! counter picks up exactly where the exporter left off — invariant 11
+//! in `ARCHITECTURE.md`. Every field is pinned.
 
 use freshtrack_clock::wire;
 use freshtrack_core::{
@@ -19,8 +20,9 @@ use freshtrack_testutil::{trace_from_fuel, workload_matrix};
 use freshtrack_trace::{EventId, Trace, TraceBuilder};
 use proptest::prelude::*;
 
-/// Every `Counters` field except the sharing-dependent `deep_copies`.
-fn stable_fields(c: &Counters) -> [u64; 17] {
+/// Every `Counters` field, the sharing-dependent `deep_copies`
+/// included — alias marks in the SO checkpoint make resume exact.
+fn stable_fields(c: &Counters) -> [u64; 18] {
     [
         c.events,
         c.reads,
@@ -33,6 +35,7 @@ fn stable_fields(c: &Counters) -> [u64; 17] {
         c.releases_skipped,
         c.releases_processed,
         c.shallow_copies,
+        c.deep_copies,
         c.local_increments,
         c.entries_traversed,
         c.entries_saved,

@@ -32,6 +32,7 @@ fn assert_parallel_matches_sequential<D, S>(label: &str, trace: &Trace, detector
 where
     D: SplitDetector,
     D::Sync: CheckpointState,
+    D::Access: CheckpointState,
     S: Sampler + Clone + Send,
 {
     let mut seq = detector.clone();

@@ -41,6 +41,7 @@
 
 mod binary;
 mod builder;
+mod cache;
 mod event;
 mod io;
 mod segmented;
@@ -54,11 +55,12 @@ pub use binary::{
     BinaryTraceError, BINARY_MAGIC, BINARY_MAGIC_V2,
 };
 pub use builder::TraceBuilder;
+pub use cache::{AnalysisCache, CacheConfig, CacheEntry, CacheError, CACHE_MAGIC};
 pub use event::{Event, EventId, EventKind, LockId, VarId};
 pub use io::{read_trace, write_source, write_trace, ParseTraceError, WriteSourceError};
 pub use segmented::{
-    decode_segment, write_source_binary_v2, write_trace_binary_v2, SegmentData, SegmentMeta,
-    SegmentOptions, SegmentedTraceFile, SyncCheckpoint,
+    decode_segment, decode_segment_indexed, write_source_binary_v2, write_trace_binary_v2,
+    SegmentData, SegmentMeta, SegmentOptions, SegmentedTraceFile, SyncCheckpoint,
 };
 pub use source::{EventSource, SourceError, TraceSource, Validated};
 pub use stats::TraceStats;

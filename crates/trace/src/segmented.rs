@@ -852,6 +852,24 @@ impl<R: Read + Seek> SegmentedTraceFile<R> {
         Ok(bytes)
     }
 
+    /// Reads segment `k`'s bytes and recomputes their CRC-32 — the
+    /// cheap integrity probe incremental analysis runs over a cached
+    /// prefix: a reused segment is never decoded or replayed, but its
+    /// bytes must still hash to the footer's checksum, so a bit flip
+    /// anywhere in the prefix demotes the cache instead of being
+    /// silently trusted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.segment_count()`.
+    pub fn segment_crc32(&mut self, k: usize) -> Result<u32, BinaryTraceError> {
+        Ok(crc32(&self.read_segment_bytes(k)?))
+    }
+
     /// Reads and decodes the checkpoint preceding segment `k` — the
     /// canonical sync state after segments `< k`. Segment 0 yields the
     /// empty initial state (the file stores no record for it).
@@ -891,16 +909,39 @@ impl<R: Read + Seek> SegmentedTraceFile<R> {
     ///
     /// # Errors
     ///
-    /// Returns the first mismatch found.
+    /// Returns the first mismatch found, naming the failing segment's
+    /// index and start offset (corruption errors from the inner decoder
+    /// keep their precise byte position too).
     pub fn verify(&mut self) -> Result<(), BinaryTraceError> {
         for k in 0..self.segment_count() {
             let bytes = self.read_segment_bytes(k)?;
             let meta = self.metas[k].clone();
-            decode_segment(&bytes, &meta)?;
+            decode_segment_indexed(k, &bytes, &meta)?;
             self.read_checkpoint(k)?;
         }
         Ok(())
     }
+}
+
+/// [`decode_segment`] with position context: any failure is annotated
+/// with the segment's index and start offset, so corruption reports
+/// from `verify`, `segments`, and the parallel analyzer name the
+/// segment instead of only a raw byte position.
+///
+/// # Errors
+///
+/// As [`decode_segment`], with the annotated reason.
+pub fn decode_segment_indexed(
+    k: usize,
+    bytes: &[u8],
+    meta: &SegmentMeta,
+) -> Result<SegmentData, BinaryTraceError> {
+    decode_segment(bytes, meta).map_err(|e| {
+        BinaryTraceError::new(
+            e.offset,
+            format!("segment {k} (starts at byte {}): {}", meta.offset, e.reason),
+        )
+    })
 }
 
 /// One decoded segment: its events and the metadata *delta* it

@@ -1,7 +1,7 @@
 use std::fmt;
 use std::ops::Index;
 
-use freshtrack_clock::ThreadId;
+use freshtrack_clock::{wire, ThreadId};
 
 use crate::{Event, EventId, EventKind, TraceStats};
 
@@ -152,6 +152,43 @@ impl DisciplineChecker {
             _ => unreachable!("kind.lock() filtered to sync events"),
         };
         Err(ValidateTraceError { event: id, reason })
+    }
+
+    /// Serializes the holder table so a checkpointed analysis can
+    /// resume the discipline check mid-stream (the `.ftc` sidecar
+    /// stores this per segment boundary): one count, then per lock a
+    /// presence bool and the holding thread id.
+    pub fn export_wire(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.holder.len() as u64);
+        for slot in &self.holder {
+            wire::put_bool(out, slot.is_some());
+            if let Some(tid) = slot {
+                wire::put_varint(out, u64::from(tid.as_u32()));
+            }
+        }
+    }
+
+    /// Rebuilds a checker from [`Self::export_wire`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or trailing bytes.
+    pub fn import_wire(bytes: &[u8]) -> Result<Self, wire::WireError> {
+        let mut r = wire::WireReader::new(bytes);
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(wire::WireError::Truncated);
+        }
+        let mut holder = Vec::with_capacity(n);
+        for _ in 0..n {
+            holder.push(if r.get_bool()? {
+                Some(ThreadId::new(r.get_u32()?))
+            } else {
+                None
+            });
+        }
+        r.finish()?;
+        Ok(DisciplineChecker { holder })
     }
 }
 

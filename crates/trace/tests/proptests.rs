@@ -1,8 +1,11 @@
 //! Property-based tests for the trace substrate: the text format
-//! round-trips, the builder always produces discipline-valid traces, and
-//! statistics are consistent.
+//! round-trips, the builder always produces discipline-valid traces,
+//! statistics are consistent, and the `.ftc` analysis-cache sidecar
+//! codec round-trips and rejects every corruption.
 
-use freshtrack_trace::{read_trace, write_trace, EventKind, TraceBuilder};
+use freshtrack_trace::{
+    read_trace, write_trace, AnalysisCache, CacheConfig, CacheEntry, EventKind, TraceBuilder,
+};
 use proptest::prelude::*;
 
 /// Raw fuel interpreted into a valid trace (same scheme as the core
@@ -63,8 +66,113 @@ fn build(fuel: &[(u8, u8, u8)], threads: u8, locks: u8, vars: u8) -> freshtrack_
     b.build()
 }
 
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..24)
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(b'a'..=b'z', 0..6)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii range"))
+}
+
+fn arb_entry() -> impl Strategy<Value = CacheEntry> {
+    (
+        (
+            any::<u32>(),
+            any::<u64>(),
+            0u64..1 << 40,
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (0usize..1000, 0usize..1000, any::<u32>()),
+        (
+            prop::collection::vec(arb_name(), 0..4),
+            prop::collection::vec(arb_name(), 0..4),
+            prop::collection::vec(any::<bool>(), 0..8),
+        ),
+        (arb_payload(), arb_payload(), arb_payload(), arb_payload()),
+        prop::collection::vec(arb_payload(), 0..4),
+    )
+        .prop_map(|(ids, watermarks, tables, payloads, access_deltas)| {
+            let (crc32, offset, byte_len, event_count, first_event_id) = ids;
+            let (locks_before, vars_before, threads) = watermarks;
+            let (new_locks, new_vars, pending) = tables;
+            let (discipline, counters, sync_delta, reports) = payloads;
+            CacheEntry {
+                crc32,
+                offset,
+                byte_len,
+                event_count,
+                first_event_id,
+                locks_before,
+                vars_before,
+                new_locks,
+                new_vars,
+                threads,
+                pending,
+                discipline,
+                counters,
+                sync_delta,
+                access_deltas,
+                reports,
+            }
+        })
+}
+
+fn arb_cache() -> impl Strategy<Value = AnalysisCache> {
+    (
+        (arb_name(), arb_name(), arb_name(), any::<u32>(), 1u32..8),
+        prop::collection::vec(arb_entry(), 0..6),
+    )
+        .prop_map(
+            |((engine, sampler, options, state_version, jobs), entries)| AnalysisCache {
+                config: CacheConfig {
+                    engine,
+                    sampler,
+                    options,
+                    state_version,
+                    jobs,
+                },
+                entries,
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sidecar_round_trips(cache in arb_cache()) {
+        let encoded = cache.encode();
+        let decoded = AnalysisCache::decode(&encoded).expect("own encoding must decode");
+        prop_assert_eq!(decoded, cache);
+    }
+
+    #[test]
+    fn sidecar_bit_flips_are_rejected_or_visibly_different(
+        cache in arb_cache(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut mutant = cache.encode();
+        let pos = pos % mutant.len();
+        mutant[pos] ^= 1 << bit;
+        // A corrupted sidecar must never silently decode back to the
+        // original state — that would let a cache mask trace damage.
+        if let Ok(decoded) = AnalysisCache::decode(&mutant) {
+            prop_assert!(decoded != cache, "flip at byte {} bit {} went unnoticed", pos, bit);
+        }
+    }
+
+    #[test]
+    fn sidecar_truncations_are_rejected(
+        cache in arb_cache(),
+        cut in any::<usize>(),
+    ) {
+        let encoded = cache.encode();
+        let cut = cut % encoded.len();
+        prop_assert!(AnalysisCache::decode(&encoded[..cut]).is_err());
+    }
 
     #[test]
     fn builder_traces_always_validate(
